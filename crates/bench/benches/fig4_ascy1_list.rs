@@ -1,0 +1,57 @@
+//! Figure 4: ASCY1 on linked lists (1024 elements, 5% updates).
+//!
+//! Reports, per algorithm and thread count: total throughput, power relative
+//! to async, mean search latency, and the 1/25/50/75/99 search-latency
+//! percentiles — the four panels of Figure 4. The ASCY1 effect shows up as
+//! `harris-opt` achieving lower and tighter search latencies than `harris`
+//! and `michael`.
+
+use ascylib::api::StructureKind;
+use ascylib_bench::{algorithms, display_name, run_entry, workload};
+use ascylib_harness::report::{f2, Table};
+use ascylib_harness::{max_threads, thread_sweep, EnergyModel};
+
+fn main() {
+    let model = EnergyModel::default();
+    let threads = max_threads();
+
+    // Panel (a): throughput vs threads.
+    let mut tput = Table::new(
+        "Figure 4a — linked list (1024 elems, 5% upd): throughput (Mops/s) vs threads",
+        &["algorithm", "threads", "Mops/s"],
+    );
+    for entry in algorithms(StructureKind::LinkedList) {
+        for &t in &thread_sweep() {
+            let r = run_entry(&entry, workload(1024, 5, t));
+            tput.row(vec![display_name(&entry).to_string(), t.to_string(), f2(r.mops)]);
+        }
+    }
+    tput.print();
+    let _ = tput.write_csv("fig4a_throughput");
+
+    // Panels (b)-(d): relative power, search latency, latency distribution at
+    // the maximum thread count.
+    let entries = algorithms(StructureKind::LinkedList);
+    let async_entry = entries.iter().find(|e| e.asynchronized).expect("async baseline");
+    let baseline = run_entry(async_entry, workload(1024, 5, threads));
+    let mut panel = Table::new(
+        "Figure 4b-d — relative power and search latency (ns)",
+        &["algorithm", "power/async", "mean", "p1", "p25", "p50", "p75", "p99"],
+    );
+    for entry in &entries {
+        let r = run_entry(entry, workload(1024, 5, threads));
+        let lat = r.search_latency;
+        panel.row(vec![
+            display_name(entry).to_string(),
+            f2(model.relative_power(&r, &baseline)),
+            f2(lat.mean),
+            lat.p1.to_string(),
+            lat.p25.to_string(),
+            lat.p50.to_string(),
+            lat.p75.to_string(),
+            lat.p99.to_string(),
+        ]);
+    }
+    panel.print();
+    let _ = panel.write_csv("fig4bcd_latency_power");
+}

@@ -1,0 +1,59 @@
+//! Figure 6: ASCY3 on hash tables (8192 elements, 8192 buckets, 10% updates).
+//!
+//! Compares the ASCY3-enabled tables against their `-no` variants (which
+//! still acquire locks when an update cannot succeed): throughput, power
+//! relative to async, and the latency of unsuccessful updates (where ASCY3
+//! yields a 1.5–4× improvement in the paper).
+
+use std::sync::Arc;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::hashtable::{
+    AsyncHashTable, CopyHashTable, JavaHashTable, LazyHashTable, PughHashTable,
+};
+use ascylib_bench::{run_map, workload};
+use ascylib_harness::report::{f2, Table};
+use ascylib_harness::{max_threads, EnergyModel};
+
+fn variants() -> Vec<(&'static str, Arc<dyn ConcurrentMap>)> {
+    let buckets = 8192;
+    vec![
+        ("async", Arc::new(AsyncHashTable::with_buckets(buckets)) as Arc<dyn ConcurrentMap>),
+        ("lazy", Arc::new(LazyHashTable::with_buckets(buckets))),
+        ("lazy-no", Arc::new(LazyHashTable::with_buckets_no_ascy3(buckets))),
+        ("pugh", Arc::new(PughHashTable::with_buckets(buckets))),
+        ("pugh-no", Arc::new(PughHashTable::with_buckets_no_ascy3(buckets))),
+        ("copy", Arc::new(CopyHashTable::with_buckets(buckets))),
+        ("copy-no", Arc::new(CopyHashTable::with_buckets_no_ascy3(buckets))),
+        ("java", Arc::new(JavaHashTable::with_capacity(buckets))),
+        ("java-no", Arc::new(JavaHashTable::with_capacity_no_ascy3(buckets))),
+    ]
+}
+
+fn main() {
+    let threads = max_threads();
+    let model = EnergyModel::default();
+    let w = workload(8192, 10, threads);
+
+    let baseline = run_map(Arc::new(AsyncHashTable::with_buckets(8192)), w);
+    let mut table = Table::new(
+        "Figure 6 — hash table (8192 elems, 10% upd): ASCY3 vs -no variants",
+        &[
+            "algorithm", "Mops/s", "power/async", "unsucc-upd mean ns", "unsucc p99",
+            "succ-upd mean ns",
+        ],
+    );
+    for (name, map) in variants() {
+        let r = run_map(map, w);
+        table.row(vec![
+            name.to_string(),
+            f2(r.mops),
+            f2(model.relative_power(&r, &baseline)),
+            f2(r.unsuccessful_update_latency.mean),
+            r.unsuccessful_update_latency.p99.to_string(),
+            f2(r.successful_update_latency.mean),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv("fig6_ascy3_hashtable");
+}

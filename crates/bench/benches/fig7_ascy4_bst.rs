@@ -1,0 +1,57 @@
+//! Figure 7: ASCY4 on BSTs (2048 elements, 20% updates).
+//!
+//! Reports throughput vs threads, power relative to async, update latency,
+//! the latency distribution of successful operations, and — the §5/ASCY4
+//! metric — atomic operations per successful update (≈2 for `natarajan` and
+//! BST-TK, more for `ellen`).
+
+use ascylib::api::StructureKind;
+use ascylib_bench::{algorithms, display_name, run_entry, workload};
+use ascylib_harness::report::{f2, Table};
+use ascylib_harness::{max_threads, thread_sweep, EnergyModel};
+
+fn main() {
+    let model = EnergyModel::default();
+    let threads = max_threads();
+
+    let mut tput = Table::new(
+        "Figure 7a — BST (2048 elems, 20% upd): throughput (Mops/s) vs threads",
+        &["algorithm", "threads", "Mops/s"],
+    );
+    for entry in algorithms(StructureKind::Bst) {
+        for &t in &thread_sweep() {
+            let r = run_entry(&entry, workload(2048, 20, t));
+            tput.row(vec![display_name(&entry).to_string(), t.to_string(), f2(r.mops)]);
+        }
+    }
+    tput.print();
+    let _ = tput.write_csv("fig7a_throughput");
+
+    let entries = algorithms(StructureKind::Bst);
+    let async_entry = entries
+        .iter()
+        .find(|e| e.name == "bst-async-ext")
+        .expect("async baseline");
+    let baseline = run_entry(async_entry, workload(2048, 20, threads));
+    let mut panel = Table::new(
+        "Figure 7b-d — relative power, atomics/update, successful-op latency (ns)",
+        &["algorithm", "power/async", "atomics/succ-upd", "mean", "p1", "p25", "p50", "p75", "p99"],
+    );
+    for entry in &entries {
+        let r = run_entry(entry, workload(2048, 20, threads));
+        let lat = r.successful_update_latency;
+        panel.row(vec![
+            display_name(entry).to_string(),
+            f2(model.relative_power(&r, &baseline)),
+            f2(r.atomics_per_successful_update()),
+            f2(lat.mean),
+            lat.p1.to_string(),
+            lat.p25.to_string(),
+            lat.p50.to_string(),
+            lat.p75.to_string(),
+            lat.p99.to_string(),
+        ]);
+    }
+    panel.print();
+    let _ = panel.write_csv("fig7bcd_latency_power");
+}

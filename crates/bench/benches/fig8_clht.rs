@@ -1,0 +1,48 @@
+//! Figure 8: CLHT vs pugh hash table, 4096 elements, varying update rates.
+//!
+//! The paper runs 20 threads and update rates 0/1/20/100% on five platforms;
+//! here the measured host columns are complemented by the projected
+//! throughput on each platform profile.
+
+use std::sync::Arc;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::hashtable::{ClhtLb, ClhtLf, PughHashTable};
+use ascylib_bench::{run_map, workload};
+use ascylib_harness::report::{f2, Table};
+use ascylib_harness::{max_threads, PlatformProfile};
+
+fn main() {
+    let threads = max_threads();
+    let rates = [0u32, 1, 20, 100];
+    let platforms = PlatformProfile::all();
+    let mut table = Table::new(
+        "Figure 8 — CLHT vs pugh (4096 elems) across update rates",
+        &[
+            "algorithm", "upd %", "Mops/s", "transfers/op",
+            "Opteron*", "Xeon20*", "Xeon40*", "Tilera*", "T4-4*",
+        ],
+    );
+    for rate in rates {
+        let algos: Vec<(&str, Arc<dyn ConcurrentMap>)> = vec![
+            ("pugh", Arc::new(PughHashTable::with_buckets(4096)) as Arc<dyn ConcurrentMap>),
+            ("clht-lb", Arc::new(ClhtLb::with_capacity(4096))),
+            ("clht-lf", Arc::new(ClhtLf::with_capacity(4096))),
+        ];
+        for (name, map) in algos {
+            let r = run_map(map, workload(4096, rate, threads));
+            let mut row = vec![
+                name.to_string(),
+                rate.to_string(),
+                f2(r.mops),
+                f2(r.transfers_per_op()),
+            ];
+            for p in platforms.iter().take(5) {
+                row.push(f2(p.project_mops(&r, p.hardware_threads.min(20))));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+    let _ = table.write_csv("fig8_clht");
+}

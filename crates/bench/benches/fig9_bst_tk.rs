@@ -1,0 +1,49 @@
+//! Figure 9: BST-TK vs natarajan, 4096 elements, varying update rates.
+//!
+//! The paper runs 20 threads and update rates 0/1/10/20/100%; BST-TK and
+//! natarajan should land within a few percent of each other, with BST-TK
+//! using fewer atomic operations but paying a slightly higher parse
+//! overhead.
+
+use std::sync::Arc;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::bst::{BstTk, NatarajanBst};
+use ascylib_bench::{run_map, workload};
+use ascylib_harness::report::{f2, Table};
+use ascylib_harness::{max_threads, PlatformProfile};
+
+fn main() {
+    let threads = max_threads();
+    let rates = [0u32, 1, 10, 20, 100];
+    let platforms = PlatformProfile::all();
+    let mut table = Table::new(
+        "Figure 9 — BST-TK vs natarajan (4096 elems) across update rates",
+        &[
+            "algorithm", "upd %", "Mops/s", "atomics/succ-upd", "restarts/op",
+            "Opteron*", "Xeon20*", "Xeon40*", "Tilera*", "T4-4*",
+        ],
+    );
+    for rate in rates {
+        let algos: Vec<(&str, Arc<dyn ConcurrentMap>)> = vec![
+            ("natarajan", Arc::new(NatarajanBst::new()) as Arc<dyn ConcurrentMap>),
+            ("bst-tk", Arc::new(BstTk::new())),
+        ];
+        for (name, map) in algos {
+            let r = run_map(map, workload(4096, rate, threads));
+            let mut row = vec![
+                name.to_string(),
+                rate.to_string(),
+                f2(r.mops),
+                f2(r.atomics_per_successful_update()),
+                f2(r.counters.restarts as f64 / r.total_ops.max(1) as f64),
+            ];
+            for p in platforms.iter().take(5) {
+                row.push(f2(p.project_mops(&r, p.hardware_threads.min(20))));
+            }
+            table.row(row);
+        }
+    }
+    table.print();
+    let _ = table.write_csv("fig9_bst_tk");
+}

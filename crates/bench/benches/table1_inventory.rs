@@ -1,0 +1,27 @@
+//! Table 1: the algorithm inventory of ASCYLIB.
+//!
+//! Prints every implemented algorithm with its structure, synchronization
+//! family and a smoke-test throughput number, mirroring the rows of Table 1.
+
+use ascylib_bench::{run_entry, workload};
+use ascylib_harness::report::{f2, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "Table 1 — ASCYLIB-RS algorithm inventory",
+        &["name", "structure", "type", "async?", "1-thread Mops/s"],
+    );
+    let w = workload(1024, 10, 1);
+    for entry in ascylib::registry::all_algorithms() {
+        let result = run_entry(&entry, w);
+        table.row(vec![
+            entry.name.to_string(),
+            entry.structure.to_string(),
+            entry.kind.to_string(),
+            if entry.asynchronized { "yes" } else { "no" }.to_string(),
+            f2(result.mops),
+        ]);
+    }
+    table.print();
+    let _ = table.write_csv("table1_inventory");
+}

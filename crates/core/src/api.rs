@@ -1,0 +1,141 @@
+//! The common search-data-structure interface (Figure 1 of the paper).
+//!
+//! A search data structure is a set of `(key, value)` elements with three
+//! operations: `search`, `insert` and `remove`. Updates have two phases: a
+//! *parse* phase that locates the update point, and a *modification* phase
+//! that applies the change.
+
+/// Smallest key usable by callers. Key `0` is reserved for head/empty-slot
+/// sentinels inside the implementations.
+pub const KEY_MIN: u64 = 1;
+
+/// Largest key usable by callers. `u64::MAX` is reserved for tail sentinels.
+pub const KEY_MAX: u64 = u64::MAX - 1;
+
+/// The common interface of every concurrent search data structure in
+/// ASCYLIB-RS (a set of `u64 → u64` elements, as in the original ASCYLIB,
+/// which uses 64-bit keys and values).
+///
+/// # Key range
+///
+/// Keys must lie in `[KEY_MIN, KEY_MAX]`; the boundary values `0` and
+/// `u64::MAX` are reserved for internal sentinels. Implementations
+/// `debug_assert!` this.
+///
+/// # Consistency
+///
+/// All implementations except those in [`crate::asynchronized`] are
+/// linearizable. The asynchronized variants deliberately omit
+/// synchronization (the paper uses them as performance upper bounds) and are
+/// only sequentially correct.
+pub trait ConcurrentMap: Send + Sync {
+    /// Looks for an element with the given key and returns its value.
+    fn search(&self, key: u64) -> Option<u64>;
+
+    /// Attempts to insert a new element; succeeds iff no element with the
+    /// same key is present. Returns `true` on success.
+    fn insert(&self, key: u64, value: u64) -> bool;
+
+    /// Attempts to remove the element with the given key; returns its value
+    /// if such an element existed.
+    fn remove(&self, key: u64) -> Option<u64>;
+
+    /// Number of elements currently in the structure.
+    ///
+    /// Not linearizable (it may traverse the structure without
+    /// synchronization); intended for tests, sanity checks and reporting.
+    fn size(&self) -> usize;
+
+    /// Returns `true` if the structure holds no elements (see [`Self::size`]
+    /// for the consistency caveat).
+    fn is_empty(&self) -> bool {
+        self.size() == 0
+    }
+
+    /// `true` if the given key is present (convenience wrapper over
+    /// [`Self::search`]).
+    fn contains(&self, key: u64) -> bool {
+        self.search(key).is_some()
+    }
+}
+
+/// Checks that a caller-supplied key is within the usable range.
+#[inline]
+pub(crate) fn debug_check_key(key: u64) {
+    debug_assert!(
+        (KEY_MIN..=KEY_MAX).contains(&key),
+        "keys must be in [{KEY_MIN}, {KEY_MAX}], got {key}"
+    );
+}
+
+/// Which synchronization family an algorithm belongs to (Table 1 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncKind {
+    /// Sequential implementation, used as an (incorrect) asynchronized
+    /// concurrent baseline.
+    Sequential,
+    /// Fully lock-based: all three operations acquire locks.
+    FullyLockBased,
+    /// Hybrid lock-based: only the modification phase of updates locks.
+    LockBased,
+    /// Lock-free: no locks, atomic operations only.
+    LockFree,
+}
+
+impl std::fmt::Display for SyncKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SyncKind::Sequential => "seq",
+            SyncKind::FullyLockBased => "flb",
+            SyncKind::LockBased => "lb",
+            SyncKind::LockFree => "lf",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which abstract data structure an algorithm implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StructureKind {
+    /// Sorted singly-linked list.
+    LinkedList,
+    /// Hash table.
+    HashTable,
+    /// Skip list.
+    SkipList,
+    /// Binary search tree.
+    Bst,
+}
+
+impl std::fmt::Display for StructureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StructureKind::LinkedList => "linked list",
+            StructureKind::HashTable => "hash table",
+            StructureKind::SkipList => "skip list",
+            StructureKind::Bst => "bst",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_range_excludes_sentinels() {
+        assert_eq!(KEY_MIN, 1);
+        assert_eq!(KEY_MAX, u64::MAX - 1);
+    }
+
+    #[test]
+    fn kinds_display() {
+        assert_eq!(SyncKind::LockFree.to_string(), "lf");
+        assert_eq!(SyncKind::LockBased.to_string(), "lb");
+        assert_eq!(SyncKind::FullyLockBased.to_string(), "flb");
+        assert_eq!(SyncKind::Sequential.to_string(), "seq");
+        assert_eq!(StructureKind::SkipList.to_string(), "skip list");
+    }
+}

@@ -1,0 +1,114 @@
+//! A generic bucket-array hash table built from any list implementation.
+//!
+//! The original ASCYLIB builds most of its hash tables by instantiating one
+//! of its linked lists per bucket, with the bucket's lock (if any) embedded
+//! in the list. [`BucketTable`] reproduces that composition for any type that
+//! implements [`ConcurrentMap`].
+
+use crate::api::{debug_check_key, ConcurrentMap};
+
+/// A fixed-size bucket-array hash table delegating each bucket to an inner
+/// map (normally one of the lists in [`crate::list`]).
+///
+/// The number of buckets is rounded up to a power of two. There is no
+/// resizing: like the original ASCYLIB benchmarks, the table is sized for the
+/// expected number of elements up front (the `java` and `tbb` tables provide
+/// resizing).
+///
+/// # Example
+///
+/// ```
+/// use ascylib::api::ConcurrentMap;
+/// use ascylib::hashtable::LazyHashTable;
+///
+/// let table = LazyHashTable::with_buckets(128);
+/// assert!(table.insert(7, 70));
+/// assert_eq!(table.search(7), Some(70));
+/// ```
+#[derive(Debug)]
+pub struct BucketTable<M> {
+    buckets: Box<[M]>,
+    mask: u64,
+}
+
+/// Fibonacci multiplicative hashing: spreads consecutive keys (the paper's
+/// workloads draw keys uniformly from `[1, 2N]`) across buckets.
+#[inline]
+fn hash(key: u64) -> u64 {
+    key.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+impl<M: ConcurrentMap> BucketTable<M> {
+    /// Creates a table with at least `buckets` buckets, each built by `make`.
+    pub fn new_with(buckets: usize, make: impl Fn() -> M) -> Self {
+        let n = buckets.max(1).next_power_of_two();
+        let buckets: Vec<M> = (0..n).map(|_| make()).collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of buckets in the table.
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &M {
+        let idx = (hash(key) >> 32) & self.mask;
+        &self.buckets[idx as usize]
+    }
+}
+
+impl<M: ConcurrentMap> ConcurrentMap for BucketTable<M> {
+    fn search(&self, key: u64) -> Option<u64> {
+        debug_check_key(key);
+        self.bucket(key).search(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        debug_check_key(key);
+        self.bucket(key).insert(key, value)
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        debug_check_key(key);
+        self.bucket(key).remove(key)
+    }
+
+    fn size(&self) -> usize {
+        self.buckets.iter().map(|b| b.size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::LazyList;
+
+    #[test]
+    fn rounds_bucket_count_to_power_of_two() {
+        let t = BucketTable::new_with(100, LazyList::new);
+        assert_eq!(t.bucket_count(), 128);
+        let t = BucketTable::new_with(0, LazyList::new);
+        assert_eq!(t.bucket_count(), 1);
+    }
+
+    #[test]
+    fn distributes_keys_across_buckets() {
+        let t = BucketTable::new_with(16, LazyList::new);
+        for k in 1..=256u64 {
+            assert!(t.insert(k, k));
+        }
+        assert_eq!(t.size(), 256);
+        // No single bucket should hold everything.
+        let max_bucket = t.buckets.iter().map(|b| b.size()).max().unwrap();
+        assert!(max_bucket < 256, "hashing must spread keys (max bucket = {max_bucket})");
+        for k in 1..=256u64 {
+            assert_eq!(t.search(k), Some(k));
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! A TBB-style hash table.
+//!
+//! The paper evaluates Intel Thread Building Blocks'
+//! `concurrent_hash_map`, which protects each bucket with a reader-writer
+//! lock (fully lock-based: even searches acquire the bucket lock in shared
+//! mode). Since TBB is a closed third-party library, this module implements
+//! the equivalent synchronization pattern: an array of buckets, each guarded
+//! by an [`RwSpinLock`], with an unsorted chain per bucket. Resizing is not
+//! implemented (the benchmarks size the table up front), which matches how
+//! the paper configures its workloads.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+use ascylib_ssmem as ssmem;
+use ascylib_sync::RwSpinLock;
+
+use crate::api::{debug_check_key, ConcurrentMap};
+use crate::stats;
+
+#[repr(C)]
+struct Node {
+    key: u64,
+    value: AtomicU64,
+    next: AtomicPtr<Node>,
+}
+
+fn new_node(key: u64, value: u64, next: *mut Node) -> *mut Node {
+    ssmem::alloc(Node {
+        key,
+        value: AtomicU64::new(value),
+        next: AtomicPtr::new(next),
+    })
+}
+
+struct Bucket {
+    lock: RwSpinLock,
+    head: AtomicPtr<Node>,
+}
+
+/// The reader-writer-lock bucket hash table (`tbb` in Table 1).
+///
+/// # Example
+///
+/// ```
+/// use ascylib::api::ConcurrentMap;
+/// use ascylib::hashtable::TbbHashTable;
+///
+/// let t = TbbHashTable::with_buckets(64);
+/// assert!(t.insert(9, 90));
+/// assert_eq!(t.remove(9), Some(90));
+/// ```
+pub struct TbbHashTable {
+    buckets: Box<[Bucket]>,
+    mask: u64,
+    count: AtomicUsize,
+}
+
+// SAFETY: every chain access happens while holding the bucket's
+// reader-writer lock, and removed nodes are freed only by the writer that
+// unlinked them (no other thread can hold a reference without the lock).
+unsafe impl Send for TbbHashTable {}
+// SAFETY: see above.
+unsafe impl Sync for TbbHashTable {}
+
+impl TbbHashTable {
+    /// Creates a table with at least `buckets` buckets.
+    pub fn with_buckets(buckets: usize) -> Self {
+        let n = buckets.max(1).next_power_of_two();
+        let buckets: Vec<Bucket> = (0..n)
+            .map(|_| Bucket { lock: RwSpinLock::new(), head: AtomicPtr::new(std::ptr::null_mut()) })
+            .collect();
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            count: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, key: u64) -> &Bucket {
+        let idx = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) & self.mask;
+        &self.buckets[idx as usize]
+    }
+
+    /// Finds `key` in a chain. Caller must hold the bucket lock (shared or
+    /// exclusive).
+    fn chain_find(bucket: &Bucket, key: u64) -> Option<*mut Node> {
+        let mut traversed = 0u64;
+        // SAFETY: the bucket lock is held, so the chain cannot change and no
+        // node in it can be freed.
+        unsafe {
+            let mut curr = bucket.head.load(Ordering::Acquire);
+            while !curr.is_null() {
+                traversed += 1;
+                if (*curr).key == key {
+                    stats::record_traversal(traversed);
+                    return Some(curr);
+                }
+                curr = (*curr).next.load(Ordering::Acquire);
+            }
+            stats::record_traversal(traversed);
+            None
+        }
+    }
+}
+
+impl ConcurrentMap for TbbHashTable {
+    fn search(&self, key: u64) -> Option<u64> {
+        debug_check_key(key);
+        let bucket = self.bucket(key);
+        bucket.lock.read_lock();
+        stats::record_lock();
+        // SAFETY: shared lock held.
+        let result = Self::chain_find(bucket, key).map(|n| unsafe { (*n).value.load(Ordering::Acquire) });
+        bucket.lock.read_unlock();
+        stats::record_operation();
+        result
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        debug_check_key(key);
+        let bucket = self.bucket(key);
+        bucket.lock.write_lock();
+        stats::record_lock();
+        let result = if Self::chain_find(bucket, key).is_some() {
+            false
+        } else {
+            let head = bucket.head.load(Ordering::Acquire);
+            bucket.head.store(new_node(key, value, head), Ordering::Release);
+            stats::record_store();
+            self.count.fetch_add(1, Ordering::Relaxed);
+            true
+        };
+        bucket.lock.write_unlock();
+        stats::record_operation();
+        result
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        debug_check_key(key);
+        let bucket = self.bucket(key);
+        bucket.lock.write_lock();
+        stats::record_lock();
+        // SAFETY: exclusive lock held; after unlinking, no other thread can
+        // reach the node (every chain access requires the lock), so it can
+        // be freed immediately — TBB manages its node memory the same way.
+        let result = unsafe {
+            let mut prev: *const AtomicPtr<Node> = &bucket.head;
+            let mut curr = (*prev).load(Ordering::Acquire);
+            let mut found = None;
+            while !curr.is_null() {
+                if (*curr).key == key {
+                    let value = (*curr).value.load(Ordering::Acquire);
+                    (*prev).store((*curr).next.load(Ordering::Acquire), Ordering::Release);
+                    stats::record_store();
+                    ssmem::dealloc_immediate(curr);
+                    self.count.fetch_sub(1, Ordering::Relaxed);
+                    found = Some(value);
+                    break;
+                }
+                prev = &(*curr).next;
+                curr = (*prev).load(Ordering::Acquire);
+            }
+            found
+        };
+        bucket.lock.write_unlock();
+        stats::record_operation();
+        result
+    }
+
+    fn size(&self) -> usize {
+        self.count.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for TbbHashTable {
+    fn drop(&mut self) {
+        // SAFETY: exclusive access.
+        unsafe {
+            for bucket in self.buckets.iter() {
+                let mut curr = bucket.head.load(Ordering::Relaxed);
+                while !curr.is_null() {
+                    let next = (*curr).next.load(Ordering::Relaxed);
+                    ssmem::dealloc_immediate(curr);
+                    curr = next;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for TbbHashTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TbbHashTable")
+            .field("buckets", &self.buckets.len())
+            .field("size", &self.size())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_semantics() {
+        let t = TbbHashTable::with_buckets(8);
+        for k in 1..=64u64 {
+            assert!(t.insert(k, k));
+            assert!(!t.insert(k, k));
+        }
+        assert_eq!(t.size(), 64);
+        for k in 1..=64u64 {
+            assert_eq!(t.search(k), Some(k));
+        }
+        for k in 1..=64u64 {
+            assert_eq!(t.remove(k), Some(k));
+            assert_eq!(t.remove(k), None);
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,92 @@
+//! Concurrent sorted linked lists (Table 1, "linked list" rows).
+//!
+//! | Name | Type | Algorithm |
+//! |------|------|-----------|
+//! | [`AsyncList`] | seq | Sequential list, used as the incorrect *asynchronized* baseline. |
+//! | [`CouplingList`] | flb | Hand-over-hand (lock coupling) list. |
+//! | [`PughList`] | lb | Pugh's optimistic list with per-node locks and pointer reversal on removal. |
+//! | [`LazyList`] | lb | Heller et al. lazy list: logical mark then physical unlink. |
+//! | [`CopyList`] | lb | Copy-on-write array list behind a global lock. |
+//! | [`HarrisList`] | lf | Harris's lock-free list (marked pointers, cleanup during search). |
+//! | [`MichaelList`] | lf | Michael's refactoring of Harris for easier memory management. |
+//! | [`HarrisOptList`] | lf | Harris re-engineered with ASCY1–2: wait-free search, non-restarting parse. |
+//!
+//! All lists store `u64 → u64` pairs, keep elements sorted by key, and use
+//! head/tail sentinel nodes (keys `0` and `u64::MAX`), so user keys must lie
+//! in `[KEY_MIN, KEY_MAX]`.
+//!
+//! Memory reclamation goes through [`ascylib_ssmem`]: removed nodes are
+//! *retired* and reused only after a grace period, which is what allows the
+//! ASCY1-compliant searches to traverse nodes without any stores.
+
+mod copy;
+mod coupling;
+mod harris;
+mod harris_opt;
+mod lazy;
+mod michael;
+mod pugh;
+mod seq;
+
+pub use copy::CopyList;
+pub use coupling::CouplingList;
+pub use harris::HarrisList;
+pub use harris_opt::HarrisOptList;
+pub use lazy::LazyList;
+pub use michael::MichaelList;
+pub use pugh::PughList;
+pub use seq::AsyncList;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing;
+
+    #[test]
+    fn lazy_list_full_suite() {
+        testing::full_suite(|| LazyList::new());
+    }
+
+    #[test]
+    fn lazy_list_no_ascy3_full_suite() {
+        testing::full_suite(|| LazyList::without_ascy3());
+    }
+
+    #[test]
+    fn pugh_list_full_suite() {
+        testing::full_suite(|| PughList::new());
+    }
+
+    #[test]
+    fn coupling_list_full_suite() {
+        testing::full_suite(|| CouplingList::new());
+    }
+
+    #[test]
+    fn copy_list_full_suite() {
+        testing::full_suite(|| CopyList::new());
+    }
+
+    #[test]
+    fn harris_list_full_suite() {
+        testing::full_suite(|| HarrisList::new());
+    }
+
+    #[test]
+    fn michael_list_full_suite() {
+        testing::full_suite(|| MichaelList::new());
+    }
+
+    #[test]
+    fn harris_opt_list_full_suite() {
+        testing::full_suite(|| HarrisOptList::new());
+    }
+
+    #[test]
+    fn async_list_sequential_only_suite() {
+        // The asynchronized list is only sequentially correct; run the
+        // sequential battery.
+        testing::sequential_suite(|| AsyncList::new());
+        testing::model_check(|| AsyncList::new(), 2_000);
+    }
+}

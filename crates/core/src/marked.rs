@@ -1,0 +1,179 @@
+//! Marked atomic pointers.
+//!
+//! Lock-free algorithms in ASCYLIB steal the low bits of node pointers to
+//! store logical-deletion marks (Harris lists, Fraser skip lists) or
+//! flag/tag pairs (the Natarajan–Mittal BST). Node types are allocated with
+//! an alignment of at least 4 bytes, so the two least-significant bits of a
+//! node address are always zero and can carry metadata.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Mask covering the tag bits (two least-significant bits).
+const TAG_MASK: usize = 0b11;
+
+/// An atomic pointer whose two low bits carry a small tag.
+///
+/// Bit 0 is conventionally the *mark* (logical deletion) bit; bit 1 is used
+/// as the *flag* bit by the Natarajan–Mittal tree.
+///
+/// # Example
+///
+/// ```
+/// use ascylib::marked::MarkedPtr;
+///
+/// let ptr: MarkedPtr<u64> = MarkedPtr::null();
+/// assert!(ptr.load_ptr().is_null());
+/// assert_eq!(ptr.load_tag(), 0);
+/// ```
+#[derive(Debug)]
+pub struct MarkedPtr<T> {
+    raw: AtomicUsize,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: `MarkedPtr` is just an atomic word; sharing it is as safe as
+// sharing an `AtomicPtr`. The pointed-to data's thread safety is the
+// responsibility of the data-structure code that dereferences it.
+unsafe impl<T> Send for MarkedPtr<T> {}
+// SAFETY: see above.
+unsafe impl<T> Sync for MarkedPtr<T> {}
+
+/// Packs a pointer and a tag into one word.
+#[inline]
+fn pack<T>(ptr: *mut T, tag: usize) -> usize {
+    debug_assert_eq!(ptr as usize & TAG_MASK, 0, "pointer must be 4-byte aligned");
+    debug_assert!(tag <= TAG_MASK, "tag must fit in two bits");
+    (ptr as usize) | tag
+}
+
+/// Splits a packed word into pointer and tag.
+#[inline]
+fn unpack<T>(raw: usize) -> (*mut T, usize) {
+    ((raw & !TAG_MASK) as *mut T, raw & TAG_MASK)
+}
+
+impl<T> MarkedPtr<T> {
+    /// Creates a null pointer with tag 0.
+    #[inline]
+    pub const fn null() -> Self {
+        Self { raw: AtomicUsize::new(0), _marker: PhantomData }
+    }
+
+    /// Creates a marked pointer from a raw pointer and tag.
+    #[inline]
+    pub fn new(ptr: *mut T, tag: usize) -> Self {
+        Self { raw: AtomicUsize::new(pack(ptr, tag)), _marker: PhantomData }
+    }
+
+    /// Atomically loads the pointer and tag.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> (*mut T, usize) {
+        unpack(self.raw.load(order))
+    }
+
+    /// Loads only the pointer component (with `Acquire` ordering).
+    #[inline]
+    pub fn load_ptr(&self) -> *mut T {
+        self.load(Ordering::Acquire).0
+    }
+
+    /// Loads only the tag component (with `Acquire` ordering).
+    #[inline]
+    pub fn load_tag(&self) -> usize {
+        self.load(Ordering::Acquire).1
+    }
+
+    /// Atomically stores a pointer/tag pair.
+    #[inline]
+    pub fn store(&self, ptr: *mut T, tag: usize, order: Ordering) {
+        self.raw.store(pack(ptr, tag), order);
+    }
+
+    /// Compare-and-swap on the full (pointer, tag) word.
+    ///
+    /// Returns `Ok(())` on success and the observed (pointer, tag) on
+    /// failure.
+    #[inline]
+    pub fn compare_exchange(
+        &self,
+        current_ptr: *mut T,
+        current_tag: usize,
+        new_ptr: *mut T,
+        new_tag: usize,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<(), (*mut T, usize)> {
+        self.raw
+            .compare_exchange(
+                pack(current_ptr, current_tag),
+                pack(new_ptr, new_tag),
+                success,
+                failure,
+            )
+            .map(|_| ())
+            .map_err(unpack)
+    }
+}
+
+impl<T> Default for MarkedPtr<T> {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+/// Conventional tag values used by the lock-free algorithms.
+pub mod tag {
+    /// No mark: the edge/node is live.
+    pub const CLEAN: usize = 0b00;
+    /// The node (Harris/Fraser) or edge (Natarajan) is logically deleted.
+    pub const MARK: usize = 0b01;
+    /// The edge is flagged for deletion (Natarajan–Mittal).
+    pub const FLAG: usize = 0b10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let b = Box::into_raw(Box::new(7u64));
+        let p = MarkedPtr::new(b, tag::MARK);
+        let (ptr, t) = p.load(Ordering::Acquire);
+        assert_eq!(ptr, b);
+        assert_eq!(t, tag::MARK);
+        // SAFETY: we own the allocation.
+        unsafe { drop(Box::from_raw(b)) };
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_exact_match() {
+        let a = Box::into_raw(Box::new(1u64));
+        let b = Box::into_raw(Box::new(2u64));
+        let p = MarkedPtr::new(a, tag::CLEAN);
+        // Wrong tag: must fail.
+        assert!(p
+            .compare_exchange(a, tag::MARK, b, tag::CLEAN, Ordering::AcqRel, Ordering::Acquire)
+            .is_err());
+        // Exact match: succeeds.
+        assert!(p
+            .compare_exchange(a, tag::CLEAN, b, tag::MARK, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok());
+        let (ptr, t) = p.load(Ordering::Acquire);
+        assert_eq!(ptr, b);
+        assert_eq!(t, tag::MARK);
+        // SAFETY: we own both allocations.
+        unsafe {
+            drop(Box::from_raw(a));
+            drop(Box::from_raw(b));
+        }
+    }
+
+    #[test]
+    fn null_default() {
+        let p: MarkedPtr<u64> = MarkedPtr::default();
+        assert!(p.load_ptr().is_null());
+        assert_eq!(p.load_tag(), tag::CLEAN);
+    }
+}

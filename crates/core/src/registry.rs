@@ -1,0 +1,152 @@
+//! A name → constructor registry over every CSDS implementation.
+//!
+//! The benchmark harness uses this registry to sweep "all linked lists" or
+//! "all hash tables" the way the paper's Figure 2 does, and to look
+//! algorithms up by the names used in the figures (`lazy`, `pugh`,
+//! `harris-opt`, `clht-lb`, ...).
+
+use std::sync::Arc;
+
+use crate::api::{ConcurrentMap, StructureKind, SyncKind};
+use crate::{bst, hashtable, list, skiplist};
+
+/// A constructor for one algorithm. `capacity` is the expected number of
+/// elements (used by hash tables to size their bucket arrays; ignored by the
+/// pointer-based structures).
+pub type Constructor = fn(capacity: usize) -> Arc<dyn ConcurrentMap>;
+
+/// One registered algorithm.
+#[derive(Clone)]
+pub struct AlgorithmEntry {
+    /// Name as used in the paper's figures (e.g. `"lazy"`, `"clht-lb"`).
+    pub name: &'static str,
+    /// Which abstract structure it implements.
+    pub structure: StructureKind,
+    /// Synchronization family (seq / flb / lb / lf).
+    pub kind: SyncKind,
+    /// Whether this is an asynchronized (non-linearizable) baseline.
+    pub asynchronized: bool,
+    /// Constructor.
+    pub construct: Constructor,
+}
+
+impl std::fmt::Debug for AlgorithmEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AlgorithmEntry")
+            .field("name", &self.name)
+            .field("structure", &self.structure)
+            .field("kind", &self.kind)
+            .field("asynchronized", &self.asynchronized)
+            .finish()
+    }
+}
+
+macro_rules! entry {
+    ($name:literal, $structure:expr, $kind:expr, $async_:expr, $ctor:expr) => {
+        AlgorithmEntry {
+            name: $name,
+            structure: $structure,
+            kind: $kind,
+            asynchronized: $async_,
+            construct: $ctor,
+        }
+    };
+}
+
+/// Returns every algorithm in ASCYLIB-RS (Table 1 plus the ASCY
+/// re-engineered variants and the two new algorithms).
+pub fn all_algorithms() -> Vec<AlgorithmEntry> {
+    use StructureKind::*;
+    use SyncKind::*;
+    vec![
+        // Linked lists.
+        entry!("ll-async", LinkedList, Sequential, true, |_| Arc::new(list::AsyncList::new())),
+        entry!("ll-coupling", LinkedList, FullyLockBased, false, |_| Arc::new(list::CouplingList::new())),
+        entry!("ll-pugh", LinkedList, LockBased, false, |_| Arc::new(list::PughList::new())),
+        entry!("ll-lazy", LinkedList, LockBased, false, |_| Arc::new(list::LazyList::new())),
+        entry!("ll-copy", LinkedList, LockBased, false, |_| Arc::new(list::CopyList::new())),
+        entry!("ll-harris", LinkedList, LockFree, false, |_| Arc::new(list::HarrisList::new())),
+        entry!("ll-michael", LinkedList, LockFree, false, |_| Arc::new(list::MichaelList::new())),
+        entry!("ll-harris-opt", LinkedList, LockFree, false, |_| Arc::new(list::HarrisOptList::new())),
+        // Hash tables.
+        entry!("ht-async", HashTable, Sequential, true, |c| Arc::new(hashtable::AsyncHashTable::with_buckets(c))),
+        entry!("ht-coupling", HashTable, FullyLockBased, false, |c| Arc::new(hashtable::CouplingHashTable::with_buckets(c))),
+        entry!("ht-pugh", HashTable, LockBased, false, |c| Arc::new(hashtable::PughHashTable::with_buckets(c))),
+        entry!("ht-lazy", HashTable, LockBased, false, |c| Arc::new(hashtable::LazyHashTable::with_buckets(c))),
+        entry!("ht-copy", HashTable, LockBased, false, |c| Arc::new(hashtable::CopyHashTable::with_buckets(c))),
+        entry!("ht-urcu", HashTable, LockBased, false, |c| Arc::new(hashtable::UrcuHashTable::with_buckets(c))),
+        entry!("ht-urcu-ssmem", HashTable, LockBased, false, |c| Arc::new(hashtable::UrcuHashTable::with_buckets_ssmem(c))),
+        entry!("ht-java", HashTable, LockBased, false, |c| Arc::new(hashtable::JavaHashTable::with_capacity(c))),
+        entry!("ht-tbb", HashTable, FullyLockBased, false, |c| Arc::new(hashtable::TbbHashTable::with_buckets(c))),
+        entry!("ht-harris", HashTable, LockFree, false, |c| Arc::new(hashtable::HarrisHashTable::with_buckets(c))),
+        entry!("ht-clht-lb", HashTable, LockBased, false, |c| Arc::new(hashtable::ClhtLb::with_capacity(c))),
+        entry!("ht-clht-lf", HashTable, LockFree, false, |c| Arc::new(hashtable::ClhtLf::with_capacity(c))),
+        // Skip lists.
+        entry!("sl-async", SkipList, Sequential, true, |_| Arc::new(skiplist::AsyncSkipList::new())),
+        entry!("sl-pugh", SkipList, LockBased, false, |_| Arc::new(skiplist::PughSkipList::new())),
+        entry!("sl-herlihy", SkipList, LockBased, false, |_| Arc::new(skiplist::HerlihySkipList::new())),
+        entry!("sl-fraser", SkipList, LockFree, false, |_| Arc::new(skiplist::FraserSkipList::new())),
+        entry!("sl-fraser-opt", SkipList, LockFree, false, |_| Arc::new(skiplist::FraserOptSkipList::new())),
+        // BSTs.
+        entry!("bst-async-int", Bst, Sequential, true, |_| Arc::new(bst::AsyncBstInternal::new())),
+        entry!("bst-async-ext", Bst, Sequential, true, |_| Arc::new(bst::AsyncBstExternal::new())),
+        entry!("bst-ellen", Bst, LockFree, false, |_| Arc::new(bst::EllenBst::new())),
+        entry!("bst-natarajan", Bst, LockFree, false, |_| Arc::new(bst::NatarajanBst::new())),
+        entry!("bst-tk", Bst, LockBased, false, |_| Arc::new(bst::BstTk::new())),
+    ]
+}
+
+/// All algorithms implementing the given structure.
+pub fn by_structure(structure: StructureKind) -> Vec<AlgorithmEntry> {
+    all_algorithms().into_iter().filter(|e| e.structure == structure).collect()
+}
+
+/// Looks an algorithm up by its registry name.
+pub fn by_name(name: &str) -> Option<AlgorithmEntry> {
+    all_algorithms().into_iter().find(|e| e.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_all_structures() {
+        let all = all_algorithms();
+        assert!(all.len() >= 29, "expected at least 29 algorithms, got {}", all.len());
+        for kind in [
+            StructureKind::LinkedList,
+            StructureKind::HashTable,
+            StructureKind::SkipList,
+            StructureKind::Bst,
+        ] {
+            let entries = by_structure(kind);
+            assert!(entries.len() >= 5, "{kind} has too few entries");
+            assert!(
+                entries.iter().any(|e| e.asynchronized),
+                "{kind} needs an asynchronized baseline"
+            );
+        }
+    }
+
+    #[test]
+    fn every_registered_algorithm_works() {
+        for entry in all_algorithms() {
+            let map = (entry.construct)(128);
+            assert!(map.insert(10, 100), "{}", entry.name);
+            assert!(!map.insert(10, 100), "{}", entry.name);
+            assert_eq!(map.search(10), Some(100), "{}", entry.name);
+            assert_eq!(map.remove(10), Some(100), "{}", entry.name);
+            assert_eq!(map.search(10), None, "{}", entry.name);
+            assert_eq!(map.size(), 0, "{}", entry.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("ht-clht-lb").is_some());
+        assert!(by_name("bst-tk").is_some());
+        assert!(by_name("nonexistent").is_none());
+        assert_eq!(by_name("ll-lazy").unwrap().kind, SyncKind::LockBased);
+    }
+}

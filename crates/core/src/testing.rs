@@ -1,0 +1,255 @@
+//! Reusable test batteries for `ConcurrentMap` implementations.
+//!
+//! These helpers are used by the unit tests of every algorithm module and by
+//! the workspace integration tests. They are `doc(hidden)`: they are not part
+//! of the supported public API.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::api::ConcurrentMap;
+
+/// A tiny deterministic RNG (xorshift64*) so the test battery does not need
+/// external dependencies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a new generator from a non-zero seed.
+    pub fn new(seed: u64) -> Self {
+        Self(seed.max(1))
+    }
+
+    /// Next pseudo-random 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[1, bound]`.
+    pub fn key(&mut self, bound: u64) -> u64 {
+        1 + self.next_u64() % bound
+    }
+}
+
+/// Basic single-threaded semantics: inserts, duplicate rejection, search,
+/// removal, reinsertion, size accounting.
+pub fn sequential_suite<M, F>(ctor: F)
+where
+    M: ConcurrentMap,
+    F: Fn() -> M,
+{
+    let m = ctor();
+    assert_eq!(m.size(), 0, "new structure must be empty");
+    assert!(m.is_empty());
+    assert_eq!(m.search(7), None);
+    assert_eq!(m.remove(7), None);
+
+    // Insert a batch of keys in scrambled order.
+    let keys = [13u64, 2, 40, 25, 7, 31, 19, 4, 28, 10];
+    for &k in &keys {
+        assert!(m.insert(k, k * 100), "first insert of {k} must succeed");
+        assert!(!m.insert(k, k * 100 + 1), "duplicate insert of {k} must fail");
+    }
+    assert_eq!(m.size(), keys.len());
+    for &k in &keys {
+        assert_eq!(m.search(k), Some(k * 100), "search({k})");
+        assert!(m.contains(k));
+    }
+    assert_eq!(m.search(1), None);
+    assert_eq!(m.search(1000), None);
+
+    // Remove half, verify, reinsert.
+    for &k in keys.iter().step_by(2) {
+        assert_eq!(m.remove(k), Some(k * 100), "remove({k})");
+        assert_eq!(m.remove(k), None, "double remove({k}) must fail");
+        assert_eq!(m.search(k), None);
+    }
+    assert_eq!(m.size(), keys.len() - keys.len().div_ceil(2));
+    for &k in keys.iter().step_by(2) {
+        assert!(m.insert(k, k + 1), "reinsert of {k} must succeed");
+        assert_eq!(m.search(k), Some(k + 1));
+    }
+    assert_eq!(m.size(), keys.len());
+
+    // Drain everything.
+    for &k in &keys {
+        assert!(m.remove(k).is_some());
+    }
+    assert_eq!(m.size(), 0);
+}
+
+/// Randomized differential test against `BTreeMap` (single-threaded).
+pub fn model_check<M, F>(ctor: F, operations: usize)
+where
+    M: ConcurrentMap,
+    F: Fn() -> M,
+{
+    let m = ctor();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut rng = TestRng::new(0xA5CF_11B5);
+    let key_range = 128;
+    for i in 0..operations {
+        let key = rng.key(key_range);
+        match rng.next_u64() % 3 {
+            0 => {
+                let expected = !model.contains_key(&key);
+                let value = i as u64;
+                assert_eq!(
+                    m.insert(key, value),
+                    expected,
+                    "insert({key}) disagreed with model at step {i}"
+                );
+                model.entry(key).or_insert(value);
+            }
+            1 => {
+                let expected = model.remove(&key);
+                assert_eq!(
+                    m.remove(key),
+                    expected,
+                    "remove({key}) disagreed with model at step {i}"
+                );
+            }
+            _ => {
+                assert_eq!(
+                    m.search(key),
+                    model.get(&key).copied(),
+                    "search({key}) disagreed with model at step {i}"
+                );
+            }
+        }
+        if i % 257 == 0 {
+            assert_eq!(m.size(), model.len(), "size disagreed with model at step {i}");
+        }
+    }
+    assert_eq!(m.size(), model.len());
+    for (&k, &v) in &model {
+        assert_eq!(m.search(k), Some(v));
+    }
+}
+
+/// Concurrent determinism check: each thread owns a disjoint key range, so
+/// the final contents are known exactly regardless of interleavings.
+pub fn partitioned_concurrency<M, F>(ctor: F, threads: usize, keys_per_thread: u64)
+where
+    M: ConcurrentMap + 'static,
+    F: Fn() -> M,
+{
+    let m = Arc::new(ctor());
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let m = Arc::clone(&m);
+        handles.push(std::thread::spawn(move || {
+            let base = t as u64 * keys_per_thread + 1;
+            // Insert everything, remove the odd offsets, reinsert a third.
+            for k in base..base + keys_per_thread {
+                assert!(m.insert(k, k), "partitioned insert({k})");
+            }
+            for k in (base..base + keys_per_thread).filter(|k| (k - base) % 2 == 1) {
+                assert_eq!(m.remove(k), Some(k), "partitioned remove({k})");
+            }
+            for k in (base..base + keys_per_thread).filter(|k| (k - base) % 6 == 1) {
+                assert!(m.insert(k, k + 7), "partitioned reinsert({k})");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Verify the deterministic final state.
+    let mut expected_size = 0usize;
+    for t in 0..threads {
+        let base = t as u64 * keys_per_thread + 1;
+        for k in base..base + keys_per_thread {
+            let off = k - base;
+            let expected = if off % 2 == 0 {
+                Some(k)
+            } else if off % 6 == 1 {
+                Some(k + 7)
+            } else {
+                None
+            };
+            assert_eq!(m.search(k), expected, "final state of key {k}");
+            if expected.is_some() {
+                expected_size += 1;
+            }
+        }
+    }
+    assert_eq!(m.size(), expected_size);
+}
+
+/// Concurrent mixed stress: random operations on a shared key range, with a
+/// global balance check (successful inserts − successful removes = final
+/// size).
+pub fn balance_stress<M, F>(ctor: F, threads: usize, ops_per_thread: usize, key_range: u64)
+where
+    M: ConcurrentMap + 'static,
+    F: Fn() -> M,
+{
+    let m = Arc::new(ctor());
+    let inserts = Arc::new(AtomicU64::new(0));
+    let removes = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let m = Arc::clone(&m);
+        let inserts = Arc::clone(&inserts);
+        let removes = Arc::clone(&removes);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(0xDEAD_BEEF ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
+            for i in 0..ops_per_thread {
+                let key = rng.key(key_range);
+                match rng.next_u64() % 10 {
+                    0..=3 => {
+                        if m.insert(key, key.wrapping_add(i as u64)) {
+                            inserts.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    4..=7 => {
+                        if m.remove(key).is_some() {
+                            removes.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    _ => {
+                        let _ = m.search(key);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected = inserts.load(Ordering::Relaxed) - removes.load(Ordering::Relaxed);
+    assert_eq!(
+        m.size() as u64,
+        expected,
+        "final size must equal successful inserts minus successful removes"
+    );
+    // Every remaining key must be findable.
+    for key in 1..=key_range {
+        if let Some(v) = m.search(key) {
+            // The value was written by some insert of this key; just make
+            // sure a subsequent remove agrees.
+            assert_eq!(m.remove(key), Some(v));
+        }
+    }
+    assert_eq!(m.size(), 0);
+}
+
+/// The full battery used by every linearizable implementation.
+pub fn full_suite<M, F>(ctor: F)
+where
+    M: ConcurrentMap + 'static,
+    F: Fn() -> M + Copy,
+{
+    sequential_suite(ctor);
+    model_check(ctor, 4_000);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8).max(2);
+    partitioned_concurrency(ctor, threads, 64);
+    balance_stress(ctor, threads, 3_000, 96);
+}

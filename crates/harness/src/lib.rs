@@ -1,0 +1,83 @@
+//! # ascylib-harness — the evaluation harness for ASCYLIB-RS
+//!
+//! Reproduces the methodology of §4 of the ASCY paper:
+//!
+//! * [`workload`] — workload generation: the structure is initialized with
+//!   `N` elements, operations pick keys uniformly from `[1, 2N]`, and the
+//!   update percentage is split into half insertions / half removals, so on
+//!   average half of the updates succeed and the structure size stays near
+//!   `N`.
+//! * [`runner`] — the multi-threaded measurement loop: per-thread operation
+//!   counters, sampled operation latencies with 1/25/50/75/99 percentiles,
+//!   and aggregation of the [`ascylib::stats`] instrumentation counters.
+//! * [`model`] — the energy model and the platform profiles used to project
+//!   measured coherence traffic onto the paper's six machines (see DESIGN.md
+//!   §4 for the substitution rationale).
+//! * [`report`] — plain-text table and CSV emitters used by the `fig*`
+//!   benchmark binaries.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use model::{EnergyModel, PlatformProfile};
+pub use runner::{run_benchmark, BenchmarkResult, LatencyStats, OpKind};
+pub use workload::{Workload, WorkloadBuilder};
+
+/// Reads an environment variable used to scale benchmark durations/threads,
+/// falling back to the given default.
+pub fn env_or(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Duration (milliseconds) of a single measurement, controlled by
+/// `ASCYLIB_BENCH_MILLIS` (default 300 ms so that the full figure suite
+/// completes quickly; the paper uses 5 s runs).
+pub fn bench_millis() -> u64 {
+    env_or("ASCYLIB_BENCH_MILLIS", 300)
+}
+
+/// Maximum number of threads to sweep, controlled by
+/// `ASCYLIB_BENCH_THREADS` (default: the number of available cores, capped
+/// at 16).
+pub fn max_threads() -> usize {
+    let available = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    env_or("ASCYLIB_BENCH_THREADS", available.min(16) as u64) as usize
+}
+
+/// The thread counts used for thread-sweep figures: 1, 2, 4, ... up to
+/// [`max_threads`].
+pub fn thread_sweep() -> Vec<usize> {
+    let max = max_threads().max(1);
+    let mut v = vec![1];
+    let mut t = 2;
+    while t < max {
+        v.push(t);
+        t *= 2;
+    }
+    if *v.last().unwrap() != max {
+        v.push(max);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_is_increasing_and_ends_at_max() {
+        let sweep = thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*sweep.last().unwrap(), max_threads());
+    }
+
+    #[test]
+    fn env_or_falls_back_to_default() {
+        assert_eq!(env_or("ASCYLIB_DOES_NOT_EXIST", 42), 42);
+    }
+}

@@ -1,0 +1,117 @@
+//! Plain-text table and CSV emitters for the figure benchmarks.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// A simple column-aligned table printer.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (values are formatted by the caller).
+    pub fn row(&mut self, values: Vec<String>) {
+        self.rows.push(values);
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV under `target/ascylib/<name>.csv`.
+    pub fn write_csv(&self, name: &str) -> std::io::Result<PathBuf> {
+        let dir = PathBuf::from("target/ascylib");
+        fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = fs::File::create(&path)?;
+        writeln!(file, "{}", self.header.join(","))?;
+        for row in &self.rows {
+            writeln!(file, "{}", row.join(","))?;
+        }
+        Ok(path)
+    }
+}
+
+/// Formats a floating point value with two decimals.
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a floating point value with three decimals.
+pub fn f3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "mops"]);
+        t.row(vec!["clht-lb".into(), f2(12.5)]);
+        t.row(vec!["lazy".into(), f2(3.25)]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("clht-lb"));
+        assert!(s.contains("12.50"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn csv_is_written() {
+        let mut t = Table::new("csv", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let path = t.write_csv("unit_test_table").unwrap();
+        let contents = std::fs::read_to_string(path).unwrap();
+        assert!(contents.starts_with("a,b"));
+        assert!(contents.contains("1,2"));
+    }
+}

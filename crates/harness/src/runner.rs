@@ -1,0 +1,307 @@
+//! The multi-threaded measurement loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ascylib::api::ConcurrentMap;
+use ascylib::stats::{self, OpCounters};
+
+use crate::workload::{populate, Workload};
+
+/// The three operation kinds of the CSDS interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// `search(key)`.
+    Search,
+    /// `insert(key, value)`.
+    Insert,
+    /// `remove(key)`.
+    Remove,
+}
+
+/// Latency percentiles (nanoseconds) over the sampled operations, as plotted
+/// in the paper's latency-distribution panels (1/25/50/75/99).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencyStats {
+    /// 1st percentile.
+    pub p1: u64,
+    /// 25th percentile.
+    pub p25: u64,
+    /// Median.
+    pub p50: u64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl LatencyStats {
+    /// Computes percentiles from raw nanosecond samples.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        samples.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            let idx = ((samples.len() - 1) as f64 * p / 100.0).round() as usize;
+            samples[idx]
+        };
+        let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
+        Self {
+            p1: pct(1.0),
+            p25: pct(25.0),
+            p50: pct(50.0),
+            p75: pct(75.0),
+            p99: pct(99.0),
+            mean,
+            samples: samples.len(),
+        }
+    }
+}
+
+/// The outcome of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct BenchmarkResult {
+    /// The workload that was run.
+    pub workload: Workload,
+    /// Total completed operations across all threads.
+    pub total_ops: u64,
+    /// Throughput in operations per second.
+    pub throughput: f64,
+    /// Throughput in mega-operations per second (the unit of the paper's
+    /// plots).
+    pub mops: f64,
+    /// Successful insertions.
+    pub successful_inserts: u64,
+    /// Successful removals.
+    pub successful_removes: u64,
+    /// Unsuccessful updates (parse showed the update could not succeed).
+    pub unsuccessful_updates: u64,
+    /// Latency of searches.
+    pub search_latency: LatencyStats,
+    /// Latency of successful updates.
+    pub successful_update_latency: LatencyStats,
+    /// Latency of unsuccessful updates.
+    pub unsuccessful_update_latency: LatencyStats,
+    /// Aggregated instrumentation counters (shared stores, CAS, restarts,
+    /// traversals) across all worker threads.
+    pub counters: OpCounters,
+    /// Structure size after the run (sanity check: should stay near `N`).
+    pub final_size: usize,
+    /// Wall-clock duration of the measurement.
+    pub elapsed: Duration,
+}
+
+impl BenchmarkResult {
+    /// Estimated cache-line transfers per operation (the paper's Figure 3
+    /// proxy).
+    pub fn transfers_per_op(&self) -> f64 {
+        if self.total_ops == 0 {
+            0.0
+        } else {
+            self.counters.cache_line_transfers() as f64 / self.total_ops as f64
+        }
+    }
+
+    /// Atomic operations per successful update (the §5/ASCY4 metric).
+    pub fn atomics_per_successful_update(&self) -> f64 {
+        let updates = self.successful_inserts + self.successful_removes;
+        if updates == 0 {
+            0.0
+        } else {
+            self.counters.atomic_ops as f64 / updates as f64
+        }
+    }
+}
+
+struct ThreadOutput {
+    ops: u64,
+    successful_inserts: u64,
+    successful_removes: u64,
+    unsuccessful_updates: u64,
+    search_samples: Vec<u64>,
+    success_update_samples: Vec<u64>,
+    fail_update_samples: Vec<u64>,
+    counters: OpCounters,
+}
+
+/// Runs one benchmark: populates the structure, then has
+/// `workload.threads` threads apply the operation mix for
+/// `workload.duration_ms` milliseconds.
+///
+/// Mirrors the paper's settings: keys are uniform in `[1, 2N]`, the update
+/// percentage is split into half insertions and half removals, and each
+/// measurement reports the aggregate throughput plus sampled latencies.
+pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> BenchmarkResult {
+    populate(&map, &workload, 0xA5C1_11B5);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(workload.threads + 1));
+    let mut handles = Vec::new();
+
+    for thread_id in 0..workload.threads {
+        let map = Arc::clone(&map);
+        let stop = Arc::clone(&stop);
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            stats::reset();
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ (thread_id as u64 + 1) * 0x9E37_79B9);
+            let range = workload.key_range();
+            let mut out = ThreadOutput {
+                ops: 0,
+                successful_inserts: 0,
+                successful_removes: 0,
+                unsuccessful_updates: 0,
+                search_samples: Vec::new(),
+                success_update_samples: Vec::new(),
+                fail_update_samples: Vec::new(),
+                counters: OpCounters::default(),
+            };
+            barrier.wait();
+            while !stop.load(Ordering::Relaxed) {
+                // Run a small batch between stop-flag checks.
+                for _ in 0..64 {
+                    let key = rng.random_range(1..=range);
+                    let dice = rng.random_range(0..100u32);
+                    let sample = out.ops % workload.latency_sample_every == 0;
+                    let start = if sample { Some(Instant::now()) } else { None };
+                    let (kind, success) = if dice < workload.update_percent {
+                        if dice % 2 == 0 {
+                            (OpKind::Insert, map.insert(key, key))
+                        } else {
+                            (OpKind::Remove, map.remove(key).is_some())
+                        }
+                    } else {
+                        (OpKind::Search, map.search(key).is_some())
+                    };
+                    if let Some(start) = start {
+                        let nanos = start.elapsed().as_nanos() as u64;
+                        match kind {
+                            OpKind::Search => out.search_samples.push(nanos),
+                            OpKind::Insert | OpKind::Remove => {
+                                if success {
+                                    out.success_update_samples.push(nanos);
+                                } else {
+                                    out.fail_update_samples.push(nanos);
+                                }
+                            }
+                        }
+                    }
+                    match (kind, success) {
+                        (OpKind::Insert, true) => out.successful_inserts += 1,
+                        (OpKind::Remove, true) => out.successful_removes += 1,
+                        (OpKind::Insert, false) | (OpKind::Remove, false) => {
+                            out.unsuccessful_updates += 1
+                        }
+                        _ => {}
+                    }
+                    out.ops += 1;
+                }
+            }
+            out.counters = stats::snapshot();
+            out
+        }));
+    }
+
+    barrier.wait();
+    let start = Instant::now();
+    std::thread::sleep(Duration::from_millis(workload.duration_ms));
+    stop.store(true, Ordering::Relaxed);
+    let outputs: Vec<ThreadOutput> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
+    let elapsed = start.elapsed();
+
+    let mut total_ops = 0;
+    let mut successful_inserts = 0;
+    let mut successful_removes = 0;
+    let mut unsuccessful_updates = 0;
+    let mut search_samples = Vec::new();
+    let mut success_update_samples = Vec::new();
+    let mut fail_update_samples = Vec::new();
+    let mut counters = OpCounters::default();
+    for out in outputs {
+        total_ops += out.ops;
+        successful_inserts += out.successful_inserts;
+        successful_removes += out.successful_removes;
+        unsuccessful_updates += out.unsuccessful_updates;
+        search_samples.extend(out.search_samples);
+        success_update_samples.extend(out.success_update_samples);
+        fail_update_samples.extend(out.fail_update_samples);
+        counters.merge(&out.counters);
+    }
+    let throughput = total_ops as f64 / elapsed.as_secs_f64();
+    BenchmarkResult {
+        workload,
+        total_ops,
+        throughput,
+        mops: throughput / 1e6,
+        successful_inserts,
+        successful_removes,
+        unsuccessful_updates,
+        search_latency: LatencyStats::from_samples(search_samples),
+        successful_update_latency: LatencyStats::from_samples(success_update_samples),
+        unsuccessful_update_latency: LatencyStats::from_samples(fail_update_samples),
+        counters,
+        final_size: map.size(),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadBuilder;
+    use ascylib::hashtable::ClhtLb;
+    use ascylib::list::LazyList;
+
+    #[test]
+    fn latency_percentiles_are_ordered() {
+        let stats = LatencyStats::from_samples((1..=1000u64).collect());
+        assert!(stats.p1 <= stats.p25);
+        assert!(stats.p25 <= stats.p50);
+        assert!(stats.p50 <= stats.p75);
+        assert!(stats.p75 <= stats.p99);
+        assert_eq!(stats.samples, 1000);
+        assert!(stats.mean > 0.0);
+    }
+
+    #[test]
+    fn empty_samples_are_handled() {
+        assert_eq!(LatencyStats::from_samples(Vec::new()), LatencyStats::default());
+    }
+
+    #[test]
+    fn short_run_produces_sane_results() {
+        let workload = WorkloadBuilder::new()
+            .initial_size(128)
+            .update_percent(20)
+            .threads(2)
+            .duration_ms(50)
+            .build();
+        let result = run_benchmark(Arc::new(ClhtLb::with_capacity(256)), workload);
+        assert!(result.total_ops > 0);
+        assert!(result.throughput > 0.0);
+        // Size stays near N: successful inserts and removes balance out.
+        let delta = result.successful_inserts as i64 - result.successful_removes as i64;
+        assert_eq!(result.final_size as i64, 128 + delta);
+    }
+
+    #[test]
+    fn single_threaded_list_run_counts_operations() {
+        let workload = WorkloadBuilder::new()
+            .initial_size(64)
+            .update_percent(50)
+            .threads(1)
+            .duration_ms(30)
+            .build();
+        let result = run_benchmark(Arc::new(LazyList::new()), workload);
+        assert!(result.counters.operations > 0);
+        assert!(result.transfers_per_op() >= 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Workload configuration and generation (§4 "Experimental settings").
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+use ascylib::api::ConcurrentMap;
+
+/// A benchmark workload: initial size, key range, update percentage, thread
+/// count and duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Initial number of elements `N`; keys are drawn from `[1, 2N]`.
+    pub initial_size: usize,
+    /// Percentage of operations that are updates (split half insert / half
+    /// remove); the rest are searches.
+    pub update_percent: u32,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Duration of the measurement in milliseconds.
+    pub duration_ms: u64,
+    /// Fraction of operations whose latency is sampled (1 = every op).
+    pub latency_sample_every: u64,
+}
+
+impl Workload {
+    /// Upper bound of the key range (`2N`, as in the paper).
+    pub fn key_range(&self) -> u64 {
+        (self.initial_size as u64 * 2).max(2)
+    }
+}
+
+/// Builder for [`Workload`] with the paper's defaults.
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    workload: Workload,
+}
+
+impl WorkloadBuilder {
+    /// Starts from an average-contention default (4096 elements, 10%
+    /// updates, one thread, 300 ms).
+    pub fn new() -> Self {
+        Self {
+            workload: Workload {
+                initial_size: 4096,
+                update_percent: 10,
+                threads: 1,
+                duration_ms: 300,
+                latency_sample_every: 16,
+            },
+        }
+    }
+
+    /// Sets the initial structure size `N`.
+    pub fn initial_size(mut self, n: usize) -> Self {
+        self.workload.initial_size = n;
+        self
+    }
+
+    /// Sets the update percentage.
+    pub fn update_percent(mut self, pct: u32) -> Self {
+        self.workload.update_percent = pct.min(100);
+        self
+    }
+
+    /// Sets the number of worker threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.workload.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the measurement duration in milliseconds.
+    pub fn duration_ms(mut self, ms: u64) -> Self {
+        self.workload.duration_ms = ms.max(1);
+        self
+    }
+
+    /// Sets the latency sampling rate (sample one in `every` operations).
+    pub fn latency_sample_every(mut self, every: u64) -> Self {
+        self.workload.latency_sample_every = every.max(1);
+        self
+    }
+
+    /// Finalizes the workload.
+    pub fn build(self) -> Workload {
+        self.workload
+    }
+}
+
+impl Default for WorkloadBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Fills the structure to its initial size with keys drawn uniformly from
+/// the key range (so the expected size is `N`, as in the paper's setup).
+pub fn populate(map: &Arc<dyn ConcurrentMap>, workload: &Workload, seed: u64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let range = workload.key_range();
+    let mut inserted = 0usize;
+    // Insert until the structure holds N elements (duplicates are skipped).
+    while inserted < workload.initial_size {
+        let key = rng.random_range(1..=range);
+        if map.insert(key, key.wrapping_mul(10)) {
+            inserted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascylib::hashtable::ClhtLb;
+
+    #[test]
+    fn builder_defaults_match_paper_average_contention() {
+        let w = WorkloadBuilder::new().build();
+        assert_eq!(w.initial_size, 4096);
+        assert_eq!(w.update_percent, 10);
+        assert_eq!(w.key_range(), 8192);
+    }
+
+    #[test]
+    fn populate_reaches_initial_size() {
+        let w = WorkloadBuilder::new().initial_size(256).build();
+        let map: Arc<dyn ConcurrentMap> = Arc::new(ClhtLb::with_capacity(512));
+        populate(&map, &w, 7);
+        assert_eq!(map.size(), 256);
+    }
+
+    #[test]
+    fn update_percent_is_clamped() {
+        let w = WorkloadBuilder::new().update_percent(150).build();
+        assert_eq!(w.update_percent, 100);
+    }
+}

@@ -1,0 +1,98 @@
+//! Global registry of per-thread timestamps.
+//!
+//! Every thread that owns an SSMEM allocator publishes a cache-line-padded
+//! timestamp here. Garbage-collection passes snapshot the registry to decide
+//! whether retired memory is still potentially referenced.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crossbeam_utils::CachePadded;
+
+/// A registered thread's shared state: its operation timestamp and liveness.
+#[derive(Debug)]
+pub(crate) struct ThreadEntry {
+    /// Operation timestamp. Odd while the thread is inside an operation
+    /// (holding a `Guard`), even while quiescent.
+    pub(crate) ts: CachePadded<AtomicU64>,
+    /// Cleared when the owning thread's allocator is dropped.
+    pub(crate) active: AtomicBool,
+}
+
+impl ThreadEntry {
+    fn new() -> Self {
+        Self {
+            ts: CachePadded::new(AtomicU64::new(0)),
+            active: AtomicBool::new(true),
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadEntry>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadEntry>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers the calling thread and returns its entry.
+///
+/// Entries belonging to exited threads are pruned opportunistically.
+pub(crate) fn register() -> Arc<ThreadEntry> {
+    let entry = Arc::new(ThreadEntry::new());
+    let mut reg = registry().lock().expect("ssmem registry poisoned");
+    reg.retain(|e| e.active.load(Ordering::Acquire));
+    reg.push(Arc::clone(&entry));
+    entry
+}
+
+/// Snapshots every registered, still-active thread's timestamp.
+///
+/// A `SeqCst` fence is issued first so that any unlink stores performed by
+/// the caller before retiring are ordered before the timestamp loads (see the
+/// crate-level safety argument).
+pub(crate) fn snapshot() -> Vec<(Arc<ThreadEntry>, u64)> {
+    std::sync::atomic::fence(Ordering::SeqCst);
+    let reg = registry().lock().expect("ssmem registry poisoned");
+    reg.iter()
+        .filter(|e| e.active.load(Ordering::Acquire))
+        .map(|e| (Arc::clone(e), e.ts.load(Ordering::SeqCst)))
+        .collect()
+}
+
+/// Number of threads currently registered with SSMEM (primarily for tests
+/// and diagnostics).
+pub fn registered_threads() -> usize {
+    let reg = registry().lock().expect("ssmem registry poisoned");
+    reg.iter().filter(|e| e.active.load(Ordering::Acquire)).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_snapshot() {
+        let entry = register();
+        let snap = snapshot();
+        assert!(snap.iter().any(|(e, _)| Arc::ptr_eq(e, &entry)));
+        entry.ts.fetch_add(1, Ordering::SeqCst);
+        let snap2 = snapshot();
+        let (_, ts) = snap2
+            .iter()
+            .find(|(e, _)| Arc::ptr_eq(e, &entry))
+            .expect("entry present");
+        assert_eq!(*ts, 1);
+        entry.active.store(false, Ordering::Release);
+    }
+
+    #[test]
+    fn inactive_entries_are_pruned_and_excluded() {
+        let entry = register();
+        entry.active.store(false, Ordering::Release);
+        let snap = snapshot();
+        assert!(!snap.iter().any(|(e, _)| Arc::ptr_eq(e, &entry)));
+        // Registering a new entry prunes the inactive one from the registry.
+        let e2 = register();
+        assert!(registered_threads() >= 1);
+        e2.active.store(false, Ordering::Release);
+    }
+}

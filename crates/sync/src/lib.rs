@@ -1,0 +1,83 @@
+//! # ascylib-sync — locking and low-level synchronization substrate
+//!
+//! This crate provides the synchronization primitives used by the
+//! [ASCYLIB-RS](https://example.com/ascylib-rs) concurrent search data
+//! structures, mirroring the lock implementations shipped with the original
+//! ASCYLIB C library from the ASPLOS'15 paper *"Asynchronized Concurrency:
+//! The Secret to Scaling Concurrent Search Data Structures"*:
+//!
+//! * [`TasLock`] / [`TtasLock`] — test-and-set and test-and-test-and-set spin
+//!   locks (the per-node locks used by the `lazy` and `pugh` lists).
+//! * [`TicketLock`] — a FIFO ticket lock (used by the `coupling` list and the
+//!   per-bucket hash-table locks).
+//! * [`TreeLock`] — the *versioned* ticket lock pair used by BST-TK: two
+//!   32-bit ticket locks (left/right child edges) packed in one 64-bit word,
+//!   with `try_lock_*_at` operations that only succeed if the lock version is
+//!   still the one observed during the optimistic parse phase.
+//! * [`RwSpinLock`] — a reader-writer spin lock (used by the TBB-style hash
+//!   table substitute).
+//! * [`McsLock`] — a queue-based MCS lock, provided for completeness and used
+//!   by the lock ablation benchmarks.
+//! * [`Backoff`] — bounded exponential back-off.
+//! * [`CachePadded`] — re-exported from `crossbeam-utils`, plus the
+//!   [`CACHE_LINE_SIZE`] constant used to size CLHT buckets.
+//!
+//! All locks are *raw*: they protect data by convention (the data structures
+//! embed them inside nodes), so the basic interface is `lock`/`unlock` on
+//! `&self`. RAII guards are provided where they fit naturally.
+//!
+//! # Example
+//!
+//! ```
+//! use ascylib_sync::TicketLock;
+//!
+//! let lock = TicketLock::new();
+//! lock.lock();
+//! // ... critical section ...
+//! lock.unlock();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backoff;
+pub mod mcs;
+pub mod rw;
+pub mod tas;
+pub mod ticket;
+pub mod versioned;
+
+pub use backoff::Backoff;
+pub use crossbeam_utils::CachePadded;
+pub use mcs::McsLock;
+pub use rw::RwSpinLock;
+pub use tas::{TasLock, TtasLock};
+pub use ticket::TicketLock;
+pub use versioned::{TreeLock, TreeLockSnapshot};
+
+/// Size, in bytes, of a cache line on the platforms targeted by ASCYLIB.
+///
+/// CLHT sizes its buckets to exactly one cache line (8 × 64-bit words) so
+/// that most operations complete with at most one cache-line transfer.
+pub const CACHE_LINE_SIZE: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_line_is_eight_words() {
+        assert_eq!(CACHE_LINE_SIZE, 8 * std::mem::size_of::<u64>());
+    }
+
+    #[test]
+    fn locks_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TasLock>();
+        assert_send_sync::<TtasLock>();
+        assert_send_sync::<TicketLock>();
+        assert_send_sync::<TreeLock>();
+        assert_send_sync::<RwSpinLock>();
+        assert_send_sync::<McsLock>();
+    }
+}

@@ -1,0 +1,176 @@
+//! A reader-writer spin lock.
+//!
+//! Used by the TBB-style hash table substitute (`hashtable::tbb`), which in
+//! the paper relies on Intel Thread Building Blocks' reader-writer bucket
+//! locks. Readers share the lock; writers get exclusive access.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::Backoff;
+
+/// Bit set in the state word while a writer holds the lock.
+const WRITER: u32 = 1 << 31;
+
+/// A word-sized reader-writer spin lock (readers count in the low bits, one
+/// writer bit in the MSB).
+///
+/// # Example
+///
+/// ```
+/// use ascylib_sync::RwSpinLock;
+///
+/// let lock = RwSpinLock::new();
+/// lock.read_lock();
+/// lock.read_lock();       // multiple readers are fine
+/// assert!(!lock.try_write_lock());
+/// lock.read_unlock();
+/// lock.read_unlock();
+/// assert!(lock.try_write_lock());
+/// lock.write_unlock();
+/// ```
+#[derive(Debug)]
+pub struct RwSpinLock {
+    state: AtomicU32,
+}
+
+impl RwSpinLock {
+    /// Creates a new, unlocked reader-writer lock.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { state: AtomicU32::new(0) }
+    }
+
+    /// Acquires the lock in shared (read) mode.
+    #[inline]
+    pub fn read_lock(&self) {
+        let mut backoff = Backoff::new();
+        loop {
+            let state = self.state.load(Ordering::Relaxed);
+            if state & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff.spin();
+            if backoff.is_saturated() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock in shared mode without spinning.
+    #[inline]
+    pub fn try_read_lock(&self) -> bool {
+        let state = self.state.load(Ordering::Relaxed);
+        state & WRITER == 0
+            && self
+                .state
+                .compare_exchange(state, state + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    /// Releases a shared acquisition.
+    #[inline]
+    pub fn read_unlock(&self) {
+        self.state.fetch_sub(1, Ordering::Release);
+    }
+
+    /// Acquires the lock in exclusive (write) mode.
+    #[inline]
+    pub fn write_lock(&self) {
+        let mut backoff = Backoff::new();
+        while !self.try_write_lock() {
+            backoff.spin();
+            if backoff.is_saturated() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock in exclusive mode without spinning.
+    #[inline]
+    pub fn try_write_lock(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases an exclusive acquisition.
+    #[inline]
+    pub fn write_unlock(&self) {
+        self.state.store(0, Ordering::Release);
+    }
+
+    /// Number of readers currently holding the lock.
+    #[inline]
+    pub fn readers(&self) -> u32 {
+        self.state.load(Ordering::Relaxed) & !WRITER
+    }
+
+    /// Returns `true` if a writer currently holds the lock.
+    #[inline]
+    pub fn is_write_locked(&self) -> bool {
+        self.state.load(Ordering::Relaxed) & WRITER != 0
+    }
+}
+
+impl Default for RwSpinLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let l = RwSpinLock::new();
+        l.read_lock();
+        assert!(l.try_read_lock());
+        assert_eq!(l.readers(), 2);
+        assert!(!l.try_write_lock());
+        l.read_unlock();
+        l.read_unlock();
+        assert!(l.try_write_lock());
+        assert!(l.is_write_locked());
+        assert!(!l.try_read_lock());
+        l.write_unlock();
+        assert!(!l.is_write_locked());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let lock = Arc::new(RwSpinLock::new());
+        let data = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let lock = Arc::clone(&lock);
+            let data = Arc::clone(&data);
+            handles.push(thread::spawn(move || {
+                for i in 0..5_000u64 {
+                    if (t + i) % 4 == 0 {
+                        lock.write_lock();
+                        let v = data.load(Ordering::Relaxed);
+                        data.store(v + 1, Ordering::Relaxed);
+                        lock.write_unlock();
+                    } else {
+                        lock.read_lock();
+                        let _ = data.load(Ordering::Relaxed);
+                        lock.read_unlock();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(data.load(Ordering::Relaxed), 4 * 5_000 / 4);
+    }
+}

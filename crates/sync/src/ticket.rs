@@ -1,0 +1,142 @@
+//! FIFO ticket lock.
+//!
+//! The default lock of the original ASCYLIB library. Acquisition takes a
+//! ticket with a fetch-and-add and spins until the "now serving" counter
+//! reaches it, giving FIFO fairness with a single word of state.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::Backoff;
+
+/// A FIFO ticket spin lock.
+///
+/// # Example
+///
+/// ```
+/// use ascylib_sync::TicketLock;
+///
+/// let lock = TicketLock::new();
+/// lock.lock();
+/// lock.unlock();
+/// assert!(lock.try_lock());
+/// lock.unlock();
+/// ```
+#[derive(Debug)]
+pub struct TicketLock {
+    /// Next ticket to be handed out.
+    next: AtomicU32,
+    /// Ticket currently being served.
+    serving: AtomicU32,
+}
+
+impl TicketLock {
+    /// Creates a new, unlocked ticket lock.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { next: AtomicU32::new(0), serving: AtomicU32::new(0) }
+    }
+
+    /// Acquires the lock, spinning until this thread's ticket is served.
+    #[inline]
+    pub fn lock(&self) {
+        let ticket = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut backoff = Backoff::new();
+        while self.serving.load(Ordering::Acquire) != ticket {
+            backoff.spin();
+            if backoff.is_saturated() {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Attempts to acquire the lock without waiting.
+    ///
+    /// Succeeds only if no other thread holds or is queued for the lock.
+    #[inline]
+    pub fn try_lock(&self) -> bool {
+        let serving = self.serving.load(Ordering::Acquire);
+        self.next
+            .compare_exchange(serving, serving.wrapping_add(1), Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases the lock, serving the next queued ticket (if any).
+    #[inline]
+    pub fn unlock(&self) {
+        let serving = self.serving.load(Ordering::Relaxed);
+        self.serving.store(serving.wrapping_add(1), Ordering::Release);
+    }
+
+    /// Returns `true` if the lock is currently held or queued for.
+    #[inline]
+    pub fn is_locked(&self) -> bool {
+        self.next.load(Ordering::Relaxed) != self.serving.load(Ordering::Relaxed)
+    }
+
+    /// Number of threads currently queued behind the holder (approximate).
+    #[inline]
+    pub fn queue_length(&self) -> u32 {
+        self.next
+            .load(Ordering::Relaxed)
+            .wrapping_sub(self.serving.load(Ordering::Relaxed))
+            .saturating_sub(1)
+    }
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn basic_lock_unlock() {
+        let l = TicketLock::new();
+        assert!(!l.is_locked());
+        l.lock();
+        assert!(l.is_locked());
+        assert!(!l.try_lock());
+        l.unlock();
+        assert!(!l.is_locked());
+        assert!(l.try_lock());
+        l.unlock();
+    }
+
+    #[test]
+    fn queue_length_counts_waiters() {
+        let l = TicketLock::new();
+        l.lock();
+        assert_eq!(l.queue_length(), 0);
+        l.unlock();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                for _ in 0..10_000 {
+                    lock.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    lock.unlock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+    }
+}

@@ -1,0 +1,314 @@
+//! Versioned ticket locks — the BST-TK locking primitive.
+//!
+//! BST-TK (§6.2 of the ASCY paper) protects every internal (router) node with
+//! *two* small ticket locks, one per child edge, packed together in a single
+//! 64-bit word. Each 16-bit ticket lock doubles as a version number: the
+//! optimistic parse phase records the version it observed, and the update
+//! later tries to acquire *that specific version* of the lock. If a
+//! concurrent update has already bumped the version, the acquisition fails
+//! and the operation restarts — consolidating the classical
+//! "lock, validate, update, increment version" sequence into a single CAS
+//! (steps 3+4 and 6+7 of Figure 10 in the paper).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which child edge of a BST-TK router node a lock protects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left child edge (low 32 bits of the lock word).
+    Left,
+    /// The right child edge (high 32 bits of the lock word).
+    Right,
+}
+
+/// A snapshot of a [`TreeLock`] word taken during the optimistic parse phase.
+///
+/// The snapshot records the versions of both halves; `try_lock_*` operations
+/// only succeed if the corresponding version is still current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeLockSnapshot(u64);
+
+impl TreeLockSnapshot {
+    /// Version of the requested half at the time of the snapshot.
+    #[inline]
+    pub fn version(&self, side: Side) -> u16 {
+        half_version(half(self.0, side))
+    }
+
+    /// Returns `true` if the requested half was unlocked when snapshotted.
+    #[inline]
+    pub fn is_unlocked(&self, side: Side) -> bool {
+        let h = half(self.0, side);
+        half_version(h) == half_ticket(h)
+    }
+
+    /// Raw 64-bit value of the snapshot (useful for debugging).
+    #[inline]
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+#[inline]
+fn half(word: u64, side: Side) -> u32 {
+    match side {
+        Side::Left => word as u32,
+        Side::Right => (word >> 32) as u32,
+    }
+}
+
+#[inline]
+fn set_half(word: u64, side: Side, value: u32) -> u64 {
+    match side {
+        Side::Left => (word & 0xFFFF_FFFF_0000_0000) | u64::from(value),
+        Side::Right => (word & 0x0000_0000_FFFF_FFFF) | (u64::from(value) << 32),
+    }
+}
+
+#[inline]
+fn half_version(h: u32) -> u16 {
+    h as u16
+}
+
+#[inline]
+fn half_ticket(h: u32) -> u16 {
+    (h >> 16) as u16
+}
+
+#[inline]
+fn make_half(version: u16, ticket: u16) -> u32 {
+    u32::from(version) | (u32::from(ticket) << 16)
+}
+
+/// The pair of versioned ticket locks protecting a BST-TK router node.
+///
+/// The low 32 bits guard the left child pointer and the high 32 bits the
+/// right child pointer. Each half holds `{version: u16, ticket: u16}`; the
+/// half is unlocked iff `version == ticket`.
+///
+/// # Example
+///
+/// ```
+/// use ascylib_sync::{TreeLock, versioned::Side};
+///
+/// let lock = TreeLock::new();
+/// let snap = lock.snapshot();
+/// assert!(lock.try_lock(Side::Left, &snap));
+/// // A second acquisition with the same (now stale) snapshot fails.
+/// assert!(!lock.try_lock(Side::Left, &snap));
+/// lock.unlock(Side::Left);
+/// // After unlock the version has advanced, so the old snapshot still fails.
+/// assert!(!lock.try_lock(Side::Left, &snap));
+/// let snap2 = lock.snapshot();
+/// assert!(lock.try_lock(Side::Left, &snap2));
+/// # lock.unlock(Side::Left);
+/// ```
+#[derive(Debug)]
+pub struct TreeLock {
+    word: AtomicU64,
+}
+
+impl TreeLock {
+    /// Creates a new lock pair with both halves unlocked at version 0.
+    #[inline]
+    pub const fn new() -> Self {
+        Self { word: AtomicU64::new(0) }
+    }
+
+    /// Takes a snapshot of both lock versions (used by the parse phase).
+    #[inline]
+    pub fn snapshot(&self) -> TreeLockSnapshot {
+        TreeLockSnapshot(self.word.load(Ordering::Acquire))
+    }
+
+    /// Tries to acquire one half of the lock *at the version recorded in the
+    /// snapshot*.
+    ///
+    /// Fails (returning `false`) if a concurrent update has locked or
+    /// version-bumped that half since the snapshot was taken, in which case
+    /// the caller must restart its parse phase.
+    pub fn try_lock(&self, side: Side, snap: &TreeLockSnapshot) -> bool {
+        let observed_version = snap.version(side);
+        let mut current = self.word.load(Ordering::Acquire);
+        loop {
+            let h = half(current, side);
+            if half_version(h) != observed_version || half_ticket(h) != observed_version {
+                // Version moved on, or someone holds the lock.
+                return false;
+            }
+            let locked = make_half(observed_version, observed_version.wrapping_add(1));
+            let next = set_half(current, side, locked);
+            match self.word.compare_exchange_weak(current, next, Ordering::Acquire, Ordering::Acquire) {
+                Ok(_) => return true,
+                // The CAS may have failed because the *other* half changed;
+                // re-examine and retry in that case.
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Tries to acquire *both* halves atomically at their snapshotted
+    /// versions (used by BST-TK removals, which lock two edges).
+    pub fn try_lock_both(&self, snap: &TreeLockSnapshot) -> bool {
+        let vl = snap.version(Side::Left);
+        let vr = snap.version(Side::Right);
+        let expected =
+            u64::from(make_half(vl, vl)) | (u64::from(make_half(vr, vr)) << 32);
+        let locked = u64::from(make_half(vl, vl.wrapping_add(1)))
+            | (u64::from(make_half(vr, vr.wrapping_add(1))) << 32);
+        self.word
+            .compare_exchange(expected, locked, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Releases one half, bumping its version so that concurrent optimistic
+    /// parses observe the change.
+    pub fn unlock(&self, side: Side) {
+        let mut current = self.word.load(Ordering::Relaxed);
+        loop {
+            let h = half(current, side);
+            let ticket = half_ticket(h);
+            let released = make_half(ticket, ticket);
+            let next = set_half(current, side, released);
+            match self.word.compare_exchange_weak(current, next, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Releases both halves (counterpart of [`TreeLock::try_lock_both`]).
+    pub fn unlock_both(&self) {
+        self.unlock(Side::Left);
+        self.unlock(Side::Right);
+    }
+
+    /// Reverts a half acquired by [`TreeLock::try_lock`] *without* bumping the
+    /// version, used when an update decides to abort after locking.
+    pub fn revert(&self, side: Side) {
+        let mut current = self.word.load(Ordering::Relaxed);
+        loop {
+            let h = half(current, side);
+            let version = half_version(h);
+            let reverted = make_half(version, version);
+            let next = set_half(current, side, reverted);
+            match self.word.compare_exchange_weak(current, next, Ordering::Release, Ordering::Relaxed) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    /// Returns `true` if the given half is currently locked.
+    #[inline]
+    pub fn is_locked(&self, side: Side) -> bool {
+        let h = half(self.word.load(Ordering::Relaxed), side);
+        half_version(h) != half_ticket(h)
+    }
+
+    /// Current version of the given half.
+    #[inline]
+    pub fn version(&self, side: Side) -> u16 {
+        half_version(half(self.word.load(Ordering::Acquire), side))
+    }
+}
+
+impl Default for TreeLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn lock_unlock_bumps_version() {
+        let l = TreeLock::new();
+        assert_eq!(l.version(Side::Left), 0);
+        let s = l.snapshot();
+        assert!(l.try_lock(Side::Left, &s));
+        assert!(l.is_locked(Side::Left));
+        assert!(!l.is_locked(Side::Right));
+        l.unlock(Side::Left);
+        assert_eq!(l.version(Side::Left), 1);
+        assert!(!l.is_locked(Side::Left));
+    }
+
+    #[test]
+    fn stale_snapshot_fails() {
+        let l = TreeLock::new();
+        let stale = l.snapshot();
+        let s = l.snapshot();
+        assert!(l.try_lock(Side::Right, &s));
+        l.unlock(Side::Right);
+        // Version is now 1; the stale snapshot (version 0) must not acquire.
+        assert!(!l.try_lock(Side::Right, &stale));
+    }
+
+    #[test]
+    fn lock_both_requires_both_versions() {
+        let l = TreeLock::new();
+        let s = l.snapshot();
+        assert!(l.try_lock_both(&s));
+        assert!(l.is_locked(Side::Left));
+        assert!(l.is_locked(Side::Right));
+        l.unlock_both();
+        assert!(!l.try_lock_both(&s), "stale snapshot must fail");
+        let s2 = l.snapshot();
+        assert!(l.try_lock_both(&s2));
+        l.unlock_both();
+    }
+
+    #[test]
+    fn revert_does_not_bump_version() {
+        let l = TreeLock::new();
+        let s = l.snapshot();
+        assert!(l.try_lock(Side::Left, &s));
+        l.revert(Side::Left);
+        assert_eq!(l.version(Side::Left), 0);
+        // The original snapshot is still valid after a revert.
+        assert!(l.try_lock(Side::Left, &s));
+        l.unlock(Side::Left);
+    }
+
+    #[test]
+    fn halves_are_independent() {
+        let l = TreeLock::new();
+        let s = l.snapshot();
+        assert!(l.try_lock(Side::Left, &s));
+        // Locking the left half must not prevent locking the right half.
+        assert!(l.try_lock(Side::Right, &s));
+        l.unlock(Side::Left);
+        l.unlock(Side::Right);
+    }
+
+    #[test]
+    fn concurrent_acquisitions_are_exclusive() {
+        let lock = Arc::new(TreeLock::new());
+        let counter = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let lock = Arc::clone(&lock);
+            let counter = Arc::clone(&counter);
+            handles.push(thread::spawn(move || {
+                let mut acquired = 0u64;
+                for _ in 0..20_000 {
+                    let snap = lock.snapshot();
+                    if lock.try_lock(Side::Left, &snap) {
+                        let v = counter.load(Ordering::Relaxed);
+                        counter.store(v + 1, Ordering::Relaxed);
+                        lock.unlock(Side::Left);
+                        acquired += 1;
+                    }
+                }
+                acquired
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(counter.load(Ordering::Relaxed), total);
+    }
+}

@@ -1,0 +1,54 @@
+//! Demonstrates the ASCY patterns end to end: runs the original and the
+//! ASCY-re-engineered variant of two algorithms side by side and prints the
+//! throughput and coherence-traffic difference, plus the gap to the
+//! asynchronized upper bound (the paper's headline claims: re-engineered
+//! algorithms gain up to ~30%, the best CSDSs are within ~10% of async).
+//!
+//! Run with: `cargo run --release --example ascy_comparison`
+
+use std::sync::Arc;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::list::{AsyncList, HarrisList, HarrisOptList};
+use ascylib::skiplist::{AsyncSkipList, FraserOptSkipList, FraserSkipList};
+use ascylib_harness::{run_benchmark, WorkloadBuilder};
+
+fn measure(map: Arc<dyn ConcurrentMap>, size: usize, updates: u32, threads: usize) -> (f64, f64) {
+    let w = WorkloadBuilder::new()
+        .initial_size(size)
+        .update_percent(updates)
+        .threads(threads)
+        .duration_ms(250)
+        .build();
+    let r = run_benchmark(map, w);
+    (r.mops, r.transfers_per_op())
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+
+    println!("ASCY1/2 on Harris's linked list (1024 elements, 5% updates, {threads} threads)");
+    let (async_mops, _) = measure(Arc::new(AsyncList::new()), 1024, 5, threads);
+    let (harris, harris_x) = measure(Arc::new(HarrisList::new()), 1024, 5, threads);
+    let (opt, opt_x) = measure(Arc::new(HarrisOptList::new()), 1024, 5, threads);
+    println!("  async      : {async_mops:6.2} Mops/s (upper bound)");
+    println!("  harris     : {harris:6.2} Mops/s  {harris_x:5.2} transfers/op");
+    println!(
+        "  harris-opt : {opt:6.2} Mops/s  {opt_x:5.2} transfers/op  ({:+.1}% vs harris, {:.0}% of async)",
+        (opt / harris - 1.0) * 100.0,
+        opt / async_mops * 100.0
+    );
+
+    println!();
+    println!("ASCY1/2 on Fraser's skip list (1024 elements, 20% updates, {threads} threads)");
+    let (async_mops, _) = measure(Arc::new(AsyncSkipList::new()), 1024, 20, threads);
+    let (fraser, fraser_x) = measure(Arc::new(FraserSkipList::new()), 1024, 20, threads);
+    let (opt, opt_x) = measure(Arc::new(FraserOptSkipList::new()), 1024, 20, threads);
+    println!("  async      : {async_mops:6.2} Mops/s (upper bound)");
+    println!("  fraser     : {fraser:6.2} Mops/s  {fraser_x:5.2} transfers/op");
+    println!(
+        "  fraser-opt : {opt:6.2} Mops/s  {opt_x:5.2} transfers/op  ({:+.1}% vs fraser, {:.0}% of async)",
+        (opt / fraser - 1.0) * 100.0,
+        opt / async_mops * 100.0
+    );
+}

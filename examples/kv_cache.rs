@@ -1,0 +1,82 @@
+//! A Memcached-style key/value cache built on CLHT.
+//!
+//! The paper motivates CSDSs with systems like Memcached, whose hash table
+//! became a scalability bottleneck. This example models that workload: a
+//! cache of `u64 → u64` entries serving a read-mostly request mix with
+//! occasional invalidations and refills, plus a comparison between a
+//! lock-striped table (`java`) and CLHT under the same load.
+//!
+//! Run with: `cargo run --release --example kv_cache`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::hashtable::{ClhtLb, JavaHashTable};
+
+const ITEMS: u64 = 16_384;
+const OPS_PER_THREAD: u64 = 200_000;
+
+/// 90% GET, 5% SET (refill), 5% DELETE (invalidate) — a typical cache mix.
+fn run_cache(name: &str, cache: Arc<dyn ConcurrentMap>, threads: usize) {
+    // Warm the cache.
+    for k in 1..=ITEMS {
+        cache.insert(k, k ^ 0xDEAD_BEEF);
+    }
+    let hits = Arc::new(AtomicU64::new(0));
+    let misses = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads as u64 {
+        let cache = Arc::clone(&cache);
+        let hits = Arc::clone(&hits);
+        let misses = Arc::clone(&misses);
+        handles.push(std::thread::spawn(move || {
+            let mut state = t * 0x9E37_79B9 + 1;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for _ in 0..OPS_PER_THREAD {
+                let key = 1 + rng() % (2 * ITEMS);
+                match rng() % 100 {
+                    0..=89 => {
+                        if cache.search(key).is_some() {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            misses.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    90..=94 => {
+                        cache.insert(key, key ^ 0xDEAD_BEEF);
+                    }
+                    _ => {
+                        cache.remove(key);
+                    }
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let total = threads as u64 * OPS_PER_THREAD;
+    println!(
+        "{name:>10}: {:>7.2} Mops/s  hit-rate {:>5.1}%  ({} entries, {threads} threads)",
+        total as f64 / elapsed.as_secs_f64() / 1e6,
+        100.0 * hits.load(Ordering::Relaxed) as f64
+            / (hits.load(Ordering::Relaxed) + misses.load(Ordering::Relaxed)).max(1) as f64,
+        cache.size(),
+    );
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    println!("Memcached-style cache workload (90% GET / 5% SET / 5% DELETE)");
+    run_cache("java", Arc::new(JavaHashTable::with_capacity(2 * ITEMS as usize)), threads);
+    run_cache("clht-lb", Arc::new(ClhtLb::with_capacity(2 * ITEMS as usize)), threads);
+}

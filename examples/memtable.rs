@@ -1,0 +1,98 @@
+//! A RocksDB-style memtable built on a concurrent skip list.
+//!
+//! The paper's introduction points out that skip lists are the backbone of
+//! LSM key/value stores such as RocksDB: writers insert new versions into a
+//! sorted in-memory table while readers look up the latest version, and the
+//! table is periodically "flushed" (drained). This example models that
+//! write-heavy pattern on the ASCY-compliant `fraser-opt` skip list and the
+//! lock-based `herlihy` skip list, and also demonstrates BST-TK as an
+//! ordered-index alternative.
+//!
+//! Run with: `cargo run --release --example memtable`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::bst::BstTk;
+use ascylib::skiplist::{FraserOptSkipList, HerlihySkipList};
+
+const KEYSPACE: u64 = 64 * 1024;
+const OPS_PER_THREAD: u64 = 100_000;
+const FLUSH_THRESHOLD: usize = 32 * 1024;
+
+fn run_memtable(name: &str, table: Arc<dyn ConcurrentMap>, threads: usize) {
+    let flushes = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads as u64 {
+        let table = Arc::clone(&table);
+        let flushes = Arc::clone(&flushes);
+        handles.push(std::thread::spawn(move || {
+            let mut state = (t + 1) * 0xA24B_AED4;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in 0..OPS_PER_THREAD {
+                let key = 1 + rng() % KEYSPACE;
+                match rng() % 100 {
+                    // 50% writes: insert a new version (value = sequence no).
+                    0..=49 => {
+                        if !table.insert(key, i) {
+                            // Key already present: emulate an overwrite by
+                            // remove + insert (the CSDS interface is a set).
+                            table.remove(key);
+                            table.insert(key, i);
+                        }
+                    }
+                    // 40% point lookups.
+                    50..=89 => {
+                        table.search(key);
+                    }
+                    // 10% deletes (tombstones applied immediately).
+                    _ => {
+                        table.remove(key);
+                    }
+                }
+                // Thread 0 plays the flusher: when the memtable grows past
+                // the threshold, drain a chunk of it (simulating a flush to
+                // an SSTable).
+                if t == 0 && i % 4096 == 0 && table.size() > FLUSH_THRESHOLD {
+                    let mut drained = 0;
+                    for key in 1..=KEYSPACE {
+                        if table.remove(key).is_some() {
+                            drained += 1;
+                            if drained >= FLUSH_THRESHOLD / 2 {
+                                break;
+                            }
+                        }
+                    }
+                    flushes.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    let total = threads as u64 * OPS_PER_THREAD;
+    println!(
+        "{name:>12}: {:>7.2} Mops/s  final size {:>6}  flushes {}  ({threads} threads)",
+        total as f64 / elapsed.as_secs_f64() / 1e6,
+        table.size(),
+        flushes.load(Ordering::Relaxed),
+    );
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    println!("RocksDB-style memtable workload (50% write / 40% read / 10% delete + flusher)");
+    run_memtable("fraser-opt", Arc::new(FraserOptSkipList::new()), threads);
+    run_memtable("herlihy", Arc::new(HerlihySkipList::new()), threads);
+    run_memtable("bst-tk", Arc::new(BstTk::new()), threads);
+}

@@ -1,0 +1,12 @@
+//! Workspace façade for the ASCYLIB-RS reproduction of *"Asynchronized
+//! Concurrency: The Secret to Scaling Concurrent Search Data Structures"*
+//! (ASPLOS 2015).
+//!
+//! This crate only re-exports the member crates; see [`ascylib`] for the
+//! data structures, [`ascylib_harness`] for the evaluation harness, and the
+//! `examples/` directory for runnable end-to-end scenarios.
+
+pub use ascylib;
+pub use ascylib_harness;
+pub use ascylib_ssmem;
+pub use ascylib_sync;

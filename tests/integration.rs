@@ -1,0 +1,164 @@
+//! Workspace integration tests: exercise every registered algorithm through
+//! the public API, across crates (core + harness), including property-based
+//! tests with proptest.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use ascylib::api::{ConcurrentMap, StructureKind};
+use ascylib::registry;
+use ascylib_harness::{run_benchmark, WorkloadBuilder};
+
+/// Every registered algorithm passes the shared concurrent test battery.
+#[test]
+fn all_linearizable_algorithms_pass_partitioned_concurrency() {
+    for entry in registry::all_algorithms() {
+        if entry.asynchronized {
+            continue;
+        }
+        let map = (entry.construct)(512);
+        let name = entry.name;
+        let threads = 4;
+        let keys_per_thread = 48u64;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let map = Arc::clone(&map);
+            handles.push(std::thread::spawn(move || {
+                let base = t as u64 * keys_per_thread + 1;
+                for k in base..base + keys_per_thread {
+                    assert!(map.insert(k, k * 2), "{name}: insert({k})");
+                }
+                for k in (base..base + keys_per_thread).step_by(2) {
+                    assert_eq!(map.remove(k), Some(k * 2));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut expected = 0;
+        for t in 0..threads {
+            let base = t as u64 * keys_per_thread + 1;
+            for k in base..base + keys_per_thread {
+                let present = (k - base) % 2 == 1;
+                assert_eq!(
+                    map.search(k).is_some(),
+                    present,
+                    "{}: final state of {k}",
+                    entry.name
+                );
+                if present {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(map.size(), expected, "{}", entry.name);
+    }
+}
+
+/// The harness produces sane results for one algorithm per structure family.
+#[test]
+fn harness_runs_each_structure_family() {
+    for (name, size) in [
+        ("ll-lazy", 128usize),
+        ("ht-clht-lb", 1024),
+        ("sl-fraser-opt", 1024),
+        ("bst-tk", 1024),
+    ] {
+        let entry = registry::by_name(name).unwrap();
+        let w = WorkloadBuilder::new()
+            .initial_size(size)
+            .update_percent(20)
+            .threads(2)
+            .duration_ms(40)
+            .build();
+        let r = run_benchmark((entry.construct)(size * 2), w);
+        assert!(r.total_ops > 0, "{name}");
+        let delta = r.successful_inserts as i64 - r.successful_removes as i64;
+        assert_eq!(r.final_size as i64, size as i64 + delta, "{name}: size bookkeeping");
+    }
+}
+
+/// The registry covers all four structures of Table 1.
+#[test]
+fn registry_structure_coverage() {
+    for kind in [
+        StructureKind::LinkedList,
+        StructureKind::HashTable,
+        StructureKind::SkipList,
+        StructureKind::Bst,
+    ] {
+        assert!(registry::by_structure(kind).len() >= 5, "{kind}");
+    }
+}
+
+/// Property-based differential testing: arbitrary operation sequences applied
+/// to a CSDS and to a `BTreeMap` model must agree. One representative per
+/// structure family is checked (the full matrix runs in the unit tests).
+fn check_against_model(make: impl Fn() -> Arc<dyn ConcurrentMap>, ops: &[(u8, u64)]) {
+    let map = make();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for (i, &(op, key)) in ops.iter().enumerate() {
+        let key = 1 + key % 64;
+        match op % 3 {
+            0 => {
+                let expected = !model.contains_key(&key);
+                assert_eq!(map.insert(key, i as u64), expected, "insert({key}) step {i}");
+                model.entry(key).or_insert(i as u64);
+            }
+            1 => {
+                assert_eq!(map.remove(key), model.remove(&key), "remove({key}) step {i}");
+            }
+            _ => {
+                assert_eq!(map.search(key), model.get(&key).copied(), "search({key}) step {i}");
+            }
+        }
+    }
+    assert_eq!(map.size(), model.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_lazy_list_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::list::LazyList::new()), &ops);
+    }
+
+    #[test]
+    fn prop_harris_opt_list_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::list::HarrisOptList::new()), &ops);
+    }
+
+    #[test]
+    fn prop_clht_lb_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::hashtable::ClhtLb::with_capacity(32)), &ops);
+    }
+
+    #[test]
+    fn prop_clht_lf_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::hashtable::ClhtLf::with_capacity(32)), &ops);
+    }
+
+    #[test]
+    fn prop_fraser_skiplist_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::skiplist::FraserSkipList::new()), &ops);
+    }
+
+    #[test]
+    fn prop_bst_tk_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::bst::BstTk::new()), &ops);
+    }
+
+    #[test]
+    fn prop_natarajan_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::bst::NatarajanBst::new()), &ops);
+    }
+
+    #[test]
+    fn prop_ellen_matches_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..400)) {
+        check_against_model(|| Arc::new(ascylib::bst::EllenBst::new()), &ops);
+    }
+}
