@@ -306,6 +306,7 @@ impl Default for BstTk {
 
 impl Drop for BstTk {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; every reachable node freed once.
         unsafe {
             let mut stack = vec![self.root];

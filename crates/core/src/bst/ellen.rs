@@ -440,6 +440,7 @@ impl Default for EllenBst {
 
 impl Drop for EllenBst {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; free every reachable node and its Info
         // record (each record is referenced by at most one reachable node's
         // update word at this point — superseded records were retired when

@@ -33,28 +33,28 @@ mod tests {
 
     #[test]
     fn bst_tk_full_suite() {
-        testing::full_suite(|| BstTk::new());
+        testing::full_suite(BstTk::new);
     }
 
     #[test]
     fn ellen_full_suite() {
-        testing::full_suite(|| EllenBst::new());
+        testing::full_suite(EllenBst::new);
     }
 
     #[test]
     fn natarajan_full_suite() {
-        testing::full_suite(|| NatarajanBst::new());
+        testing::full_suite(NatarajanBst::new);
     }
 
     #[test]
     fn async_internal_sequential_suite() {
-        testing::sequential_suite(|| AsyncBstInternal::new());
-        testing::model_check(|| AsyncBstInternal::new(), 3_000);
+        testing::sequential_suite(AsyncBstInternal::new);
+        testing::model_check(AsyncBstInternal::new, 3_000);
     }
 
     #[test]
     fn async_external_sequential_suite() {
-        testing::sequential_suite(|| AsyncBstExternal::new());
-        testing::model_check(|| AsyncBstExternal::new(), 3_000);
+        testing::sequential_suite(AsyncBstExternal::new);
+        testing::model_check(AsyncBstExternal::new, 3_000);
     }
 }

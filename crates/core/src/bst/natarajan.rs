@@ -58,7 +58,7 @@ fn new_router(key: u64, left: *mut Node, right: *mut Node) -> *mut Node {
 
 /// Which child edge of a router leads towards `key`.
 #[inline]
-fn edge_for<'a>(node: &'a Node, key: u64) -> &'a MarkedPtr<Node> {
+fn edge_for(node: &Node, key: u64) -> &MarkedPtr<Node> {
     if key < node.key {
         &node.left
     } else {
@@ -253,6 +253,8 @@ impl ConcurrentMap for NatarajanBst {
                 let router_key = key.max((*s.l).key);
                 let router = &mut *router_ptr;
                 router.key = router_key;
+                // Relaxed: the router subtree is private until the edge CAS
+                // below publishes it.
                 if key < (*s.l).key {
                     router.left.store(new_leaf_ptr, tag::CLEAN, Ordering::Relaxed);
                     router.right.store(s.l, tag::CLEAN, Ordering::Relaxed);
@@ -400,6 +402,7 @@ impl Default for NatarajanBst {
 
 impl Drop for NatarajanBst {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; every reachable node freed once.
         unsafe {
             let mut stack = vec![self.root];

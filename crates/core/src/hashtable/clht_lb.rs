@@ -50,6 +50,8 @@ impl Bucket {
 
 fn new_overflow_bucket(key: u64, value: u64) -> *mut Bucket {
     let b = Bucket::empty();
+    // Relaxed: the bucket is still private; the caller's `next` store (under
+    // the bucket lock) is what publishes it.
     b.keys[0].store(key, Ordering::Relaxed);
     b.vals[0].store(value, Ordering::Relaxed);
     ssmem::alloc(b)
@@ -126,6 +128,7 @@ impl ClhtLb {
     fn lock_bucket(bucket: &Bucket) {
         stats::record_lock();
         loop {
+            // Relaxed pre-read (TTAS): only the Acquire CAS below synchronizes.
             if bucket.lock.load(Ordering::Relaxed) == 0
                 && bucket
                     .lock
@@ -269,6 +272,7 @@ impl ConcurrentMap for ClhtLb {
 
 impl Drop for ClhtLb {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; only heap-allocated overflow buckets are
         // freed (the main array is owned by the Box).
         unsafe {

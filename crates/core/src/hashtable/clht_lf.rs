@@ -67,6 +67,10 @@ struct Bucket {
     next: AtomicPtr<Bucket>,
 }
 
+/// A slot located by a chain scan: `(bucket, slot index, snapshot word at
+/// observation time)`.
+type SlotRef = (*const Bucket, usize, u64);
+
 impl Bucket {
     fn empty() -> Self {
         Self {
@@ -157,7 +161,7 @@ impl ClhtLf {
     unsafe fn chain_scan(
         bucket: *const Bucket,
         key: u64,
-    ) -> (Option<(*const Bucket, usize, u64)>, bool, Option<(*const Bucket, usize, u64)>, *const Bucket) {
+    ) -> (Option<SlotRef>, bool, Option<SlotRef>, *const Bucket) {
         let mut curr = bucket;
         let mut pending = false;
         let mut free_slot = None;
@@ -310,6 +314,8 @@ impl ConcurrentMap for ClhtLf {
                 }
                 None => {
                     // Chain a fresh bucket containing the pair, already VALID.
+                    // Relaxed: the bucket is private until the AcqRel CAS on
+                    // `last.next` below publishes it.
                     let nb = Bucket::empty();
                     nb.keys[0].store(key, Ordering::Relaxed);
                     nb.vals[0].store(value, Ordering::Relaxed);
@@ -400,6 +406,7 @@ impl ConcurrentMap for ClhtLf {
 
 impl Drop for ClhtLf {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; only overflow buckets were heap-allocated
         // through SSMEM.
         unsafe {

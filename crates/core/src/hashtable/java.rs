@@ -157,6 +157,8 @@ impl JavaHashTable {
         // remain valid.
         unsafe {
             let old = &*old_ptr;
+            // Relaxed: `count` is a sizing heuristic, not a synchronization
+            // point; a stale read only delays or repeats a resize.
             if self.count.load(Ordering::Relaxed) > old.slots.len() {
                 let new = Array::new(old.slots.len() * 2);
                 for slot in old.slots.iter() {
@@ -165,6 +167,8 @@ impl JavaHashTable {
                         let key = (*curr).key;
                         let value = (*curr).value.load(Ordering::Acquire);
                         let idx = new.index(key);
+                        // Relaxed: `new` is private until the Release store of
+                        // `self.current` publishes the whole array.
                         let head = new.slots[idx].load(Ordering::Relaxed);
                         new.slots[idx].store(new_node(key, value, head), Ordering::Relaxed);
                         stats::record_store();
@@ -215,6 +219,7 @@ impl ConcurrentMap for JavaHashTable {
             let head = slot.load(Ordering::Acquire);
             slot.store(new_node(key, value, head), Ordering::Release);
             stats::record_store();
+            // Relaxed: `count` only feeds `size()` and the resize heuristic.
             self.count.fetch_add(1, Ordering::Relaxed);
             true
         };
@@ -253,6 +258,7 @@ impl ConcurrentMap for JavaHashTable {
                     (*prev).store((*curr).next.load(Ordering::Acquire), Ordering::Release);
                     stats::record_store();
                     ssmem::retire(curr);
+                    // Relaxed: `count` only feeds `size()` and the resize heuristic.
                     self.count.fetch_sub(1, Ordering::Relaxed);
                     found = Some(value);
                     break;
@@ -268,12 +274,14 @@ impl ConcurrentMap for JavaHashTable {
     }
 
     fn size(&self) -> usize {
+        // Relaxed: `size()` is documented as non-linearizable.
         self.count.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for JavaHashTable {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access. Free every chain of the current array,
         // then the current and retired arrays themselves.
         unsafe {

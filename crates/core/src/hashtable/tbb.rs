@@ -128,6 +128,7 @@ impl ConcurrentMap for TbbHashTable {
             let head = bucket.head.load(Ordering::Acquire);
             bucket.head.store(new_node(key, value, head), Ordering::Release);
             stats::record_store();
+            // Relaxed: `count` only feeds the non-linearizable `size()`.
             self.count.fetch_add(1, Ordering::Relaxed);
             true
         };
@@ -154,6 +155,7 @@ impl ConcurrentMap for TbbHashTable {
                     (*prev).store((*curr).next.load(Ordering::Acquire), Ordering::Release);
                     stats::record_store();
                     ssmem::dealloc_immediate(curr);
+                    // Relaxed: `count` only feeds the non-linearizable `size()`.
                     self.count.fetch_sub(1, Ordering::Relaxed);
                     found = Some(value);
                     break;
@@ -169,12 +171,14 @@ impl ConcurrentMap for TbbHashTable {
     }
 
     fn size(&self) -> usize {
+        // Relaxed: `size()` is documented as non-linearizable.
         self.count.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for TbbHashTable {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access.
         unsafe {
             for bucket in self.buckets.iter() {

@@ -154,6 +154,7 @@ impl ConcurrentMap for UrcuHashTable {
             let head = bucket.head.load(Ordering::Acquire);
             bucket.head.store(new_node(key, value, head), Ordering::Release);
             stats::record_store();
+            // Relaxed: `count` only feeds the non-linearizable `size()`.
             self.count.fetch_add(1, Ordering::Relaxed);
             true
         };
@@ -181,6 +182,7 @@ impl ConcurrentMap for UrcuHashTable {
                         let value = (*curr).value.load(Ordering::Acquire);
                         (*prev).store((*curr).next.load(Ordering::Acquire), Ordering::Release);
                         stats::record_store();
+                        // Relaxed: `count` only feeds the non-linearizable `size()`.
                         self.count.fetch_sub(1, Ordering::Relaxed);
                         found = Some((curr, value));
                         break;
@@ -220,12 +222,14 @@ impl ConcurrentMap for UrcuHashTable {
     }
 
     fn size(&self) -> usize {
+        // Relaxed: `size()` is documented as non-linearizable.
         self.count.load(Ordering::Relaxed)
     }
 }
 
 impl Drop for UrcuHashTable {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access.
         unsafe {
             for bucket in self.buckets.iter() {

@@ -22,8 +22,10 @@
 //! * [`skiplist`] — sequential, pugh, herlihy, fraser and fraser-opt skip
 //!   lists.
 //! * [`bst`] — sequential internal/external trees, the lock-free `ellen` and
-//!   `natarajan` external trees, the `howley` internal tree, the lock-based
-//!   `drachsler` and `bronson` trees, and the paper's new **BST-TK**.
+//!   `natarajan` external trees, and the paper's new **BST-TK**. The
+//!   remaining trees the paper evaluates (`howley`, `drachsler`, `bronson`)
+//!   are roadmap items and are not implemented yet; see the [`bst`] module
+//!   docs for the gap list.
 //! * [`asynchronized`] — the "incorrect asynchronized" baselines used as
 //!   performance upper bounds in the paper's evaluation.
 //! * [`stats`] — per-thread instrumentation (shared stores, CAS, restarts,
@@ -32,7 +34,7 @@
 //! * [`registry`] — a name → constructor registry over every implementation,
 //!   used by the benchmark harness to sweep all algorithms.
 //!
-//! All structures implement the [`ConcurrentMap`](api::ConcurrentMap) trait:
+//! All structures implement the [`ConcurrentMap`] trait:
 //! a set of `u64 → u64` key/value pairs with `search`/`insert`/`remove`, the
 //! exact interface of Figure 1 in the paper.
 //!

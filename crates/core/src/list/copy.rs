@@ -267,6 +267,7 @@ impl Default for CopyList {
 impl Drop for CopyList {
     fn drop(&mut self) {
         let snap = self.current.load(Ordering::Relaxed);
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; the current snapshot is owned by us.
         unsafe {
             let len = Snapshot::len(snap);

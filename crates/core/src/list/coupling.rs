@@ -190,6 +190,7 @@ impl Default for CouplingList {
 
 impl Drop for CouplingList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access.
         unsafe {
             let mut curr = self.head;

@@ -288,6 +288,7 @@ impl Default for HarrisList {
 
 impl Drop for HarrisList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; every node still reachable (marked or
         // not) is freed exactly once.
         unsafe {

@@ -171,6 +171,8 @@ impl ConcurrentMap for HarrisOptList {
                 if node.is_null() {
                     node = new_node(key, value, curr);
                 } else {
+                    // Relaxed: `node` is still private (a CAS loser being
+                    // retried); the successful CAS below publishes it.
                     (*node).next.store(curr, tag::CLEAN, Ordering::Relaxed);
                 }
                 let ok = (*pred)
@@ -281,6 +283,7 @@ impl Default for HarrisOptList {
 
 impl Drop for HarrisOptList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access.
         unsafe {
             let mut curr = self.head;

@@ -248,6 +248,7 @@ impl Default for LazyList {
 
 impl Drop for LazyList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; every node still linked is freed once.
         unsafe {
             let mut curr = self.head;

@@ -260,6 +260,7 @@ impl Default for MichaelList {
 
 impl Drop for MichaelList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access.
         unsafe {
             let mut curr = self.head;

@@ -44,49 +44,49 @@ mod tests {
 
     #[test]
     fn lazy_list_full_suite() {
-        testing::full_suite(|| LazyList::new());
+        testing::full_suite(LazyList::new);
     }
 
     #[test]
     fn lazy_list_no_ascy3_full_suite() {
-        testing::full_suite(|| LazyList::without_ascy3());
+        testing::full_suite(LazyList::without_ascy3);
     }
 
     #[test]
     fn pugh_list_full_suite() {
-        testing::full_suite(|| PughList::new());
+        testing::full_suite(PughList::new);
     }
 
     #[test]
     fn coupling_list_full_suite() {
-        testing::full_suite(|| CouplingList::new());
+        testing::full_suite(CouplingList::new);
     }
 
     #[test]
     fn copy_list_full_suite() {
-        testing::full_suite(|| CopyList::new());
+        testing::full_suite(CopyList::new);
     }
 
     #[test]
     fn harris_list_full_suite() {
-        testing::full_suite(|| HarrisList::new());
+        testing::full_suite(HarrisList::new);
     }
 
     #[test]
     fn michael_list_full_suite() {
-        testing::full_suite(|| MichaelList::new());
+        testing::full_suite(MichaelList::new);
     }
 
     #[test]
     fn harris_opt_list_full_suite() {
-        testing::full_suite(|| HarrisOptList::new());
+        testing::full_suite(HarrisOptList::new);
     }
 
     #[test]
     fn async_list_sequential_only_suite() {
         // The asynchronized list is only sequentially correct; run the
         // sequential battery.
-        testing::sequential_suite(|| AsyncList::new());
-        testing::model_check(|| AsyncList::new(), 2_000);
+        testing::sequential_suite(AsyncList::new);
+        testing::model_check(AsyncList::new, 2_000);
     }
 }

@@ -248,6 +248,7 @@ impl Default for PughList {
 
 impl Drop for PughList {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; only still-linked (live) nodes are
         // reachable and each is freed once.
         unsafe {

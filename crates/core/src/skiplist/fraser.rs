@@ -66,6 +66,8 @@ impl<const OPT: bool> Fraser<OPT> {
         let tail = new_node(u64::MAX, 0, MAX_LEVEL);
         let head = new_node(0, 0, MAX_LEVEL);
         // SAFETY: freshly allocated sentinels.
+        // Relaxed: the list is private until the constructor returns; handing
+        // `Self` to another thread synchronizes.
         unsafe {
             for level in 0..MAX_LEVEL {
                 (*head).next[level].store(tail, tag::CLEAN, Ordering::Relaxed);
@@ -206,6 +208,8 @@ impl<const OPT: bool> Fraser<OPT> {
                     return false;
                 }
                 let node = new_node(key, value, toplevel);
+                // Relaxed: the node is private until the level-0 CAS below
+                // (AcqRel) publishes it.
                 for level in 0..toplevel {
                     (*node).next[level].store(succs[level], tag::CLEAN, Ordering::Relaxed);
                 }
@@ -391,6 +395,7 @@ impl<const OPT: bool> Fraser<OPT> {
 
 impl<const OPT: bool> Drop for Fraser<OPT> {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; free the level-0 chain.
         unsafe {
             let mut curr = self.head;

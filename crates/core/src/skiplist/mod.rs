@@ -11,8 +11,13 @@
 //! All variants store towers of up to [`MAX_LEVEL`] forward pointers; level
 //! heights are drawn from the usual geometric distribution (p = ½).
 
+// Skip-list code walks the parallel `preds`/`succs` arrays by level index;
+// clippy's iterator-with-enumerate rewrite obscures that symmetry.
+#[allow(clippy::needless_range_loop)]
 mod fraser;
+#[allow(clippy::needless_range_loop)]
 mod optimistic;
+#[allow(clippy::needless_range_loop)]
 mod seq;
 
 pub use fraser::{FraserOptSkipList, FraserSkipList};
@@ -65,27 +70,27 @@ mod tests {
 
     #[test]
     fn herlihy_skiplist_full_suite() {
-        testing::full_suite(|| HerlihySkipList::new());
+        testing::full_suite(HerlihySkipList::new);
     }
 
     #[test]
     fn pugh_skiplist_full_suite() {
-        testing::full_suite(|| PughSkipList::new());
+        testing::full_suite(PughSkipList::new);
     }
 
     #[test]
     fn fraser_skiplist_full_suite() {
-        testing::full_suite(|| FraserSkipList::new());
+        testing::full_suite(FraserSkipList::new);
     }
 
     #[test]
     fn fraser_opt_skiplist_full_suite() {
-        testing::full_suite(|| FraserOptSkipList::new());
+        testing::full_suite(FraserOptSkipList::new);
     }
 
     #[test]
     fn async_skiplist_sequential_suite() {
-        testing::sequential_suite(|| AsyncSkipList::new());
-        testing::model_check(|| AsyncSkipList::new(), 3_000);
+        testing::sequential_suite(AsyncSkipList::new);
+        testing::model_check(AsyncSkipList::new, 3_000);
     }
 }

@@ -66,6 +66,8 @@ impl SkipListBase {
         let tail = new_node(u64::MAX, 0, MAX_LEVEL);
         let head = new_node(0, 0, MAX_LEVEL);
         // SAFETY: freshly allocated sentinels.
+        // Relaxed: the list is private until the constructor returns; handing
+        // `Self` to another thread synchronizes.
         unsafe {
             for level in 0..MAX_LEVEL {
                 (*head).next[level].store(tail, Ordering::Relaxed);
@@ -161,6 +163,7 @@ impl SkipListBase {
 
 impl Drop for SkipListBase {
     fn drop(&mut self) {
+        // Relaxed loads: `&mut self` proves no concurrent thread exists.
         // SAFETY: exclusive access; free the level-0 chain.
         unsafe {
             let mut curr = self.head;
@@ -301,6 +304,8 @@ impl ConcurrentMap for HerlihySkipList {
                     }
                     Ok(_) => {
                         let node = new_node(key, value, toplevel);
+                        // Relaxed: the node is private until the Release
+                        // stores below link it level by level.
                         for level in 0..toplevel {
                             (*node).next[level].store(succs[level], Ordering::Relaxed);
                         }
@@ -534,6 +539,9 @@ impl ConcurrentMap for PughSkipList {
                     // loser of a race; level-0 uniqueness is what defines
                     // membership).
                 }
+                // Relaxed: readers reach `node` at this level only through
+                // the Release store of `pred.next[level]` just below, which
+                // orders this store before the publication.
                 (*node).next[level].store(succ, Ordering::Relaxed);
                 (*pred).next[level].store(node, Ordering::Release);
                 stats::record_store();

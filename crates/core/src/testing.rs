@@ -224,6 +224,7 @@ where
     for h in handles {
         h.join().unwrap();
     }
+    // Relaxed: the joins above synchronize all worker increments.
     let expected = inserts.load(Ordering::Relaxed) - removes.load(Ordering::Relaxed);
     assert_eq!(
         m.size() as u64,
@@ -249,7 +250,7 @@ where
 {
     sequential_suite(ctor);
     model_check(ctor, 4_000);
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8).max(2);
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(2, 8);
     partitioned_concurrency(ctor, threads, 64);
     balance_stress(ctor, threads, 3_000, 96);
 }

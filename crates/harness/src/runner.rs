@@ -152,7 +152,7 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
         let barrier = Arc::clone(&barrier);
         handles.push(std::thread::spawn(move || {
             stats::reset();
-            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ (thread_id as u64 + 1) * 0x9E37_79B9);
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ ((thread_id as u64 + 1) * 0x9E37_79B9));
             let range = workload.key_range();
             let mut out = ThreadOutput {
                 ops: 0,

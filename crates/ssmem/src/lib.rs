@@ -366,6 +366,40 @@ mod tests {
     }
 
     #[test]
+    fn allocate_free_reuse_across_epochs() {
+        // Smoke test of the full epoch lifecycle on one thread: allocate,
+        // retire (free), cross an epoch boundary (guard enter/exit bumps the
+        // timestamp), then observe the allocator serving recycled memory.
+        set_gc_threshold(4);
+        let first = alloc(0xEE_u64);
+        // SAFETY: never shared.
+        unsafe { retire(first) };
+        // The reuse pool is LIFO, so a specific address can stay buried while
+        // newer retirees are recycled first; reuse of *any* retired address
+        // proves the epoch lifecycle.
+        let mut retired = std::collections::HashSet::from([first as usize]);
+        // Cross several epochs; each protect()/drop pair advances this
+        // thread's timestamp past the retire snapshot.
+        for _ in 0..4 {
+            drop(protect());
+        }
+        let mut reused = false;
+        for _ in 0..2_000 {
+            collect();
+            let p = alloc(0xAA_u64);
+            let addr = p as usize;
+            // SAFETY: never shared.
+            unsafe { retire(p) };
+            if !retired.insert(addr) {
+                reused = true;
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert!(reused, "allocator never recycled a retired address across epochs");
+    }
+
+    #[test]
     fn nested_guards_are_allowed() {
         let g1 = protect();
         let g2 = protect();

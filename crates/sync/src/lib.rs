@@ -64,10 +64,126 @@ pub const CACHE_LINE_SIZE: usize = 64;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::cell::UnsafeCell;
+    use std::sync::Arc;
 
     #[test]
     fn cache_line_is_eight_words() {
         assert_eq!(CACHE_LINE_SIZE, 8 * std::mem::size_of::<u64>());
+    }
+
+    /// A deliberately non-atomic counter: if the lock under test ever admits
+    /// two threads at once, increments are lost and the total comes up short
+    /// (or tsan/miri would flag the race outright).
+    struct RacyCounter(UnsafeCell<u64>);
+
+    // SAFETY: the tests only touch the cell while holding the lock under test.
+    unsafe impl Send for RacyCounter {}
+    // SAFETY: see above.
+    unsafe impl Sync for RacyCounter {}
+
+    const THREADS: usize = 4;
+    const INCREMENTS: u64 = 20_000;
+
+    /// Runs 4 threads that each bump the shared counter `INCREMENTS` times
+    /// inside the provided critical section, then checks nothing was lost.
+    fn exercise_mutual_exclusion<F>(critical: F)
+    where
+        F: Fn(&RacyCounter) + Send + Sync + 'static,
+    {
+        let counter = Arc::new(RacyCounter(UnsafeCell::new(0)));
+        let critical = Arc::new(critical);
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                let critical = Arc::clone(&critical);
+                std::thread::spawn(move || {
+                    for _ in 0..INCREMENTS {
+                        critical(&counter);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: all threads joined; no concurrent access remains.
+        let total = unsafe { *counter.0.get() };
+        assert_eq!(total, THREADS as u64 * INCREMENTS);
+    }
+
+    /// Bumps the counter; caller must already hold the protecting lock.
+    fn bump(c: &RacyCounter) {
+        // SAFETY: guaranteed exclusive by the lock held by the caller.
+        unsafe { *c.0.get() += 1 };
+    }
+
+    #[test]
+    fn tas_lock_guards_counter_under_contention() {
+        let lock = Arc::new(TasLock::new());
+        exercise_mutual_exclusion(move |c| {
+            lock.lock();
+            bump(c);
+            lock.unlock();
+        });
+    }
+
+    #[test]
+    fn ttas_lock_guards_counter_under_contention() {
+        let lock = Arc::new(TtasLock::new());
+        exercise_mutual_exclusion(move |c| {
+            lock.lock();
+            bump(c);
+            lock.unlock();
+        });
+    }
+
+    #[test]
+    fn ticket_lock_guards_counter_under_contention() {
+        let lock = Arc::new(TicketLock::new());
+        exercise_mutual_exclusion(move |c| {
+            lock.lock();
+            bump(c);
+            lock.unlock();
+        });
+    }
+
+    #[test]
+    fn mcs_lock_guards_counter_under_contention() {
+        let lock = Arc::new(McsLock::new());
+        exercise_mutual_exclusion(move |c| {
+            let guard = lock.lock();
+            bump(c);
+            drop(guard);
+        });
+    }
+
+    #[test]
+    fn rw_lock_write_side_guards_counter_under_contention() {
+        let lock = Arc::new(RwSpinLock::new());
+        exercise_mutual_exclusion(move |c| {
+            lock.write_lock();
+            bump(c);
+            lock.write_unlock();
+        });
+    }
+
+    #[test]
+    fn tree_lock_guards_counter_under_contention() {
+        let lock = Arc::new(TreeLock::new());
+        exercise_mutual_exclusion(move |c| {
+            loop {
+                let snap = lock.snapshot();
+                if snap.is_unlocked(versioned::Side::Left)
+                    && lock.try_lock(versioned::Side::Left, &snap)
+                {
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+            bump(c);
+            lock.unlock(versioned::Side::Left);
+        });
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset the `micro_ops` benchmark uses: [`Criterion`],
+//! [`BenchmarkGroup`] with `sample_size` / `warm_up_time` /
+//! `measurement_time` / `bench_function`, a timing [`Bencher`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. There is no statistical
+//! analysis: each benchmark reports the mean and best per-iteration time over
+//! the configured samples.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so user code can call `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, as the real
+    /// criterion does inside `criterion_main!`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(300),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement duration (split across the samples).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timing.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+
+        // Warm-up: run until the warm-up budget is spent, growing the
+        // iteration count so the timing loop dominates the overhead.
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up_time {
+            f(&mut bencher);
+            if bencher.elapsed < Duration::from_millis(1) {
+                bencher.iters = (bencher.iters * 2).min(1 << 20);
+            }
+        }
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let mut mean_sum = 0f64;
+        let mut best = f64::INFINITY;
+        for _ in 0..self.sample_size {
+            let sample_start = Instant::now();
+            let mut iters = 0u64;
+            let mut elapsed = Duration::ZERO;
+            while sample_start.elapsed() < per_sample {
+                f(&mut bencher);
+                iters += bencher.iters;
+                elapsed += bencher.elapsed;
+            }
+            let nanos = elapsed.as_nanos() as f64 / iters.max(1) as f64;
+            mean_sum += nanos;
+            best = best.min(nanos);
+        }
+        let mean = mean_sum / self.sample_size as f64;
+        println!("{}/{id:<24} {mean:>10.1} ns/iter (best {best:.1})", self.name);
+        self
+    }
+
+    /// Ends the group (the stand-in has no per-group report to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of the routine.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collects benchmark functions into a runnable group, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut count = 0u64;
+        group.bench_function("add", |b| b.iter(|| count = count.wrapping_add(1)));
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline stand-in for the `crossbeam-utils` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the one item ASCYLIB-RS uses: [`CachePadded`], with the same
+//! alignment strategy as the real crate (128 bytes on x86_64/aarch64 to cover
+//! adjacent-line prefetchers, 64 elsewhere).
+
+#![warn(missing_docs)]
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to the length of a cache line, preventing false
+/// sharing between adjacent values.
+#[derive(Clone, Copy, Default, Hash, PartialEq, Eq)]
+#[cfg_attr(any(target_arch = "x86_64", target_arch = "aarch64"), repr(align(128)))]
+#[cfg_attr(not(any(target_arch = "x86_64", target_arch = "aarch64")), repr(align(64)))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+// Same auto-trait surface as the real crate.
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Pads and aligns a value to the length of a cache line.
+    pub const fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+
+    /// Returns the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CachePadded").field("value", &self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        CachePadded::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_values_do_not_share_cache_lines() {
+        let pair = [CachePadded::new(0u8), CachePadded::new(0u8)];
+        let a = &pair[0] as *const _ as usize;
+        let b = &pair[1] as *const _ as usize;
+        assert!(b - a >= 64, "padding too small: {}", b - a);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut p = CachePadded::new(7u64);
+        *p += 1;
+        assert_eq!(*p, 8);
+        assert_eq!(p.into_inner(), 8);
+    }
+}

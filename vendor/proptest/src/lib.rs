@@ -1,0 +1,314 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! implements the subset the ASCYLIB-RS integration tests use: the
+//! [`proptest!`] macro with `#![proptest_config(...)]`, [`prelude::any`],
+//! tuple strategies, and [`collection::vec`]. Inputs are generated from a
+//! deterministic per-test seed; on failure the offending case index and seed
+//! are printed so the case can be replayed. There is **no shrinking** — a
+//! failing input is reported as generated.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies (xorshift64*).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (zero is mapped to a fixed constant).
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Returns the next random word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Returns a value uniformly distributed in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Strategy for "any value of `T`" (see [`prelude::any`]).
+#[derive(Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Any<T> {}
+
+impl<T> Default for Any<T> {
+    fn default() -> Self {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// Types with a canonical [`Any`] strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element` with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "vec length range must be non-empty");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases to run and other knobs (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property is checked against.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+thread_local! {
+    static CURRENT_CASE: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+}
+
+/// Records the seed/case about to run (used by the failure reporter).
+pub fn set_current_case(seed: u64, case: u32) {
+    CURRENT_CASE.with(|c| c.set((seed, case)));
+}
+
+/// Prints the failing seed/case; called from the macro's panic hook path.
+pub fn report_failure() {
+    let (seed, case) = CURRENT_CASE.with(|c| c.get());
+    eprintln!("proptest (offline stand-in): failing case {case} for seed {seed:#x}; rerun is deterministic");
+}
+
+/// Derives a per-test seed from its name (FNV-1a), so every property gets a
+/// distinct but reproducible input stream.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Range strategies: `0..10u64` works as a strategy for `u64`.
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        assert!(self.start < self.end);
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end);
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+/// The property-test macro. Supports the common form used in this repo:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///
+///     #[test]
+///     fn my_prop(xs in collection::vec(any::<u8>(), 1..10)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let seed = $crate::seed_from_name(stringify!($name));
+                let mut rng = $crate::TestRng::new(seed);
+                for case in 0..config.cases {
+                    $crate::set_current_case(seed, case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strategy, &mut rng);
+                    )+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| { $body }));
+                    if let Err(panic) = result {
+                        $crate::report_failure();
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name ( $($arg in $strategy),+ ) $body
+            )*
+        }
+    };
+}
+
+pub mod prelude {
+    //! The items a `use proptest::prelude::*` is expected to bring in.
+
+    pub use crate::collection;
+    pub use crate::proptest;
+    pub use crate::{Any, Arbitrary, ProptestConfig, Strategy, TestRng};
+
+    /// Returns the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_range(xs in collection::vec(any::<u8>(), 3..7)) {
+            assert!((3..7).contains(&xs.len()));
+        }
+
+        #[test]
+        fn tuples_generate_both_sides(pair in (any::<u8>(), any::<u64>())) {
+            let (_a, _b): (u8, u64) = pair;
+        }
+    }
+
+    #[test]
+    fn seeds_differ_per_test_name() {
+        assert_ne!(super::seed_from_name("a"), super::seed_from_name("b"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = collection::vec(any::<u64>(), 1..50);
+        let a = Strategy::generate(&s, &mut TestRng::new(9));
+        let b = Strategy::generate(&s, &mut TestRng::new(9));
+        assert_eq!(a, b);
+    }
+}
