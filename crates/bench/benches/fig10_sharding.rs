@@ -1,0 +1,99 @@
+//! Figure 10 (extension): sharding under uniform vs. skewed traffic.
+//!
+//! The paper's figures drive a single structure with uniform keys. This
+//! bench layers `ascylib-shard` on top and replays the same operation mix
+//! under uniform and Zipfian(0.99) key draws, comparing each structure
+//! against a sharded deployment of itself:
+//!
+//! * **Harris list** — O(n) traversals: sharding divides every parse phase's
+//!   length by the shard count, so it should win by roughly that factor.
+//! * **CLHT** — already O(1) and cache-friendly: sharding mostly splits the
+//!   coherence domain; the interesting question is whether the routing layer
+//!   costs anything when the structure was not the bottleneck.
+//!
+//! A final panel prints the per-shard operation histogram under skew: the
+//! hash router spreads the Zipfian head across shards, which is what keeps
+//! a hot key-*range* from becoming a hot *shard*.
+
+use std::sync::Arc;
+
+use ascylib::hashtable::ClhtLb;
+use ascylib::list::HarrisList;
+use ascylib_bench::run_map;
+use ascylib_harness::report::{f2, histogram, Table};
+use ascylib_harness::{bench_millis, max_threads, KeyDist, WorkloadBuilder};
+use ascylib_shard::ShardedMap;
+
+const SHARDS: usize = 8;
+
+fn dists() -> Vec<KeyDist> {
+    vec![KeyDist::Uniform, KeyDist::Zipfian { theta: 0.99 }]
+}
+
+fn workload(initial_size: usize, dist: KeyDist, threads: usize) -> ascylib_harness::Workload {
+    WorkloadBuilder::new()
+        .initial_size(initial_size)
+        .update_percent(10)
+        .threads(threads)
+        .duration_ms(bench_millis())
+        .key_dist(dist)
+        .build()
+}
+
+fn main() {
+    let threads = max_threads();
+    let mut table = Table::new(
+        &format!("Figure 10 — sharded ({SHARDS} shards) vs unsharded, {threads} threads, 10% upd"),
+        &["structure", "dist", "unsharded Mops/s", "sharded Mops/s", "speedup"],
+    );
+
+    // Harris list: small N (every op walks the list, the paper uses
+    // 1024–4096 for lists); CLHT: the paper's 8192-element setting.
+    let list_size = 2048;
+    let clht_size = 8192;
+
+    for dist in dists() {
+        let w = workload(list_size, dist, threads);
+        let unsharded = run_map(Arc::new(HarrisList::new()), w);
+        let sharded = run_map(Arc::new(ShardedMap::new(SHARDS, |_| HarrisList::new())), w);
+        table.row(vec![
+            "ll-harris".into(),
+            dist.to_string(),
+            f2(unsharded.mops),
+            f2(sharded.mops),
+            f2(sharded.mops / unsharded.mops.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+
+    for dist in dists() {
+        let w = workload(clht_size, dist, threads);
+        let unsharded = run_map(Arc::new(ClhtLb::with_capacity(clht_size * 2)), w);
+        let sharded = run_map(
+            Arc::new(ShardedMap::new(SHARDS, |_| ClhtLb::with_capacity(clht_size * 2 / SHARDS))),
+            w,
+        );
+        table.row(vec![
+            "ht-clht-lb".into(),
+            dist.to_string(),
+            f2(unsharded.mops),
+            f2(sharded.mops),
+            f2(sharded.mops / unsharded.mops.max(f64::MIN_POSITIVE)),
+        ]);
+    }
+
+    table.print();
+    let _ = table.write_csv("fig10_sharding");
+
+    // Per-shard load under skew: run the skewed mix once more against a
+    // fresh sharded CLHT and show where the requests landed.
+    let w = workload(clht_size, KeyDist::Zipfian { theta: 0.99 }, threads);
+    let map = Arc::new(ShardedMap::new(SHARDS, |_| ClhtLb::with_capacity(clht_size * 2 / SHARDS)));
+    let _ = run_map(map.clone(), w);
+    let entries: Vec<(String, f64)> = map
+        .shard_stats()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (format!("shard-{i}"), s.operations() as f64))
+        .collect();
+    print!("{}", histogram("zipf(0.99) per-shard operations (hash routing spreads the head)", &entries, 40));
+}

@@ -59,6 +59,35 @@ pub trait ConcurrentMap: Send + Sync {
     }
 }
 
+/// Shared handles delegate to the underlying structure, so an
+/// `Arc<dyn ConcurrentMap>` (e.g. from [`crate::registry`]) is itself a
+/// `ConcurrentMap` and can back composite layers such as sharded maps.
+impl<M: ConcurrentMap + ?Sized> ConcurrentMap for std::sync::Arc<M> {
+    fn search(&self, key: u64) -> Option<u64> {
+        (**self).search(key)
+    }
+
+    fn insert(&self, key: u64, value: u64) -> bool {
+        (**self).insert(key, value)
+    }
+
+    fn remove(&self, key: u64) -> Option<u64> {
+        (**self).remove(key)
+    }
+
+    fn size(&self) -> usize {
+        (**self).size()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+
+    fn contains(&self, key: u64) -> bool {
+        (**self).contains(key)
+    }
+}
+
 /// Checks that a caller-supplied key is within the usable range.
 #[inline]
 pub(crate) fn debug_check_key(key: u64) {
@@ -128,6 +157,25 @@ mod tests {
     fn key_range_excludes_sentinels() {
         assert_eq!(KEY_MIN, 1);
         assert_eq!(KEY_MAX, u64::MAX - 1);
+    }
+
+    #[test]
+    fn arc_handles_delegate_to_the_inner_structure() {
+        use crate::list::LazyList;
+        use std::sync::Arc;
+
+        let inner = Arc::new(LazyList::new());
+        let handle: Arc<dyn ConcurrentMap> = inner.clone();
+        assert!(handle.insert(3, 30));
+        // The blanket impl makes the Arc itself usable as a map...
+        assert_eq!(ConcurrentMap::search(&handle, 3), Some(30));
+        assert!(ConcurrentMap::contains(&handle, 3));
+        assert_eq!(ConcurrentMap::size(&handle), 1);
+        assert!(!ConcurrentMap::is_empty(&handle));
+        // ...and mutations are visible through the original handle.
+        assert_eq!(inner.search(3), Some(30));
+        assert_eq!(ConcurrentMap::remove(&handle, 3), Some(30));
+        assert!(inner.is_empty());
     }
 
     #[test]

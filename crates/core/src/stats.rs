@@ -72,15 +72,22 @@ impl OpCounters {
     }
 
     /// Adds another snapshot to this one (used to aggregate across threads).
+    ///
+    /// Uses saturating addition: the fields are monotonic event counts, and a
+    /// wrapped sum would silently report a tiny value after a very long run
+    /// (at 10⁹ events/s a `u64` wraps after ~585 years per thread, but the
+    /// *sum* across many threads gets there proportionally sooner). Clamping
+    /// at `u64::MAX` keeps the aggregate obviously-saturated instead of
+    /// quietly wrong, and avoids the debug-build overflow panic.
     pub fn merge(&mut self, other: &OpCounters) {
-        self.shared_stores += other.shared_stores;
-        self.atomic_ops += other.atomic_ops;
-        self.atomic_failures += other.atomic_failures;
-        self.lock_acquisitions += other.lock_acquisitions;
-        self.restarts += other.restarts;
-        self.nodes_traversed += other.nodes_traversed;
-        self.waits += other.waits;
-        self.operations += other.operations;
+        self.shared_stores = self.shared_stores.saturating_add(other.shared_stores);
+        self.atomic_ops = self.atomic_ops.saturating_add(other.atomic_ops);
+        self.atomic_failures = self.atomic_failures.saturating_add(other.atomic_failures);
+        self.lock_acquisitions = self.lock_acquisitions.saturating_add(other.lock_acquisitions);
+        self.restarts = self.restarts.saturating_add(other.restarts);
+        self.nodes_traversed = self.nodes_traversed.saturating_add(other.nodes_traversed);
+        self.waits = self.waits.saturating_add(other.waits);
+        self.operations = self.operations.saturating_add(other.operations);
     }
 }
 
@@ -95,9 +102,15 @@ thread_local! {
     static OPERATIONS: Cell<u64> = const { Cell::new(0) };
 }
 
+/// Cross-thread safety: each counter is a thread-local `Cell` with exactly
+/// one writer (the owning thread), so there are no lost updates by
+/// construction; aggregation happens via [`snapshot`] after the harness joins
+/// the worker (the join provides the happens-before edge). Saturating add so
+/// a pathologically long run clamps at `u64::MAX` instead of panicking in
+/// debug builds or wrapping to a misleadingly small count in release.
 #[inline]
 fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, n: u64) {
-    cell.with(|c| c.set(c.get() + n));
+    cell.with(|c| c.set(c.get().saturating_add(n)));
 }
 
 /// Records a store to shared memory.
@@ -216,6 +229,14 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.shared_stores, 4);
         assert_eq!(a.operations, 6);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = OpCounters { operations: u64::MAX - 1, ..Default::default() };
+        let b = OpCounters { operations: 10, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.operations, u64::MAX);
     }
 
     #[test]

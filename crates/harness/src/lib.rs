@@ -3,10 +3,13 @@
 //! Reproduces the methodology of §4 of the ASCY paper:
 //!
 //! * [`workload`] — workload generation: the structure is initialized with
-//!   `N` elements, operations pick keys uniformly from `[1, 2N]`, and the
+//!   `N` elements, operations pick keys from `[1, 2N]`, and the
 //!   update percentage is split into half insertions / half removals, so on
 //!   average half of the updates succeed and the structure size stays near
 //!   `N`.
+//! * [`dist`] — key distributions: the paper's uniform draws plus
+//!   Zipfian(θ) and hotspot generators for skewed, production-style
+//!   traffic, selected per workload via [`KeyDist`].
 //! * [`runner`] — the multi-threaded measurement loop: per-thread operation
 //!   counters, sampled operation latencies with 1/25/50/75/99 percentiles,
 //!   and aggregation of the [`ascylib::stats`] instrumentation counters.
@@ -18,11 +21,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod model;
 pub mod report;
 pub mod runner;
 pub mod workload;
 
+pub use dist::{KeyDist, KeySampler};
 pub use model::{EnergyModel, PlatformProfile};
 pub use runner::{run_benchmark, BenchmarkResult, LatencyStats, OpKind};
 pub use workload::{Workload, WorkloadBuilder};

@@ -79,6 +79,27 @@ impl Table {
     }
 }
 
+/// Renders a labelled ASCII bar chart (used for per-shard load histograms:
+/// the bars make a skew-induced hot shard visible at a glance). Bars are
+/// scaled so the largest value spans `width` characters.
+pub fn histogram(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("\n== {title} ==\n");
+    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in entries {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:>label_width$}  {:<width$}  {value:.0}\n",
+            "#".repeat(bar_len)
+        ));
+    }
+    out
+}
+
 /// Formats a floating point value with two decimals.
 pub fn f2(value: f64) -> String {
     format!("{value:.2}")
@@ -103,6 +124,27 @@ mod tests {
         assert!(s.contains("clht-lb"));
         assert!(s.contains("12.50"));
         assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn histogram_scales_bars_to_the_maximum() {
+        let s = histogram(
+            "shard load",
+            &[("shard-0".into(), 100.0), ("shard-1".into(), 50.0), ("shard-2".into(), 0.0)],
+            20,
+        );
+        assert!(s.contains("shard load"));
+        assert!(s.contains(&"#".repeat(20)), "max bar should span the full width");
+        assert!(s.contains(&"#".repeat(10)), "half value should get a half bar");
+        let zero_line = s.lines().find(|l| l.contains("shard-2")).unwrap();
+        assert!(!zero_line.contains('#'), "zero value must have no bar");
+    }
+
+    #[test]
+    fn histogram_of_empty_entries_is_just_the_title() {
+        let s = histogram("empty", &[], 10);
+        assert!(s.contains("empty"));
+        assert_eq!(s.lines().filter(|l| !l.trim().is_empty()).count(), 1);
     }
 
     #[test]

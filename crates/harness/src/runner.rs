@@ -153,7 +153,7 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
         handles.push(std::thread::spawn(move || {
             stats::reset();
             let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ ((thread_id as u64 + 1) * 0x9E37_79B9));
-            let range = workload.key_range();
+            let sampler = workload.key_sampler();
             let mut out = ThreadOutput {
                 ops: 0,
                 successful_inserts: 0,
@@ -168,7 +168,7 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
             while !stop.load(Ordering::Relaxed) {
                 // Run a small batch between stop-flag checks.
                 for _ in 0..64 {
-                    let key = rng.random_range(1..=range);
+                    let key = sampler.sample(&mut rng);
                     let dice = rng.random_range(0..100u32);
                     let sample = out.ops % workload.latency_sample_every == 0;
                     let start = if sample { Some(Instant::now()) } else { None };
@@ -217,19 +217,24 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
     let outputs: Vec<ThreadOutput> = handles.into_iter().map(|h| h.join().expect("worker")).collect();
     let elapsed = start.elapsed();
 
-    let mut total_ops = 0;
-    let mut successful_inserts = 0;
-    let mut successful_removes = 0;
-    let mut unsuccessful_updates = 0;
+    let mut total_ops = 0u64;
+    let mut successful_inserts = 0u64;
+    let mut successful_removes = 0u64;
+    let mut unsuccessful_updates = 0u64;
     let mut search_samples = Vec::new();
     let mut success_update_samples = Vec::new();
     let mut fail_update_samples = Vec::new();
     let mut counters = OpCounters::default();
+    // Each ThreadOutput is written by exactly one worker and read only after
+    // its join (the happens-before edge), so there are no lost updates here;
+    // the only aggregation hazard is overflow of the sums, hence saturating
+    // adds (clamping at u64::MAX is obviously-wrong in a report, a wrapped
+    // tiny value is not).
     for out in outputs {
-        total_ops += out.ops;
-        successful_inserts += out.successful_inserts;
-        successful_removes += out.successful_removes;
-        unsuccessful_updates += out.unsuccessful_updates;
+        total_ops = total_ops.saturating_add(out.ops);
+        successful_inserts = successful_inserts.saturating_add(out.successful_inserts);
+        successful_removes = successful_removes.saturating_add(out.successful_removes);
+        unsuccessful_updates = unsuccessful_updates.saturating_add(out.unsuccessful_updates);
         search_samples.extend(out.search_samples);
         success_update_samples.extend(out.success_update_samples);
         fail_update_samples.extend(out.fail_update_samples);
@@ -277,6 +282,58 @@ mod tests {
     }
 
     #[test]
+    fn single_sample_is_every_percentile() {
+        let stats = LatencyStats::from_samples(vec![37]);
+        assert_eq!(stats.p1, 37);
+        assert_eq!(stats.p25, 37);
+        assert_eq!(stats.p50, 37);
+        assert_eq!(stats.p75, 37);
+        assert_eq!(stats.p99, 37);
+        assert_eq!(stats.mean, 37.0);
+        assert_eq!(stats.samples, 1);
+    }
+
+    #[test]
+    fn all_equal_samples_collapse_to_that_value() {
+        let stats = LatencyStats::from_samples(vec![500; 1024]);
+        assert_eq!(stats.p1, 500);
+        assert_eq!(stats.p99, 500);
+        assert_eq!(stats.mean, 500.0);
+        assert_eq!(stats.samples, 1024);
+    }
+
+    #[test]
+    fn exact_percentile_boundaries_on_101_samples() {
+        // With samples 0..=100, the index formula (len-1) * p/100 lands on
+        // integers exactly: percentile p is literally the value p.
+        let stats = LatencyStats::from_samples((0..=100u64).collect());
+        assert_eq!(stats.p1, 1);
+        assert_eq!(stats.p25, 25);
+        assert_eq!(stats.p50, 50);
+        assert_eq!(stats.p75, 75);
+        assert_eq!(stats.p99, 99);
+        assert_eq!(stats.mean, 50.0);
+    }
+
+    #[test]
+    fn two_samples_round_the_median_up() {
+        // idx(p50) = (2-1) * 0.5 = 0.5, which rounds to 1.
+        let stats = LatencyStats::from_samples(vec![10, 20]);
+        assert_eq!(stats.p1, 10);
+        assert_eq!(stats.p50, 20);
+        assert_eq!(stats.p99, 20);
+        assert_eq!(stats.mean, 15.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted_before_percentiles() {
+        let stats = LatencyStats::from_samples(vec![90, 10, 50, 30, 70]);
+        assert_eq!(stats.p1, 10);
+        assert_eq!(stats.p99, 90);
+        assert_eq!(stats.p50, 50);
+    }
+
+    #[test]
     fn short_run_produces_sane_results() {
         let workload = WorkloadBuilder::new()
             .initial_size(128)
@@ -290,6 +347,21 @@ mod tests {
         // Size stays near N: successful inserts and removes balance out.
         let delta = result.successful_inserts as i64 - result.successful_removes as i64;
         assert_eq!(result.final_size as i64, 128 + delta);
+    }
+
+    #[test]
+    fn zipfian_run_keeps_size_bookkeeping() {
+        let workload = WorkloadBuilder::new()
+            .initial_size(256)
+            .update_percent(20)
+            .threads(2)
+            .duration_ms(40)
+            .zipfian(0.99)
+            .build();
+        let result = run_benchmark(Arc::new(ClhtLb::with_capacity(512)), workload);
+        assert!(result.total_ops > 0);
+        let delta = result.successful_inserts as i64 - result.successful_removes as i64;
+        assert_eq!(result.final_size as i64, 256 + delta);
     }
 
     #[test]

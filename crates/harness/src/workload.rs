@@ -6,8 +6,10 @@ use std::sync::Arc;
 
 use ascylib::api::ConcurrentMap;
 
+use crate::dist::{KeyDist, KeySampler};
+
 /// A benchmark workload: initial size, key range, update percentage, thread
-/// count and duration.
+/// count, duration and key distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Initial number of elements `N`; keys are drawn from `[1, 2N]`.
@@ -21,12 +23,21 @@ pub struct Workload {
     pub duration_ms: u64,
     /// Fraction of operations whose latency is sampled (1 = every op).
     pub latency_sample_every: u64,
+    /// How operation keys are drawn from the key range (uniform in the
+    /// paper; Zipfian/hotspot model skewed production traffic).
+    pub dist: KeyDist,
 }
 
 impl Workload {
     /// Upper bound of the key range (`2N`, as in the paper).
     pub fn key_range(&self) -> u64 {
         (self.initial_size as u64 * 2).max(2)
+    }
+
+    /// A sampler for this workload's key distribution (one per thread; the
+    /// Zipfian constants are precomputed here, sampling is O(1)).
+    pub fn key_sampler(&self) -> KeySampler {
+        KeySampler::new(self.dist, self.key_range())
     }
 }
 
@@ -47,6 +58,7 @@ impl WorkloadBuilder {
                 threads: 1,
                 duration_ms: 300,
                 latency_sample_every: 16,
+                dist: KeyDist::Uniform,
             },
         }
     }
@@ -81,6 +93,17 @@ impl WorkloadBuilder {
         self
     }
 
+    /// Sets the key distribution (default: [`KeyDist::Uniform`]).
+    pub fn key_dist(mut self, dist: KeyDist) -> Self {
+        self.workload.dist = dist;
+        self
+    }
+
+    /// Shorthand for a Zipfian key distribution with exponent `theta`.
+    pub fn zipfian(self, theta: f64) -> Self {
+        self.key_dist(KeyDist::Zipfian { theta })
+    }
+
     /// Finalizes the workload.
     pub fn build(self) -> Workload {
         self.workload
@@ -93,17 +116,34 @@ impl Default for WorkloadBuilder {
     }
 }
 
-/// Fills the structure to its initial size with keys drawn uniformly from
-/// the key range (so the expected size is `N`, as in the paper's setup).
+/// Fills the structure to its initial size with keys drawn from the
+/// workload's distribution (so a skewed run starts with the popular keys
+/// resident, and the expected size is `N`, as in the paper's setup).
+///
+/// Skewed distributions revisit their popular keys constantly, so drawing
+/// only from the distribution would make filling the tail a coupon-collector
+/// problem with vanishing success probability. After a burst of consecutive
+/// duplicate draws the fill falls back to uniform draws (which finish in
+/// expected O(N) for a `2N` range), keeping population time bounded for every
+/// distribution while preserving the skewed head.
 pub fn populate(map: &Arc<dyn ConcurrentMap>, workload: &Workload, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let range = workload.key_range();
+    let sampler = workload.key_sampler();
     let mut inserted = 0usize;
+    let mut consecutive_duplicates = 0u32;
     // Insert until the structure holds N elements (duplicates are skipped).
     while inserted < workload.initial_size {
-        let key = rng.random_range(1..=range);
+        let key = if consecutive_duplicates < 32 {
+            sampler.sample(&mut rng)
+        } else {
+            rng.random_range(1..=range)
+        };
         if map.insert(key, key.wrapping_mul(10)) {
             inserted += 1;
+            consecutive_duplicates = 0;
+        } else {
+            consecutive_duplicates += 1;
         }
     }
 }
@@ -133,5 +173,33 @@ mod tests {
     fn update_percent_is_clamped() {
         let w = WorkloadBuilder::new().update_percent(150).build();
         assert_eq!(w.update_percent, 100);
+    }
+
+    #[test]
+    fn default_distribution_is_uniform() {
+        let w = WorkloadBuilder::new().build();
+        assert_eq!(w.dist, KeyDist::Uniform);
+    }
+
+    #[test]
+    fn populate_reaches_initial_size_under_skew() {
+        // Zipfian draws revisit hot keys; the uniform fallback must still
+        // fill the structure to exactly N.
+        for dist in [
+            KeyDist::Zipfian { theta: 0.99 },
+            KeyDist::Hotspot { hot_fraction: 0.05, hot_prob: 0.95 },
+        ] {
+            let w = WorkloadBuilder::new().initial_size(300).key_dist(dist).build();
+            let map: Arc<dyn ConcurrentMap> = Arc::new(ClhtLb::with_capacity(1024));
+            populate(&map, &w, 21);
+            assert_eq!(map.size(), 300, "{dist}");
+        }
+    }
+
+    #[test]
+    fn builder_zipfian_shorthand_sets_the_distribution() {
+        let w = WorkloadBuilder::new().zipfian(0.99).build();
+        assert_eq!(w.dist, KeyDist::Zipfian { theta: 0.99 });
+        assert!(w.key_sampler().range() == w.key_range());
     }
 }

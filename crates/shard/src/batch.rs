@@ -1,0 +1,216 @@
+//! Batched operations: group keys by shard, then dispatch shard by shard.
+//!
+//! A serving front-end rarely asks for one key at a time; it accumulates a
+//! request batch and wants all answers. Dispatching a batch key-by-key
+//! ping-pongs between shards (a router computation plus a cold structure
+//! per key). Grouping first means each shard is visited once with all of its
+//! keys — the shard's top-level cache lines (bucket array, list head, lock
+//! words) are touched while still warm, and the per-visit routing cost is
+//! amortized over the group.
+//!
+//! Batched operations are **not** atomic across keys: each key's operation
+//! linearizes individually in its shard (the same guarantee a loop of
+//! single-key calls gives, minus the cache misses). Results are returned in
+//! the caller's input order regardless of the dispatch order.
+
+use ascylib::api::ConcurrentMap;
+
+use crate::map::ShardedMap;
+
+/// A reusable per-shard grouping of `(input position, payload)` pairs.
+///
+/// Grouping is a counting sort by shard index: one routing pass to count,
+/// one pass to place. Both passes are O(batch); no per-shard `Vec`s are
+/// allocated.
+struct Grouped<T> {
+    /// `(original index, payload)` sorted by shard.
+    slots: Vec<(usize, T)>,
+    /// `bounds[s]..bounds[s + 1]` is shard `s`'s slice of `slots`.
+    bounds: Vec<usize>,
+}
+
+fn group_by_shard<M: ConcurrentMap, T: Copy>(
+    map: &ShardedMap<M>,
+    items: &[T],
+    key_of: impl Fn(&T) -> u64,
+) -> Grouped<T> {
+    let shards = map.shard_count();
+    let mut counts = vec![0usize; shards + 1];
+    for item in items {
+        counts[map.shard_of(key_of(item)) + 1] += 1;
+    }
+    for s in 0..shards {
+        counts[s + 1] += counts[s];
+    }
+    let bounds = counts.clone();
+    // Place each item at its shard's cursor; every slot is written exactly
+    // once, so the placeholder (item 0) never survives.
+    let mut slots: Vec<(usize, T)> = vec![(0, items[0]); items.len()];
+    let mut cursors = counts;
+    for (i, item) in items.iter().enumerate() {
+        let s = map.shard_of(key_of(item));
+        slots[cursors[s]] = (i, *item);
+        cursors[s] += 1;
+    }
+    Grouped { slots, bounds }
+}
+
+impl<M: ConcurrentMap> ShardedMap<M> {
+    /// The shared group → dispatch → scatter loop behind every `multi_*`
+    /// operation: visit each shard once with its slice of the batch, apply
+    /// `op` per item, scatter results back to input positions, and record
+    /// one `(attempts, successes)` stats batch per shard.
+    fn dispatch<T: Copy, R: Clone + Default>(
+        &self,
+        items: &[T],
+        key_of: impl Fn(&T) -> u64,
+        op: impl Fn(&M, T) -> R,
+        succeeded: impl Fn(&R) -> bool,
+        record: impl Fn(&crate::stats::ShardStats, u64, u64),
+    ) -> Vec<R> {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let grouped = group_by_shard(self, items, key_of);
+        let mut results = vec![R::default(); items.len()];
+        for s in 0..self.shard_count() {
+            let shard = self.shard(s);
+            let slice = &grouped.slots[grouped.bounds[s]..grouped.bounds[s + 1]];
+            let mut ok = 0u64;
+            for &(pos, item) in slice {
+                let outcome = op(shard, item);
+                if succeeded(&outcome) {
+                    ok += 1;
+                }
+                results[pos] = outcome;
+            }
+            record(self.stats_of(s), slice.len() as u64, ok);
+        }
+        results
+    }
+
+    /// Looks up every key, visiting each shard once; results are in input
+    /// order (`result[i]` answers `keys[i]`), duplicates included.
+    pub fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.dispatch(
+            keys,
+            |&k| k,
+            |shard, k| shard.search(k),
+            Option::is_some,
+            |stats, n, ok| stats.record_searches(n, ok),
+        )
+    }
+
+    /// Inserts every `(key, value)` pair, visiting each shard once;
+    /// `result[i]` tells whether `entries[i]` was newly inserted. A duplicate
+    /// key inside one batch inserts once (the first occurrence in input
+    /// order within its shard wins, matching a loop of single inserts).
+    pub fn multi_insert(&self, entries: &[(u64, u64)]) -> Vec<bool> {
+        self.dispatch(
+            entries,
+            |&(k, _)| k,
+            |shard, (k, v)| shard.insert(k, v),
+            |&ok| ok,
+            |stats, n, ok| stats.record_inserts(n, ok),
+        )
+    }
+
+    /// Removes every key, visiting each shard once; `result[i]` is the value
+    /// removed for `keys[i]` (a duplicate key removes once).
+    pub fn multi_remove(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.dispatch(
+            keys,
+            |&k| k,
+            |shard, k| shard.remove(k),
+            Option::is_some,
+            |stats, n, ok| stats.record_removes(n, ok),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascylib::hashtable::ClhtLb;
+    use ascylib::list::HarrisList;
+
+    fn sharded() -> ShardedMap<ClhtLb> {
+        ShardedMap::new(6, |_| ClhtLb::with_capacity(64))
+    }
+
+    #[test]
+    fn multi_get_preserves_input_order() {
+        let map = sharded();
+        for k in (2..=100u64).step_by(2) {
+            map.insert(k, k * 3);
+        }
+        let keys: Vec<u64> = (1..=100).rev().collect();
+        let got = map.multi_get(&keys);
+        assert_eq!(got.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            let expect = if k % 2 == 0 { Some(k * 3) } else { None };
+            assert_eq!(got[i], expect, "key {k} at position {i}");
+        }
+    }
+
+    #[test]
+    fn multi_insert_reports_per_entry_outcomes() {
+        let map = sharded();
+        map.insert(5, 50);
+        let outcomes = map.multi_insert(&[(4, 40), (5, 51), (6, 60), (4, 41)]);
+        assert_eq!(outcomes, vec![true, false, true, false]);
+        assert_eq!(map.search(4), Some(40), "first duplicate in input order wins");
+        assert_eq!(map.search(5), Some(50));
+    }
+
+    #[test]
+    fn multi_remove_matches_singular_semantics() {
+        let map = sharded();
+        for k in 1..=20u64 {
+            map.insert(k, k + 100);
+        }
+        let removed = map.multi_remove(&[3, 3, 21, 7]);
+        assert_eq!(removed, vec![Some(103), None, None, Some(107)]);
+        assert_eq!(map.size(), 18);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let map = sharded();
+        assert!(map.multi_get(&[]).is_empty());
+        assert!(map.multi_insert(&[]).is_empty());
+        assert!(map.multi_remove(&[]).is_empty());
+        assert_eq!(map.total_stats().operations(), 0);
+    }
+
+    #[test]
+    fn batches_update_shard_stats() {
+        let map = sharded();
+        map.multi_insert(&[(1, 1), (2, 2), (3, 3)]);
+        map.multi_get(&[1, 2, 3, 4]);
+        let total = map.total_stats();
+        assert_eq!(total.inserts, 3);
+        assert_eq!(total.inserts_ok, 3);
+        assert_eq!(total.searches, 4);
+        assert_eq!(total.hits, 3);
+    }
+
+    #[test]
+    fn batched_and_singular_agree_on_list_shards() {
+        let batched = ShardedMap::new(4, |_| HarrisList::new());
+        let singular = ShardedMap::new(4, |_| HarrisList::new());
+        let entries: Vec<(u64, u64)> = (1..=64u64).map(|k| (k * 3 % 97 + 1, k)).collect();
+        let b = batched.multi_insert(&entries);
+        let s: Vec<bool> = entries.iter().map(|&(k, v)| singular.insert(k, v)).collect();
+        assert_eq!(b, s);
+        let keys: Vec<u64> = (1..=100u64).collect();
+        assert_eq!(
+            batched.multi_get(&keys),
+            keys.iter().map(|&k| singular.search(k)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            batched.multi_remove(&keys),
+            keys.iter().map(|&k| singular.remove(k)).collect::<Vec<_>>()
+        );
+    }
+}

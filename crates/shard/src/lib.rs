@@ -1,0 +1,49 @@
+//! # ascylib-shard — a sharded serving layer over the ASCYLIB structures
+//!
+//! The ASCY paper shows how to make *one* concurrent search data structure
+//! scale. A serving system layered on top faces the next bottleneck: a
+//! single instance, however scalable, is one coherence domain, one memory
+//! footprint, one hot list/tree, and under skewed production traffic a few
+//! popular keys dominate every core's cache traffic. The fix is the same
+//! asynchronized-concurrency lesson applied one level up — partition the
+//! work so no coordination point serializes it:
+//!
+//! * [`ShardedMap`] routes every key to one of `N` independent
+//!   [`ConcurrentMap`](ascylib::api::ConcurrentMap) instances (any of the
+//!   ASCYLIB structures, mixed freely via the registry). Per-key operations
+//!   stay linearizable because a key always lands on the same linearizable
+//!   shard; there is no cross-shard synchronization at all.
+//! * [`router::ShardRouter`] is the stateless hash router (Fibonacci
+//!   mixing + Lemire reduction, any shard count).
+//! * [`stats::ShardStats`] gives each shard a cache-line-padded block of
+//!   traffic counters, so observing a hot shard does not create the false
+//!   sharing the layer exists to remove.
+//! * The batched API ([`ShardedMap::multi_get`],
+//!   [`ShardedMap::multi_insert`], [`ShardedMap::multi_remove`]) groups a
+//!   request batch by shard before dispatch and returns results in input
+//!   order.
+//!
+//! Pairs with `ascylib_harness::dist::KeyDist` to benchmark any structure
+//! under uniform, Zipfian, or hotspot traffic (`fig10_sharding` in the bench
+//! crate, `examples/sharded_cache.rs` for an end-to-end demo).
+//!
+//! ```
+//! use ascylib::api::ConcurrentMap;
+//! use ascylib::hashtable::ClhtLb;
+//! use ascylib_shard::ShardedMap;
+//!
+//! let map = ShardedMap::new(8, |_| ClhtLb::with_capacity(128));
+//! map.insert(7, 700);
+//! assert_eq!(map.multi_get(&[7, 8]), vec![Some(700), None]);
+//! assert_eq!(map.size(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batch;
+mod map;
+pub mod router;
+pub mod stats;
+
+pub use map::ShardedMap;
+pub use stats::ShardStatsSnapshot;

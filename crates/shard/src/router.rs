@@ -1,0 +1,96 @@
+//! Key → shard routing.
+//!
+//! Routing must be cheap (it sits in front of every operation), stable (a
+//! key always lands on the same shard — this is what makes the sharded map
+//! linearizable per key), and well-mixed (the benchmark keyspace is dense
+//! integers `1..=2N`, so the identity hash would stripe adjacent keys into
+//! the same shard and a Zipfian head of consecutive keys into one hot shard).
+
+/// Stateless hash router mapping `u64` keys onto `[0, shards)`.
+///
+/// The hash is a Fibonacci multiply followed by an xor-fold of the high bits
+/// (the multiplier is ⌊2⁶⁴/φ⌋, which distributes consecutive integers
+/// maximally far apart), and the index is taken with Lemire's multiply-shift
+/// reduction so any shard count works, not just powers of two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// Creates a router over `shards` shards (must be at least 1).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a sharded map needs at least one shard");
+        ShardRouter { shards }
+    }
+
+    /// Number of shards routed over.
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard index for a key, in `[0, shards)`.
+    #[inline]
+    pub fn route(&self, key: u64) -> usize {
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let h = h ^ (h >> 32);
+        ((h as u128 * self.shards as u128) >> 64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_are_stable_and_in_range() {
+        for shards in [1usize, 2, 3, 7, 8, 16, 100] {
+            let r = ShardRouter::new(shards);
+            for key in 1..5_000u64 {
+                let idx = r.route(key);
+                assert!(idx < shards);
+                assert_eq!(idx, r.route(key), "routing must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_everything() {
+        let r = ShardRouter::new(1);
+        assert!((1..1000u64).all(|k| r.route(k) == 0));
+    }
+
+    #[test]
+    fn dense_keyspaces_spread_roughly_evenly() {
+        let shards = 16;
+        let r = ShardRouter::new(shards);
+        let mut counts = vec![0usize; shards];
+        let keys = 16_000u64;
+        for key in 1..=keys {
+            counts[r.route(key)] += 1;
+        }
+        let expect = keys as usize / shards;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expect / 2 && c < expect * 2,
+                "shard {i} badly balanced: {c} of {keys} (expected ~{expect})"
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_keys_do_not_stripe_into_one_shard() {
+        // The Zipfian head is the first few consecutive keys; they must not
+        // all land on one shard.
+        let r = ShardRouter::new(8);
+        let head: std::collections::BTreeSet<usize> = (1..=8u64).map(|k| r.route(k)).collect();
+        assert!(head.len() >= 4, "keys 1..=8 only hit shards {head:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardRouter::new(0);
+    }
+}

@@ -1,0 +1,166 @@
+//! A sharded cache front-end serving skewed (Zipfian) traffic.
+//!
+//! Models the serving tier of a production system: requests arrive in
+//! batches of mixed GETs with occasional refills/invalidations, keys follow
+//! the YCSB Zipfian(0.99) popularity curve, and the cache is a
+//! [`ShardedMap`] over independent ASCYLIB structures. Sharded deployments
+//! serve their GET batches through [`ShardedMap::multi_get`], which groups
+//! the batch by shard before dispatch.
+//!
+//! Two comparisons against a single-instance deployment under the identical
+//! request stream show *when* sharding pays:
+//!
+//! * **Harris list shards** — the structure's cost grows with its size, so
+//!   splitting one list of `N` into `S` lists of `N/S` cuts every parse
+//!   phase by ~`S×`. This wins even on a single core.
+//! * **CLHT shards** — the structure is already O(1); sharding splits the
+//!   coherence domain, which pays once multiple cores contend (on a single
+//!   core only the routing overhead is visible).
+//!
+//! The per-shard histogram at the end shows the hash router spreading the
+//! Zipfian head: the per-key load is extremely skewed, the per-shard load is
+//! not.
+//!
+//! Run with: `cargo run --release --example sharded_cache`
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use ascylib::api::ConcurrentMap;
+use ascylib::hashtable::ClhtLb;
+use ascylib::list::HarrisList;
+use ascylib_harness::dist::{KeyDist, KeySampler};
+use ascylib_harness::report::histogram;
+use ascylib_shard::ShardedMap;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SHARDS: usize = 8;
+const BATCH: usize = 16;
+
+/// 95% batched GETs, 5% refill/invalidate pairs, keys ~ zipf(0.99);
+/// `get_batch` is the deployment's way of answering a GET batch. Returns
+/// Mops/s.
+fn drive<M: ConcurrentMap + 'static>(
+    name: &str,
+    map: &Arc<M>,
+    get_batch: &(impl Fn(&M, &[u64]) + Sync),
+    threads: usize,
+    key_range: u64,
+    batches_per_thread: usize,
+) -> f64 {
+    let sampler = KeySampler::new(KeyDist::Zipfian { theta: 0.99 }, key_range);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads as u64 {
+            let map = Arc::clone(map);
+            scope.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xCAC4E ^ ((t + 1) * 0x9E37_79B9));
+                let mut keys = [0u64; BATCH];
+                for _ in 0..batches_per_thread {
+                    for slot in keys.iter_mut() {
+                        *slot = sampler.sample(&mut rng);
+                    }
+                    if rng.random_range(0..100u32) < 95 {
+                        get_batch(&map, &keys);
+                    } else {
+                        for &k in &keys[..BATCH / 2] {
+                            map.insert(k, k ^ 0xDEAD_BEEF);
+                        }
+                        for &k in &keys[BATCH / 2..] {
+                            map.remove(k);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = start.elapsed();
+    let total_ops = (threads * batches_per_thread * BATCH) as f64;
+    let mops = total_ops / elapsed.as_secs_f64() / 1e6;
+    println!("{name:>14}: {mops:>7.2} Mops/s");
+    mops
+}
+
+/// GET batch against a single instance: a plain loop of searches.
+fn serial_gets<M: ConcurrentMap>(map: &M, keys: &[u64]) {
+    for &k in keys {
+        let _ = map.search(k);
+    }
+}
+
+/// GET batch against a sharded deployment: grouped dispatch, answers in
+/// request order.
+fn batched_gets<M: ConcurrentMap>(map: &ShardedMap<M>, keys: &[u64]) {
+    let answers = map.multi_get(keys);
+    debug_assert_eq!(answers.len(), keys.len());
+}
+
+fn warm(map: &dyn ConcurrentMap, items: u64) {
+    for k in 1..=items {
+        map.insert(k, k ^ 0xDEAD_BEEF);
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    println!("Sharded cache demo — zipf(0.99), batches of {BATCH}, {threads} thread(s)\n");
+
+    // Tier 1: Harris-list shards. One list of 2048 vs 8 lists of ~256 —
+    // every GET's traversal shrinks ~8x, so sharding wins on any core count.
+    let list_items = 2_048u64;
+    let list_batches = 2_000usize;
+    println!("memtable tier (lock-free Harris lists, {list_items} resident keys):");
+    let single_list = Arc::new(HarrisList::new());
+    warm(&*single_list, list_items);
+    let single =
+        drive("single list", &single_list, &serial_gets, threads, 2 * list_items, list_batches);
+    let sharded_list = Arc::new(ShardedMap::new(SHARDS, |_| HarrisList::new()));
+    warm(&*sharded_list, list_items);
+    let sharded =
+        drive("sharded x8", &sharded_list, &batched_gets, threads, 2 * list_items, list_batches);
+    println!("{:>14}  {:.2}x\n", "speedup:", sharded / single.max(f64::MIN_POSITIVE));
+
+    // Tier 2: CLHT shards. O(1) either way — sharding here buys a split
+    // coherence domain (visible with >1 core) and per-shard observability.
+    let ht_items = 16_384u64;
+    let ht_batches = 8_000usize;
+    println!("cache tier (CLHT, {ht_items} resident keys):");
+    let single_ht = Arc::new(ClhtLb::with_capacity(2 * ht_items as usize));
+    warm(&*single_ht, ht_items);
+    let single =
+        drive("single clht", &single_ht, &serial_gets, threads, 2 * ht_items, ht_batches);
+    let sharded_ht = Arc::new(ShardedMap::new(SHARDS, |_| {
+        ClhtLb::with_capacity(2 * ht_items as usize / SHARDS)
+    }));
+    warm(&*sharded_ht, ht_items);
+    let sharded =
+        drive("sharded x8", &sharded_ht, &batched_gets, threads, 2 * ht_items, ht_batches);
+    println!(
+        "{:>14}  {:.2}x  (routing overhead on 1 core; the split coherence domain pays with more)\n",
+        "speedup:",
+        sharded / single.max(f64::MIN_POSITIVE)
+    );
+
+    // Where did the skewed traffic land? The head of the Zipfian (keys 1, 2,
+    // 3, ...) is hashed apart, so per-shard load stays balanced even though
+    // per-key load is extremely skewed.
+    let entries: Vec<(String, f64)> = sharded_ht
+        .shard_stats()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            (format!("shard-{i} (hit {:>4.1}%)", 100.0 * s.hit_rate()), s.operations() as f64)
+        })
+        .collect();
+    print!("{}", histogram("requests per shard under zipf(0.99)", &entries, 40));
+
+    let total = sharded_ht.total_stats();
+    println!(
+        "\ntotals: {} ops, {} resident entries across {} shards (sizes {:?})",
+        total.operations(),
+        sharded_ht.size(),
+        sharded_ht.shard_count(),
+        sharded_ht.shard_sizes(),
+    );
+}

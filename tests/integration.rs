@@ -1,6 +1,6 @@
 //! Workspace integration tests: exercise every registered algorithm through
-//! the public API, across crates (core + harness), including property-based
-//! tests with proptest.
+//! the public API, across crates (core + harness + shard), including
+//! property-based tests with proptest.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -9,7 +9,8 @@ use proptest::prelude::*;
 
 use ascylib::api::{ConcurrentMap, StructureKind};
 use ascylib::registry;
-use ascylib_harness::{run_benchmark, WorkloadBuilder};
+use ascylib_harness::{run_benchmark, KeyDist, WorkloadBuilder};
+use ascylib_shard::ShardedMap;
 
 /// Every registered algorithm passes the shared concurrent test battery.
 #[test]
@@ -79,6 +80,51 @@ fn harness_runs_each_structure_family() {
         let delta = r.successful_inserts as i64 - r.successful_removes as i64;
         assert_eq!(r.final_size as i64, size as i64 + delta, "{name}: size bookkeeping");
     }
+}
+
+/// A sharded deployment of a registry algorithm runs through the full
+/// harness measurement loop under skewed traffic, with intact size
+/// bookkeeping (the sharded `size` composes the shard views).
+#[test]
+fn harness_drives_sharded_maps_under_skew() {
+    for dist in [
+        KeyDist::Uniform,
+        KeyDist::Zipfian { theta: 0.99 },
+        KeyDist::Hotspot { hot_fraction: 0.1, hot_prob: 0.9 },
+    ] {
+        let entry = registry::by_name("ht-clht-lb").unwrap();
+        let map = ShardedMap::from_registry(&entry, 4, 1024);
+        let w = WorkloadBuilder::new()
+            .initial_size(512)
+            .update_percent(20)
+            .threads(2)
+            .duration_ms(40)
+            .key_dist(dist)
+            .build();
+        let r = run_benchmark(Arc::new(map), w);
+        assert!(r.total_ops > 0, "{dist}");
+        let delta = r.successful_inserts as i64 - r.successful_removes as i64;
+        assert_eq!(r.final_size as i64, 512 + delta, "{dist}: size bookkeeping");
+    }
+}
+
+/// Zipfian traffic concentrates operations on the popular keys: with θ=0.99
+/// over a small range, updates hit the head constantly, so the op mix must
+/// see far more successful updates per key than uniform traffic would.
+#[test]
+fn skewed_traffic_actually_skews_the_op_stream() {
+    let sampler = ascylib_harness::KeySampler::new(KeyDist::Zipfian { theta: 0.99 }, 1_000);
+    use rand::{rngs::SmallRng, SeedableRng};
+    let mut rng = SmallRng::seed_from_u64(9);
+    let mut head = 0usize;
+    let draws = 20_000;
+    for _ in 0..draws {
+        if sampler.sample(&mut rng) <= 10 {
+            head += 1;
+        }
+    }
+    // Uniform would put ~1% on the 10-key head; zipf(0.99) puts ~40%.
+    assert!(head as f64 / draws as f64 > 0.25, "head fraction {head}/{draws}");
 }
 
 /// The registry covers all four structures of Table 1.

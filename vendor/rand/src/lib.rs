@@ -66,9 +66,57 @@ fn reduce(word: u64, span: u64) -> u64 {
     ((word as u128 * span as u128) >> 64) as u64
 }
 
+/// Types with a canonical "standard" uniform distribution, samplable through
+/// [`Rng::random`] (the stand-in for the real crate's `StandardUniform`
+/// distribution): floats are uniform in `[0, 1)`, integers over their full
+/// domain, `bool` is a fair coin.
+pub trait StandardSample: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` using the top 53 bits (the full mantissa width),
+    /// so every value is an exact multiple of 2⁻⁵³ and 1.0 is unreachable.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` using the top 24 bits (the `f32` mantissa width).
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
 /// User-facing random-value methods, blanket-implemented for every
 /// [`RngCore`].
 pub trait Rng: RngCore {
+    /// Returns a value from the type's standard distribution
+    /// (`rng.random::<f64>()` is uniform in `[0, 1)`).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
     /// Returns a value uniformly sampled from the given range.
     fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
         range.sample_from(self)
@@ -155,6 +203,42 @@ mod tests {
         );
         assert_eq!(x, y);
         assert_ne!(x, z);
+    }
+
+    #[test]
+    fn f64_samples_are_in_unit_interval_and_deterministic() {
+        let mut a = SmallRng::seed_from_u64(0xF00D);
+        let mut b = SmallRng::seed_from_u64(0xF00D);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let x: f64 = a.random();
+            assert!((0.0..1.0).contains(&x), "f64 sample out of [0,1): {x}");
+            assert_eq!(x, b.random::<f64>(), "same seed must give same stream");
+            sum += x;
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "f64 mean far from 0.5: {mean}");
+    }
+
+    #[test]
+    fn f32_samples_are_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x), "f32 sample out of [0,1): {x}");
+        }
+    }
+
+    #[test]
+    fn standard_bool_hits_both_values() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut trues = 0;
+        for _ in 0..1_000 {
+            if rng.random::<bool>() {
+                trues += 1;
+            }
+        }
+        assert!((300..700).contains(&trues), "bool heavily biased: {trues}/1000");
     }
 
     #[test]
