@@ -1,0 +1,90 @@
+//! Figure 11 (extension): range-scan workloads over the ordered structures.
+//!
+//! The paper's figures stop at the three point operations; this bench opens
+//! the YCSB-E workload family (95% short range scans, 5% inserts) that the
+//! `OrderedMap` layer makes expressible, and replays it under uniform and
+//! Zipfian(0.99) key draws:
+//!
+//! * **Harris list** — every scan start is an O(n) walk to the cursor, so
+//!   scans amortize poorly; the list is the baseline the log-structures
+//!   should beat.
+//! * **Fraser skip list** — O(log n) positioning plus a level-0 walk: the
+//!   structure RocksDB-style memtables actually use for this mix.
+//! * **BST-TK** — O(log n) positioning plus an in-order leaf walk with
+//!   subtree pruning.
+//!
+//! A final panel prints the scan-length distribution and scan-latency
+//! percentiles for the skip list, feeding the report layer's histogram
+//! emitters.
+
+use std::sync::Arc;
+
+use ascylib::bst::BstTk;
+use ascylib::list::HarrisList;
+use ascylib::ordered::OrderedMap;
+use ascylib::skiplist::FraserSkipList;
+use ascylib_bench::{run_ordered, scan_workload};
+use ascylib_harness::report::{distribution_line, f2, scan_length_histogram, Table};
+use ascylib_harness::{max_threads, KeyDist, OpMix};
+
+fn dists() -> Vec<KeyDist> {
+    vec![KeyDist::Uniform, KeyDist::Zipfian { theta: 0.99 }]
+}
+
+/// One bench configuration: display name, initial size, fresh-map factory.
+type Config = (&'static str, usize, Box<dyn Fn() -> Arc<dyn OrderedMap>>);
+
+fn main() {
+    let threads = max_threads();
+    let mix = OpMix::ycsb_e();
+    let mut table = Table::new(
+        &format!(
+            "Figure 11 — YCSB-E (95% scan/5% insert, max {} keys), {threads} threads",
+            mix.scan_len
+        ),
+        &["structure", "dist", "Mops/s", "scans/s", "keys/scan", "scan p50 ns", "scan p99 ns"],
+    );
+
+    // Lists use the paper's small-N setting (every scan start walks the
+    // chain); the log-depth structures use the 4096-element default.
+    let configs: Vec<Config> = vec![
+        ("ll-harris", 512, Box::new(|| Arc::new(HarrisList::new()))),
+        ("sl-fraser", 4096, Box::new(|| Arc::new(FraserSkipList::new()))),
+        ("bst-tk", 4096, Box::new(|| Arc::new(BstTk::new()))),
+    ];
+
+    let mut fraser_sample = None;
+    for (name, size, make) in &configs {
+        for dist in dists() {
+            let w = scan_workload(*size, mix, dist, threads);
+            let r = run_ordered(make(), w);
+            table.row(vec![
+                (*name).into(),
+                dist.to_string(),
+                f2(r.mops),
+                f2(r.scan_throughput()),
+                f2(r.keys_per_scan()),
+                r.scan_latency.p50.to_string(),
+                r.scan_latency.p99.to_string(),
+            ]);
+            if *name == "sl-fraser" && dist == KeyDist::Uniform {
+                fraser_sample = Some(r);
+            }
+        }
+    }
+
+    table.print();
+    let _ = table.write_csv("fig11_scans");
+
+    // Scan-length distribution + latency percentiles for one configuration:
+    // the report layer prints the keys-returned histogram next to the
+    // latency stats.
+    if let Some(r) = fraser_sample {
+        print!(
+            "{}",
+            scan_length_histogram("fraser / uniform: keys returned per scan", &r.scan_length_samples, 40)
+        );
+        print!("{}", distribution_line("scan length", "keys", &r.scan_length));
+        print!("{}", distribution_line("scan latency", "ns", &r.scan_latency));
+    }
+}

@@ -4,6 +4,10 @@
 //! operations: `search`, `insert` and `remove`. Updates have two phases: a
 //! *parse* phase that locates the update point, and a *modification* phase
 //! that applies the change.
+//!
+//! This module is the root of the trait hierarchy: [`ConcurrentMap`] is the
+//! paper's point-operation interface, and the key-sorted structures extend
+//! it with range scans via [`crate::ordered::OrderedMap`].
 
 /// Smallest key usable by callers. Key `0` is reserved for head/empty-slot
 /// sentinels inside the implementations.

@@ -28,6 +28,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::versioned::{Side, TreeLock, TreeLockSnapshot};
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_tree, RangeWalk, TreeNode};
 use crate::stats;
 
 #[repr(C)]
@@ -297,6 +298,33 @@ impl ConcurrentMap for BstTk {
         count
     }
 }
+
+impl TreeNode for Node {
+    fn tree_key(&self) -> u64 {
+        self.key
+    }
+
+    fn tree_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn tree_children(&self) -> (*mut Self, *mut Self) {
+        (self.left.load(Ordering::Acquire), self.right.load(Ordering::Acquire))
+    }
+}
+
+impl RangeWalk for BstTk {
+    /// Lock-free in-order leaf walk (ASCY1 discipline, like `search`): the
+    /// versioned edge locks are ignored entirely; reachable leaves are
+    /// live.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every traversed node.
+        unsafe { walk_tree(self.root, lo, visit) }
+    }
+}
+
+impl_ordered_map!(BstTk);
 
 impl Default for BstTk {
     fn default() -> Self {

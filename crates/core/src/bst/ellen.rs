@@ -17,6 +17,7 @@ use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
 use crate::marked::MarkedPtr;
+use crate::ordered::{impl_ordered_map, walk_tree, RangeWalk, TreeNode};
 use crate::stats;
 
 /// `update`-word states.
@@ -431,6 +432,33 @@ impl ConcurrentMap for EllenBst {
         count
     }
 }
+
+impl TreeNode for Node {
+    fn tree_key(&self) -> u64 {
+        self.key
+    }
+
+    fn tree_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn tree_children(&self) -> (*mut Self, *mut Self) {
+        (self.left.load(Ordering::Acquire), self.right.load(Ordering::Acquire))
+    }
+}
+
+impl RangeWalk for EllenBst {
+    /// In-order leaf walk that, like `search`, ignores the `update` words
+    /// entirely: a leaf is present until the deletion's child-CAS unlinks
+    /// it, which is within the scan-semantics tolerance.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every traversed node.
+        unsafe { walk_tree(self.root, lo, visit) }
+    }
+}
+
+impl_ordered_map!(EllenBst);
 
 impl Default for EllenBst {
     fn default() -> Self {

@@ -47,6 +47,15 @@ mod tests {
     }
 
     #[test]
+    fn all_bsts_ordered_model_check() {
+        testing::ordered_model_check(BstTk::new, 1_500);
+        testing::ordered_model_check(EllenBst::new, 1_500);
+        testing::ordered_model_check(NatarajanBst::new, 1_500);
+        testing::ordered_model_check(AsyncBstInternal::new, 1_500);
+        testing::ordered_model_check(AsyncBstExternal::new, 1_500);
+    }
+
+    #[test]
     fn async_internal_sequential_suite() {
         testing::sequential_suite(AsyncBstInternal::new);
         testing::model_check(AsyncBstInternal::new, 3_000);

@@ -22,6 +22,7 @@ use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
 use crate::marked::{tag, MarkedPtr};
+use crate::ordered::{impl_ordered_map, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -393,6 +394,67 @@ impl ConcurrentMap for NatarajanBst {
         count
     }
 }
+
+impl RangeWalk for NatarajanBst {
+    /// In-order leaf walk with the same liveness rule as `size`: a leaf
+    /// hanging off a *flagged* edge was logically deleted at flag time, so
+    /// its subtree is pruned. Store-free, like the point search; the shared
+    /// tree walker is not reused here because liveness lives on the edges,
+    /// not the nodes.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        let mut traversed = 0u64;
+        let mut pending: Vec<*mut Node> = Vec::new();
+        let mut curr = self.root;
+        // SAFETY: the guard protects every traversed node.
+        unsafe {
+            'walk: loop {
+                // Descend towards the leftmost in-range leaf, stacking the
+                // right subtrees; skip subtrees behind flagged leaf edges.
+                loop {
+                    traversed += 1;
+                    if Self::is_leaf(curr) {
+                        let key = (*curr).key;
+                        if key >= lo
+                            && key != 0
+                            && key != u64::MAX
+                            && !visit(key, (*curr).value.load(Ordering::Acquire))
+                        {
+                            break 'walk;
+                        }
+                        break;
+                    }
+                    let (left, lt) = (*curr).left.load(Ordering::Acquire);
+                    let (right, rt) = (*curr).right.load(Ordering::Acquire);
+                    let left_dead = lt & FLAG != 0 && Self::is_leaf(left);
+                    let right_dead = rt & FLAG != 0 && Self::is_leaf(right);
+                    if lo < (*curr).key {
+                        if !right_dead {
+                            pending.push(right);
+                        }
+                        if left_dead {
+                            break;
+                        }
+                        curr = left;
+                    } else {
+                        // The whole left subtree is < curr.key <= lo.
+                        if right_dead {
+                            break;
+                        }
+                        curr = right;
+                    }
+                }
+                match pending.pop() {
+                    Some(next) => curr = next,
+                    None => break,
+                }
+            }
+        }
+        stats::record_traversal(traversed);
+    }
+}
+
+impl_ordered_map!(NatarajanBst);
 
 impl Default for NatarajanBst {
     fn default() -> Self {

@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_tree, RangeWalk, TreeNode};
 use crate::stats;
 
 // ---------------------------------------------------------------------------
@@ -213,6 +214,46 @@ impl ConcurrentMap for AsyncBstInternal {
         count
     }
 }
+
+impl RangeWalk for AsyncBstInternal {
+    /// Classic pruned in-order traversal; data lives in every node, so the
+    /// shared external-tree walker does not apply.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let mut traversed = 0u64;
+        let mut pending: Vec<*mut INode> = Vec::new();
+        // SAFETY: nodes are never reclaimed while the structure is alive
+        // (GC disabled for asynchronized baselines).
+        unsafe {
+            let mut curr = (*self.root).right.load(Ordering::Relaxed);
+            'walk: loop {
+                // Stack every in-range node on the left spine; a node with
+                // key < lo prunes itself and its whole left subtree.
+                while !curr.is_null() {
+                    traversed += 1;
+                    if lo <= (*curr).key.load(Ordering::Relaxed) {
+                        pending.push(curr);
+                        curr = (*curr).left.load(Ordering::Relaxed);
+                    } else {
+                        curr = (*curr).right.load(Ordering::Relaxed);
+                    }
+                }
+                match pending.pop() {
+                    Some(node) => {
+                        let key = (*node).key.load(Ordering::Relaxed);
+                        if key >= lo && !visit(key, (*node).value.load(Ordering::Relaxed)) {
+                            break 'walk;
+                        }
+                        curr = (*node).right.load(Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
+        }
+        stats::record_traversal(traversed);
+    }
+}
+
+impl_ordered_map!(AsyncBstInternal);
 
 impl Default for AsyncBstInternal {
     fn default() -> Self {
@@ -429,6 +470,30 @@ impl ConcurrentMap for AsyncBstExternal {
         count
     }
 }
+
+impl TreeNode for ENode {
+    fn tree_key(&self) -> u64 {
+        self.key
+    }
+
+    fn tree_value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn tree_children(&self) -> (*mut Self, *mut Self) {
+        (self.left.load(Ordering::Relaxed), self.right.load(Ordering::Relaxed))
+    }
+}
+
+impl RangeWalk for AsyncBstExternal {
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        // SAFETY: nodes are never reclaimed while the structure is alive
+        // (GC disabled for asynchronized baselines).
+        unsafe { walk_tree(self.root, lo, visit) }
+    }
+}
+
+impl_ordered_map!(AsyncBstExternal);
 
 impl Default for AsyncBstExternal {
     fn default() -> Self {

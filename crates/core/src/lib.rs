@@ -36,7 +36,10 @@
 //!
 //! All structures implement the [`ConcurrentMap`] trait:
 //! a set of `u64 → u64` key/value pairs with `search`/`insert`/`remove`, the
-//! exact interface of Figure 1 in the paper.
+//! exact interface of Figure 1 in the paper. The key-sorted families (lists,
+//! skip lists, BSTs) additionally implement [`OrderedMap`] —
+//! `range_search`/`scan` range queries with documented non-snapshot
+//! semantics (see [`ordered`]).
 //!
 //! # Quick start
 //!
@@ -70,6 +73,7 @@ pub mod bst;
 pub mod hashtable;
 pub mod list;
 pub mod marked;
+pub mod ordered;
 pub mod registry;
 pub mod skiplist;
 pub mod stats;
@@ -77,3 +81,4 @@ pub mod stats;
 pub mod testing;
 
 pub use api::{ConcurrentMap, KEY_MAX, KEY_MIN};
+pub use ordered::OrderedMap;

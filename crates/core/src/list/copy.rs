@@ -19,6 +19,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::TicketLock;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, RangeWalk};
 use crate::stats;
 
 /// Array snapshot layout: `[len, k0, v0, k1, v1, ...]`, all `u64`, allocated
@@ -257,6 +258,33 @@ impl CopyList {
         }
     }
 }
+
+impl RangeWalk for CopyList {
+    /// Walks one published snapshot: binary-search to the first key `>= lo`,
+    /// then emit the (already sorted, already unique) tail. The snapshot is
+    /// immutable, so this is the one backing whose scans *are* atomic.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        let snap = self.current.load(Ordering::Acquire);
+        // SAFETY: the guard keeps the snapshot alive even if an update
+        // replaces and retires it concurrently; indices stay below len.
+        unsafe {
+            let len = Snapshot::len(snap);
+            let start = match Snapshot::position(snap, lo) {
+                Ok(i) | Err(i) => i,
+            };
+            stats::record_traversal((len - start) as u64);
+            for i in start..len {
+                let (k, v) = Snapshot::pair(snap, i);
+                if !visit(k, v) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+impl_ordered_map!(CopyList);
 
 impl Default for CopyList {
     fn default() -> Self {

@@ -13,6 +13,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::TicketLock;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -181,6 +182,40 @@ impl ConcurrentMap for CouplingList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        // Removal unlinks immediately (no logical-delete flag), so every
+        // reachable node is present.
+        true
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+impl RangeWalk for CouplingList {
+    /// Lock-free diagnostic-style traversal (same discipline as `size`): a
+    /// removed node we happen to stand on still points at its old successor
+    /// and is kept alive by the guard, so the walk always finds its way
+    /// forward without taking the hand-over-hand locks.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every node reached through `next`.
+        unsafe { walk_chain(self.head, lo, visit) }
+    }
+}
+
+impl_ordered_map!(CouplingList);
 
 impl Default for CouplingList {
     fn default() -> Self {

@@ -14,6 +14,7 @@ use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
 use crate::marked::{tag, MarkedPtr};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -279,6 +280,37 @@ impl ConcurrentMap for HarrisList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        // A marked next pointer is Harris's logical deletion.
+        self.next.load(Ordering::Acquire).1 == tag::CLEAN
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next.load(Ordering::Acquire).0
+    }
+}
+
+impl RangeWalk for HarrisList {
+    /// ASCY1-style wait-free range traversal: no stores, no retries; marked
+    /// nodes are skipped (not cleaned up).
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every node reached through `next`.
+        unsafe { walk_chain(self.head, lo, visit) }
+    }
+}
+
+impl_ordered_map!(HarrisList);
 
 impl Default for HarrisList {
     fn default() -> Self {

@@ -16,6 +16,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::TtasLock;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -239,6 +240,36 @@ impl ConcurrentMap for LazyList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        !self.marked.load(Ordering::Acquire)
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+impl RangeWalk for LazyList {
+    /// Same ASCY1 discipline as `find`: traverse without stores, skipping
+    /// marked nodes.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every node reached through `next`.
+        unsafe { walk_chain(self.head, lo, visit) }
+    }
+}
+
+impl_ordered_map!(LazyList);
 
 impl Default for LazyList {
     fn default() -> Self {

@@ -83,6 +83,20 @@ mod tests {
     }
 
     #[test]
+    fn all_lists_ordered_model_check() {
+        // Every list is an OrderedMap: range operations must agree with the
+        // BTreeMap model (single-threaded differential check).
+        testing::ordered_model_check(LazyList::new, 1_500);
+        testing::ordered_model_check(PughList::new, 1_500);
+        testing::ordered_model_check(CouplingList::new, 1_500);
+        testing::ordered_model_check(CopyList::new, 1_500);
+        testing::ordered_model_check(HarrisList::new, 1_500);
+        testing::ordered_model_check(MichaelList::new, 1_500);
+        testing::ordered_model_check(HarrisOptList::new, 1_500);
+        testing::ordered_model_check(AsyncList::new, 1_500);
+    }
+
+    #[test]
     fn async_list_sequential_only_suite() {
         // The asynchronized list is only sequentially correct; run the
         // sequential battery.

@@ -18,6 +18,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::TtasLock;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -239,6 +240,38 @@ impl ConcurrentMap for PughList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        !self.removed.load(Ordering::Acquire)
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next.load(Ordering::Acquire)
+    }
+}
+
+impl RangeWalk for PughList {
+    /// Optimistic store-free traversal. A removed node's reversed `next`
+    /// pointer sends the walk *backwards* to its predecessor; the shared
+    /// scan wrappers filter the resulting re-visits, so the emitted
+    /// sequence stays strictly ascending.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every node reached through `next`.
+        unsafe { walk_chain(self.head, lo, visit) }
+    }
+}
+
+impl_ordered_map!(PughList);
 
 impl Default for PughList {
     fn default() -> Self {

@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::stats;
 
 #[repr(C)]
@@ -157,6 +158,36 @@ impl ConcurrentMap for AsyncList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        // Relaxed everywhere: the asynchronized baseline deliberately
+        // performs exactly a sequential list's accesses.
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn chain_live(&self) -> bool {
+        true
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl RangeWalk for AsyncList {
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        // SAFETY: nodes are never reclaimed while the structure is alive
+        // (GC disabled for asynchronized baselines), so no guard is needed.
+        unsafe { walk_chain(self.head, lo, visit) }
+    }
+}
+
+impl_ordered_map!(AsyncList);
 
 impl Default for AsyncList {
     fn default() -> Self {

@@ -24,6 +24,7 @@ use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
 use crate::marked::{tag, MarkedPtr};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::skiplist::{random_level, MAX_LEVEL};
 use crate::stats;
 
@@ -392,6 +393,50 @@ impl<const OPT: bool> Fraser<OPT> {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        // A marked level-0 pointer is the logical deletion point.
+        self.next[0].load(Ordering::Acquire).1 == tag::CLEAN
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next[0].load(Ordering::Acquire).0
+    }
+}
+
+impl<const OPT: bool> RangeWalk for Fraser<OPT> {
+    /// ASCY1-style range traversal: the upper levels position the walk at
+    /// the last node with key `< lo` in O(log n), then the level-0 lane is
+    /// walked like a linked list (no stores, no retries, for both
+    /// variants — range reads never help with clean-up).
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every traversed node.
+        unsafe {
+            let mut pred = self.head;
+            for level in (0..MAX_LEVEL).rev() {
+                let mut curr = (*pred).next[level].load(Ordering::Acquire).0;
+                while (*curr).key < lo {
+                    pred = curr;
+                    curr = (*curr).next[level].load(Ordering::Acquire).0;
+                }
+            }
+            walk_chain(pred, lo, visit);
+        }
+    }
+}
+
+impl_ordered_map!(FraserSkipList, via inner);
+impl_ordered_map!(FraserOptSkipList, via inner);
 
 impl<const OPT: bool> Drop for Fraser<OPT> {
     fn drop(&mut self) {

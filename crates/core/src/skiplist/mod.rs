@@ -89,6 +89,15 @@ mod tests {
     }
 
     #[test]
+    fn all_skiplists_ordered_model_check() {
+        testing::ordered_model_check(HerlihySkipList::new, 1_500);
+        testing::ordered_model_check(PughSkipList::new, 1_500);
+        testing::ordered_model_check(FraserSkipList::new, 1_500);
+        testing::ordered_model_check(FraserOptSkipList::new, 1_500);
+        testing::ordered_model_check(AsyncSkipList::new, 1_500);
+    }
+
+    #[test]
     fn async_skiplist_sequential_suite() {
         testing::sequential_suite(AsyncSkipList::new);
         testing::model_check(AsyncSkipList::new, 3_000);

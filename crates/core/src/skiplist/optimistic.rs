@@ -19,6 +19,7 @@ use ascylib_ssmem as ssmem;
 use ascylib_sync::TtasLock;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::skiplist::{random_level, MAX_LEVEL};
 use crate::stats;
 
@@ -160,6 +161,49 @@ impl SkipListBase {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        self.value.load(Ordering::Acquire)
+    }
+
+    fn chain_live(&self) -> bool {
+        self.fully_linked.load(Ordering::Acquire) && !self.marked.load(Ordering::Acquire)
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next[0].load(Ordering::Acquire)
+    }
+}
+
+impl RangeWalk for SkipListBase {
+    /// Store-free range traversal shared by both lock-based algorithms
+    /// (the wait-free-search discipline, extended across a key range): the
+    /// upper levels find the last node with key `< lo`, the level-0 lane is
+    /// then walked like a list, skipping in-flight and marked towers.
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        let _guard = ssmem::protect();
+        // SAFETY: the guard protects every traversed node.
+        unsafe {
+            let mut pred = self.head;
+            for level in (0..MAX_LEVEL).rev() {
+                let mut curr = (*pred).next[level].load(Ordering::Acquire);
+                while (*curr).key < lo {
+                    pred = curr;
+                    curr = (*curr).next[level].load(Ordering::Acquire);
+                }
+            }
+            walk_chain(pred, lo, visit);
+        }
+    }
+}
+
+impl_ordered_map!(HerlihySkipList, via base);
+impl_ordered_map!(PughSkipList, via base);
 
 impl Drop for SkipListBase {
     fn drop(&mut self) {

@@ -13,6 +13,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use ascylib_ssmem as ssmem;
 
 use crate::api::{debug_check_key, ConcurrentMap};
+use crate::ordered::{impl_ordered_map, walk_chain, ChainNode, RangeWalk};
 use crate::skiplist::{random_level, MAX_LEVEL};
 use crate::stats;
 
@@ -183,6 +184,46 @@ impl ConcurrentMap for AsyncSkipList {
         count
     }
 }
+
+impl ChainNode for Node {
+    fn chain_key(&self) -> u64 {
+        self.key
+    }
+
+    fn chain_value(&self) -> u64 {
+        // Relaxed: the asynchronized baseline performs exactly a sequential
+        // skip list's accesses.
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn chain_live(&self) -> bool {
+        true
+    }
+
+    fn chain_next(&self) -> *mut Self {
+        self.next[0].load(Ordering::Relaxed)
+    }
+}
+
+impl RangeWalk for AsyncSkipList {
+    fn walk(&self, lo: u64, visit: &mut dyn FnMut(u64, u64) -> bool) {
+        // SAFETY: nodes are never reclaimed while the structure is alive
+        // (GC disabled for asynchronized baselines).
+        unsafe {
+            let mut pred = self.head;
+            for level in (0..MAX_LEVEL).rev() {
+                let mut curr = (*pred).next[level].load(Ordering::Relaxed);
+                while (*curr).key < lo {
+                    pred = curr;
+                    curr = (*curr).next[level].load(Ordering::Relaxed);
+                }
+            }
+            walk_chain(pred, lo, visit);
+        }
+    }
+}
+
+impl_ordered_map!(AsyncSkipList);
 
 impl Default for AsyncSkipList {
     fn default() -> Self {

@@ -8,7 +8,8 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::api::ConcurrentMap;
+use crate::api::{ConcurrentMap, KEY_MAX, KEY_MIN};
+use crate::ordered::OrderedMap;
 
 /// A tiny deterministic RNG (xorshift64*) so the test battery does not need
 /// external dependencies.
@@ -240,6 +241,156 @@ where
         }
     }
     assert_eq!(m.size(), 0);
+}
+
+/// Differential driver for the [`OrderedMap`] surface against the `BTreeMap`
+/// sequential model (single-threaded): decodes `(selector, a, b)` tuples
+/// into point updates and `range_search`/`scan`/`scan_into` calls, requiring
+/// exact agreement at every step, then checks a full-range sweep. Shared by
+/// the RNG-driven [`ordered_model_check`] battery and the proptest suites in
+/// the core and shard crates (so the scan contract is asserted in one
+/// place).
+///
+/// Op decode: `selector % 6` → 0/1 insert, 2 remove, 3/4 `range_search`
+/// over `[min(a,b), max(a,b)]`, 5 `scan(a, b % 16)`; keys are `1 + x %
+/// key_space`.
+pub fn ordered_ops_check<M: OrderedMap>(m: &M, ops: &[(u8, u64, u64)], key_space: u64) {
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (i, &(op, a, b)) in ops.iter().enumerate() {
+        let key = 1 + a % key_space;
+        match op % 6 {
+            0 | 1 => {
+                let expected = !model.contains_key(&key);
+                let value = i as u64;
+                assert_eq!(m.insert(key, value), expected, "insert({key}) at step {i}");
+                model.entry(key).or_insert(value);
+            }
+            2 => {
+                assert_eq!(m.remove(key), model.remove(&key), "remove({key}) at step {i}");
+            }
+            3 | 4 => {
+                let other = 1 + b % key_space;
+                let (lo, hi) = (key.min(other), key.max(other));
+                out.clear();
+                let count = m.range_search(lo, hi, &mut out);
+                let want: Vec<(u64, u64)> =
+                    model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(out, want, "range_search({lo}, {hi}) at step {i}");
+                assert_eq!(count, want.len(), "range_search count at step {i}");
+            }
+            _ => {
+                let n = (b % 16) as usize;
+                let got = m.scan(key, n);
+                let want: Vec<(u64, u64)> =
+                    model.range(key..).take(n).map(|(&k, &v)| (k, v)).collect();
+                assert_eq!(got, want, "scan({key}, {n}) at step {i}");
+                // The buffer-reusing variant must agree with `scan`.
+                out.clear();
+                assert_eq!(m.scan_into(key, n, &mut out), want.len());
+                assert_eq!(out, want, "scan_into({key}, {n}) at step {i}");
+            }
+        }
+    }
+    // A quiescent full-range sweep is exactly the model's contents.
+    let mut all = Vec::new();
+    let count = m.range_search(KEY_MIN, KEY_MAX, &mut all);
+    assert_eq!(count, model.len());
+    assert_eq!(all, model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>());
+    assert_eq!(m.size(), model.len());
+}
+
+/// Randomized differential test of the [`OrderedMap`] surface: generates a
+/// deterministic op sequence and feeds it through [`ordered_ops_check`].
+pub fn ordered_model_check<M, F>(ctor: F, operations: usize)
+where
+    M: OrderedMap,
+    F: Fn() -> M,
+{
+    let mut rng = TestRng::new(0x0D0_5CA1);
+    let ops: Vec<(u8, u64, u64)> = (0..operations)
+        .map(|_| (rng.next_u64() as u8, rng.next_u64(), rng.next_u64()))
+        .collect();
+    ordered_ops_check(&ctor(), &ops, 192);
+}
+
+/// Concurrent scan-vs-mutation check for the documented (non-snapshot) scan
+/// semantics. A set of *stable* keys is inserted up front and never touched;
+/// writer threads churn a disjoint set of *volatile* keys while the main
+/// thread scans. Every scan must return strictly-ascending in-bounds keys,
+/// no phantoms (only keys from the two sets, with the values the writers
+/// actually store), no resurrections (a third key set that was inserted and
+/// removed *before* the scans start must never appear), and every stable key
+/// in range.
+pub fn scan_under_churn<M, F>(ctor: F, writers: usize, scans: usize)
+where
+    M: OrderedMap + 'static,
+    F: Fn() -> M,
+{
+    const STABLE_STRIDE: u64 = 3;
+    let span = 600u64;
+    let m = Arc::new(ctor());
+    // Stable keys: multiples of 3. Ghost keys (removed before any scan):
+    // span..span+50.
+    for k in (STABLE_STRIDE..=span).step_by(STABLE_STRIDE as usize) {
+        assert!(m.insert(k, k * 2));
+    }
+    for k in span + 1..=span + 50 {
+        assert!(m.insert(k, 1));
+        assert_eq!(m.remove(k), Some(1));
+    }
+    let stop = Arc::new(AtomicU64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..writers {
+        let m = Arc::clone(&m);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = TestRng::new(0x5CA2 ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9));
+            while stop.load(Ordering::Relaxed) == 0 {
+                // Volatile keys: non-multiples of 3 within the span.
+                let key = rng.key(span);
+                if key % STABLE_STRIDE == 0 {
+                    continue;
+                }
+                if rng.next_u64() % 2 == 0 {
+                    let _ = m.insert(key, key * 7);
+                } else {
+                    let _ = m.remove(key);
+                }
+            }
+        }));
+    }
+    let mut rng = TestRng::new(0x5CA3);
+    for i in 0..scans {
+        // Bounds reach past `span` so the ghost range is actually scanned.
+        let a = rng.key(span + 50);
+        let b = rng.key(span + 50);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut got = Vec::new();
+        m.range_search(lo, hi, &mut got);
+        let mut prev = None;
+        for &(k, v) in &got {
+            assert!(k >= lo && k <= hi, "scan {i}: key {k} outside [{lo}, {hi}]");
+            assert!(prev.map_or(true, |p| k > p), "scan {i}: keys not strictly ascending at {k}");
+            prev = Some(k);
+            assert!(k <= span, "scan {i}: resurrected ghost key {k}");
+            if k % STABLE_STRIDE == 0 {
+                assert_eq!(v, k * 2, "scan {i}: stable key {k} has foreign value {v}");
+            } else {
+                assert_eq!(v, k * 7, "scan {i}: volatile key {k} has foreign value {v}");
+            }
+        }
+        // No stable key in range may be missed: each was present for the
+        // entire duration of the scan.
+        let returned: Vec<u64> = got.iter().map(|&(k, _)| k).collect();
+        for k in (lo..=hi.min(span)).filter(|k| k % STABLE_STRIDE == 0) {
+            assert!(returned.binary_search(&k).is_ok(), "scan {i}: stable key {k} missing");
+        }
+    }
+    stop.store(1, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
 }
 
 /// The full battery used by every linearizable implementation.

@@ -1,0 +1,77 @@
+//! Property-based differential tests for the `OrderedMap` surface: arbitrary
+//! interleavings of point updates and range operations applied to a CSDS and
+//! to a `BTreeMap` model must agree exactly (single-threaded, so the model
+//! is authoritative), for one backing per ordered family plus extras.
+//!
+//! The concurrent side of the scan contract (no phantoms, no resurrections,
+//! strictly ascending keys, stable keys always returned) is exercised by
+//! `scan_under_churn` at the bottom.
+
+use proptest::prelude::*;
+
+use ascylib::bst::{BstTk, NatarajanBst};
+use ascylib::list::{HarrisList, LazyList};
+use ascylib::ordered::OrderedMap;
+use ascylib::skiplist::{FraserOptSkipList, HerlihySkipList};
+use ascylib::testing;
+
+/// One shared op-decoding driver lives in `testing::ordered_ops_check`; the
+/// proptest layer only supplies arbitrary op sequences and backings.
+fn check_ordered_against_model<M: OrderedMap>(map: M, ops: &[(u8, u64, u64)]) {
+    testing::ordered_ops_check(&map, ops, 96);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // One backing per ordered family (list / skip list / BST), plus a second
+    // representative of each synchronization style.
+
+    #[test]
+    fn prop_harris_list_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(HarrisList::new(), &ops);
+    }
+
+    #[test]
+    fn prop_lazy_list_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(LazyList::new(), &ops);
+    }
+
+    #[test]
+    fn prop_fraser_opt_skiplist_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(FraserOptSkipList::new(), &ops);
+    }
+
+    #[test]
+    fn prop_herlihy_skiplist_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(HerlihySkipList::new(), &ops);
+    }
+
+    #[test]
+    fn prop_bst_tk_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(BstTk::new(), &ops);
+    }
+
+    #[test]
+    fn prop_natarajan_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..350)) {
+        check_ordered_against_model(NatarajanBst::new(), &ops);
+    }
+}
+
+// Concurrent scans racing point mutations: asserts the documented bounds of
+// the non-snapshot semantics for one backing per ordered family.
+
+#[test]
+fn harris_list_scans_hold_their_bounds_under_churn() {
+    testing::scan_under_churn(HarrisList::new, 3, 60);
+}
+
+#[test]
+fn fraser_opt_skiplist_scans_hold_their_bounds_under_churn() {
+    testing::scan_under_churn(FraserOptSkipList::new, 3, 60);
+}
+
+#[test]
+fn bst_tk_scans_hold_their_bounds_under_churn() {
+    testing::scan_under_churn(BstTk::new, 3, 60);
+}

@@ -3,16 +3,22 @@
 //! Reproduces the methodology of §4 of the ASCY paper:
 //!
 //! * [`workload`] — workload generation: the structure is initialized with
-//!   `N` elements, operations pick keys from `[1, 2N]`, and the
-//!   update percentage is split into half insertions / half removals, so on
-//!   average half of the updates succeed and the structure size stays near
-//!   `N`.
+//!   `N` elements and operations pick keys from `[1, 2N]`. Operation kinds
+//!   are drawn from an extensible [`OpMix`] (reads / inserts / removes /
+//!   range scans, with YCSB A–E presets); the paper's `update_percent` knob
+//!   survives as sugar that splits updates into half insertions / half
+//!   removals, so on average half of the updates succeed and the structure
+//!   size stays near `N`.
 //! * [`dist`] — key distributions: the paper's uniform draws plus
 //!   Zipfian(θ) and hotspot generators for skewed, production-style
 //!   traffic, selected per workload via [`KeyDist`].
 //! * [`runner`] — the multi-threaded measurement loop: per-thread operation
 //!   counters, sampled operation latencies with 1/25/50/75/99 percentiles,
 //!   and aggregation of the [`ascylib::stats`] instrumentation counters.
+//!   Scan-free mixes run over any [`ascylib::ConcurrentMap`]
+//!   ([`run_benchmark`]); mixes with scans need an
+//!   [`ascylib::OrderedMap`] ([`run_benchmark_ordered`]), which also
+//!   reports scan throughput and keys-returned distributions.
 //! * [`model`] — the energy model and the platform profiles used to project
 //!   measured coherence traffic onto the paper's six machines (see DESIGN.md
 //!   §4 for the substitution rationale).
@@ -29,8 +35,8 @@ pub mod workload;
 
 pub use dist::{KeyDist, KeySampler};
 pub use model::{EnergyModel, PlatformProfile};
-pub use runner::{run_benchmark, BenchmarkResult, LatencyStats, OpKind};
-pub use workload::{Workload, WorkloadBuilder};
+pub use runner::{run_benchmark, run_benchmark_ordered, BenchmarkResult, LatencyStats, OpKind};
+pub use workload::{OpMix, Operation, Workload, WorkloadBuilder};
 
 /// Reads an environment variable used to scale benchmark durations/threads,
 /// falling back to the given default.

@@ -4,6 +4,8 @@ use std::fs;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+use crate::runner::LatencyStats;
+
 /// A simple column-aligned table printer.
 #[derive(Debug, Clone)]
 pub struct Table {
@@ -100,6 +102,49 @@ pub fn histogram(title: &str, entries: &[(String, f64)], width: usize) -> String
     out
 }
 
+/// Renders one labelled percentile line for a sampled distribution
+/// (latencies in nanoseconds, scan lengths in keys, ... — the unit is the
+/// caller's). Prints alongside the latency panels of the figure benches.
+pub fn distribution_line(label: &str, unit: &str, s: &LatencyStats) -> String {
+    if s.samples == 0 {
+        return format!("{label}: no samples\n");
+    }
+    format!(
+        "{label}: p1={} p25={} p50={} p75={} p99={} mean={:.1} {unit} ({} samples)\n",
+        s.p1, s.p25, s.p50, s.p75, s.p99, s.mean, s.samples
+    )
+}
+
+/// Buckets raw per-scan key counts into powers of two and renders them with
+/// [`histogram`], so a scan-heavy run shows its length distribution at a
+/// glance next to the latency stats.
+pub fn scan_length_histogram(title: &str, samples: &[u64], width: usize) -> String {
+    if samples.is_empty() {
+        return format!("\n== {title} ==\n(no scans sampled)\n");
+    }
+    // Bucket 0 holds empty scans; bucket i >= 1 holds lengths in
+    // [2^(i-1), 2^i - 1] (i.e. i is the bit length of the count).
+    let max = samples.iter().copied().max().unwrap_or(0);
+    let buckets = (64 - max.leading_zeros()) as usize + 1;
+    let mut counts = vec![0u64; buckets];
+    for &len in samples {
+        counts[(64 - len.leading_zeros()) as usize] += 1;
+    }
+    let entries: Vec<(String, f64)> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| {
+            let label = match i {
+                0 => "0 keys".to_string(),
+                1 => "1 key".to_string(),
+                _ => format!("{}-{} keys", 1u64 << (i - 1), (1u64 << i) - 1),
+            };
+            (label, c as f64)
+        })
+        .collect();
+    histogram(title, &entries, width)
+}
+
 /// Formats a floating point value with two decimals.
 pub fn f2(value: f64) -> String {
     format!("{value:.2}")
@@ -145,6 +190,31 @@ mod tests {
         let s = histogram("empty", &[], 10);
         assert!(s.contains("empty"));
         assert_eq!(s.lines().filter(|l| !l.trim().is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn distribution_line_prints_percentiles_or_absence() {
+        let s = LatencyStats::from_samples(vec![1, 2, 3, 4, 100]);
+        let line = distribution_line("scan len", "keys", &s);
+        assert!(line.contains("p50="));
+        assert!(line.contains("keys"));
+        assert!(line.contains("5 samples"));
+        let empty = distribution_line("scan len", "keys", &LatencyStats::default());
+        assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn scan_length_histogram_buckets_powers_of_two() {
+        let samples = vec![0, 1, 1, 2, 3, 4, 7, 8, 15];
+        let s = scan_length_histogram("scan lengths", &samples, 20);
+        assert!(s.contains("0 keys"));
+        assert!(s.contains("1 key"));
+        assert!(s.contains("2-3 keys"));
+        assert!(s.contains("4-7 keys"));
+        assert!(s.contains("8-15 keys"));
+        // The 1-key bucket has two entries; 2-3 has two; 4-7 has two.
+        let empty = scan_length_histogram("none", &[], 20);
+        assert!(empty.contains("no scans sampled"));
     }
 
     #[test]

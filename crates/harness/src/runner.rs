@@ -8,11 +8,13 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use ascylib::api::ConcurrentMap;
+use ascylib::ordered::OrderedMap;
 use ascylib::stats::{self, OpCounters};
 
-use crate::workload::{populate, Workload};
+use crate::workload::{populate, Operation, Workload};
 
-/// The three operation kinds of the CSDS interface.
+/// The operation kinds of the layered CSDS interface (the paper's three
+/// point operations plus range scans).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpKind {
     /// `search(key)`.
@@ -21,10 +23,15 @@ pub enum OpKind {
     Insert,
     /// `remove(key)`.
     Remove,
+    /// `scan(from, n)` / `range_search(lo, hi, out)`.
+    Scan,
 }
 
 /// Latency percentiles (nanoseconds) over the sampled operations, as plotted
 /// in the paper's latency-distribution panels (1/25/50/75/99).
+///
+/// Also reused for any sampled per-operation count (e.g. keys returned per
+/// scan), where the "nanoseconds" are just units.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencyStats {
     /// 1st percentile.
@@ -85,12 +92,24 @@ pub struct BenchmarkResult {
     pub successful_removes: u64,
     /// Unsuccessful updates (parse showed the update could not succeed).
     pub unsuccessful_updates: u64,
+    /// Completed range scans.
+    pub scans: u64,
+    /// Total keys returned across all scans.
+    pub scan_keys_returned: u64,
     /// Latency of searches.
     pub search_latency: LatencyStats,
     /// Latency of successful updates.
     pub successful_update_latency: LatencyStats,
     /// Latency of unsuccessful updates.
     pub unsuccessful_update_latency: LatencyStats,
+    /// Latency of range scans.
+    pub scan_latency: LatencyStats,
+    /// Distribution of keys returned per scan (over the sampled scans; the
+    /// percentile fields are key counts, not nanoseconds).
+    pub scan_length: LatencyStats,
+    /// Raw sampled scan lengths (keys returned per sampled scan), for
+    /// histogram emitters.
+    pub scan_length_samples: Vec<u64>,
     /// Aggregated instrumentation counters (shared stores, CAS, restarts,
     /// traversals) across all worker threads.
     pub counters: OpCounters,
@@ -120,27 +139,82 @@ impl BenchmarkResult {
             self.counters.atomic_ops as f64 / updates as f64
         }
     }
+
+    /// Scans per second.
+    pub fn scan_throughput(&self) -> f64 {
+        self.scans as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Average keys returned per scan (0 if the mix had no scans).
+    pub fn keys_per_scan(&self) -> f64 {
+        if self.scans == 0 {
+            0.0
+        } else {
+            self.scan_keys_returned as f64 / self.scans as f64
+        }
+    }
 }
 
+#[derive(Default)]
 struct ThreadOutput {
     ops: u64,
     successful_inserts: u64,
     successful_removes: u64,
     unsuccessful_updates: u64,
+    scans: u64,
+    scan_keys: u64,
     search_samples: Vec<u64>,
     success_update_samples: Vec<u64>,
     fail_update_samples: Vec<u64>,
+    scan_samples: Vec<u64>,
+    scan_length_samples: Vec<u64>,
     counters: OpCounters,
 }
 
-/// Runs one benchmark: populates the structure, then has
-/// `workload.threads` threads apply the operation mix for
-/// `workload.duration_ms` milliseconds.
+/// How the engine executes a scan on `M` into a reused per-thread buffer (a
+/// plain `fn` so it is `Copy` and freely cloneable into the worker threads).
+/// `None` means the mix was verified scan-free.
+type ScanFn<M> = fn(&M, u64, usize, &mut Vec<(u64, u64)>) -> usize;
+
+/// Runs one benchmark over the point-operation interface: populates the
+/// structure, then has `workload.threads` threads apply the operation mix
+/// for `workload.duration_ms` milliseconds.
 ///
-/// Mirrors the paper's settings: keys are uniform in `[1, 2N]`, the update
-/// percentage is split into half insertions and half removals, and each
+/// Mirrors the paper's settings: keys are drawn from `[1, 2N]`, the update
+/// share is split into half insertions and half removals, and each
 /// measurement reports the aggregate throughput plus sampled latencies.
+///
+/// # Panics
+///
+/// If the workload's mix contains scans — those need the ordered interface;
+/// use [`run_benchmark_ordered`].
 pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> BenchmarkResult {
+    assert!(
+        !workload.mix.has_scans(),
+        "the operation mix contains scans; drive it with run_benchmark_ordered over an OrderedMap"
+    );
+    engine(map, workload, None)
+}
+
+/// [`run_benchmark`] over the ordered interface: accepts any operation mix,
+/// including scan-heavy ones (YCSB-E).
+pub fn run_benchmark_ordered(map: Arc<dyn OrderedMap>, workload: Workload) -> BenchmarkResult {
+    fn do_scan(map: &dyn OrderedMap, from: u64, n: usize, out: &mut Vec<(u64, u64)>) -> usize {
+        map.scan_into(from, n, out)
+    }
+    engine(map, workload, Some(do_scan))
+}
+
+/// The shared measurement engine, generic over the structure interface so
+/// both entry points reuse one loop.
+fn engine<M>(map: Arc<M>, mut workload: Workload, scan: Option<ScanFn<M>>) -> BenchmarkResult
+where
+    M: ConcurrentMap + ?Sized + 'static,
+{
+    // The mix's fields are pub (a hand-assembled Workload may bypass the
+    // builder), so re-validate here: a zero total or zero scan_len would
+    // panic the dice/length draws below.
+    workload.mix = workload.mix.validated();
     populate(&map, &workload, 0xA5C1_11B5);
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(workload.threads + 1));
@@ -154,37 +228,42 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
             stats::reset();
             let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ ((thread_id as u64 + 1) * 0x9E37_79B9));
             let sampler = workload.key_sampler();
-            let mut out = ThreadOutput {
-                ops: 0,
-                successful_inserts: 0,
-                successful_removes: 0,
-                unsuccessful_updates: 0,
-                search_samples: Vec::new(),
-                success_update_samples: Vec::new(),
-                fail_update_samples: Vec::new(),
-                counters: OpCounters::default(),
-            };
+            let mix = workload.mix;
+            let dice_range = mix.total();
+            let mut out = ThreadOutput::default();
+            // Reused across all of this thread's scans so the measured scan
+            // latency is traversal, not allocator churn.
+            let mut scan_buf: Vec<(u64, u64)> = Vec::new();
             barrier.wait();
             while !stop.load(Ordering::Relaxed) {
                 // Run a small batch between stop-flag checks.
                 for _ in 0..64 {
                     let key = sampler.sample(&mut rng);
-                    let dice = rng.random_range(0..100u32);
+                    let dice = rng.random_range(0..dice_range);
                     let sample = out.ops % workload.latency_sample_every == 0;
                     let start = if sample { Some(Instant::now()) } else { None };
-                    let (kind, success) = if dice < workload.update_percent {
-                        if dice % 2 == 0 {
-                            (OpKind::Insert, map.insert(key, key))
-                        } else {
-                            (OpKind::Remove, map.remove(key).is_some())
+                    let (kind, success) = match mix.sample(dice) {
+                        Operation::Read => (OpKind::Search, map.search(key).is_some()),
+                        Operation::Insert => (OpKind::Insert, map.insert(key, key)),
+                        Operation::Remove => (OpKind::Remove, map.remove(key).is_some()),
+                        Operation::Scan { len } => {
+                            let scan = scan.expect("checked before spawn: mix has scans");
+                            let want = rng.random_range(1..=len as u64) as usize;
+                            scan_buf.clear();
+                            let got = scan(&map, key, want, &mut scan_buf) as u64;
+                            out.scans += 1;
+                            out.scan_keys += got;
+                            if sample {
+                                out.scan_length_samples.push(got);
+                            }
+                            (OpKind::Scan, got > 0)
                         }
-                    } else {
-                        (OpKind::Search, map.search(key).is_some())
                     };
                     if let Some(start) = start {
                         let nanos = start.elapsed().as_nanos() as u64;
                         match kind {
                             OpKind::Search => out.search_samples.push(nanos),
+                            OpKind::Scan => out.scan_samples.push(nanos),
                             OpKind::Insert | OpKind::Remove => {
                                 if success {
                                     out.success_update_samples.push(nanos);
@@ -221,9 +300,13 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
     let mut successful_inserts = 0u64;
     let mut successful_removes = 0u64;
     let mut unsuccessful_updates = 0u64;
+    let mut scans = 0u64;
+    let mut scan_keys_returned = 0u64;
     let mut search_samples = Vec::new();
     let mut success_update_samples = Vec::new();
     let mut fail_update_samples = Vec::new();
+    let mut scan_samples = Vec::new();
+    let mut scan_length_samples = Vec::new();
     let mut counters = OpCounters::default();
     // Each ThreadOutput is written by exactly one worker and read only after
     // its join (the happens-before edge), so there are no lost updates here;
@@ -235,9 +318,13 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
         successful_inserts = successful_inserts.saturating_add(out.successful_inserts);
         successful_removes = successful_removes.saturating_add(out.successful_removes);
         unsuccessful_updates = unsuccessful_updates.saturating_add(out.unsuccessful_updates);
+        scans = scans.saturating_add(out.scans);
+        scan_keys_returned = scan_keys_returned.saturating_add(out.scan_keys);
         search_samples.extend(out.search_samples);
         success_update_samples.extend(out.success_update_samples);
         fail_update_samples.extend(out.fail_update_samples);
+        scan_samples.extend(out.scan_samples);
+        scan_length_samples.extend(out.scan_length_samples);
         counters.merge(&out.counters);
     }
     let throughput = total_ops as f64 / elapsed.as_secs_f64();
@@ -249,9 +336,14 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
         successful_inserts,
         successful_removes,
         unsuccessful_updates,
+        scans,
+        scan_keys_returned,
         search_latency: LatencyStats::from_samples(search_samples),
         successful_update_latency: LatencyStats::from_samples(success_update_samples),
         unsuccessful_update_latency: LatencyStats::from_samples(fail_update_samples),
+        scan_latency: LatencyStats::from_samples(scan_samples),
+        scan_length: LatencyStats::from_samples(scan_length_samples.clone()),
+        scan_length_samples,
         counters,
         final_size: map.size(),
         elapsed,
@@ -261,9 +353,10 @@ pub fn run_benchmark(map: Arc<dyn ConcurrentMap>, workload: Workload) -> Benchma
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::WorkloadBuilder;
+    use crate::workload::{OpMix, WorkloadBuilder};
     use ascylib::hashtable::ClhtLb;
     use ascylib::list::LazyList;
+    use ascylib::skiplist::FraserOptSkipList;
 
     #[test]
     fn latency_percentiles_are_ordered() {
@@ -344,6 +437,7 @@ mod tests {
         let result = run_benchmark(Arc::new(ClhtLb::with_capacity(256)), workload);
         assert!(result.total_ops > 0);
         assert!(result.throughput > 0.0);
+        assert_eq!(result.scans, 0, "scan-free mix must not scan");
         // Size stays near N: successful inserts and removes balance out.
         let delta = result.successful_inserts as i64 - result.successful_removes as i64;
         assert_eq!(result.final_size as i64, 128 + delta);
@@ -375,5 +469,66 @@ mod tests {
         let result = run_benchmark(Arc::new(LazyList::new()), workload);
         assert!(result.counters.operations > 0);
         assert!(result.transfers_per_op() >= 0.0);
+    }
+
+    #[test]
+    fn ycsb_e_run_produces_scan_statistics() {
+        let workload = WorkloadBuilder::new()
+            .initial_size(512)
+            .op_mix(OpMix::ycsb_e())
+            .threads(2)
+            .duration_ms(50)
+            .build();
+        let result = run_benchmark_ordered(Arc::new(FraserOptSkipList::new()), workload);
+        assert!(result.total_ops > 0);
+        assert!(result.scans > 0, "YCSB-E is 95% scans");
+        assert!(result.scan_keys_returned >= result.scans / 2, "scans over a populated structure return keys");
+        assert!(result.scan_throughput() > 0.0);
+        assert!(result.keys_per_scan() > 0.0);
+        assert!(result.keys_per_scan() <= OpMix::DEFAULT_SCAN_LEN as f64);
+        assert!(result.scan_length.samples > 0);
+        assert!(result.scan_length.p99 <= OpMix::DEFAULT_SCAN_LEN as u64);
+        // Inserts happen too (5%), and the size bookkeeping still holds.
+        let delta = result.successful_inserts as i64 - result.successful_removes as i64;
+        assert_eq!(result.final_size as i64, 512 + delta);
+    }
+
+    #[test]
+    fn engine_revalidates_a_hand_mangled_mix() {
+        // The mix fields are pub: a caller can corrupt a built workload.
+        // The engine must re-validate instead of panicking mid-measurement.
+        let mut w = WorkloadBuilder::new()
+            .initial_size(64)
+            .op_mix(OpMix::ycsb_e())
+            .duration_ms(20)
+            .build();
+        w.mix.scan_len = 0; // would make random_range(1..=0) panic
+        let r = run_benchmark_ordered(Arc::new(LazyList::new()), w);
+        assert!(r.scans > 0);
+
+        let mut w = WorkloadBuilder::new().initial_size(64).duration_ms(20).build();
+        w.mix = OpMix { read: 0, insert: 0, remove: 0, scan: 0, scan_len: 0 }; // zero dice range
+        let r = run_benchmark(Arc::new(ClhtLb::with_capacity(128)), w);
+        assert!(r.total_ops > 0);
+        assert_eq!(r.scans, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "run_benchmark_ordered")]
+    fn plain_runner_rejects_scan_mixes() {
+        let workload = WorkloadBuilder::new().op_mix(OpMix::ycsb_e()).build();
+        let _ = run_benchmark(Arc::new(ClhtLb::with_capacity(64)), workload);
+    }
+
+    #[test]
+    fn ordered_runner_accepts_point_mixes_too() {
+        let workload = WorkloadBuilder::new()
+            .initial_size(64)
+            .update_percent(10)
+            .duration_ms(20)
+            .build();
+        let result = run_benchmark_ordered(Arc::new(LazyList::new()), workload);
+        assert!(result.total_ops > 0);
+        assert_eq!(result.scans, 0);
     }
 }

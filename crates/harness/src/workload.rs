@@ -1,22 +1,186 @@
-//! Workload configuration and generation (§4 "Experimental settings").
+//! Workload configuration and generation (§4 "Experimental settings"),
+//! extended from the paper's single `update_percent` knob to a full
+//! operation-mix engine.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::sync::Arc;
 
 use ascylib::api::ConcurrentMap;
 
 use crate::dist::{KeyDist, KeySampler};
 
-/// A benchmark workload: initial size, key range, update percentage, thread
-/// count, duration and key distribution.
+/// One operation drawn from an [`OpMix`]: what a worker thread executes in
+/// one iteration of the measurement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Point lookup: `search(key)`.
+    Read,
+    /// `insert(key, value)`.
+    Insert,
+    /// `remove(key)`.
+    Remove,
+    /// Range scan of up to `len` keys starting at the drawn key
+    /// (`scan(key, len)` on an [`ascylib::ordered::OrderedMap`]).
+    Scan {
+        /// Maximum number of keys this scan returns.
+        len: usize,
+    },
+}
+
+/// An extensible operation mix: integer weights for each operation kind.
+///
+/// Weights are relative (they need not sum to 100); an operation is drawn
+/// with probability `weight / total`. The classic YCSB core workloads are
+/// provided as presets, and [`OpMix::update`] reproduces the paper's
+/// `update_percent` convention (updates split half insert / half remove).
+///
+/// Scans require the structure under test to implement
+/// [`ascylib::ordered::OrderedMap`]; drive them through
+/// [`crate::runner::run_benchmark_ordered`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Weight of point lookups.
+    pub read: u32,
+    /// Weight of insertions.
+    pub insert: u32,
+    /// Weight of removals.
+    pub remove: u32,
+    /// Weight of range scans.
+    pub scan: u32,
+    /// Maximum scan length; each scan draws a uniform length in
+    /// `[1, scan_len]` (YCSB-E's short-range-scan convention).
+    pub scan_len: usize,
+}
+
+/// Weights above this bound are clamped so that the total weight can never
+/// overflow the `u32` dice range.
+const MAX_WEIGHT: u32 = 1 << 20;
+
+impl OpMix {
+    /// Default maximum scan length (YCSB-E uses short scans; 16 keeps a
+    /// scan's cost within an order of magnitude of a point read on the
+    /// tree/skip-list backings).
+    pub const DEFAULT_SCAN_LEN: usize = 16;
+
+    /// The paper's convention: `pct`% updates (half insert / half remove),
+    /// the rest point reads. `pct` is clamped to 100.
+    pub fn update(pct: u32) -> Self {
+        let pct = pct.min(100);
+        Self {
+            read: 100 - pct,
+            insert: pct.div_ceil(2),
+            remove: pct / 2,
+            scan: 0,
+            scan_len: Self::DEFAULT_SCAN_LEN,
+        }
+    }
+
+    /// Pure point reads.
+    pub fn read_only() -> Self {
+        Self::update(0)
+    }
+
+    /// YCSB-A: 50% reads, 50% updates.
+    pub fn ycsb_a() -> Self {
+        Self::update(50)
+    }
+
+    /// YCSB-B: 95% reads, 5% updates.
+    pub fn ycsb_b() -> Self {
+        Self::update(5)
+    }
+
+    /// YCSB-C: 100% reads.
+    pub fn ycsb_c() -> Self {
+        Self::update(0)
+    }
+
+    /// YCSB-D: 95% reads, 5% inserts (read-latest; the key distribution is
+    /// configured separately via [`KeyDist`]).
+    pub fn ycsb_d() -> Self {
+        Self { read: 95, insert: 5, remove: 0, scan: 0, scan_len: Self::DEFAULT_SCAN_LEN }
+    }
+
+    /// YCSB-E: 95% short range scans, 5% inserts — the workload the point-op
+    /// interface of the paper cannot express.
+    pub fn ycsb_e() -> Self {
+        Self { read: 0, insert: 5, remove: 0, scan: 95, scan_len: Self::DEFAULT_SCAN_LEN }
+    }
+
+    /// Sum of the weights (the dice range). Saturating: the fields are pub,
+    /// so a hand-assembled mix may carry weights the builder would have
+    /// clamped, and a wrapped total would be a silently wrong dice range.
+    pub fn total(&self) -> u32 {
+        self.read
+            .saturating_add(self.insert)
+            .saturating_add(self.remove)
+            .saturating_add(self.scan)
+    }
+
+    /// The fraction of updates, as the paper's `update_percent` knob would
+    /// report it (rounded down).
+    pub fn update_percent(&self) -> u32 {
+        let total = self.total();
+        if total == 0 {
+            0
+        } else {
+            ((self.insert as u64 + self.remove as u64) * 100 / total as u64) as u32
+        }
+    }
+
+    /// Whether the mix contains scans (and therefore needs an
+    /// [`ascylib::ordered::OrderedMap`] backing).
+    pub fn has_scans(&self) -> bool {
+        self.scan > 0
+    }
+
+    /// Maps a dice roll in `[0, total)` to an operation.
+    pub fn sample(&self, dice: u32) -> Operation {
+        debug_assert!(dice < self.total());
+        if dice < self.read {
+            Operation::Read
+        } else if dice < self.read + self.insert {
+            Operation::Insert
+        } else if dice < self.read + self.insert + self.remove {
+            Operation::Remove
+        } else {
+            Operation::Scan { len: self.scan_len }
+        }
+    }
+
+    /// Clamps every weight into `[0, 2^20]` and the scan length to at least
+    /// 1; an all-zero mix degenerates to read-only. Called by
+    /// [`WorkloadBuilder::build`] so an invalid mix can never reach the
+    /// runner (where a zero total would make the dice range panic, and an
+    /// oversized weight could overflow the total).
+    pub fn validated(mut self) -> Self {
+        self.read = self.read.min(MAX_WEIGHT);
+        self.insert = self.insert.min(MAX_WEIGHT);
+        self.remove = self.remove.min(MAX_WEIGHT);
+        self.scan = self.scan.min(MAX_WEIGHT);
+        self.scan_len = self.scan_len.max(1);
+        if self.total() == 0 {
+            self.read = 100;
+        }
+        self
+    }
+}
+
+impl Default for OpMix {
+    /// The paper's average-contention default: 10% updates.
+    fn default() -> Self {
+        Self::update(10)
+    }
+}
+
+/// A benchmark workload: initial size, operation mix, thread count, duration
+/// and key distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Initial number of elements `N`; keys are drawn from `[1, 2N]`.
     pub initial_size: usize,
-    /// Percentage of operations that are updates (split half insert / half
-    /// remove); the rest are searches.
-    pub update_percent: u32,
+    /// The operation mix (reads / inserts / removes / scans).
+    pub mix: OpMix,
     /// Number of worker threads.
     pub threads: usize,
     /// Duration of the measurement in milliseconds.
@@ -39,6 +203,12 @@ impl Workload {
     pub fn key_sampler(&self) -> KeySampler {
         KeySampler::new(self.dist, self.key_range())
     }
+
+    /// The update percentage the mix corresponds to (compatibility view of
+    /// the paper's knob).
+    pub fn update_percent(&self) -> u32 {
+        self.mix.update_percent()
+    }
 }
 
 /// Builder for [`Workload`] with the paper's defaults.
@@ -54,7 +224,7 @@ impl WorkloadBuilder {
         Self {
             workload: Workload {
                 initial_size: 4096,
-                update_percent: 10,
+                mix: OpMix::default(),
                 threads: 1,
                 duration_ms: 300,
                 latency_sample_every: 16,
@@ -69,9 +239,22 @@ impl WorkloadBuilder {
         self
     }
 
-    /// Sets the update percentage.
-    pub fn update_percent(mut self, pct: u32) -> Self {
-        self.workload.update_percent = pct.min(100);
+    /// Sets the operation mix (see [`OpMix`] for the presets).
+    pub fn op_mix(mut self, mix: OpMix) -> Self {
+        self.workload.mix = mix;
+        self
+    }
+
+    /// Compatibility sugar for the paper's single knob: `pct`% updates
+    /// (half insert / half remove), the rest reads. Equivalent to
+    /// `op_mix(OpMix::update(pct))`.
+    pub fn update_percent(self, pct: u32) -> Self {
+        self.op_mix(OpMix::update(pct))
+    }
+
+    /// Overrides the maximum scan length of the current mix.
+    pub fn scan_len(mut self, len: usize) -> Self {
+        self.workload.mix.scan_len = len;
         self
     }
 
@@ -104,8 +287,11 @@ impl WorkloadBuilder {
         self.key_dist(KeyDist::Zipfian { theta })
     }
 
-    /// Finalizes the workload.
-    pub fn build(self) -> Workload {
+    /// Finalizes the workload, validating the mix (weights clamped, zero
+    /// totals degrade to read-only, scan length at least 1) so downstream
+    /// consumers never see a malformed mix.
+    pub fn build(mut self) -> Workload {
+        self.workload.mix = self.workload.mix.validated();
         self.workload
     }
 }
@@ -126,7 +312,7 @@ impl Default for WorkloadBuilder {
 /// duplicate draws the fill falls back to uniform draws (which finish in
 /// expected O(N) for a `2N` range), keeping population time bounded for every
 /// distribution while preserving the skewed head.
-pub fn populate(map: &Arc<dyn ConcurrentMap>, workload: &Workload, seed: u64) {
+pub fn populate<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let range = workload.key_range();
     let sampler = workload.key_sampler();
@@ -152,12 +338,14 @@ pub fn populate(map: &Arc<dyn ConcurrentMap>, workload: &Workload, seed: u64) {
 mod tests {
     use super::*;
     use ascylib::hashtable::ClhtLb;
+    use std::sync::Arc;
 
     #[test]
     fn builder_defaults_match_paper_average_contention() {
         let w = WorkloadBuilder::new().build();
         assert_eq!(w.initial_size, 4096);
-        assert_eq!(w.update_percent, 10);
+        assert_eq!(w.update_percent(), 10);
+        assert_eq!(w.mix, OpMix::update(10));
         assert_eq!(w.key_range(), 8192);
     }
 
@@ -172,7 +360,75 @@ mod tests {
     #[test]
     fn update_percent_is_clamped() {
         let w = WorkloadBuilder::new().update_percent(150).build();
-        assert_eq!(w.update_percent, 100);
+        assert_eq!(w.update_percent(), 100);
+        assert_eq!(w.mix.read, 0);
+    }
+
+    #[test]
+    fn update_sugar_splits_updates_evenly() {
+        let mix = OpMix::update(20);
+        assert_eq!(mix.read, 80);
+        assert_eq!(mix.insert, 10);
+        assert_eq!(mix.remove, 10);
+        assert_eq!(mix.scan, 0);
+        // Odd percentages keep the total at 100 (insert gets the extra).
+        let odd = OpMix::update(15);
+        assert_eq!(odd.insert, 8);
+        assert_eq!(odd.remove, 7);
+        assert_eq!(odd.total(), 100);
+    }
+
+    #[test]
+    fn build_validates_degenerate_and_oversized_mixes() {
+        // All-zero weights degrade to read-only rather than a zero dice
+        // range (which would panic in the runner).
+        let w = WorkloadBuilder::new()
+            .op_mix(OpMix { read: 0, insert: 0, remove: 0, scan: 0, scan_len: 0 })
+            .build();
+        assert_eq!(w.mix.read, 100);
+        assert!(w.mix.total() > 0);
+        assert_eq!(w.mix.scan_len, 1, "scan_len must be at least 1");
+        // Oversized weights are clamped so total() cannot overflow.
+        let w = WorkloadBuilder::new()
+            .op_mix(OpMix { read: u32::MAX, insert: u32::MAX, remove: u32::MAX, scan: u32::MAX, scan_len: 4 })
+            .build();
+        assert!(w.mix.total() >= w.mix.read);
+        assert_eq!(w.mix.read, 1 << 20);
+        // Even an *unvalidated* mangled mix must not wrap its dice range.
+        let mangled = OpMix { read: u32::MAX, insert: 1, remove: 0, scan: 0, scan_len: 1 };
+        assert_eq!(mangled.total(), u32::MAX);
+        assert_eq!(mangled.update_percent(), 0);
+    }
+
+    #[test]
+    fn sample_covers_the_whole_dice_range() {
+        let mix = OpMix { read: 3, insert: 2, remove: 1, scan: 4, scan_len: 9 }.validated();
+        let mut counts = [0usize; 4];
+        for dice in 0..mix.total() {
+            match mix.sample(dice) {
+                Operation::Read => counts[0] += 1,
+                Operation::Insert => counts[1] += 1,
+                Operation::Remove => counts[2] += 1,
+                Operation::Scan { len } => {
+                    assert_eq!(len, 9);
+                    counts[3] += 1;
+                }
+            }
+        }
+        assert_eq!(counts, [3, 2, 1, 4]);
+    }
+
+    #[test]
+    fn ycsb_presets_have_the_canonical_shapes() {
+        assert_eq!(OpMix::ycsb_a().update_percent(), 50);
+        assert_eq!(OpMix::ycsb_b().update_percent(), 5);
+        assert_eq!(OpMix::ycsb_c(), OpMix::read_only());
+        assert!(!OpMix::ycsb_c().has_scans());
+        let d = OpMix::ycsb_d();
+        assert_eq!((d.read, d.insert, d.remove, d.scan), (95, 5, 0, 0));
+        let e = OpMix::ycsb_e();
+        assert_eq!((e.read, e.insert, e.remove, e.scan), (0, 5, 0, 95));
+        assert!(e.has_scans());
     }
 
     #[test]
@@ -201,5 +457,12 @@ mod tests {
         let w = WorkloadBuilder::new().zipfian(0.99).build();
         assert_eq!(w.dist, KeyDist::Zipfian { theta: 0.99 });
         assert!(w.key_sampler().range() == w.key_range());
+    }
+
+    #[test]
+    fn builder_scan_len_overrides_the_preset() {
+        let w = WorkloadBuilder::new().op_mix(OpMix::ycsb_e()).scan_len(64).build();
+        assert_eq!(w.mix.scan_len, 64);
+        assert!(w.mix.has_scans());
     }
 }

@@ -22,6 +22,12 @@
 //!   [`ShardedMap::multi_insert`], [`ShardedMap::multi_remove`]) groups a
 //!   request batch by shard before dispatch and returns results in input
 //!   order.
+//! * Sharded deployments of *ordered* backings (lists, skip lists, BSTs)
+//!   additionally expose the [`ascylib::ordered::OrderedMap`] range-scan
+//!   surface: `range_search`/`scan` scatter to every shard and gather the
+//!   per-shard sorted results with a k-way merge into one globally
+//!   key-ordered answer (with the same non-snapshot semantics as a single
+//!   structure).
 //!
 //! Pairs with `ascylib_harness::dist::KeyDist` to benchmark any structure
 //! under uniform, Zipfian, or hotspot traffic (`fig10_sharding` in the bench
@@ -42,6 +48,7 @@
 
 mod batch;
 mod map;
+mod range;
 pub mod router;
 pub mod stats;
 

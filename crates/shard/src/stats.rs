@@ -25,6 +25,8 @@ struct Counters {
     inserts_ok: AtomicU64,
     removes: AtomicU64,
     removes_ok: AtomicU64,
+    scans: AtomicU64,
+    scan_keys: AtomicU64,
 }
 
 /// A plain-value copy of one shard's counters.
@@ -42,6 +44,11 @@ pub struct ShardStatsSnapshot {
     pub removes: u64,
     /// Removes that succeeded (key was present).
     pub removes_ok: u64,
+    /// Range scans that touched this shard (every shard participates in a
+    /// scatter-gather scan, so this counts per-shard sub-scans).
+    pub scans: u64,
+    /// Keys this shard contributed to scatter-gather scan results.
+    pub scan_keys: u64,
 }
 
 impl ShardStatsSnapshot {
@@ -49,7 +56,10 @@ impl ShardStatsSnapshot {
     pub fn operations(&self) -> u64 {
         // Saturating: these are sums of long-running monotonic counters (see
         // ascylib::stats::OpCounters::merge for the rationale).
-        self.searches.saturating_add(self.inserts).saturating_add(self.removes)
+        self.searches
+            .saturating_add(self.inserts)
+            .saturating_add(self.removes)
+            .saturating_add(self.scans)
     }
 
     /// Fraction of searches that hit, in `[0, 1]` (0 if there were none).
@@ -69,6 +79,8 @@ impl ShardStatsSnapshot {
         self.inserts_ok = self.inserts_ok.saturating_add(other.inserts_ok);
         self.removes = self.removes.saturating_add(other.removes);
         self.removes_ok = self.removes_ok.saturating_add(other.removes_ok);
+        self.scans = self.scans.saturating_add(other.scans);
+        self.scan_keys = self.scan_keys.saturating_add(other.scan_keys);
     }
 }
 
@@ -128,6 +140,15 @@ impl ShardStats {
         }
     }
 
+    /// Records one per-shard sub-scan that contributed `keys` keys.
+    #[inline]
+    pub fn record_scan(&self, keys: u64) {
+        self.inner.scans.fetch_add(1, Ordering::Relaxed);
+        if keys > 0 {
+            self.inner.scan_keys.fetch_add(keys, Ordering::Relaxed);
+        }
+    }
+
     /// Reads the counters (not an atomic cross-counter snapshot: each value
     /// is individually exact, which is all reporting needs).
     pub fn snapshot(&self) -> ShardStatsSnapshot {
@@ -138,6 +159,8 @@ impl ShardStats {
             inserts_ok: self.inner.inserts_ok.load(Ordering::Relaxed),
             removes: self.inner.removes.load(Ordering::Relaxed),
             removes_ok: self.inner.removes_ok.load(Ordering::Relaxed),
+            scans: self.inner.scans.load(Ordering::Relaxed),
+            scan_keys: self.inner.scan_keys.load(Ordering::Relaxed),
         }
     }
 }

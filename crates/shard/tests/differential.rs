@@ -9,8 +9,11 @@ use std::collections::BTreeMap;
 use proptest::prelude::*;
 
 use ascylib::api::ConcurrentMap;
+use ascylib::bst::BstTk;
 use ascylib::hashtable::ClhtLb;
 use ascylib::list::HarrisList;
+use ascylib::ordered::OrderedMap;
+use ascylib::skiplist::FraserOptSkipList;
 use ascylib_shard::ShardedMap;
 
 /// Applies a mixed singular/batched operation sequence to the sharded map
@@ -111,6 +114,45 @@ proptest! {
         // observable behaviour (per-key linearizability is routing-invariant).
         check_against_model(ShardedMap::new(3, |_| ClhtLb::with_capacity(32)), &ops, 64);
         check_against_model(ShardedMap::new(13, |_| ClhtLb::with_capacity(16)), &ops, 64);
+    }
+}
+
+/// Range-operation differential check: scatter-gather `range_search`/`scan`
+/// over an ordered backing must agree with the `BTreeMap` model — in
+/// particular the k-way merge must deliver *globally* key-ordered results
+/// even though each shard holds an arbitrary hash-routed subset. The op
+/// decoding and step-by-step model comparison live in the shared
+/// `testing::ordered_ops_check` driver; this adds the shard-specific
+/// assertions on top.
+fn check_ranges_against_model<M: OrderedMap>(map: ShardedMap<M>, ops: &[(u8, u64, u64)]) {
+    ascylib::testing::ordered_ops_check(&map, ops, 128);
+    // Whole-range sweep: globally ordered.
+    let mut out = Vec::new();
+    map.range_search(1, u64::MAX, &mut out);
+    assert!(out.windows(2).all(|w| w[0].0 < w[1].0), "global key order violated");
+    assert_eq!(out.len(), map.size());
+    // Every shard participated in the scans (the final sweep alone touches
+    // each one).
+    let stats = map.total_stats();
+    assert!(stats.scans >= map.shard_count() as u64);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn prop_sharded_harris_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..250)) {
+        check_ranges_against_model(ShardedMap::new(5, |_| HarrisList::new()), &ops);
+    }
+
+    #[test]
+    fn prop_sharded_fraser_opt_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..250)) {
+        check_ranges_against_model(ShardedMap::new(8, |_| FraserOptSkipList::new()), &ops);
+    }
+
+    #[test]
+    fn prop_sharded_bst_tk_ranges_match_model(ops in proptest::collection::vec((any::<u8>(), any::<u64>(), any::<u64>()), 1..250)) {
+        check_ranges_against_model(ShardedMap::new(3, |_| BstTk::new()), &ops);
     }
 }
 

@@ -8,8 +8,9 @@ use std::sync::Arc;
 use proptest::prelude::*;
 
 use ascylib::api::{ConcurrentMap, StructureKind};
+use ascylib::ordered::OrderedMap;
 use ascylib::registry;
-use ascylib_harness::{run_benchmark, KeyDist, WorkloadBuilder};
+use ascylib_harness::{run_benchmark, run_benchmark_ordered, KeyDist, OpMix, WorkloadBuilder};
 use ascylib_shard::ShardedMap;
 
 /// Every registered algorithm passes the shared concurrent test battery.
@@ -106,6 +107,56 @@ fn harness_drives_sharded_maps_under_skew() {
         let delta = r.successful_inserts as i64 - r.successful_removes as i64;
         assert_eq!(r.final_size as i64, 512 + delta, "{dist}: size bookkeeping");
     }
+}
+
+/// The full scan stack end to end: a YCSB-E preset (95% scans / 5% inserts)
+/// driven through the harness over one backing per ordered family, uniform
+/// and skewed.
+#[test]
+fn harness_runs_ycsb_e_over_each_ordered_family() {
+    let backings: Vec<(&str, std::sync::Arc<dyn OrderedMap>)> = vec![
+        ("ll-harris", Arc::new(ascylib::list::HarrisList::new())),
+        ("sl-fraser-opt", Arc::new(ascylib::skiplist::FraserOptSkipList::new())),
+        ("bst-tk", Arc::new(ascylib::bst::BstTk::new())),
+    ];
+    for (name, map) in backings {
+        let w = WorkloadBuilder::new()
+            .initial_size(256)
+            .op_mix(OpMix::ycsb_e())
+            .threads(2)
+            .duration_ms(40)
+            .zipfian(0.99)
+            .build();
+        let r = run_benchmark_ordered(map, w);
+        assert!(r.total_ops > 0, "{name}");
+        assert!(r.scans > 0, "{name}: YCSB-E must scan");
+        assert!(r.scan_keys_returned > 0, "{name}: scans over a populated table return keys");
+        let delta = r.successful_inserts as i64 - r.successful_removes as i64;
+        assert_eq!(r.final_size as i64, 256 + delta, "{name}: size bookkeeping");
+    }
+}
+
+/// A *sharded* ordered deployment exposes the same scan surface: the harness
+/// drives YCSB-E against it, and a direct sweep confirms globally key-ordered
+/// scatter-gather results.
+#[test]
+fn harness_runs_ycsb_e_over_a_sharded_ordered_map() {
+    let map = Arc::new(ShardedMap::new(4, |_| ascylib::skiplist::FraserOptSkipList::new()));
+    let w = WorkloadBuilder::new()
+        .initial_size(512)
+        .op_mix(OpMix::ycsb_e())
+        .threads(2)
+        .duration_ms(40)
+        .build();
+    let r = run_benchmark_ordered(map.clone(), w);
+    assert!(r.scans > 0);
+    let delta = r.successful_inserts as i64 - r.successful_removes as i64;
+    assert_eq!(r.final_size as i64, 512 + delta);
+    // Post-run sweep: globally ordered and consistent with the size.
+    let mut all = Vec::new();
+    map.range_search(1, u64::MAX, &mut all);
+    assert_eq!(all.len(), map.size());
+    assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scatter-gather order violated");
 }
 
 /// Zipfian traffic concentrates operations on the popular keys: with θ=0.99
