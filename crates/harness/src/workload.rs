@@ -310,16 +310,30 @@ impl Default for WorkloadBuilder {
 /// only from the distribution would make filling the tail a coupon-collector
 /// problem with vanishing success probability. After a burst of consecutive
 /// duplicate draws the fill falls back to uniform draws (which finish in
-/// expected O(N) for a `2N` range), keeping population time bounded for every
-/// distribution while preserving the skewed head.
+/// expected O(N) for a `2N` range), keeping population time bounded for most
+/// distributions while preserving the skewed head.
+///
+/// Uniform draws are themselves a coupon-collector problem as the *free*
+/// keyspace shrinks: each draw succeeds with probability
+/// `free / range`, which vanishes as density approaches 100% — and is
+/// exactly zero if the map (pre-populated by the caller, or populated
+/// twice) has no free keys left, turning the old draw loop into an
+/// infinite one. So when random draws stall too (another duplicate burst),
+/// the fill switches to a sequential sweep over `[1, range]` inserting
+/// every missing key — O(range) worst case, terminates at **any** density,
+/// and stops early if the keyspace fills before the target is reached
+/// (the structure then simply holds every representable key).
 pub fn populate<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload, seed: u64) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let range = workload.key_range();
     let sampler = workload.key_sampler();
     let mut inserted = 0usize;
     let mut consecutive_duplicates = 0u32;
-    // Insert until the structure holds N elements (duplicates are skipped).
-    while inserted < workload.initial_size {
+    // Phase 1: distribution draws, falling back to uniform draws after a
+    // duplicate burst (32 straight duplicates ≈ the distribution is
+    // revisiting its head), and giving up on random draws entirely after a
+    // second burst (64 straight ≈ the free keyspace is nearly exhausted).
+    while inserted < workload.initial_size && consecutive_duplicates < 64 {
         let key = if consecutive_duplicates < 32 {
             sampler.sample(&mut rng)
         } else {
@@ -330,6 +344,19 @@ pub fn populate<M: ConcurrentMap + ?Sized>(map: &M, workload: &Workload, seed: u
             consecutive_duplicates = 0;
         } else {
             consecutive_duplicates += 1;
+        }
+    }
+    // Phase 2: sequential sweep — the fast path for near-full prefills.
+    // One bounded pass over the keyspace; if it ends early the keyspace is
+    // 100% dense and no further insert could ever succeed.
+    if inserted < workload.initial_size {
+        for key in 1..=range {
+            if map.insert(key, key.wrapping_mul(10)) {
+                inserted += 1;
+                if inserted == workload.initial_size {
+                    break;
+                }
+            }
         }
     }
 }
@@ -450,6 +477,64 @@ mod tests {
             populate(&map, &w, 21);
             assert_eq!(map.size(), 300, "{dist}");
         }
+    }
+
+    #[test]
+    fn populate_terminates_at_full_density() {
+        // Regression: the draw-only fill loops forever once no free key
+        // remains. Pre-fill the *entire* keyspace, then ask populate for
+        // more under the skewed distributions that stall first.
+        for dist in [
+            KeyDist::Uniform,
+            KeyDist::Zipfian { theta: 0.99 },
+            KeyDist::Hotspot { hot_fraction: 0.05, hot_prob: 0.95 },
+        ] {
+            let w = WorkloadBuilder::new().initial_size(128).key_dist(dist).build();
+            let map: Arc<dyn ConcurrentMap> = Arc::new(ClhtLb::with_capacity(1024));
+            for k in 1..=w.key_range() {
+                assert!(map.insert(k, k));
+            }
+            populate(&map, &w, 99); // must return: nothing is insertable
+            assert_eq!(map.size(), w.key_range() as usize, "{dist}");
+        }
+    }
+
+    #[test]
+    fn populate_twice_is_idempotent_on_density() {
+        // A second populate on an already-filled map used to spin on the
+        // vanishing free keyspace; now the sequential sweep finishes it.
+        let w = WorkloadBuilder::new()
+            .initial_size(256)
+            .key_dist(KeyDist::Zipfian { theta: 0.99 })
+            .build();
+        let map: Arc<dyn ConcurrentMap> = Arc::new(ClhtLb::with_capacity(2048));
+        populate(&map, &w, 5);
+        assert_eq!(map.size(), 256);
+        populate(&map, &w, 6);
+        // The second fill tops the structure up by another N (or to the
+        // keyspace limit, whichever comes first) — and, crucially, returns.
+        assert_eq!(map.size(), 512);
+        populate(&map, &w, 7);
+        assert_eq!(map.size(), w.key_range() as usize, "third fill saturates the keyspace");
+        populate(&map, &w, 8); // saturated: still terminates
+        assert_eq!(map.size(), w.key_range() as usize);
+    }
+
+    #[test]
+    fn populate_sequential_fast_path_reaches_near_full_prefill() {
+        // 2N-1 of the 2N keys pre-inserted: exactly one free key remains.
+        // Random draws have a 1-in-2N success probability per draw; the
+        // sweep must find it deterministically.
+        let w = WorkloadBuilder::new()
+            .initial_size(1)
+            .key_dist(KeyDist::Hotspot { hot_fraction: 0.05, hot_prob: 0.95 })
+            .build();
+        let map: Arc<dyn ConcurrentMap> = Arc::new(ClhtLb::with_capacity(16));
+        assert_eq!(w.key_range(), 2);
+        assert!(map.insert(1, 1));
+        populate(&map, &w, 3);
+        assert_eq!(map.size(), 2, "the single free key (2) was found");
+        assert!(map.contains(2));
     }
 
     #[test]

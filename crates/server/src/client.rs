@@ -1,0 +1,325 @@
+//! A blocking client for the ASCY wire protocol, with request pipelining.
+//!
+//! [`Client`] offers one typed method per verb (each is a full round trip)
+//! plus a [`Pipeline`] that queues any number of requests, flushes them in
+//! one write, and reads the replies back in order — the protocol guarantees
+//! in-order responses, so `k` pipelined requests cost one round trip
+//! instead of `k`.
+//!
+//! Server `-ERR` replies and protocol violations surface as
+//! [`std::io::Error`] with [`ErrorKind::InvalidData`] / `Other`; the
+//! connection remains usable after an in-band error reply.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{encode_request, Reply, ReplyParser, Request};
+
+/// A blocking connection to an `ascylib-server`.
+pub struct Client {
+    stream: TcpStream,
+    parser: ReplyParser,
+    chunk: Box<[u8; 16 * 1024]>,
+}
+
+fn protocol_err(what: &str) -> io::Error {
+    io::Error::new(ErrorKind::InvalidData, format!("protocol violation: {what}"))
+}
+
+fn server_err(message: String) -> io::Error {
+    io::Error::other(format!("server error: {message}"))
+}
+
+impl Client {
+    /// Connects (with `TCP_NODELAY`, so unpipelined round trips do not sit
+    /// out Nagle timers).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, parser: ReplyParser::new(), chunk: Box::new([0u8; 16 * 1024]) })
+    }
+
+    /// Sets a receive deadline for replies (`None` blocks forever).
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// Reads one complete reply frame (blocking).
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        loop {
+            match self.parser.next() {
+                Some(Ok(reply)) => return Ok(reply),
+                Some(Err(e)) => return Err(protocol_err(&e.to_string())),
+                None => {
+                    let n = self.stream.read(&mut self.chunk[..])?;
+                    if n == 0 {
+                        return Err(io::Error::new(
+                            ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-reply",
+                        ));
+                    }
+                    self.parser.feed(&self.chunk[..n]);
+                }
+            }
+        }
+    }
+
+    fn call(&mut self, req: &Request) -> io::Result<Reply> {
+        let mut out = Vec::with_capacity(32);
+        encode_request(req, &mut out);
+        self.stream.write_all(&out)?;
+        self.read_reply()
+    }
+
+    /// `GET key` → value if present.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<u64>> {
+        decode_optional_int(self.call(&Request::Get(key))?)
+    }
+
+    /// `SET key value` → `true` if newly inserted (`SET` is
+    /// insert-if-absent; an existing key is left untouched).
+    pub fn set(&mut self, key: u64, value: u64) -> io::Result<bool> {
+        decode_bool(self.call(&Request::Set(key, value))?)
+    }
+
+    /// `DEL key` → removed value if the key was present.
+    pub fn del(&mut self, key: u64) -> io::Result<Option<u64>> {
+        decode_optional_int(self.call(&Request::Del(key))?)
+    }
+
+    /// `MGET keys...` → per-key answers in input order.
+    pub fn mget(&mut self, keys: &[u64]) -> io::Result<Vec<Option<u64>>> {
+        let elems = decode_array(self.call(&Request::MGet(keys.to_vec()))?)?;
+        elems.into_iter().map(decode_optional_int).collect()
+    }
+
+    /// `MSET (key value)...` → per-entry insert outcomes in input order.
+    pub fn mset(&mut self, entries: &[(u64, u64)]) -> io::Result<Vec<bool>> {
+        let elems = decode_array(self.call(&Request::MSet(entries.to_vec()))?)?;
+        elems.into_iter().map(decode_bool).collect()
+    }
+
+    /// `SCAN from count` → up to `count` `(key, value)` pairs, ascending.
+    pub fn scan(&mut self, from: u64, count: usize) -> io::Result<Vec<(u64, u64)>> {
+        let elems = decode_array(self.call(&Request::Scan(from, count))?)?;
+        elems.into_iter().map(decode_pair).collect()
+    }
+
+    /// `PING` → checks liveness.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.call(&Request::Ping)? {
+            Reply::Simple(s) if s == "PONG" => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `STATS` → the server's `name=value` info line, raw.
+    pub fn stats(&mut self) -> io::Result<String> {
+        match self.call(&Request::Stats)? {
+            Reply::Simple(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `QUIT` → graceful close (waits for the server's `+BYE`).
+    pub fn quit(mut self) -> io::Result<()> {
+        match self.call(&Request::Quit)? {
+            Reply::Simple(s) if s == "BYE" => Ok(()),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// Starts a pipelined batch on this connection.
+    pub fn pipeline(&mut self) -> Pipeline<'_> {
+        Pipeline { client: self, out: Vec::with_capacity(256), queued: 0 }
+    }
+}
+
+/// A queued batch of requests flushed in one write.
+///
+/// Queue requests with the builder methods, then [`run`](Self::run): every
+/// queued frame is sent in one write and the replies come back in queue
+/// order (raw [`Reply`] values — a batch may mix verbs, so decoding is the
+/// caller's). Server `-ERR` replies appear in the result as
+/// [`Reply::Error`] rather than failing the whole batch.
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    out: Vec<u8>,
+    queued: usize,
+}
+
+impl Pipeline<'_> {
+    /// Queues any request frame.
+    pub fn push(&mut self, req: &Request) -> &mut Self {
+        encode_request(req, &mut self.out);
+        self.queued += 1;
+        self
+    }
+
+    /// Queues `GET key`.
+    pub fn get(&mut self, key: u64) -> &mut Self {
+        self.push(&Request::Get(key))
+    }
+
+    /// Queues `SET key value`.
+    pub fn set(&mut self, key: u64, value: u64) -> &mut Self {
+        self.push(&Request::Set(key, value))
+    }
+
+    /// Queues `DEL key`.
+    pub fn del(&mut self, key: u64) -> &mut Self {
+        self.push(&Request::Del(key))
+    }
+
+    /// Queues `SCAN from count`.
+    pub fn scan(&mut self, from: u64, count: usize) -> &mut Self {
+        self.push(&Request::Scan(from, count))
+    }
+
+    /// Number of queued frames.
+    pub fn len(&self) -> usize {
+        self.queued
+    }
+
+    /// `true` if nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queued == 0
+    }
+
+    /// Sends every queued frame in one write and reads the replies back in
+    /// order.
+    pub fn run(&mut self) -> io::Result<Vec<Reply>> {
+        if self.queued == 0 {
+            return Ok(Vec::new());
+        }
+        self.client.stream.write_all(&self.out)?;
+        let mut replies = Vec::with_capacity(self.queued);
+        for _ in 0..self.queued {
+            replies.push(self.client.read_reply()?);
+        }
+        self.out.clear();
+        self.queued = 0;
+        Ok(replies)
+    }
+}
+
+fn unexpected(reply: Reply) -> io::Error {
+    match reply {
+        Reply::Error(msg) => server_err(msg),
+        other => protocol_err(&format!("unexpected reply {other:?}")),
+    }
+}
+
+/// Decodes `:v` / `_` replies (`GET`/`DEL` and `MGET` elements).
+pub fn decode_optional_int(reply: Reply) -> io::Result<Option<u64>> {
+    match reply {
+        Reply::Int(v) => Ok(Some(v)),
+        Reply::Null => Ok(None),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Decodes `:0` / `:1` outcome replies (`SET` and `MSET` elements).
+pub fn decode_bool(reply: Reply) -> io::Result<bool> {
+    match reply {
+        Reply::Int(0) => Ok(false),
+        Reply::Int(1) => Ok(true),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Decodes `=k v` pair replies (`SCAN` elements).
+pub fn decode_pair(reply: Reply) -> io::Result<(u64, u64)> {
+    match reply {
+        Reply::Pair(k, v) => Ok((k, v)),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Decodes an array reply into its elements.
+pub fn decode_array(reply: Reply) -> io::Result<Vec<Reply>> {
+    match reply {
+        Reply::Array(elems) => Ok(elems),
+        other => Err(unexpected(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::store::ShardedOrderedStore;
+    use ascylib::list::HarrisList;
+    use ascylib_shard::ShardedMap;
+    use std::sync::Arc;
+
+    fn ordered_server() -> crate::server::ServerHandle {
+        let map = Arc::new(ShardedMap::new(2, |_| HarrisList::new()));
+        Server::start("127.0.0.1:0", ShardedOrderedStore::new(map), ServerConfig::default())
+            .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn typed_calls_round_trip() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        c.ping().unwrap();
+        assert!(c.set(10, 100).unwrap());
+        assert!(!c.set(10, 999).unwrap());
+        assert_eq!(c.get(10).unwrap(), Some(100));
+        assert_eq!(c.get(11).unwrap(), None);
+        assert_eq!(c.mset(&[(12, 120), (13, 130)]).unwrap(), vec![true, true]);
+        assert_eq!(
+            c.mget(&[10, 11, 12, 13]).unwrap(),
+            vec![Some(100), None, Some(120), Some(130)]
+        );
+        assert_eq!(c.scan(11, 10).unwrap(), vec![(12, 120), (13, 130)]);
+        assert_eq!(c.del(12).unwrap(), Some(120));
+        assert_eq!(c.del(12).unwrap(), None);
+        let stats = c.stats().unwrap();
+        assert!(stats.contains("size=2"), "{stats}");
+        assert!(stats.contains("shards=2"), "{stats}");
+        c.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn server_errors_are_io_errors_but_keep_the_connection() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let err = c.get(0).unwrap_err();
+        assert!(err.to_string().contains("key out of usable range"), "{err}");
+        // In-band error: the connection still works.
+        c.ping().unwrap();
+        assert!(c.set(5, 50).unwrap());
+        server.join();
+    }
+
+    #[test]
+    fn pipeline_returns_replies_in_order() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let mut p = c.pipeline();
+        p.set(1, 10).set(2, 20).get(1).del(2).get(2).scan(1, 4);
+        assert_eq!(p.len(), 6);
+        let replies = p.run().unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Int(1),
+                Reply::Int(1),
+                Reply::Int(10),
+                Reply::Int(20),
+                Reply::Null,
+                Reply::Array(vec![Reply::Pair(1, 10)]),
+            ]
+        );
+        // The pipeline is reusable after run().
+        let mut p = c.pipeline();
+        assert!(p.is_empty());
+        p.get(1);
+        assert_eq!(p.run().unwrap(), vec![Reply::Int(10)]);
+        server.join();
+    }
+}

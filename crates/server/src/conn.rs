@@ -1,0 +1,260 @@
+//! Per-connection serving state: buffered reads, pipelined dispatch,
+//! in-order responses.
+//!
+//! A connection is served by one worker thread at a time. Each iteration
+//! reads whatever bytes the socket has, feeds them to the incremental
+//! [`RequestParser`], and then executes *every* complete frame that arrived
+//! — that batch is the pipelining unit. Responses are appended to one write
+//! buffer in request order and flushed once per batch, so a client that
+//! pipelines `k` frames pays one round trip instead of `k`.
+//!
+//! `MGET`/`MSET` frames dispatch through the store's batched operations
+//! (the shard layer visits each shard once per frame); malformed frames
+//! consume exactly one error reply and the connection keeps serving
+//! (the parser resynchronizes at the next line).
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use crate::protocol::{wire, ParseError, Request, RequestParser};
+use crate::stats::{ServerStatsSnapshot, WorkerStats};
+use crate::store::{KvStore, KEY_RANGE};
+
+/// Everything a worker needs to serve one connection.
+pub(crate) struct ConnCtx<'a> {
+    /// The keyspace being served.
+    pub store: &'a dyn KvStore,
+    /// Server-wide shutdown flag, polled at read-timeout granularity.
+    pub shutdown: &'a AtomicBool,
+    /// Most frames executed per batch (backpressure: a client that floods
+    /// frames faster than they execute is drained in chunks this large).
+    pub max_pipeline: usize,
+    /// Socket read timeout; doubles as the shutdown poll interval.
+    pub read_timeout: Duration,
+    /// This worker's padded counters.
+    pub stats: &'a WorkerStats,
+    /// Aggregated counters across all workers (for `STATS` frames).
+    pub totals: &'a dyn Fn() -> ServerStatsSnapshot,
+}
+
+/// Why [`serve_connection`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnExit {
+    /// Peer closed the stream.
+    Eof,
+    /// Peer sent `QUIT` and was answered `+BYE`.
+    Quit,
+    /// The server is shutting down.
+    Shutdown,
+    /// An I/O error ended the connection.
+    Error,
+}
+
+/// Serves one connection to completion. Never panics on malformed input;
+/// all protocol errors are answered in-band with `-ERR` frames.
+pub(crate) fn serve_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> ConnExit {
+    // NODELAY: un-pipelined request/response traffic must not sit out
+    // Nagle/delayed-ACK timers. Write timeout: a peer that stops draining
+    // cannot wedge a worker past shutdown.
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+
+    let mut parser = RequestParser::new();
+    let mut chunk = [0u8; 16 * 1024];
+    let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut batch: Vec<Result<Request, ParseError>> = Vec::new();
+
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return ConnExit::Eof,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if ctx.shutdown.load(Ordering::Acquire) {
+                    return ConnExit::Shutdown;
+                }
+                continue;
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ConnExit::Error,
+        };
+        WorkerStats::bump(&ctx.stats.bytes_in, n as u64);
+        parser.feed(&chunk[..n]);
+
+        // Drain the parser in pipeline-sized batches. The inner loop keeps
+        // going until the parser runs dry, so a read() that delivered 500
+        // frames answers all 500 before blocking again.
+        loop {
+            batch.clear();
+            while batch.len() < ctx.max_pipeline {
+                match parser.next() {
+                    Some(item) => batch.push(item),
+                    None => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let mut quit = false;
+            for item in &batch {
+                match item {
+                    Ok(req) => {
+                        if execute(req, ctx, &mut wbuf) == Flow::Quit {
+                            quit = true;
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        WorkerStats::bump(&ctx.stats.errors, 1);
+                        wire::error(&mut wbuf, &e.to_string());
+                    }
+                }
+            }
+            let flushed = flush(&mut stream, &mut wbuf, ctx);
+            if quit {
+                return ConnExit::Quit;
+            }
+            if !flushed {
+                return ConnExit::Error;
+            }
+        }
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return ConnExit::Shutdown;
+        }
+    }
+}
+
+fn flush(stream: &mut TcpStream, wbuf: &mut Vec<u8>, ctx: &ConnCtx<'_>) -> bool {
+    if wbuf.is_empty() {
+        return true;
+    }
+    let ok = stream.write_all(wbuf).and_then(|()| stream.flush()).is_ok();
+    if ok {
+        // Only bytes actually written count; a failed/timed-out write must
+        // not inflate the STATS view of traffic served.
+        WorkerStats::bump(&ctx.stats.bytes_out, wbuf.len() as u64);
+    }
+    wbuf.clear();
+    ok
+}
+
+#[derive(PartialEq, Eq)]
+enum Flow {
+    Continue,
+    Quit,
+}
+
+fn key_ok(key: u64) -> bool {
+    (KEY_RANGE.0..=KEY_RANGE.1).contains(&key)
+}
+
+const KEY_RANGE_MSG: &str = "key out of usable range [1, 2^64-2]";
+
+/// Executes one well-formed frame against the store, appending its reply.
+fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
+    let stats = ctx.stats;
+    WorkerStats::bump(&stats.frames, 1);
+    match req {
+        Request::Get(k) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            match ctx.store.get(*k) {
+                Some(v) => wire::int(out, v),
+                None => wire::null(out),
+            }
+        }
+        Request::Set(k, v) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            wire::int(out, ctx.store.set(*k, *v) as u64);
+        }
+        Request::Del(k) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            match ctx.store.del(*k) {
+                Some(v) => wire::int(out, v),
+                None => wire::null(out),
+            }
+        }
+        Request::MGet(keys) => {
+            // Validate the whole frame before executing any of it: a batch
+            // either runs entirely or answers one error.
+            if !keys.iter().all(|&k| key_ok(k)) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, keys.len() as u64);
+            let found = ctx.store.multi_get(keys);
+            wire::array_header(out, found.len());
+            for item in found {
+                match item {
+                    Some(v) => wire::int(out, v),
+                    None => wire::null(out),
+                }
+            }
+        }
+        Request::MSet(entries) => {
+            if !entries.iter().all(|&(k, _)| key_ok(k)) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, entries.len() as u64);
+            let outcomes = ctx.store.multi_set(entries);
+            wire::array_header(out, outcomes.len());
+            for ok in outcomes {
+                wire::int(out, ok as u64);
+            }
+        }
+        Request::Scan(from, n) => match ctx.store.scan(*from, *n) {
+            Some(pairs) => {
+                WorkerStats::bump(&stats.ops, 1);
+                wire::array_header(out, pairs.len());
+                for (k, v) in pairs {
+                    wire::pair(out, k, v);
+                }
+            }
+            None => {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, "scans unsupported by this store (unordered backing)");
+            }
+        },
+        Request::Ping => wire::simple(out, "PONG"),
+        Request::Stats => {
+            let totals = (ctx.totals)();
+            let (store_ops, store_hits) = ctx.store.ops_and_hits();
+            let info = format!(
+                "size={} shards={} store_ops={store_ops} store_hits={store_hits} conns={} frames={} ops={} errors={} bytes_in={} bytes_out={}",
+                ctx.store.size(),
+                ctx.store.shard_count(),
+                totals.connections,
+                totals.frames,
+                totals.ops,
+                totals.errors,
+                totals.bytes_in,
+                totals.bytes_out,
+            );
+            wire::simple(out, &info);
+        }
+        Request::Quit => {
+            wire::simple(out, "BYE");
+            return Flow::Quit;
+        }
+    }
+    Flow::Continue
+}

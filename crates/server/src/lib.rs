@@ -1,0 +1,65 @@
+//! # ascylib-server — the wire-protocol serving tier for ASCYLIB-RS
+//!
+//! Everything below the network boundary already exists in this workspace:
+//! linearizable structures (`ascylib`), hash-routed sharding
+//! (`ascylib-shard`), ordered range scans, and a workload engine
+//! (`ascylib-harness`). This crate adds the layer real deployments are
+//! measured at — a TCP server speaking a compact text protocol, driven by
+//! real clients over sockets — using nothing but `std::net`:
+//!
+//! * [`protocol`] — the RESP-like frame codec: `GET`/`SET`/`DEL`,
+//!   batched `MGET`/`MSET`, ordered `SCAN`, `PING`/`STATS`/`QUIT`;
+//!   incremental push parsers that tolerate arbitrarily split reads and
+//!   answer malformed frames with in-band errors (never a panic, always
+//!   resynchronizing at the next line). The full grammar lives in
+//!   `PROTOCOL.md` at the repository root.
+//! * [`store`] — the [`KvStore`] keyspace interface and its adapters over
+//!   [`ascylib_shard::ShardedMap`]: [`ShardedStore`] for any backing,
+//!   [`ShardedOrderedStore`] adding cross-shard merged scans.
+//! * `conn` (internal) — buffered per-connection state with request
+//!   **pipelining**: every complete frame that arrived is executed and
+//!   answered in order with one flush; `MGET`/`MSET` dispatch through the
+//!   shard layer's batched operations.
+//! * [`server`] — the acceptor + worker-pool TCP tier with per-worker
+//!   cache-padded stats, graceful `QUIT`/shutdown draining, and ephemeral
+//!   port support for tests.
+//! * [`client`] — a blocking client with typed per-verb calls and a
+//!   [`Pipeline`] that turns `k` round trips into one.
+//! * [`loadgen`] — a closed-loop multi-connection load generator that
+//!   reuses the harness's [`OpMix`](ascylib_harness::OpMix) /
+//!   [`KeyDist`](ascylib_harness::KeyDist) vocabulary, so every in-process
+//!   bench scenario replays over loopback sockets with latency percentiles
+//!   from the same `LatencyStats` machinery.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use ascylib::hashtable::ClhtLb;
+//! use ascylib_shard::ShardedMap;
+//! use ascylib_server::{Client, Server, ServerConfig, ShardedStore};
+//!
+//! let map = Arc::new(ShardedMap::new(4, |_| ClhtLb::with_capacity(1024)));
+//! let server = Server::start("127.0.0.1:0", ShardedStore::new(map), ServerConfig::default())?;
+//! let mut client = Client::connect(server.addr())?;
+//! client.set(7, 700)?;
+//! assert_eq!(client.get(7)?, Some(700));
+//! client.quit()?;
+//! server.join();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+mod conn;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+pub mod store;
+
+pub use client::{Client, Pipeline};
+pub use loadgen::{LoadGenConfig, LoadGenResult};
+pub use protocol::{ParseError, Reply, Request};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::ServerStatsSnapshot;
+pub use store::{KvStore, ShardedOrderedStore, ShardedStore};

@@ -1,0 +1,366 @@
+//! A closed-loop, multi-connection load generator for the wire protocol.
+//!
+//! Replays the harness's workload vocabulary — any
+//! [`OpMix`] (YCSB A–E presets included) under any
+//! [`KeyDist`] (uniform / Zipfian / hotspot) — over real sockets: every
+//! in-process benchmark scenario can be re-run against a server and the
+//! results compared apples-to-apples (`fig12_server` in the bench crate
+//! does exactly that).
+//!
+//! **Closed loop:** each connection keeps at most `pipeline_depth` requests
+//! in flight and issues the next batch only after the previous one is fully
+//! answered, so measured throughput is bounded by round trips (depth 1) or
+//! by server capacity (deep pipelines) — the contrast between those two is
+//! the serving tier's pipelining win.
+//!
+//! Latency is recorded per *round trip* (one flushed batch of
+//! `pipeline_depth` frames), the unit a closed-loop client actually waits
+//! for; percentiles come from the same [`LatencyStats`] machinery the
+//! in-process harness reports.
+
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ascylib_harness::{KeyDist, LatencyStats, OpMix, Operation};
+
+use crate::client::Client;
+use crate::protocol::{Reply, Request, MAX_SCAN};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGenConfig {
+    /// Concurrent connections (one thread each). The server must have at
+    /// least this many workers, or the surplus waits in its accept queue.
+    pub connections: usize,
+    /// Measurement duration in milliseconds.
+    pub duration_ms: u64,
+    /// Operation mix (read → `GET`, insert → `SET`, remove → `DEL`,
+    /// scan → `SCAN`; scans need an ordered store).
+    pub mix: OpMix,
+    /// Key popularity distribution.
+    pub dist: KeyDist,
+    /// Keys are drawn from `[1, key_range]`.
+    pub key_range: u64,
+    /// Frames kept in flight per connection (1 = strict request/response).
+    pub pipeline_depth: usize,
+    /// Base RNG seed (each connection derives its own stream).
+    pub seed: u64,
+}
+
+impl Default for LoadGenConfig {
+    /// Four connections, 300 ms, the paper's 10%-update mix, uniform keys
+    /// over `[1, 8192]`, pipeline depth 16.
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            duration_ms: 300,
+            mix: OpMix::default(),
+            dist: KeyDist::Uniform,
+            key_range: 8192,
+            pipeline_depth: 16,
+            seed: 0x10AD_9E4E,
+        }
+    }
+}
+
+/// Aggregate outcome of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenResult {
+    /// Operations answered across all connections (scans count one each).
+    pub total_ops: u64,
+    /// Operations per second.
+    pub throughput: f64,
+    /// Mega-operations per second.
+    pub mops: f64,
+    /// `GET` frames answered.
+    pub gets: u64,
+    /// `SET` frames answered.
+    pub sets: u64,
+    /// `DEL` frames answered.
+    pub dels: u64,
+    /// `SCAN` frames answered.
+    pub scans: u64,
+    /// `GET` hits (non-null answers).
+    pub hits: u64,
+    /// Keys returned across all scans.
+    pub scan_keys_returned: u64,
+    /// `-ERR` replies received (the run continues past them).
+    pub errors: u64,
+    /// Round-trip latency of one flushed batch (nanoseconds; at depth 1
+    /// this is per-operation latency).
+    pub batch_rtt: LatencyStats,
+    /// Wall-clock measurement duration.
+    pub elapsed: Duration,
+}
+
+impl LoadGenResult {
+    /// `GET` hit rate in `[0, 1]` (0 if no `GET`s ran).
+    pub fn hit_rate(&self) -> f64 {
+        if self.gets == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.gets as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct ConnOutput {
+    ops: u64,
+    gets: u64,
+    sets: u64,
+    dels: u64,
+    scans: u64,
+    hits: u64,
+    scan_keys: u64,
+    errors: u64,
+    rtt_samples: Vec<u64>,
+}
+
+/// Runs the closed loop: `connections` threads connect to `addr`, apply the
+/// mix until the duration elapses, and the per-connection tallies are
+/// merged. Fails if any connection cannot be established or dies mid-run.
+pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
+    let connections = cfg.connections.max(1);
+    let depth = cfg.pipeline_depth.max(1);
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(connections + 1));
+
+    let outputs = std::thread::scope(|scope| -> io::Result<Vec<ConnOutput>> {
+        let mut handles = Vec::with_capacity(connections);
+        for conn_id in 0..connections {
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || -> io::Result<ConnOutput> {
+                // Connect before the start barrier, but reach the barrier
+                // even on failure — the controller and every sibling wait at
+                // it, and a missing participant would deadlock the run.
+                let connected = Client::connect(addr);
+                barrier.wait();
+                let mut client = connected?;
+                let mut rng =
+                    SmallRng::seed_from_u64(cfg.seed ^ ((conn_id as u64 + 1) * 0x9E37_79B9));
+                let sampler = ascylib_harness::KeySampler::new(cfg.dist, cfg.key_range.max(1));
+                let mix = cfg.mix.validated();
+                let dice_range = mix.total();
+                let mut out = ConnOutput::default();
+                let mut batch: Vec<Request> = Vec::with_capacity(depth);
+                while !stop.load(Ordering::Relaxed) {
+                    batch.clear();
+                    for _ in 0..depth {
+                        let key = sampler.sample(&mut rng);
+                        batch.push(match mix.sample(rng.random_range(0..dice_range)) {
+                            Operation::Read => Request::Get(key),
+                            Operation::Insert => Request::Set(key, key.wrapping_mul(10)),
+                            Operation::Remove => Request::Del(key),
+                            Operation::Scan { len } => {
+                                let want = rng.random_range(1..=len.min(MAX_SCAN) as u64);
+                                Request::Scan(key, want as usize)
+                            }
+                        });
+                    }
+                    let start = Instant::now();
+                    let mut p = client.pipeline();
+                    for req in &batch {
+                        p.push(req);
+                    }
+                    let replies = p.run()?;
+                    out.rtt_samples.push(start.elapsed().as_nanos() as u64);
+                    for (req, reply) in batch.iter().zip(replies) {
+                        out.ops += 1;
+                        if let Reply::Error(_) = reply {
+                            out.errors += 1;
+                            continue;
+                        }
+                        match req {
+                            Request::Get(_) => {
+                                out.gets += 1;
+                                if matches!(reply, Reply::Int(_)) {
+                                    out.hits += 1;
+                                }
+                            }
+                            Request::Set(..) => out.sets += 1,
+                            Request::Del(_) => out.dels += 1,
+                            Request::Scan(..) => {
+                                out.scans += 1;
+                                if let Reply::Array(elems) = reply {
+                                    out.scan_keys += elems.len() as u64;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                let _ = client.quit();
+                Ok(out)
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(cfg.duration_ms.max(1)));
+        stop.store(true, Ordering::Relaxed);
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    })?;
+    let elapsed = Duration::from_millis(cfg.duration_ms.max(1));
+
+    let mut result = LoadGenResult {
+        total_ops: 0,
+        throughput: 0.0,
+        mops: 0.0,
+        gets: 0,
+        sets: 0,
+        dels: 0,
+        scans: 0,
+        hits: 0,
+        scan_keys_returned: 0,
+        errors: 0,
+        batch_rtt: LatencyStats::default(),
+        elapsed,
+    };
+    let mut rtt_samples = Vec::new();
+    for out in outputs {
+        result.total_ops = result.total_ops.saturating_add(out.ops);
+        result.gets = result.gets.saturating_add(out.gets);
+        result.sets = result.sets.saturating_add(out.sets);
+        result.dels = result.dels.saturating_add(out.dels);
+        result.scans = result.scans.saturating_add(out.scans);
+        result.hits = result.hits.saturating_add(out.hits);
+        result.scan_keys_returned = result.scan_keys_returned.saturating_add(out.scan_keys);
+        result.errors = result.errors.saturating_add(out.errors);
+        rtt_samples.extend(out.rtt_samples);
+    }
+    result.throughput = result.total_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    result.mops = result.throughput / 1e6;
+    result.batch_rtt = LatencyStats::from_samples(rtt_samples);
+    Ok(result)
+}
+
+/// Prefills the keyspace over the wire: pipelined `MSET` batches inserting
+/// `initial_size` distinct keys spread evenly across `[1, key_range]` (the
+/// same even-coverage shape the in-process harness starts from). Returns
+/// the number of newly inserted keys.
+pub fn prefill(addr: SocketAddr, initial_size: u64, key_range: u64) -> io::Result<u64> {
+    let mut client = Client::connect(addr)?;
+    let range = key_range.max(initial_size).max(1);
+    let step = (range / initial_size.max(1)).max(1);
+    let mut inserted = 0u64;
+    let mut entries: Vec<(u64, u64)> = Vec::with_capacity(256);
+    let mut key = 1u64;
+    let mut remaining = initial_size;
+    while remaining > 0 {
+        entries.clear();
+        while remaining > 0 && entries.len() < 256 {
+            entries.push((key, key.wrapping_mul(10)));
+            key = key.saturating_add(step).min(u64::MAX - 1);
+            remaining -= 1;
+        }
+        for ok in client.mset(&entries)? {
+            inserted += ok as u64;
+        }
+    }
+    client.quit()?;
+    Ok(inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{Server, ServerConfig};
+    use crate::store::ShardedOrderedStore;
+    use ascylib::api::ConcurrentMap;
+    use ascylib::skiplist::FraserOptSkipList;
+    use ascylib_shard::ShardedMap;
+
+    #[test]
+    fn closed_loop_run_reports_traffic() {
+        let map = Arc::new(ShardedMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            ShardedOrderedStore::new(Arc::clone(&map)),
+            ServerConfig::for_connections(2),
+        )
+        .unwrap();
+        let inserted = prefill(server.addr(), 256, 512).unwrap();
+        assert_eq!(inserted, 256);
+        assert_eq!(map.size(), 256);
+
+        let cfg = LoadGenConfig {
+            connections: 2,
+            duration_ms: 80,
+            mix: OpMix::update(20),
+            key_range: 512,
+            pipeline_depth: 8,
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &cfg).unwrap();
+        assert!(r.total_ops > 0);
+        assert_eq!(r.total_ops, r.gets + r.sets + r.dels + r.scans + r.errors);
+        assert_eq!(r.errors, 0, "well-formed traffic must not error");
+        assert!(r.gets > r.sets, "80% reads dominate");
+        assert!(r.hits > 0, "prefilled keyspace yields GET hits");
+        assert!(r.hit_rate() > 0.0 && r.hit_rate() <= 1.0);
+        assert!(r.throughput > 0.0);
+        assert!(r.batch_rtt.samples > 0);
+        assert!(r.batch_rtt.p50 > 0);
+        server.join();
+    }
+
+    #[test]
+    fn scan_mix_over_the_wire_returns_keys() {
+        let map = Arc::new(ShardedMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            ShardedOrderedStore::new(map),
+            ServerConfig::for_connections(2),
+        )
+        .unwrap();
+        prefill(server.addr(), 256, 512).unwrap();
+        let cfg = LoadGenConfig {
+            connections: 2,
+            duration_ms: 60,
+            mix: OpMix::ycsb_e(),
+            key_range: 512,
+            pipeline_depth: 4,
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &cfg).unwrap();
+        assert!(r.scans > 0, "YCSB-E is 95% scans");
+        assert!(r.scan_keys_returned > 0);
+        assert_eq!(r.errors, 0);
+        server.join();
+    }
+
+    #[test]
+    fn unsupported_scans_surface_as_error_replies_not_failures() {
+        use crate::store::ShardedStore;
+        use ascylib::hashtable::ClhtLb;
+        let map = Arc::new(ShardedMap::new(2, |_| ClhtLb::with_capacity(256)));
+        let server = Server::start(
+            "127.0.0.1:0",
+            ShardedStore::new(map),
+            ServerConfig::for_connections(1),
+        )
+        .unwrap();
+        let cfg = LoadGenConfig {
+            connections: 1,
+            duration_ms: 40,
+            mix: OpMix::ycsb_e(),
+            key_range: 128,
+            pipeline_depth: 4,
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &cfg).unwrap();
+        assert!(r.errors > 0, "hash shards reject SCAN in-band");
+        assert_eq!(r.scans, 0);
+        assert!(r.total_ops > 0, "the run continues past error replies");
+        server.join();
+    }
+}

@@ -1,0 +1,817 @@
+//! The ASCY wire protocol: a compact RESP-like text frame codec.
+//!
+//! # Requests
+//!
+//! A request frame is one ASCII line: a verb, zero or more decimal `u64`
+//! arguments separated by single spaces, terminated by `\r\n` (a bare `\n`
+//! is accepted for hand-driven sessions):
+//!
+//! ```text
+//! GET <key>            SET <key> <value>        DEL <key>
+//! MGET <key>...        MSET <key> <value>...    SCAN <from> <count>
+//! PING                 STATS                    QUIT
+//! ```
+//!
+//! # Replies
+//!
+//! One line per reply, except arrays which are a `*<n>` header line followed
+//! by `n` element lines:
+//!
+//! ```text
+//! +<text>      simple string (`+OK`, `+PONG`, `+BYE`, STATS info line)
+//! :<u64>       integer (GET/DEL hit value, SET outcome 0/1)
+//! _            null (GET/DEL miss)
+//! =<k> <v>     one key-value pair (SCAN elements)
+//! *<n>         array header (MGET/MSET/SCAN replies)
+//! -ERR <msg>   error frame (malformed request, unsupported operation)
+//! ```
+//!
+//! # Incremental parsing
+//!
+//! Both directions are parsed by *push* parsers ([`RequestParser`],
+//! [`ReplyParser`]) that accept arbitrarily split byte chunks (a frame may
+//! arrive one byte at a time, or fifty frames may arrive in one read).
+//! Malformed input yields an error item — never a panic — and the parser
+//! resynchronizes at the next line boundary, so one bad frame costs exactly
+//! one error reply and the connection keeps working. See `PROTOCOL.md` at
+//! the repository root for the full grammar and pipelining rules.
+
+use std::fmt;
+
+/// Longest accepted line (bytes, excluding the terminator). Bounds both
+/// parser memory and the damage an unterminated frame can do; a run of
+/// more than this many bytes without a newline is discarded up to the next
+/// newline and reported as one [`ParseError::Oversize`]. Sized so that the
+/// worst legal frame — `MGET`/`MSET` with [`MAX_ARGS`] twenty-digit
+/// arguments, ~21.5 KiB — fits with room to spare (the argument cap binds
+/// before the line cap does).
+pub const MAX_LINE: usize = 32 * 1024;
+
+/// Most arguments accepted in one `MGET`/`MSET` frame (keys the shard
+/// layer's batched dispatch is visited with at once).
+pub const MAX_ARGS: usize = 1024;
+
+/// Largest `SCAN` count a server will honour per frame; larger cursors must
+/// iterate.
+pub const MAX_SCAN: usize = 4096;
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `GET key` — point lookup.
+    Get(u64),
+    /// `SET key value` — insert-if-absent (the store is a concurrent *set*
+    /// of keyed elements; an existing key is left untouched and reported).
+    Set(u64, u64),
+    /// `DEL key` — remove, returning the removed value.
+    Del(u64),
+    /// `MGET key...` — batched lookup, answered in input order.
+    MGet(Vec<u64>),
+    /// `MSET (key value)...` — batched insert-if-absent, answered in input
+    /// order.
+    MSet(Vec<(u64, u64)>),
+    /// `SCAN from count` — up to `count` elements with key `>= from`, in
+    /// ascending key order (requires an ordered store).
+    Scan(u64, usize),
+    /// `PING` — liveness probe.
+    Ping,
+    /// `STATS` — one info line of `name=value` tokens.
+    Stats,
+    /// `QUIT` — graceful close: the server replies `+BYE`, flushes, and
+    /// closes the connection.
+    Quit,
+}
+
+/// Why a frame was rejected. The `Display` text is what the server sends
+/// back in the `-ERR` reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// An empty line (no verb).
+    Empty,
+    /// The line exceeded [`MAX_LINE`] bytes.
+    Oversize,
+    /// The line contained a NUL, another control byte, or a non-ASCII byte.
+    IllegalByte,
+    /// The verb is not part of the protocol.
+    UnknownVerb,
+    /// Known verb, wrong number of arguments.
+    Arity(&'static str),
+    /// An argument was not a decimal `u64` (empty token, stray characters,
+    /// or overflow).
+    BadNumber,
+    /// An `MGET`/`MSET` carried more than [`MAX_ARGS`] arguments.
+    TooManyArgs,
+    /// A `SCAN` count exceeded [`MAX_SCAN`].
+    ScanTooLarge,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Empty => write!(f, "empty frame"),
+            ParseError::Oversize => write!(f, "frame exceeds {MAX_LINE} bytes"),
+            ParseError::IllegalByte => write!(f, "illegal byte in frame"),
+            ParseError::UnknownVerb => write!(f, "unknown verb"),
+            ParseError::Arity(usage) => write!(f, "wrong arity, usage: {usage}"),
+            ParseError::BadNumber => write!(f, "argument is not a decimal u64"),
+            ParseError::TooManyArgs => write!(f, "more than {MAX_ARGS} arguments"),
+            ParseError::ScanTooLarge => write!(f, "scan count exceeds {MAX_SCAN}"),
+        }
+    }
+}
+
+/// Shared line-splitting core of the two push parsers: buffers fed bytes,
+/// yields complete lines (terminator stripped), discards oversize runs up to
+/// the next newline.
+#[derive(Debug, Default)]
+struct LineBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily so feeding is O(bytes)).
+    start: usize,
+    /// Set after an oversize run: discard up to the next newline before
+    /// resuming normal parsing.
+    discarding: bool,
+}
+
+/// One item from [`LineBuffer::next_line`].
+enum Line {
+    /// No complete line buffered; feed more bytes.
+    Pending,
+    /// A complete line (without its `\n` / `\r\n` terminator). The range is
+    /// an index pair into the internal buffer — borrow immediately.
+    Complete(usize, usize),
+    /// An oversize run was discarded (either the run found its newline, or
+    /// the whole buffer was dropped while waiting for one).
+    Oversize,
+}
+
+impl LineBuffer {
+    fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `start` is dead.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn next_line(&mut self) -> Line {
+        if self.discarding {
+            match self.buf[self.start..].iter().position(|&b| b == b'\n') {
+                Some(nl) => {
+                    self.start += nl + 1;
+                    self.discarding = false;
+                    // The error for this run was already reported when the
+                    // discard began; continue with the next line silently.
+                }
+                None => {
+                    self.buf.clear();
+                    self.start = 0;
+                    return Line::Pending;
+                }
+            }
+        }
+        let pending = &self.buf[self.start..];
+        match pending.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let mut end = self.start + nl;
+                let line_start = self.start;
+                self.start += nl + 1;
+                if end > line_start && self.buf[end - 1] == b'\r' {
+                    end -= 1;
+                }
+                if end - line_start > MAX_LINE {
+                    // Terminated, but too long: the newline already
+                    // resynchronized us.
+                    Line::Oversize
+                } else {
+                    Line::Complete(line_start, end)
+                }
+            }
+            None => {
+                // `+ 1`: a maximal legal line may sit in the buffer with its
+                // `\r` but not yet its `\n`. Declaring that oversize would
+                // make accept/reject depend on where the read boundary fell.
+                if pending.len() > MAX_LINE + 1 {
+                    // Unterminated and already too long: drop what we have
+                    // and keep discarding until a newline shows up.
+                    self.buf.clear();
+                    self.start = 0;
+                    self.discarding = true;
+                    Line::Oversize
+                } else {
+                    Line::Pending
+                }
+            }
+        }
+    }
+}
+
+/// Incremental request parser (server side).
+///
+/// Feed raw socket bytes with [`feed`](Self::feed), then drain complete
+/// frames with [`next`](Self::next). `Err` items are per-frame: the parser
+/// has already resynchronized past the offending line and the following
+/// frames parse normally.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    lines: LineBuffer,
+}
+
+impl RequestParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes (any split: partial frames, many frames, …).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.lines.feed(bytes);
+    }
+
+    /// Next complete frame, a per-frame error, or `None` when more bytes are
+    /// needed.
+    //
+    // Not an `Iterator`: `None` means "pending, feed more", not exhaustion —
+    // iterator adapters (collect, for-loops) would silently truncate streams.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<Request, ParseError>> {
+        match self.lines.next_line() {
+            Line::Pending => None,
+            Line::Oversize => Some(Err(ParseError::Oversize)),
+            // The &mut borrow from next_line() ends at the indices, so the
+            // line can be parsed straight out of the buffer, no copy.
+            Line::Complete(start, end) => Some(parse_request_line(&self.lines.buf[start..end])),
+        }
+    }
+}
+
+/// Checks the line is printable ASCII and returns it as `&str`.
+fn ascii_line(line: &[u8]) -> Result<&str, ParseError> {
+    if line.iter().any(|&b| !(0x20..=0x7E).contains(&b)) {
+        return Err(ParseError::IllegalByte);
+    }
+    // Printable ASCII is valid UTF-8.
+    Ok(std::str::from_utf8(line).expect("ascii checked"))
+}
+
+fn parse_u64(token: &str) -> Result<u64, ParseError> {
+    if token.is_empty() || !token.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(ParseError::BadNumber);
+    }
+    token.parse().map_err(|_| ParseError::BadNumber)
+}
+
+fn parse_request_line(line: &[u8]) -> Result<Request, ParseError> {
+    let line = ascii_line(line)?;
+    if line.is_empty() {
+        return Err(ParseError::Empty);
+    }
+    let mut tokens = line.split(' ');
+    let verb = tokens.next().expect("split yields at least one token");
+    let args: Vec<&str> = tokens.collect();
+    if args.len() > MAX_ARGS {
+        return Err(ParseError::TooManyArgs);
+    }
+    let arity = |n: usize, usage: &'static str| {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ParseError::Arity(usage))
+        }
+    };
+    match verb {
+        "GET" => {
+            arity(1, "GET <key>")?;
+            Ok(Request::Get(parse_u64(args[0])?))
+        }
+        "SET" => {
+            arity(2, "SET <key> <value>")?;
+            Ok(Request::Set(parse_u64(args[0])?, parse_u64(args[1])?))
+        }
+        "DEL" => {
+            arity(1, "DEL <key>")?;
+            Ok(Request::Del(parse_u64(args[0])?))
+        }
+        "MGET" => {
+            if args.is_empty() {
+                return Err(ParseError::Arity("MGET <key>..."));
+            }
+            let keys = args.iter().map(|t| parse_u64(t)).collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::MGet(keys))
+        }
+        "MSET" => {
+            if args.is_empty() || args.len() % 2 != 0 {
+                return Err(ParseError::Arity("MSET (<key> <value>)..."));
+            }
+            let entries = args
+                .chunks_exact(2)
+                .map(|kv| Ok((parse_u64(kv[0])?, parse_u64(kv[1])?)))
+                .collect::<Result<Vec<_>, ParseError>>()?;
+            Ok(Request::MSet(entries))
+        }
+        "SCAN" => {
+            arity(2, "SCAN <from> <count>")?;
+            let from = parse_u64(args[0])?;
+            let count = parse_u64(args[1])?;
+            if count > MAX_SCAN as u64 {
+                return Err(ParseError::ScanTooLarge);
+            }
+            Ok(Request::Scan(from, count as usize))
+        }
+        "PING" => {
+            arity(0, "PING")?;
+            Ok(Request::Ping)
+        }
+        "STATS" => {
+            arity(0, "STATS")?;
+            Ok(Request::Stats)
+        }
+        "QUIT" => {
+            arity(0, "QUIT")?;
+            Ok(Request::Quit)
+        }
+        _ => Err(ParseError::UnknownVerb),
+    }
+}
+
+/// Encodes one request frame onto a byte buffer (the client side of the
+/// codec; [`RequestParser`] is its inverse).
+pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
+    use std::io::Write as _;
+    match req {
+        Request::Get(k) => write!(out, "GET {k}\r\n"),
+        Request::Set(k, v) => write!(out, "SET {k} {v}\r\n"),
+        Request::Del(k) => write!(out, "DEL {k}\r\n"),
+        Request::MGet(keys) => {
+            out.extend_from_slice(b"MGET");
+            for k in keys {
+                write!(out, " {k}").expect("vec write");
+            }
+            out.extend_from_slice(b"\r\n");
+            Ok(())
+        }
+        Request::MSet(entries) => {
+            out.extend_from_slice(b"MSET");
+            for (k, v) in entries {
+                write!(out, " {k} {v}").expect("vec write");
+            }
+            out.extend_from_slice(b"\r\n");
+            Ok(())
+        }
+        Request::Scan(from, n) => write!(out, "SCAN {from} {n}\r\n"),
+        Request::Ping => write!(out, "PING\r\n"),
+        Request::Stats => write!(out, "STATS\r\n"),
+        Request::Quit => write!(out, "QUIT\r\n"),
+    }
+    .expect("writing to a Vec cannot fail")
+}
+
+/// One parsed reply frame (arrays are one level deep by construction).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+text` — simple string.
+    Simple(String),
+    /// `:n` — integer.
+    Int(u64),
+    /// `_` — null (miss).
+    Null,
+    /// `=k v` — one key-value pair.
+    Pair(u64, u64),
+    /// `*n` header plus `n` scalar elements.
+    Array(Vec<Reply>),
+    /// `-ERR message`.
+    Error(String),
+}
+
+/// Reply-side wire writers, used by the server's connection loop (and by
+/// tests to fabricate server output). Each writes one complete frame.
+pub mod wire {
+    use std::io::Write as _;
+
+    /// `+text` simple string frame.
+    pub fn simple(out: &mut Vec<u8>, text: &str) {
+        debug_assert!(text.bytes().all(|b| (0x20..=0x7E).contains(&b)));
+        write!(out, "+{text}\r\n").expect("vec write");
+    }
+
+    /// `:n` integer frame.
+    pub fn int(out: &mut Vec<u8>, n: u64) {
+        write!(out, ":{n}\r\n").expect("vec write");
+    }
+
+    /// `_` null frame.
+    pub fn null(out: &mut Vec<u8>) {
+        out.extend_from_slice(b"_\r\n");
+    }
+
+    /// `=k v` pair frame.
+    pub fn pair(out: &mut Vec<u8>, k: u64, v: u64) {
+        write!(out, "={k} {v}\r\n").expect("vec write");
+    }
+
+    /// `*n` array header (followed by `n` scalar frames the caller writes).
+    pub fn array_header(out: &mut Vec<u8>, n: usize) {
+        write!(out, "*{n}\r\n").expect("vec write");
+    }
+
+    /// `-ERR message` error frame.
+    pub fn error(out: &mut Vec<u8>, message: &str) {
+        let clean: String =
+            message.chars().map(|c| if ('\u{20}'..='\u{7E}').contains(&c) { c } else { '?' }).collect();
+        write!(out, "-ERR {clean}\r\n").expect("vec write");
+    }
+}
+
+/// Largest reply array a client will accept (defensively above the largest
+/// array a conforming server can produce, `MAX_SCAN`).
+pub const MAX_REPLY_ARRAY: usize = MAX_SCAN * 2;
+
+/// Incremental reply parser (client side). Same push discipline as
+/// [`RequestParser`]; array replies are assembled across chunk boundaries.
+#[derive(Debug, Default)]
+pub struct ReplyParser {
+    lines: LineBuffer,
+    /// In-flight array: remaining element count and the collected elements.
+    partial: Option<(usize, Vec<Reply>)>,
+}
+
+impl ReplyParser {
+    /// A parser with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw bytes from the server.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.lines.feed(bytes);
+    }
+
+    /// Next complete reply (arrays are returned whole), a per-frame error,
+    /// or `None` when more bytes are needed.
+    ///
+    /// Protocol violations (oversize lines, malformed frames, array headers
+    /// inside arrays) surface as `Err`; the parser resynchronizes at the
+    /// next line, dropping any half-assembled array.
+    //
+    // Not an `Iterator` for the same reason as `RequestParser::next`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Result<Reply, ParseError>> {
+        loop {
+            let item = match self.lines.next_line() {
+                Line::Pending => return None,
+                Line::Oversize => {
+                    self.partial = None;
+                    return Some(Err(ParseError::Oversize));
+                }
+                // As in `RequestParser::next`: parse in place, no copy.
+                Line::Complete(start, end) => match parse_reply_line(&self.lines.buf[start..end]) {
+                    Err(e) => {
+                        self.partial = None;
+                        return Some(Err(e));
+                    }
+                    Ok(item) => item,
+                },
+            };
+            match (item, self.partial.take()) {
+                // Array header outside an array: start collecting.
+                (ReplyLine::ArrayHeader(0), None) => return Some(Ok(Reply::Array(Vec::new()))),
+                (ReplyLine::ArrayHeader(n), None) => {
+                    self.partial = Some((n, Vec::with_capacity(n.min(64))));
+                }
+                // Array header inside an array: nesting is not part of the
+                // protocol.
+                (ReplyLine::ArrayHeader(_), Some(_)) => {
+                    return Some(Err(ParseError::UnknownVerb));
+                }
+                (ReplyLine::Scalar(r), None) => return Some(Ok(r)),
+                (ReplyLine::Scalar(r), Some((remaining, mut elems))) => {
+                    elems.push(r);
+                    if remaining == 1 {
+                        return Some(Ok(Reply::Array(elems)));
+                    }
+                    self.partial = Some((remaining - 1, elems));
+                }
+            }
+        }
+    }
+}
+
+enum ReplyLine {
+    Scalar(Reply),
+    ArrayHeader(usize),
+}
+
+fn parse_reply_line(line: &[u8]) -> Result<ReplyLine, ParseError> {
+    let line = ascii_line(line)?;
+    let Some(first) = line.chars().next() else {
+        return Err(ParseError::Empty);
+    };
+    let rest = &line[1..];
+    match first {
+        '+' => Ok(ReplyLine::Scalar(Reply::Simple(rest.to_string()))),
+        ':' => Ok(ReplyLine::Scalar(Reply::Int(parse_u64(rest)?))),
+        '_' => {
+            if rest.is_empty() {
+                Ok(ReplyLine::Scalar(Reply::Null))
+            } else {
+                Err(ParseError::BadNumber)
+            }
+        }
+        '=' => {
+            let (k, v) = rest.split_once(' ').ok_or(ParseError::Arity("=<key> <value>"))?;
+            Ok(ReplyLine::Scalar(Reply::Pair(parse_u64(k)?, parse_u64(v)?)))
+        }
+        '*' => {
+            let n = parse_u64(rest)?;
+            if n > MAX_REPLY_ARRAY as u64 {
+                return Err(ParseError::TooManyArgs);
+            }
+            Ok(ReplyLine::ArrayHeader(n as usize))
+        }
+        '-' => {
+            let msg = rest.strip_prefix("ERR ").unwrap_or(rest);
+            Ok(ReplyLine::Scalar(Reply::Error(msg.to_string())))
+        }
+        _ => Err(ParseError::UnknownVerb),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Vec<Result<Request, ParseError>> {
+        let mut p = RequestParser::new();
+        p.feed(bytes);
+        let mut out = Vec::new();
+        while let Some(item) = p.next() {
+            out.push(item);
+        }
+        out
+    }
+
+    #[test]
+    fn parses_every_verb() {
+        let stream = b"GET 1\r\nSET 2 20\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 70 8 80\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nQUIT\r\n";
+        let got = parse_all(stream);
+        assert_eq!(
+            got,
+            vec![
+                Ok(Request::Get(1)),
+                Ok(Request::Set(2, 20)),
+                Ok(Request::Del(3)),
+                Ok(Request::MGet(vec![4, 5, 6])),
+                Ok(Request::MSet(vec![(7, 70), (8, 80)])),
+                Ok(Request::Scan(9, 16)),
+                Ok(Request::Ping),
+                Ok(Request::Stats),
+                Ok(Request::Quit),
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_newline_is_accepted() {
+        assert_eq!(parse_all(b"PING\nGET 7\n"), vec![Ok(Request::Ping), Ok(Request::Get(7))]);
+    }
+
+    #[test]
+    fn split_reads_reassemble() {
+        let stream = b"SET 123 456\r\nGET 123\r\n";
+        for split in 0..stream.len() {
+            let mut p = RequestParser::new();
+            p.feed(&stream[..split]);
+            let mut got = Vec::new();
+            while let Some(item) = p.next() {
+                got.push(item);
+            }
+            p.feed(&stream[split..]);
+            while let Some(item) = p.next() {
+                got.push(item);
+            }
+            assert_eq!(
+                got,
+                vec![Ok(Request::Set(123, 456)), Ok(Request::Get(123))],
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_frames_error_and_resynchronize() {
+        let cases: &[(&[u8], ParseError)] = &[
+            (b"\r\n", ParseError::Empty),
+            (b"NOPE 1\r\n", ParseError::UnknownVerb),
+            (b"get 1\r\n", ParseError::UnknownVerb),
+            (b"GET\r\n", ParseError::Arity("GET <key>")),
+            (b"GET 1 2\r\n", ParseError::Arity("GET <key>")),
+            (b"SET 1\r\n", ParseError::Arity("SET <key> <value>")),
+            (b"GET x\r\n", ParseError::BadNumber),
+            // Double space: the empty token counts toward arity.
+            (b"GET  1\r\n", ParseError::Arity("GET <key>")),
+            (b"GET 18446744073709551616\r\n", ParseError::BadNumber),
+            (b"GET -1\r\n", ParseError::BadNumber),
+            (b"MSET 1\r\n", ParseError::Arity("MSET (<key> <value>)...")),
+            (b"MGET\r\n", ParseError::Arity("MGET <key>...")),
+            (b"SCAN 1 999999\r\n", ParseError::ScanTooLarge),
+            (b"GET \x001\r\n", ParseError::IllegalByte),
+            (b"G\xc3\x89T 1\r\n", ParseError::IllegalByte),
+        ];
+        for (bytes, want) in cases {
+            let mut stream = bytes.to_vec();
+            stream.extend_from_slice(b"PING\r\n");
+            let got = parse_all(&stream);
+            assert_eq!(
+                got,
+                vec![Err(want.clone()), Ok(Request::Ping)],
+                "input {:?}",
+                String::from_utf8_lossy(bytes)
+            );
+        }
+    }
+
+    #[test]
+    fn oversize_terminated_line_is_one_error() {
+        let mut stream = vec![b'A'; MAX_LINE + 10];
+        stream.extend_from_slice(b"\r\nPING\r\n");
+        assert_eq!(parse_all(&stream), vec![Err(ParseError::Oversize), Ok(Request::Ping)]);
+    }
+
+    #[test]
+    fn oversize_unterminated_run_reports_once_then_resynchronizes() {
+        let mut p = RequestParser::new();
+        p.feed(&vec![b'B'; MAX_LINE + 2]);
+        assert_eq!(p.next(), Some(Err(ParseError::Oversize)));
+        // Still mid-run: more garbage arrives, silently discarded.
+        p.feed(&vec![b'B'; 3 * MAX_LINE]);
+        assert_eq!(p.next(), None);
+        p.feed(b"tail\nPING\r\n");
+        assert_eq!(p.next(), Some(Ok(Request::Ping)));
+        assert_eq!(p.next(), None);
+    }
+
+    #[test]
+    fn maximal_line_verdict_does_not_depend_on_read_boundaries() {
+        // A line of exactly MAX_LINE bytes must get the same (non-Oversize)
+        // verdict whether its CRLF arrives in the same read or split after
+        // the `\r` — the buffered `\r` must not push the run over the cap.
+        let mut whole = vec![b'A'; MAX_LINE];
+        whole.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&whole), vec![Err(ParseError::UnknownVerb)]);
+
+        let mut p = RequestParser::new();
+        p.feed(&whole[..MAX_LINE + 1]); // content + '\r', no '\n' yet
+        assert_eq!(p.next(), None, "pending, not oversize");
+        p.feed(b"\n");
+        assert_eq!(p.next(), Some(Err(ParseError::UnknownVerb)));
+        // One byte more of content *is* oversize, terminated or not.
+        let mut over = vec![b'A'; MAX_LINE + 1];
+        over.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&over), vec![Err(ParseError::Oversize)]);
+    }
+
+    #[test]
+    fn the_worst_legal_batch_frame_fits_under_the_line_cap() {
+        // MAX_ARGS twenty-digit arguments must be limited by the argument
+        // cap, not silently by MAX_LINE (a conforming client batching at
+        // the documented limit must get answers, not Oversize).
+        let key = u64::MAX - 1; // 20 digits
+        let keys = vec![key; MAX_ARGS];
+        let mut bytes = Vec::new();
+        encode_request(&Request::MGet(keys.clone()), &mut bytes);
+        assert!(bytes.len() <= MAX_LINE, "worst MGET is {} bytes", bytes.len());
+        assert_eq!(parse_all(&bytes), vec![Ok(Request::MGet(keys))]);
+        let entries = vec![(key, key); MAX_ARGS / 2]; // MAX_ARGS args total
+        let mut bytes = Vec::new();
+        encode_request(&Request::MSet(entries.clone()), &mut bytes);
+        assert!(bytes.len() <= MAX_LINE, "worst MSET is {} bytes", bytes.len());
+        assert_eq!(parse_all(&bytes), vec![Ok(Request::MSet(entries))]);
+    }
+
+    #[test]
+    fn too_many_args_is_rejected() {
+        let mut line = b"MGET".to_vec();
+        for i in 0..(MAX_ARGS + 1) {
+            line.extend_from_slice(format!(" {i}").as_bytes());
+        }
+        line.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&line), vec![Err(ParseError::TooManyArgs)]);
+    }
+
+    #[test]
+    fn request_encoding_round_trips() {
+        let reqs = vec![
+            Request::Get(7),
+            Request::Set(1, u64::MAX),
+            Request::Del(0),
+            Request::MGet(vec![9, 9, 8]),
+            Request::MSet(vec![(1, 2), (3, 4)]),
+            Request::Scan(5, MAX_SCAN),
+            Request::Ping,
+            Request::Stats,
+            Request::Quit,
+        ];
+        let mut bytes = Vec::new();
+        for r in &reqs {
+            encode_request(r, &mut bytes);
+        }
+        let got: Vec<Request> = parse_all(&bytes).into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(got, reqs);
+    }
+
+    fn parse_replies(bytes: &[u8]) -> Vec<Result<Reply, ParseError>> {
+        let mut p = ReplyParser::new();
+        p.feed(bytes);
+        let mut out = Vec::new();
+        while let Some(item) = p.next() {
+            out.push(item);
+        }
+        out
+    }
+
+    #[test]
+    fn reply_frames_parse() {
+        let stream = b"+OK\r\n:42\r\n_\r\n=3 30\r\n-ERR boom\r\n*2\r\n:1\r\n_\r\n*0\r\n";
+        assert_eq!(
+            parse_replies(stream),
+            vec![
+                Ok(Reply::Simple("OK".into())),
+                Ok(Reply::Int(42)),
+                Ok(Reply::Null),
+                Ok(Reply::Pair(3, 30)),
+                Ok(Reply::Error("boom".into())),
+                Ok(Reply::Array(vec![Reply::Int(1), Reply::Null])),
+                Ok(Reply::Array(vec![])),
+            ]
+        );
+    }
+
+    #[test]
+    fn reply_arrays_assemble_across_splits() {
+        let stream = b"*3\r\n=1 10\r\n=2 20\r\n=3 30\r\n+OK\r\n";
+        for split in 0..stream.len() {
+            let mut p = ReplyParser::new();
+            p.feed(&stream[..split]);
+            let mut got = Vec::new();
+            while let Some(item) = p.next() {
+                got.push(item);
+            }
+            p.feed(&stream[split..]);
+            while let Some(item) = p.next() {
+                got.push(item);
+            }
+            assert_eq!(
+                got,
+                vec![
+                    Ok(Reply::Array(vec![
+                        Reply::Pair(1, 10),
+                        Reply::Pair(2, 20),
+                        Reply::Pair(3, 30)
+                    ])),
+                    Ok(Reply::Simple("OK".into())),
+                ],
+                "split at {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn reply_parser_rejects_nested_arrays_and_huge_headers() {
+        assert_eq!(
+            parse_replies(b"*2\r\n*1\r\n:1\r\n"),
+            vec![Err(ParseError::UnknownVerb), Ok(Reply::Int(1))],
+            "a nested header drops the partial array and resynchronizes"
+        );
+        let huge = format!("*{}\r\n", MAX_REPLY_ARRAY + 1);
+        assert_eq!(parse_replies(huge.as_bytes()), vec![Err(ParseError::TooManyArgs)]);
+    }
+
+    #[test]
+    fn wire_writers_emit_parseable_frames() {
+        let mut out = Vec::new();
+        wire::simple(&mut out, "PONG");
+        wire::int(&mut out, 5);
+        wire::null(&mut out);
+        wire::array_header(&mut out, 1);
+        wire::pair(&mut out, 2, 4);
+        wire::error(&mut out, "bad\r\nthing");
+        assert_eq!(
+            parse_replies(&out),
+            vec![
+                Ok(Reply::Simple("PONG".into())),
+                Ok(Reply::Int(5)),
+                Ok(Reply::Null),
+                Ok(Reply::Array(vec![Reply::Pair(2, 4)])),
+                Ok(Reply::Error("bad??thing".into())),
+            ]
+        );
+    }
+
+    #[test]
+    fn error_display_messages_are_stable() {
+        assert_eq!(ParseError::Empty.to_string(), "empty frame");
+        assert!(ParseError::Oversize.to_string().contains("bytes"));
+        assert!(ParseError::Arity("GET <key>").to_string().contains("GET <key>"));
+    }
+}

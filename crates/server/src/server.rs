@@ -1,0 +1,313 @@
+//! The TCP serving tier: acceptor + worker-pool architecture.
+//!
+//! [`Server::start`] binds a listener and spawns one acceptor thread plus
+//! `N` worker threads. The acceptor pushes accepted sockets onto a shared
+//! queue; each worker pulls one connection and serves it to completion
+//! (EOF, `QUIT`, or server shutdown) before taking the next — the
+//! thread-per-worker model keeps every connection's frames strictly ordered
+//! with no cross-thread handoff on the hot path.
+//!
+//! **Capacity:** a closed-loop client holds its connection for its whole
+//! session, so size `workers` at least as large as the number of concurrent
+//! long-lived connections; extra connections wait in the accept queue until
+//! a worker frees up.
+//!
+//! **Shutdown** ([`ServerHandle::shutdown`]) is graceful and bounded: the
+//! acceptor stops accepting, each worker finishes the batch it is executing
+//! (responses already computed are flushed), notices the flag at its next
+//! read-timeout tick, and exits. Queued-but-unserved connections are closed
+//! without service. [`ServerHandle::join`] (or dropping the handle) blocks
+//! until every thread has exited.
+//!
+//! Per-worker counters live in cache-line-padded blocks
+//! ([`crate::stats::WorkerStats`]) so the serving hot path never bounces a
+//! stats line between workers.
+
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam_utils::CachePadded;
+
+use crate::conn::{serve_connection, ConnCtx, ConnExit};
+use crate::stats::{ServerStatsSnapshot, WorkerStats};
+use crate::store::KvStore;
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (= maximum concurrently served connections).
+    pub workers: usize,
+    /// Most frames executed per pipelining batch.
+    pub max_pipeline: usize,
+    /// Socket read timeout; also the shutdown-poll granularity, so shutdown
+    /// latency for idle connections is about this long.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { workers: 4, max_pipeline: 128, read_timeout: Duration::from_millis(20) }
+    }
+}
+
+impl ServerConfig {
+    /// A config sized to serve `n` concurrent closed-loop connections.
+    pub fn for_connections(n: usize) -> Self {
+        Self { workers: n.max(1), ..Self::default() }
+    }
+}
+
+/// Shared state between the acceptor, the workers, and the handle.
+struct Shared {
+    store: Arc<dyn KvStore>,
+    shutdown: AtomicBool,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    stats: Box<[CachePadded<WorkerStats>]>,
+    config: ServerConfig,
+}
+
+impl Shared {
+    fn totals(&self) -> ServerStatsSnapshot {
+        let mut total = ServerStatsSnapshot::default();
+        for s in self.stats.iter() {
+            total.merge(&s.snapshot());
+        }
+        total
+    }
+}
+
+/// The serving tier. Construct with [`Server::start`]; the returned
+/// [`ServerHandle`] owns the threads.
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port `0` for an ephemeral port — the bound address
+    /// is on the handle) and starts the acceptor + worker threads serving
+    /// `store`.
+    pub fn start<S: KvStore>(
+        addr: impl ToSocketAddrs,
+        store: S,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = config.workers.max(1);
+        let shared = Arc::new(Shared {
+            store: Arc::new(store),
+            shutdown: AtomicBool::new(false),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stats: (0..workers).map(|_| CachePadded::new(WorkerStats::default())).collect(),
+            config: ServerConfig { workers, ..config },
+        });
+
+        let mut threads = Vec::with_capacity(workers + 1);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("ascy-accept".into())
+                    .spawn(move || acceptor_loop(listener, &shared))?,
+            );
+        }
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("ascy-worker-{i}"))
+                    .spawn(move || worker_loop(i, &shared))?,
+            );
+        }
+        Ok(ServerHandle { addr: local, shared, threads })
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let mut queue = shared.queue.lock().expect("accept queue poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                // Nonblocking accept doubles as the shutdown poll; 1 ms keeps
+                // accept latency negligible against a connection's lifetime.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => {
+                // Transient accept failure (e.g. aborted handshake): retry.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: &Shared) {
+    let stats = &shared.stats[index];
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("accept queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break Some(stream);
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break None;
+                }
+                let (guard, _timeout) = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(20))
+                    .expect("accept queue poisoned");
+                queue = guard;
+            }
+        };
+        let Some(stream) = stream else { return };
+        let totals = || shared.totals();
+        let ctx = ConnCtx {
+            store: &*shared.store,
+            shutdown: &shared.shutdown,
+            max_pipeline: shared.config.max_pipeline,
+            read_timeout: shared.config.read_timeout,
+            stats,
+            totals: &totals,
+        };
+        let _exit: ConnExit = serve_connection(stream, &ctx);
+        WorkerStats::bump(&stats.connections, 1);
+    }
+}
+
+/// Handle to a running server: its bound address, live statistics, and
+/// shutdown/join control. Dropping the handle shuts the server down and
+/// joins its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Aggregated per-worker counters.
+    pub fn stats(&self) -> ServerStatsSnapshot {
+        self.shared.totals()
+    }
+
+    /// Elements currently in the served store.
+    pub fn store_size(&self) -> usize {
+        self.shared.store.size()
+    }
+
+    /// Signals shutdown (idempotent, non-blocking): stop accepting, drain
+    /// in-flight batches, close connections.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+    }
+
+    /// Shuts down, blocks until the acceptor and every worker exited, and
+    /// returns the final (race-free: all workers joined) counters.
+    pub fn join(mut self) -> ServerStatsSnapshot {
+        self.join_inner();
+        self.shared.totals()
+    }
+
+    fn join_inner(&mut self) {
+        self.shutdown();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        // Close connections the acceptor queued but no worker picked up.
+        if let Ok(mut queue) = self.shared.queue.lock() {
+            queue.clear();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.join_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ShardedStore;
+    use ascylib::hashtable::ClhtLb;
+    use ascylib_shard::ShardedMap;
+    use std::io::{Read, Write};
+
+    fn tiny_server(workers: usize) -> ServerHandle {
+        let map = Arc::new(ShardedMap::new(2, |_| ClhtLb::with_capacity(64)));
+        Server::start(
+            "127.0.0.1:0",
+            ShardedStore::new(map),
+            ServerConfig { workers, ..ServerConfig::default() },
+        )
+        .expect("bind ephemeral")
+    }
+
+    #[test]
+    fn starts_serves_raw_frames_and_shuts_down() {
+        let server = tiny_server(2);
+        let mut s = TcpStream::connect(server.addr()).unwrap();
+        s.write_all(b"SET 5 50\r\nGET 5\r\nGET 6\r\nbogus\r\nPING\r\nQUIT\r\n").unwrap();
+        let mut reply = String::new();
+        s.read_to_string(&mut reply).unwrap();
+        assert_eq!(reply, ":1\r\n:50\r\n_\r\n-ERR unknown verb\r\n+PONG\r\n+BYE\r\n");
+        assert_eq!(server.store_size(), 1);
+        let stats = server.join();
+        assert_eq!(stats.connections, 1, "QUIT closes and the worker records the connection");
+        assert_eq!(stats.frames, 5, "bogus line is an error, not a frame");
+        assert_eq!(stats.errors, 1);
+        assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
+    }
+
+    #[test]
+    fn shutdown_unblocks_idle_connections_and_workers() {
+        let server = tiny_server(2);
+        // One idle connection parked in a worker's read loop.
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+        idle.write_all(b"PING\r\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = idle.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"+PONG\r\n");
+        let addr = server.addr();
+        server.join(); // must not hang on the idle connection
+        // The listener is gone after join.
+        assert!(TcpStream::connect_timeout(&addr, Duration::from_millis(200)).is_err());
+    }
+
+    #[test]
+    fn queued_connections_wait_for_a_free_worker() {
+        let server = tiny_server(1);
+        let mut first = TcpStream::connect(server.addr()).unwrap();
+        first.write_all(b"PING\r\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = first.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"+PONG\r\n");
+        // Second connection queues behind the first (single worker)...
+        let mut second = TcpStream::connect(server.addr()).unwrap();
+        second.write_all(b"PING\r\n").unwrap();
+        // ...and is served once the first disconnects.
+        first.write_all(b"QUIT\r\n").unwrap();
+        drop(first);
+        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = second.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"+PONG\r\n");
+        server.join();
+    }
+}

@@ -1,0 +1,112 @@
+//! Per-worker serving counters.
+//!
+//! Each worker thread owns one cache-line-padded [`WorkerStats`] block, so
+//! hot-path counting never bounces a line between workers (the same
+//! observability-without-false-sharing discipline as
+//! `ascylib_shard::stats`). Aggregation walks the blocks only when a
+//! snapshot is requested (`STATS` frames, [`crate::server::ServerHandle`]).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters one worker thread maintains while serving its connections.
+///
+/// All counters are monotone and updated with `Relaxed` ordering: each block
+/// is written by exactly one worker, and snapshots are statistical (exactly
+/// like the structure-level `ascylib::stats` counters, they carry no
+/// happens-before obligations).
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Connections fully served (accepted, drained, closed).
+    pub connections: AtomicU64,
+    /// Well-formed request frames executed.
+    pub frames: AtomicU64,
+    /// Keyspace operations performed (an `MGET` of 10 keys counts 10).
+    pub ops: AtomicU64,
+    /// Error frames sent (malformed requests, key-range violations,
+    /// unsupported scans).
+    pub errors: AtomicU64,
+    /// Bytes read from sockets.
+    pub bytes_in: AtomicU64,
+    /// Bytes written to sockets.
+    pub bytes_out: AtomicU64,
+}
+
+impl WorkerStats {
+    #[inline]
+    pub(crate) fn bump(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            ops: self.ops.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time server counters (one worker's, or the sum over all
+/// workers via [`merge`](Self::merge)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Connections fully served.
+    pub connections: u64,
+    /// Well-formed request frames executed.
+    pub frames: u64,
+    /// Keyspace operations performed.
+    pub ops: u64,
+    /// Error frames sent.
+    pub errors: u64,
+    /// Bytes read from sockets.
+    pub bytes_in: u64,
+    /// Bytes written to sockets.
+    pub bytes_out: u64,
+}
+
+impl ServerStatsSnapshot {
+    /// Adds another snapshot into this one (saturating: a clamped aggregate
+    /// is visibly wrong, a wrapped tiny one is not).
+    pub fn merge(&mut self, other: &ServerStatsSnapshot) {
+        self.connections = self.connections.saturating_add(other.connections);
+        self.frames = self.frames.saturating_add(other.frames);
+        self.ops = self.ops.saturating_add(other.ops);
+        self.errors = self.errors.saturating_add(other.errors);
+        self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
+        self.bytes_out = self.bytes_out.saturating_add(other.bytes_out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_capture_and_merge() {
+        let a = WorkerStats::default();
+        WorkerStats::bump(&a.frames, 3);
+        WorkerStats::bump(&a.ops, 7);
+        WorkerStats::bump(&a.bytes_in, 100);
+        let b = WorkerStats::default();
+        WorkerStats::bump(&b.frames, 2);
+        WorkerStats::bump(&b.errors, 1);
+        let mut total = a.snapshot();
+        total.merge(&b.snapshot());
+        assert_eq!(total.frames, 5);
+        assert_eq!(total.ops, 7);
+        assert_eq!(total.errors, 1);
+        assert_eq!(total.bytes_in, 100);
+        assert_eq!(total.connections, 0);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = ServerStatsSnapshot { ops: u64::MAX - 1, ..Default::default() };
+        a.merge(&ServerStatsSnapshot { ops: 5, ..Default::default() });
+        assert_eq!(a.ops, u64::MAX);
+    }
+}

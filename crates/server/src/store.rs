@@ -1,0 +1,222 @@
+//! What the server serves: a keyspace abstraction over the shard layer.
+//!
+//! The connection loop dispatches frames against a [`KvStore`] trait object,
+//! so one server binary can front any backing. Two adapters cover the
+//! library:
+//!
+//! * [`ShardedStore`] — any [`ConcurrentMap`] backing (hash tables
+//!   included). `SCAN` frames are answered with an error: the backing has no
+//!   key order to scan in.
+//! * [`ShardedOrderedStore`] — ordered backings (lists, skip lists, BSTs),
+//!   adding `SCAN` via the shard layer's k-way-merged
+//!   [`OrderedMap`] scans.
+//!
+//! Both adapters hold an `Arc` to the map, so the process that started the
+//! server keeps a handle for direct inspection (the loopback tests compare
+//! final server state against a sequential model through that handle).
+//! `MGET`/`MSET` frames go through the shard layer's batched
+//! `multi_get`/`multi_insert`, which visits each shard once per frame.
+
+use std::sync::Arc;
+
+use ascylib::api::{ConcurrentMap, KEY_MAX, KEY_MIN};
+use ascylib::ordered::OrderedMap;
+use ascylib_shard::ShardedMap;
+
+/// The serving-side keyspace interface: what a wire frame can do to the
+/// data. All methods are `&self` and thread-safe; worker threads share one
+/// store.
+pub trait KvStore: Send + Sync + 'static {
+    /// Point lookup (`GET`).
+    fn get(&self, key: u64) -> Option<u64>;
+
+    /// Insert-if-absent (`SET`); `true` if the key was newly inserted.
+    fn set(&self, key: u64, value: u64) -> bool;
+
+    /// Remove (`DEL`), returning the removed value.
+    fn del(&self, key: u64) -> Option<u64>;
+
+    /// Batched lookup (`MGET`), results in input order.
+    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>>;
+
+    /// Batched insert-if-absent (`MSET`), outcomes in input order.
+    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool>;
+
+    /// Ordered scan (`SCAN`): up to `n` elements with key `>= from` in
+    /// ascending key order, or `None` if the backing is unordered (the
+    /// server answers with an error frame).
+    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, u64)>>;
+
+    /// Element count (`STATS`; same non-linearizable caveat as
+    /// [`ConcurrentMap::size`]).
+    fn size(&self) -> usize;
+
+    /// Number of shards behind this store (`STATS`).
+    fn shard_count(&self) -> usize;
+
+    /// Aggregate operation/hit counters for `STATS` (shard-layer traffic
+    /// counters where available).
+    fn ops_and_hits(&self) -> (u64, u64);
+}
+
+/// The usable key interval servers enforce before touching the store
+/// (protocol arguments are raw `u64`s; the structures reserve `0` and
+/// `u64::MAX` for sentinels).
+pub const KEY_RANGE: (u64, u64) = (KEY_MIN, KEY_MAX);
+
+/// [`KvStore`] over a [`ShardedMap`] of any point-operation backing.
+pub struct ShardedStore<M> {
+    map: Arc<ShardedMap<M>>,
+}
+
+impl<M: ConcurrentMap + 'static> ShardedStore<M> {
+    /// Wraps a shared sharded map (the caller keeps its handle).
+    pub fn new(map: Arc<ShardedMap<M>>) -> Self {
+        Self { map }
+    }
+
+    /// The underlying map handle.
+    pub fn map(&self) -> &Arc<ShardedMap<M>> {
+        &self.map
+    }
+}
+
+impl<M: ConcurrentMap + 'static> KvStore for ShardedStore<M> {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.map.search(key)
+    }
+
+    fn set(&self, key: u64, value: u64) -> bool {
+        self.map.insert(key, value)
+    }
+
+    fn del(&self, key: u64) -> Option<u64> {
+        self.map.remove(key)
+    }
+
+    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.map.multi_get(keys)
+    }
+
+    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool> {
+        self.map.multi_insert(entries)
+    }
+
+    fn scan(&self, _from: u64, _n: usize) -> Option<Vec<(u64, u64)>> {
+        None
+    }
+
+    fn size(&self) -> usize {
+        self.map.size()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.map.shard_count()
+    }
+
+    fn ops_and_hits(&self) -> (u64, u64) {
+        let s = self.map.total_stats();
+        (s.operations(), s.hits)
+    }
+}
+
+/// [`KvStore`] over a [`ShardedMap`] of an ordered backing: everything
+/// [`ShardedStore`] does (it wraps one and delegates), plus `SCAN` through
+/// the shard layer's merged range scans.
+pub struct ShardedOrderedStore<M> {
+    inner: ShardedStore<M>,
+}
+
+impl<M: OrderedMap + 'static> ShardedOrderedStore<M> {
+    /// Wraps a shared sharded map over an ordered backing.
+    pub fn new(map: Arc<ShardedMap<M>>) -> Self {
+        Self { inner: ShardedStore::new(map) }
+    }
+
+    /// The underlying map handle.
+    pub fn map(&self) -> &Arc<ShardedMap<M>> {
+        self.inner.map()
+    }
+}
+
+impl<M: OrderedMap + 'static> KvStore for ShardedOrderedStore<M> {
+    fn get(&self, key: u64) -> Option<u64> {
+        self.inner.get(key)
+    }
+
+    fn set(&self, key: u64, value: u64) -> bool {
+        self.inner.set(key, value)
+    }
+
+    fn del(&self, key: u64) -> Option<u64> {
+        self.inner.del(key)
+    }
+
+    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        self.inner.multi_get(keys)
+    }
+
+    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool> {
+        self.inner.multi_set(entries)
+    }
+
+    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, u64)>> {
+        Some(self.inner.map.scan(from.clamp(KEY_MIN, KEY_MAX), n))
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn ops_and_hits(&self) -> (u64, u64) {
+        self.inner.ops_and_hits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ascylib::hashtable::ClhtLb;
+    use ascylib::skiplist::FraserOptSkipList;
+
+    #[test]
+    fn sharded_store_serves_point_and_batched_ops() {
+        let map = Arc::new(ShardedMap::new(4, |_| ClhtLb::with_capacity(64)));
+        let store = ShardedStore::new(Arc::clone(&map));
+        assert!(store.set(1, 10));
+        assert!(!store.set(1, 11), "SET is insert-if-absent");
+        assert_eq!(store.get(1), Some(10));
+        assert_eq!(store.multi_set(&[(2, 20), (1, 99)]), vec![true, false]);
+        assert_eq!(store.multi_get(&[1, 2, 3]), vec![Some(10), Some(20), None]);
+        assert_eq!(store.del(2), Some(20));
+        assert_eq!(store.del(2), None);
+        assert_eq!(store.size(), 1);
+        assert_eq!(store.shard_count(), 4);
+        assert!(store.scan(1, 8).is_none(), "hash shards have no order to scan");
+        // The outside handle observes the same data.
+        assert_eq!(map.search(1), Some(10));
+        let (ops, hits) = store.ops_and_hits();
+        assert!(ops >= 8);
+        assert!(hits >= 3);
+    }
+
+    #[test]
+    fn ordered_store_scans_across_shards_in_key_order() {
+        let map = Arc::new(ShardedMap::new(3, |_| FraserOptSkipList::new()));
+        let store = ShardedOrderedStore::new(Arc::clone(&map));
+        for k in (2..=40u64).step_by(2) {
+            assert!(store.set(k, k * 5));
+        }
+        let got = store.scan(7, 5).expect("ordered backing supports scans");
+        assert_eq!(got, vec![(8, 40), (10, 50), (12, 60), (14, 70), (16, 80)]);
+        // `from = 0` is clamped into the usable key range instead of
+        // tripping the structures' sentinel assertions.
+        let from_start = store.scan(0, 3).unwrap();
+        assert_eq!(from_start, vec![(2, 10), (4, 20), (6, 30)]);
+        assert_eq!(store.scan(41, 10).unwrap(), vec![]);
+    }
+}

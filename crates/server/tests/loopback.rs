@@ -1,0 +1,217 @@
+//! Loopback integration tests: real sockets, concurrent pipelined clients,
+//! final server state checked against a sequential model.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use ascylib::api::ConcurrentMap;
+use ascylib::skiplist::FraserOptSkipList;
+use ascylib_server::client::{decode_optional_int, decode_pair};
+use ascylib_server::{Client, Reply, Request, Server, ServerConfig, ShardedOrderedStore};
+use ascylib_shard::ShardedMap;
+
+const CLIENTS: usize = 4;
+const SPAN: u64 = 512;
+const ROUNDS: usize = 120;
+const DEPTH: usize = 16;
+
+/// Pages through the whole keyspace with `SCAN` cursors.
+fn full_scan(client: &mut Client) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    let mut from = 1u64;
+    loop {
+        let page = client.scan(from, 256).expect("scan page");
+        let Some(&(last, _)) = page.last() else { break };
+        out.extend(page);
+        from = last + 1;
+    }
+    out
+}
+
+/// The acceptance scenario: ≥4 concurrent pipelined clients run a mixed
+/// GET/SET/DEL/SCAN workload against one server over a `ShardedMap`; each
+/// client owns a disjoint key range and mirrors its mutations on a local
+/// `BTreeMap`, so after the run the server's contents must equal the union
+/// of the sequential models — and every GET can be checked against the
+/// model *while* the run is concurrent, because nobody else touches those
+/// keys.
+#[test]
+fn concurrent_pipelined_clients_match_the_sequential_model() {
+    let map = Arc::new(ShardedMap::new(4, |_| FraserOptSkipList::new()));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ShardedOrderedStore::new(Arc::clone(&map)),
+        ServerConfig::for_connections(CLIENTS + 1),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let models: Vec<BTreeMap<u64, u64>> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..CLIENTS as u64 {
+            handles.push(scope.spawn(move || {
+                let base = 1 + c * SPAN;
+                let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+                let mut client = Client::connect(addr).expect("connect");
+                let mut rng = SmallRng::seed_from_u64(0x5EED ^ (c + 1));
+                for round in 0..ROUNDS {
+                    // Build one pipelined batch of mixed operations over
+                    // this client's private key range, mirroring mutations
+                    // on the model in queue order.
+                    let mut batch: Vec<Request> = Vec::with_capacity(DEPTH);
+                    let mut expected: Vec<Option<Option<u64>>> = Vec::with_capacity(DEPTH);
+                    for _ in 0..DEPTH {
+                        let key = base + rng.random_range(0..SPAN);
+                        match rng.random_range(0..100u32) {
+                            0..=39 => {
+                                batch.push(Request::Get(key));
+                                expected.push(Some(model.get(&key).copied()));
+                            }
+                            40..=69 => {
+                                batch.push(Request::Set(key, key * 3 + round as u64));
+                                model.entry(key).or_insert(key * 3 + round as u64);
+                                expected.push(None);
+                            }
+                            70..=89 => {
+                                batch.push(Request::Del(key));
+                                model.remove(&key);
+                                expected.push(None);
+                            }
+                            _ => {
+                                batch.push(Request::Scan(key, 8));
+                                expected.push(None);
+                            }
+                        }
+                    }
+                    let mut p = client.pipeline();
+                    for req in &batch {
+                        p.push(req);
+                    }
+                    let replies = p.run().expect("pipeline run");
+                    assert_eq!(replies.len(), batch.len());
+                    for ((req, reply), expect) in batch.iter().zip(&replies).zip(&expected) {
+                        match req {
+                            Request::Get(_) => {
+                                let got = decode_optional_int(reply.clone()).expect("GET reply");
+                                assert_eq!(
+                                    got,
+                                    expect.expect("GET expectation recorded"),
+                                    "client {c}: GET must match the private-range model"
+                                );
+                            }
+                            Request::Scan(from, n) => {
+                                // Scans cross other clients' live ranges, so
+                                // only shape is checkable mid-run: ascending
+                                // keys, within bounds, at most n.
+                                let pairs: Vec<(u64, u64)> = match reply {
+                                    Reply::Array(elems) => elems
+                                        .iter()
+                                        .map(|e| decode_pair(e.clone()).expect("pair"))
+                                        .collect(),
+                                    other => panic!("SCAN reply {other:?}"),
+                                };
+                                assert!(pairs.len() <= *n);
+                                assert!(pairs.windows(2).all(|w| w[0].0 < w[1].0));
+                                assert!(pairs.iter().all(|&(k, _)| k >= *from));
+                            }
+                            _ => assert!(
+                                matches!(reply, Reply::Int(_) | Reply::Null),
+                                "SET/DEL reply {reply:?}"
+                            ),
+                        }
+                    }
+                }
+                client.quit().expect("quit");
+                model
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+
+    // Union of the sequential models == final server contents.
+    let mut combined: BTreeMap<u64, u64> = BTreeMap::new();
+    for model in &models {
+        combined.extend(model.iter().map(|(&k, &v)| (k, v)));
+    }
+
+    // Check through the wire (paged SCAN + MGET)...
+    let mut checker = Client::connect(addr).expect("connect checker");
+    let scanned = full_scan(&mut checker);
+    let expected: Vec<(u64, u64)> = combined.iter().map(|(&k, &v)| (k, v)).collect();
+    assert_eq!(scanned, expected, "full SCAN sweep must equal the merged sequential model");
+    let all_keys: Vec<u64> = (1..=CLIENTS as u64 * SPAN).collect();
+    for chunk in all_keys.chunks(512) {
+        let answers = checker.mget(chunk).expect("mget");
+        for (&k, got) in chunk.iter().zip(answers) {
+            assert_eq!(got, combined.get(&k).copied(), "MGET key {k}");
+        }
+    }
+    checker.quit().expect("quit checker");
+
+    // ...and through the in-process handle the test kept.
+    assert_eq!(map.size(), combined.len());
+    for (&k, &v) in &combined {
+        assert_eq!(map.search(k), Some(v), "in-process view of key {k}");
+    }
+    let stats = server.join();
+    assert_eq!(stats.errors, 0, "a well-formed run must produce no error frames");
+    assert_eq!(stats.connections, CLIENTS as u64 + 1);
+}
+
+/// Wire-level resynchronization: a malformed frame in the middle of a
+/// pipelined burst costs exactly one `-ERR` reply, and the rest of the
+/// burst executes in order.
+#[test]
+fn malformed_frame_mid_pipeline_resynchronizes() {
+    use std::io::{Read, Write};
+    let map = Arc::new(ShardedMap::new(2, |_| FraserOptSkipList::new()));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ShardedOrderedStore::new(map),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut s = std::net::TcpStream::connect(server.addr()).unwrap();
+    s.write_all(b"SET 1 10\r\nGARBAGE \x01\x02\r\nGET 1\r\nSCAN 1 4\r\nQUIT\r\n").unwrap();
+    let mut reply = String::new();
+    s.read_to_string(&mut reply).unwrap();
+    assert_eq!(reply, ":1\r\n-ERR illegal byte in frame\r\n:10\r\n*1\r\n=1 10\r\n+BYE\r\n");
+    let stats = server.join();
+    assert_eq!(stats.errors, 1);
+}
+
+/// STATS over the wire reflects the traffic that produced it.
+#[test]
+fn stats_frame_reports_store_and_server_counters() {
+    let map = Arc::new(ShardedMap::new(3, |_| FraserOptSkipList::new()));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ShardedOrderedStore::new(map),
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let mut c = Client::connect(server.addr()).unwrap();
+    for k in 1..=10u64 {
+        assert!(c.set(k, k).unwrap());
+    }
+    let stats = c.stats().unwrap();
+    let field = |name: &str| -> u64 {
+        stats
+            .split(' ')
+            .find_map(|tok| tok.strip_prefix(&format!("{name}=")))
+            .unwrap_or_else(|| panic!("missing {name} in {stats}"))
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(field("size"), 10);
+    assert_eq!(field("shards"), 3);
+    assert_eq!(field("ops"), 10, "ten SETs before the STATS frame");
+    assert_eq!(field("frames"), 11);
+    assert!(field("bytes_in") > 0);
+    assert_eq!(field("errors"), 0);
+    c.quit().unwrap();
+    server.join();
+}

@@ -1,0 +1,208 @@
+//! Fuzz-style codec tests: the incremental parsers must survive arbitrary
+//! byte splits and arbitrary garbage — erroring per frame, never panicking,
+//! and always resynchronizing at the next line boundary.
+
+use proptest::prelude::*;
+
+use ascylib_server::protocol::{
+    encode_request, wire, ParseError, Reply, ReplyParser, Request, RequestParser, MAX_LINE,
+    MAX_SCAN,
+};
+
+/// Deterministically builds a request from fuzz integers (the vendored
+/// proptest has no enum strategies; this is the projection).
+fn request_from(selector: u8, a: u64, b: u64, keys: &[u64]) -> Request {
+    let nonempty = |ks: &[u64]| if ks.is_empty() { vec![a] } else { ks.to_vec() };
+    match selector % 9 {
+        0 => Request::Get(a),
+        1 => Request::Set(a, b),
+        2 => Request::Del(a),
+        3 => Request::MGet(nonempty(keys)),
+        4 => Request::MSet(nonempty(keys).iter().map(|&k| (k, k ^ b)).collect()),
+        5 => Request::Scan(a, (b as usize) % (MAX_SCAN + 1)),
+        6 => Request::Ping,
+        7 => Request::Stats,
+        _ => Request::Quit,
+    }
+}
+
+/// Splits `bytes` at fuzz-chosen positions and feeds the chunks one by one,
+/// draining after every feed (the worst-case socket delivery pattern).
+fn parse_in_random_chunks(
+    bytes: &[u8],
+    cuts: &[usize],
+) -> Vec<Result<Request, ParseError>> {
+    let mut positions: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+    positions.sort_unstable();
+    positions.dedup();
+    let mut parser = RequestParser::new();
+    let mut out = Vec::new();
+    let mut prev = 0;
+    for &cut in positions.iter().chain(std::iter::once(&bytes.len())) {
+        parser.feed(&bytes[prev..cut]);
+        while let Some(item) = parser.next() {
+            out.push(item);
+        }
+        prev = cut;
+    }
+    parser.feed(&bytes[prev..]);
+    while let Some(item) = parser.next() {
+        out.push(item);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → split anywhere → parse is the identity, for any request
+    /// sequence and any chunking.
+    #[test]
+    fn encoded_streams_survive_any_split(
+        specs in collection::vec((any::<u8>(), any::<u64>(), any::<u64>(),
+            collection::vec(any::<u64>(), 0..8)), 1..12),
+        cuts in collection::vec(any::<usize>(), 0..24),
+    ) {
+        let requests: Vec<Request> =
+            specs.iter().map(|(s, a, b, ks)| request_from(*s, *a, *b, ks)).collect();
+        let mut bytes = Vec::new();
+        for r in &requests {
+            encode_request(r, &mut bytes);
+        }
+        let parsed = parse_in_random_chunks(&bytes, &cuts);
+        let round_tripped: Vec<Request> =
+            parsed.into_iter().map(|item| item.expect("well-formed stream")).collect();
+        assert_eq!(round_tripped, requests);
+    }
+
+    /// Arbitrary byte soup: the parser never panics, and after the soup a
+    /// newline plus a valid frame always parses — whatever state the
+    /// garbage left behind, the parser resynchronized.
+    #[test]
+    fn garbage_never_panics_and_resynchronizes(
+        soup in collection::vec(any::<u8>(), 0..2048),
+        cuts in collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut bytes = soup.clone();
+        bytes.extend_from_slice(b"\nPING\r\n");
+        let parsed = parse_in_random_chunks(&bytes, &cuts);
+        // No panic is the main property; the trailing PING is the
+        // resynchronization witness.
+        assert_eq!(parsed.last(), Some(&Ok(Request::Ping)));
+    }
+
+    /// Soup sprinkled with newlines parses to per-line verdicts; every
+    /// error is one of the documented kinds and parsing always terminates.
+    #[test]
+    fn newline_heavy_garbage_yields_per_line_errors(
+        lines in collection::vec(collection::vec(any::<u8>(), 0..64), 1..32),
+    ) {
+        let mut bytes = Vec::new();
+        for l in &lines {
+            bytes.extend_from_slice(l);
+            bytes.push(b'\n');
+        }
+        let mut parser = RequestParser::new();
+        parser.feed(&bytes);
+        let mut items = 0usize;
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        while let Some(_item) = parser.next() {
+            items += 1;
+            assert!(items <= newlines, "cannot yield more items than terminators");
+        }
+        // Every newline terminates exactly one line (none can exceed
+        // MAX_LINE here), and every terminated line yields one verdict.
+        assert_eq!(items, newlines);
+    }
+
+    /// The reply parser holds the same never-panic/resynchronize contract.
+    #[test]
+    fn reply_parser_survives_garbage(
+        soup in collection::vec(any::<u8>(), 0..1024),
+        cuts in collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut bytes = soup.clone();
+        bytes.extend_from_slice(b"\n+PONG\r\n");
+        let mut positions: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        let mut parser = ReplyParser::new();
+        let mut last = None;
+        let mut prev = 0;
+        for &cut in positions.iter().chain(std::iter::once(&bytes.len())) {
+            parser.feed(&bytes[prev..cut]);
+            while let Some(item) = parser.next() {
+                last = Some(item);
+            }
+            prev = cut;
+        }
+        assert_eq!(last, Some(Ok(Reply::Simple("PONG".into()))));
+    }
+
+    /// Server-side reply writers and the client-side parser agree for any
+    /// payload values.
+    #[test]
+    fn reply_writers_round_trip(n in any::<u64>(), k in any::<u64>(), v in any::<u64>(),
+                                count in any::<u8>()) {
+        let mut bytes = Vec::new();
+        wire::int(&mut bytes, n);
+        wire::null(&mut bytes);
+        wire::pair(&mut bytes, k, v);
+        let count = count as usize % 64;
+        wire::array_header(&mut bytes, count);
+        for i in 0..count {
+            wire::int(&mut bytes, i as u64);
+        }
+        let mut parser = ReplyParser::new();
+        parser.feed(&bytes);
+        assert_eq!(parser.next(), Some(Ok(Reply::Int(n))));
+        assert_eq!(parser.next(), Some(Ok(Reply::Null)));
+        assert_eq!(parser.next(), Some(Ok(Reply::Pair(k, v))));
+        let arr = (0..count as u64).map(Reply::Int).collect::<Vec<_>>();
+        assert_eq!(parser.next(), Some(Ok(Reply::Array(arr))));
+        assert_eq!(parser.next(), None);
+    }
+}
+
+/// Directed malformed-frame cases the fuzz loops may miss: oversize lines
+/// (terminated and unterminated), missing terminators, interior NULs.
+#[test]
+fn directed_malformed_cases() {
+    // Missing terminator: a frame without a newline stays pending forever
+    // (the connection layer turns EOF into a dropped partial frame).
+    let mut p = RequestParser::new();
+    p.feed(b"GET 42");
+    assert_eq!(p.next(), None);
+    p.feed(b"\r\n");
+    assert_eq!(p.next(), Some(Ok(Request::Get(42))));
+
+    // Interior NUL, before and after the terminator boundary.
+    let mut p = RequestParser::new();
+    p.feed(b"GET 4\x002\r\nPING\r\n");
+    assert_eq!(p.next(), Some(Err(ParseError::IllegalByte)));
+    assert_eq!(p.next(), Some(Ok(Request::Ping)));
+
+    // Oversize terminated line: one error, next frame fine.
+    let mut p = RequestParser::new();
+    let mut long = vec![b'9'; MAX_LINE + 1];
+    long.splice(0..0, b"GET ".iter().copied());
+    long.extend_from_slice(b"\r\nPING\r\n");
+    p.feed(&long);
+    assert_eq!(p.next(), Some(Err(ParseError::Oversize)));
+    assert_eq!(p.next(), Some(Ok(Request::Ping)));
+
+    // Oversize unterminated run fed in pieces: exactly one error, then
+    // silence until the newline, then normal parsing.
+    let mut p = RequestParser::new();
+    p.feed(&vec![b'x'; MAX_LINE]);
+    assert_eq!(p.next(), None, "within budget: still pending");
+    p.feed(&[b'x'; 2]);
+    assert_eq!(p.next(), Some(Err(ParseError::Oversize)));
+    for _ in 0..4 {
+        p.feed(&vec![b'x'; MAX_LINE]);
+        assert_eq!(p.next(), None, "still discarding the same run");
+    }
+    p.feed(b"\nSTATS\r\n");
+    assert_eq!(p.next(), Some(Ok(Request::Stats)));
+    assert_eq!(p.next(), None);
+}

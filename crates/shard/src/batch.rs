@@ -12,6 +12,20 @@
 //! linearizes individually in its shard (the same guarantee a loop of
 //! single-key calls gives, minus the cache misses). Results are returned in
 //! the caller's input order regardless of the dispatch order.
+//!
+//! # Duplicate keys in one batch
+//!
+//! A batch may name the same key more than once. The grouping pass is a
+//! *stable* counting sort: within a shard, items keep their input order, and
+//! duplicates of a key always land in the same shard. Per-duplicate results
+//! therefore match a sequential loop of single-key calls exactly:
+//!
+//! * `multi_insert` — the **first** occurrence (in input order) inserts and
+//!   reports `true`; later occurrences report `false` and do not overwrite.
+//! * `multi_remove` — the first occurrence removes and reports the value;
+//!   later occurrences report `None`.
+//! * `multi_get` — every occurrence is answered (all see the same shard
+//!   state unless a concurrent writer intervenes between the two lookups).
 
 use ascylib::api::ConcurrentMap;
 
@@ -181,6 +195,81 @@ mod tests {
         assert!(map.multi_insert(&[]).is_empty());
         assert!(map.multi_remove(&[]).is_empty());
         assert_eq!(map.total_stats().operations(), 0);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_insert_batch_follow_input_order() {
+        // All duplicates of a key route to one shard, and grouping is a
+        // stable counting sort, so the first occurrence in *input* order
+        // wins — even when the duplicates are interleaved with other shards'
+        // keys and the batch is dispatched shard by shard.
+        let map = sharded();
+        let entries: Vec<(u64, u64)> =
+            vec![(9, 1), (3, 1), (9, 2), (14, 1), (9, 3), (3, 2), (27, 1), (9, 4)];
+        let outcomes = map.multi_insert(&entries);
+        assert_eq!(outcomes, vec![true, true, false, true, false, false, true, false]);
+        assert_eq!(map.search(9), Some(1), "first occurrence's value survives");
+        assert_eq!(map.search(3), Some(1));
+        assert_eq!(map.size(), 4);
+        // A sequential loop agrees exactly.
+        let singular = sharded();
+        let loop_outcomes: Vec<bool> =
+            entries.iter().map(|&(k, v)| singular.insert(k, v)).collect();
+        assert_eq!(outcomes, loop_outcomes);
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_remove_batch_remove_once() {
+        let map = sharded();
+        for k in [5u64, 6, 7] {
+            map.insert(k, k * 10);
+        }
+        let removed = map.multi_remove(&[6, 5, 6, 6, 8, 5]);
+        assert_eq!(removed, vec![Some(60), Some(50), None, None, None, None]);
+        assert_eq!(map.size(), 1);
+        assert_eq!(map.search(7), Some(70));
+    }
+
+    #[test]
+    fn duplicate_keys_in_one_get_batch_are_each_answered() {
+        let map = sharded();
+        map.insert(11, 110);
+        assert_eq!(map.multi_get(&[11, 11, 12, 11]), vec![Some(110), Some(110), None, Some(110)]);
+    }
+
+    #[test]
+    fn single_shard_batches_degenerate_to_the_backing_structure() {
+        // shard_count = 1: the counting sort has one bucket; everything
+        // must still dispatch, scatter back in input order, and count stats.
+        let map = ShardedMap::new(1, |_| ClhtLb::with_capacity(64));
+        let keys: Vec<u64> = (1..=32u64).rev().collect();
+        let entries: Vec<(u64, u64)> = keys.iter().map(|&k| (k, k + 1000)).collect();
+        assert!(map.multi_insert(&entries).iter().all(|&ok| ok));
+        let got = map.multi_get(&keys);
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(got[i], Some(k + 1000), "input order preserved for key {k}");
+        }
+        let removed = map.multi_remove(&keys);
+        assert!(removed.iter().all(Option::is_some));
+        assert!(map.is_empty());
+        assert_eq!(map.total_stats().inserts_ok, 32);
+        assert_eq!(map.total_stats().removes_ok, 32);
+    }
+
+    #[test]
+    fn one_batch_spanning_every_shard_visits_each_once() {
+        // Enough dense keys to hit all 6 shards in a single batch; per-shard
+        // stats must account for every key exactly once.
+        let map = sharded();
+        let entries: Vec<(u64, u64)> = (1..=60u64).map(|k| (k, k)).collect();
+        map.multi_insert(&entries);
+        let per_shard = map.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.inserts).sum::<u64>(), 60);
+        assert!(
+            per_shard.iter().all(|s| s.inserts > 0),
+            "dense batch must touch every shard: {per_shard:?}"
+        );
+        assert_eq!(map.size(), 60);
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! A standalone key-value server speaking the ASCY wire protocol.
+//!
+//! Serves a sharded Fraser skip list (ordered, so `SCAN` works) over TCP.
+//! Two modes:
+//!
+//! * **serve** (default): bind `ASCYLIB_ADDR` (default `127.0.0.1:7878`)
+//!   and serve until killed (or for `ASCYLIB_SERVE_MILLIS` milliseconds if
+//!   set — handy for scripted runs). Drive it with
+//!   `cargo run --release --example kv_loadgen`, or by hand:
+//!
+//!   ```text
+//!   $ nc 127.0.0.1 7878
+//!   SET 7 700
+//!   :1
+//!   GET 7
+//!   :700
+//!   SCAN 1 4
+//!   *1
+//!   =7 700
+//!   QUIT
+//!   +BYE
+//!   ```
+//!
+//! * **`--demo`**: bind an ephemeral port, run the in-process closed-loop
+//!   load generator against it for a short burst (pipelined and
+//!   unpipelined), print both reports, and shut down cleanly. Exits
+//!   non-zero if the burst served nothing — CI uses this as the serving
+//!   smoke test.
+//!
+//! Environment: `ASCYLIB_ADDR`, `ASCYLIB_SHARDS` (default 4),
+//! `ASCYLIB_WORKERS` (default 8), `ASCYLIB_SERVE_MILLIS` (0 = forever),
+//! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300).
+
+use std::sync::Arc;
+
+use ascylib::skiplist::FraserOptSkipList;
+use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
+use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
+use ascylib_server::{Server, ServerConfig, ServerHandle, ShardedOrderedStore};
+use ascylib_shard::ShardedMap;
+
+fn start(addr: &str, shards: usize, workers: usize) -> ServerHandle {
+    let map = Arc::new(ShardedMap::new(shards, |_| FraserOptSkipList::new()));
+    let config = ServerConfig { workers, ..ServerConfig::default() };
+    let server = Server::start(addr, ShardedOrderedStore::new(map), config)
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    println!(
+        "kv_server: serving {shards}-shard fraser-opt skip list on {} ({workers} workers)",
+        server.addr()
+    );
+    server
+}
+
+fn print_result(label: &str, r: &LoadGenResult) {
+    println!(
+        "{label:>14}: {:.2} Mops/s  ({} ops: {} get / {} set / {} del / {} scan, \
+         hit rate {:.0}%, p50 rtt {:.1} us, p99 {:.1} us)",
+        r.mops,
+        r.total_ops,
+        r.gets,
+        r.sets,
+        r.dels,
+        r.scans,
+        100.0 * r.hit_rate(),
+        r.batch_rtt.p50 as f64 / 1e3,
+        r.batch_rtt.p99 as f64 / 1e3,
+    );
+}
+
+fn demo(shards: usize, workers: usize) {
+    let server = start("127.0.0.1:0", shards, workers);
+    let addr = server.addr();
+    let key_range = 8192u64;
+    let inserted = loadgen::prefill(addr, key_range / 2, key_range).expect("prefill");
+    println!("kv_server: prefilled {inserted} keys over the wire");
+
+    // YCSB-B-flavoured point mix plus a dash of scans, skewed keys — the
+    // full protocol surface in one burst.
+    let mix = OpMix { read: 85, insert: 5, remove: 5, scan: 5, scan_len: 16 };
+    let base = LoadGenConfig {
+        connections: 4,
+        duration_ms: bench_millis(),
+        mix,
+        dist: KeyDist::Zipfian { theta: 0.99 },
+        key_range,
+        pipeline_depth: 1,
+        ..LoadGenConfig::default()
+    };
+    let unpipelined = loadgen::run(addr, &base).expect("unpipelined burst");
+    print_result("depth 1", &unpipelined);
+    let pipelined =
+        loadgen::run(addr, &LoadGenConfig { pipeline_depth: 16, ..base }).expect("pipelined burst");
+    print_result("depth 16", &pipelined);
+    println!(
+        "{:>14}  {:.2}x",
+        "pipelining:",
+        pipelined.mops / unpipelined.mops.max(f64::MIN_POSITIVE)
+    );
+
+    let stats = server.join();
+    println!(
+        "kv_server: clean shutdown after {} conns, {} frames, {} ops, {} errors",
+        stats.connections, stats.frames, stats.ops, stats.errors
+    );
+    // The demo doubles as the CI smoke test: a silent zero-op "success"
+    // must fail loudly.
+    assert!(unpipelined.total_ops > 0, "unpipelined burst served nothing");
+    assert!(pipelined.total_ops > 0, "pipelined burst served nothing");
+    assert_eq!(unpipelined.errors + pipelined.errors, 0, "bursts must be error-free");
+    assert!(stats.frames > 0 && stats.connections > 0);
+}
+
+fn main() {
+    let shards = env_or("ASCYLIB_SHARDS", 4) as usize;
+    let workers = env_or("ASCYLIB_WORKERS", 8) as usize;
+    if std::env::args().any(|a| a == "--demo") {
+        demo(shards, workers);
+        return;
+    }
+
+    let addr = std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let server = start(&addr, shards, workers);
+    println!(
+        "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT (see PROTOCOL.md);\n\
+         kv_server: drive with `cargo run --release --example kv_loadgen` or `nc {}`",
+        server.addr()
+    );
+    let serve_millis = env_or("ASCYLIB_SERVE_MILLIS", 0);
+    if serve_millis == 0 {
+        // Serve until killed. The acceptor and workers own their threads;
+        // park the main thread forever.
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(std::time::Duration::from_millis(serve_millis));
+    let stats = server.join();
+    println!(
+        "kv_server: served {} conns / {} frames / {} ops in {serve_millis} ms",
+        stats.connections, stats.frames, stats.ops
+    );
+}

@@ -8,5 +8,7 @@
 
 pub use ascylib;
 pub use ascylib_harness;
+pub use ascylib_server;
+pub use ascylib_shard;
 pub use ascylib_ssmem;
 pub use ascylib_sync;

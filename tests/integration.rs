@@ -159,9 +159,69 @@ fn harness_runs_ycsb_e_over_a_sharded_ordered_map() {
     assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "scatter-gather order violated");
 }
 
-/// Zipfian traffic concentrates operations on the popular keys: with θ=0.99
-/// over a small range, updates hit the head constantly, so the op mix must
-/// see far more successful updates per key than uniform traffic would.
+/// The full serving stack across crates: the *same* workload vocabulary
+/// (OpMix preset + key distribution) drives a sharded map in-process via
+/// the harness and over loopback TCP via the wire tier's load generator;
+/// both must serve traffic, and the in-process result must serialize
+/// through the stable JSON emitter.
+#[test]
+fn serving_tier_replays_a_harness_workload_over_loopback() {
+    use ascylib_server::loadgen::{self, LoadGenConfig};
+    use ascylib_server::{Server, ServerConfig, ShardedStore};
+
+    // In-process: harness measurement over a 4-shard CLHT.
+    let entry = registry::by_name("ht-clht-lb").unwrap();
+    let w = WorkloadBuilder::new()
+        .initial_size(512)
+        .op_mix(OpMix::ycsb_b())
+        .threads(2)
+        .duration_ms(40)
+        .zipfian(0.99)
+        .build();
+    let in_process =
+        run_benchmark(Arc::new(ShardedMap::from_registry(&entry, 4, 1024)), w);
+    assert!(in_process.total_ops > 0);
+    let json = ascylib_harness::report::to_json(&in_process);
+    assert!(json.contains("\"dist\":\"zipf(0.99)\""), "{json}");
+    assert!(json.contains(&format!("\"total_ops\":{}", in_process.total_ops)));
+
+    // Over loopback: same mix, same distribution, same sharding — through
+    // sockets, frames, and the closed-loop client.
+    let map = Arc::new(ShardedMap::from_registry(&entry, 4, 1024));
+    let server = Server::start(
+        "127.0.0.1:0",
+        ShardedStore::new(Arc::clone(&map)),
+        ServerConfig::for_connections(2),
+    )
+    .expect("ephemeral bind");
+    loadgen::prefill(server.addr(), 512, 1024).expect("prefill");
+    let r = loadgen::run(
+        server.addr(),
+        &LoadGenConfig {
+            connections: 2,
+            duration_ms: 40,
+            mix: OpMix::ycsb_b(),
+            dist: KeyDist::Zipfian { theta: 0.99 },
+            key_range: 1024,
+            pipeline_depth: 8,
+            ..LoadGenConfig::default()
+        },
+    )
+    .expect("loadgen run");
+    assert!(r.total_ops > 0);
+    assert_eq!(r.errors, 0);
+    assert!(r.hits > 0, "zipf head over a prefilled keyspace must hit");
+    // Mutations over the wire land in the map the test kept a handle to:
+    // write a sentinel through a fresh client, observe it in-process.
+    let mut probe = ascylib_server::Client::connect(server.addr()).expect("probe connect");
+    let sentinel = 1_000_000u64;
+    assert!(probe.set(sentinel, 42).expect("wire SET"));
+    assert_eq!(map.search(sentinel), Some(42), "wire mutation visible through the Arc");
+    probe.quit().expect("quit");
+    let stats = server.join();
+    assert!(stats.ops > r.total_ops, "server accounted the keyspace ops it served");
+    assert_eq!(stats.errors, 0);
+}
 #[test]
 fn skewed_traffic_actually_skews_the_op_stream() {
     let sampler = ascylib_harness::KeySampler::new(KeyDist::Zipfian { theta: 0.99 }, 1_000);
