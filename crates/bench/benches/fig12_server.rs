@@ -28,51 +28,64 @@ use ascylib::hashtable::ClhtLb;
 use ascylib_harness::report::{f2, to_json, write_json, Table};
 use ascylib_harness::{bench_millis, run_benchmark, KeyDist, OpMix, WorkloadBuilder};
 use ascylib_server::loadgen::{self, LoadGenConfig};
-use ascylib_server::{Server, ServerConfig, ShardedStore};
-use ascylib_shard::ShardedMap;
+use ascylib_server::{BlobStore, Server, ServerConfig, ValueSize};
+use ascylib_shard::{BlobMap, ShardedMap};
 
 const INITIAL_SIZE: usize = 8192;
 const UPDATE_PCT: u32 = 10;
+
+/// Loopback values are 8 bytes — the size of the `u64` the in-process
+/// panel moves — so the three panels differ only in the serving path, not
+/// in payload volume.
+const VALUE_SIZE: ValueSize = ValueSize::Fixed(8);
 
 fn connections() -> usize {
     (ascylib_harness::max_threads()).clamp(1, 4)
 }
 
-fn make_map(shards: usize) -> Arc<ShardedMap<ClhtLb>> {
-    Arc::new(ShardedMap::new(shards, move |_| {
-        ClhtLb::with_capacity((INITIAL_SIZE * 2 / shards).max(64))
-    }))
-}
-
-/// In-process baseline: the harness drives the sharded map directly.
+/// In-process baseline: the harness drives a sharded CLHT of raw `u64`
+/// values directly (upper bound: zero serving overhead, no blob layer).
 fn run_in_process(shards: usize, threads: usize) -> ascylib_harness::BenchmarkResult {
+    let map = Arc::new(ShardedMap::new(shards, move |_| {
+        ClhtLb::with_capacity((INITIAL_SIZE * 2 / shards).max(64))
+    }));
     let w = WorkloadBuilder::new()
         .initial_size(INITIAL_SIZE)
         .update_percent(UPDATE_PCT)
         .threads(threads)
         .duration_ms(bench_millis())
         .build();
-    run_benchmark(make_map(shards), w)
+    run_benchmark(map, w)
 }
 
-/// Over-loopback: start a server on an ephemeral port, prefill over the
-/// wire, drive it with the closed-loop load generator.
+/// Over-loopback: start a server over a blob-valued sharded CLHT on an
+/// ephemeral port, prefill over the wire, drive it with the closed-loop
+/// load generator.
 fn run_loopback(shards: usize, conns: usize, depth: usize) -> loadgen::LoadGenResult {
-    let map = make_map(shards);
+    let map = Arc::new(BlobMap::new(shards, move |_| {
+        ClhtLb::with_capacity((INITIAL_SIZE * 2 / shards).max(64))
+    }));
     let server = Server::start(
         "127.0.0.1:0",
-        ShardedStore::new(map),
+        BlobStore::new(map),
         ServerConfig::for_connections(conns),
     )
     .expect("bind ephemeral port");
-    loadgen::prefill(server.addr(), INITIAL_SIZE as u64, INITIAL_SIZE as u64 * 2)
-        .expect("prefill over the wire");
+    loadgen::prefill(
+        server.addr(),
+        INITIAL_SIZE as u64,
+        INITIAL_SIZE as u64 * 2,
+        VALUE_SIZE,
+        0xF1612,
+    )
+    .expect("prefill over the wire");
     let cfg = LoadGenConfig {
         connections: conns,
         duration_ms: bench_millis(),
         mix: OpMix::update(UPDATE_PCT),
         dist: KeyDist::Uniform,
         key_range: INITIAL_SIZE as u64 * 2,
+        value_size: VALUE_SIZE,
         pipeline_depth: depth,
         ..LoadGenConfig::default()
     };

@@ -145,6 +145,27 @@ pub fn scan_length_histogram(title: &str, samples: &[u64], width: usize) -> Stri
     histogram(title, &entries, width)
 }
 
+/// Bytes over a duration as MB/s (10⁶ bytes per second — bandwidth, like
+/// NIC and memory-subsystem figures, uses decimal units).
+pub fn mbps(bytes: u64, elapsed: std::time::Duration) -> f64 {
+    bytes as f64 / elapsed.as_secs_f64().max(1e-9) / 1e6
+}
+
+/// Renders one labelled payload-bandwidth line (read and written sides),
+/// printed by the serving benches next to their latency panels.
+pub fn bandwidth_line(
+    label: &str,
+    bytes_read: u64,
+    bytes_written: u64,
+    elapsed: std::time::Duration,
+) -> String {
+    format!(
+        "{label}: read {:.2} MB/s ({bytes_read} B), wrote {:.2} MB/s ({bytes_written} B)\n",
+        mbps(bytes_read, elapsed),
+        mbps(bytes_written, elapsed),
+    )
+}
+
 /// Escapes a string for inclusion in a JSON string literal (quotes,
 /// backslashes, and control characters; everything else passes through).
 pub fn escape_json(s: &str) -> String {
@@ -327,6 +348,21 @@ mod tests {
         // The 1-key bucket has two entries; 2-3 has two; 4-7 has two.
         let empty = scan_length_histogram("none", &[], 20);
         assert!(empty.contains("no scans sampled"));
+    }
+
+    #[test]
+    fn bandwidth_helpers_report_decimal_megabytes() {
+        use std::time::Duration;
+        assert_eq!(mbps(2_000_000, Duration::from_secs(1)), 2.0);
+        assert_eq!(mbps(1_000_000, Duration::from_millis(500)), 2.0);
+        assert_eq!(mbps(0, Duration::from_secs(1)), 0.0);
+        // Zero elapsed degrades gracefully instead of dividing by zero.
+        assert!(mbps(100, Duration::ZERO).is_finite());
+        let line = bandwidth_line("payload", 3_000_000, 1_500_000, Duration::from_secs(1));
+        assert!(line.contains("payload:"), "{line}");
+        assert!(line.contains("read 3.00 MB/s"), "{line}");
+        assert!(line.contains("wrote 1.50 MB/s"), "{line}");
+        assert!(line.contains("3000000 B"), "{line}");
     }
 
     /// Minimal JSON well-formedness scanner for the emitter tests: checks

@@ -1,10 +1,13 @@
-//! A blocking client for the ASCY wire protocol, with request pipelining.
+//! A blocking client for the ASCY wire protocol, with request pipelining
+//! and binary-safe byte values.
 //!
 //! [`Client`] offers one typed method per verb (each is a full round trip)
 //! plus a [`Pipeline`] that queues any number of requests, flushes them in
 //! one write, and reads the replies back in order — the protocol guarantees
 //! in-order responses, so `k` pipelined requests cost one round trip
-//! instead of `k`.
+//! instead of `k`. Value-carrying methods take `&[u8]` and encode straight
+//! into the write buffer (no intermediate `Request` allocation on the hot
+//! path).
 //!
 //! Server `-ERR` replies and protocol violations surface as
 //! [`std::io::Error`] with [`ErrorKind::InvalidData`] / `Other`; the
@@ -14,7 +17,7 @@ use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{encode_request, Reply, ReplyParser, Request};
+use crate::protocol::{encode_mset, encode_request, encode_set, Reply, ReplyParser, Request};
 
 /// A blocking connection to an `ascylib-server`.
 pub struct Client {
@@ -72,36 +75,47 @@ impl Client {
         self.read_reply()
     }
 
-    /// `GET key` → value if present.
-    pub fn get(&mut self, key: u64) -> io::Result<Option<u64>> {
-        decode_optional_int(self.call(&Request::Get(key))?)
+    /// `GET key` → value bytes if present.
+    pub fn get(&mut self, key: u64) -> io::Result<Option<Vec<u8>>> {
+        decode_optional_bulk(self.call(&Request::Get(key))?)
     }
 
-    /// `SET key value` → `true` if newly inserted (`SET` is
-    /// insert-if-absent; an existing key is left untouched).
-    pub fn set(&mut self, key: u64, value: u64) -> io::Result<bool> {
-        decode_bool(self.call(&Request::Set(key, value))?)
+    /// `SET key value` → `true` if the key was newly created (`SET` is an
+    /// upsert; an existing value is replaced and `false` returned).
+    pub fn set(&mut self, key: u64, value: &[u8]) -> io::Result<bool> {
+        let mut out = Vec::with_capacity(32 + value.len());
+        encode_set(&mut out, key, value);
+        self.stream.write_all(&out)?;
+        decode_bool(self.read_reply()?)
     }
 
-    /// `DEL key` → removed value if the key was present.
-    pub fn del(&mut self, key: u64) -> io::Result<Option<u64>> {
-        decode_optional_int(self.call(&Request::Del(key))?)
+    /// `DEL key` → `true` if the key was present.
+    pub fn del(&mut self, key: u64) -> io::Result<bool> {
+        decode_bool(self.call(&Request::Del(key))?)
     }
 
     /// `MGET keys...` → per-key answers in input order.
-    pub fn mget(&mut self, keys: &[u64]) -> io::Result<Vec<Option<u64>>> {
+    pub fn mget(&mut self, keys: &[u64]) -> io::Result<Vec<Option<Vec<u8>>>> {
         let elems = decode_array(self.call(&Request::MGet(keys.to_vec()))?)?;
-        elems.into_iter().map(decode_optional_int).collect()
+        elems.into_iter().map(decode_optional_bulk).collect()
     }
 
-    /// `MSET (key value)...` → per-entry insert outcomes in input order.
-    pub fn mset(&mut self, entries: &[(u64, u64)]) -> io::Result<Vec<bool>> {
-        let elems = decode_array(self.call(&Request::MSet(entries.to_vec()))?)?;
+    /// `MSET (key value)...` → per-entry created/replaced outcomes in input
+    /// order. An empty batch is a no-op (the wire protocol has no zero-pair
+    /// `MSET` frame).
+    pub fn mset(&mut self, entries: &[(u64, &[u8])]) -> io::Result<Vec<bool>> {
+        if entries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::with_capacity(64);
+        encode_mset(&mut out, entries.iter().map(|&(k, v)| (k, v)));
+        self.stream.write_all(&out)?;
+        let elems = decode_array(self.read_reply()?)?;
         elems.into_iter().map(decode_bool).collect()
     }
 
     /// `SCAN from count` → up to `count` `(key, value)` pairs, ascending.
-    pub fn scan(&mut self, from: u64, count: usize) -> io::Result<Vec<(u64, u64)>> {
+    pub fn scan(&mut self, from: u64, count: usize) -> io::Result<Vec<(u64, Vec<u8>)>> {
         let elems = decode_array(self.call(&Request::Scan(from, count))?)?;
         elems.into_iter().map(decode_pair).collect()
     }
@@ -162,9 +176,11 @@ impl Pipeline<'_> {
         self.push(&Request::Get(key))
     }
 
-    /// Queues `SET key value`.
-    pub fn set(&mut self, key: u64, value: u64) -> &mut Self {
-        self.push(&Request::Set(key, value))
+    /// Queues `SET key value`, encoding the borrowed payload directly.
+    pub fn set(&mut self, key: u64, value: &[u8]) -> &mut Self {
+        encode_set(&mut self.out, key, value);
+        self.queued += 1;
+        self
     }
 
     /// Queues `DEL key`.
@@ -189,6 +205,13 @@ impl Pipeline<'_> {
 
     /// Sends every queued frame in one write and reads the replies back in
     /// order.
+    ///
+    /// The queued bytes are written in full before any reply is read, so
+    /// keep one batch's request payloads comfortably under the socket
+    /// buffer sizes (a few hundred KiB): a batch that stuffs both
+    /// directions at once (huge `MSET`s queued behind huge `SCAN` replies)
+    /// stalls until the server's one-second write timeout aborts the
+    /// connection rather than deadlocking.
     pub fn run(&mut self) -> io::Result<Vec<Reply>> {
         if self.queued == 0 {
             return Ok(Vec::new());
@@ -211,16 +234,16 @@ fn unexpected(reply: Reply) -> io::Error {
     }
 }
 
-/// Decodes `:v` / `_` replies (`GET`/`DEL` and `MGET` elements).
-pub fn decode_optional_int(reply: Reply) -> io::Result<Option<u64>> {
+/// Decodes `$…` / `_` replies (`GET` and `MGET` elements).
+pub fn decode_optional_bulk(reply: Reply) -> io::Result<Option<Vec<u8>>> {
     match reply {
-        Reply::Int(v) => Ok(Some(v)),
+        Reply::Bulk(v) => Ok(Some(v)),
         Reply::Null => Ok(None),
         other => Err(unexpected(other)),
     }
 }
 
-/// Decodes `:0` / `:1` outcome replies (`SET` and `MSET` elements).
+/// Decodes `:0` / `:1` outcome replies (`SET`/`DEL` and `MSET` elements).
 pub fn decode_bool(reply: Reply) -> io::Result<bool> {
     match reply {
         Reply::Int(0) => Ok(false),
@@ -229,8 +252,8 @@ pub fn decode_bool(reply: Reply) -> io::Result<bool> {
     }
 }
 
-/// Decodes `=k v` pair replies (`SCAN` elements).
-pub fn decode_pair(reply: Reply) -> io::Result<(u64, u64)> {
+/// Decodes `=k len + payload` pair replies (`SCAN` elements).
+pub fn decode_pair(reply: Reply) -> io::Result<(u64, Vec<u8>)> {
     match reply {
         Reply::Pair(k, v) => Ok((k, v)),
         other => Err(unexpected(other)),
@@ -249,14 +272,14 @@ pub fn decode_array(reply: Reply) -> io::Result<Vec<Reply>> {
 mod tests {
     use super::*;
     use crate::server::{Server, ServerConfig};
-    use crate::store::ShardedOrderedStore;
+    use crate::store::BlobOrderedStore;
     use ascylib::list::HarrisList;
-    use ascylib_shard::ShardedMap;
+    use ascylib_shard::BlobMap;
     use std::sync::Arc;
 
     fn ordered_server() -> crate::server::ServerHandle {
-        let map = Arc::new(ShardedMap::new(2, |_| HarrisList::new()));
-        Server::start("127.0.0.1:0", ShardedOrderedStore::new(map), ServerConfig::default())
+        let map = Arc::new(BlobMap::new(2, |_| HarrisList::new()));
+        Server::start("127.0.0.1:0", BlobOrderedStore::new(map), ServerConfig::default())
             .expect("bind ephemeral")
     }
 
@@ -265,21 +288,33 @@ mod tests {
         let server = ordered_server();
         let mut c = Client::connect(server.addr()).unwrap();
         c.ping().unwrap();
-        assert!(c.set(10, 100).unwrap());
-        assert!(!c.set(10, 999).unwrap());
-        assert_eq!(c.get(10).unwrap(), Some(100));
+        assert!(c.set(10, b"hundred").unwrap());
+        assert!(!c.set(10, b"hundred v2").unwrap(), "upsert reports replacement");
+        assert_eq!(c.get(10).unwrap(), Some(b"hundred v2".to_vec()));
         assert_eq!(c.get(11).unwrap(), None);
-        assert_eq!(c.mset(&[(12, 120), (13, 130)]).unwrap(), vec![true, true]);
+        assert_eq!(
+            c.mset(&[(12, b"v12".as_slice()), (13, b"v13".as_slice())]).unwrap(),
+            vec![true, true]
+        );
         assert_eq!(
             c.mget(&[10, 11, 12, 13]).unwrap(),
-            vec![Some(100), None, Some(120), Some(130)]
+            vec![
+                Some(b"hundred v2".to_vec()),
+                None,
+                Some(b"v12".to_vec()),
+                Some(b"v13".to_vec())
+            ]
         );
-        assert_eq!(c.scan(11, 10).unwrap(), vec![(12, 120), (13, 130)]);
-        assert_eq!(c.del(12).unwrap(), Some(120));
-        assert_eq!(c.del(12).unwrap(), None);
+        assert_eq!(
+            c.scan(11, 10).unwrap(),
+            vec![(12, b"v12".to_vec()), (13, b"v13".to_vec())]
+        );
+        assert!(c.del(12).unwrap());
+        assert!(!c.del(12).unwrap());
         let stats = c.stats().unwrap();
         assert!(stats.contains("size=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
+        assert!(stats.contains("value_bytes="), "{stats}");
         c.quit().unwrap();
         server.join();
     }
@@ -292,7 +327,7 @@ mod tests {
         assert!(err.to_string().contains("key out of usable range"), "{err}");
         // In-band error: the connection still works.
         c.ping().unwrap();
-        assert!(c.set(5, 50).unwrap());
+        assert!(c.set(5, b"fifty").unwrap());
         server.join();
     }
 
@@ -301,7 +336,7 @@ mod tests {
         let server = ordered_server();
         let mut c = Client::connect(server.addr()).unwrap();
         let mut p = c.pipeline();
-        p.set(1, 10).set(2, 20).get(1).del(2).get(2).scan(1, 4);
+        p.set(1, b"ten").set(2, b"twenty").get(1).del(2).get(2).scan(1, 4);
         assert_eq!(p.len(), 6);
         let replies = p.run().unwrap();
         assert_eq!(
@@ -309,17 +344,42 @@ mod tests {
             vec![
                 Reply::Int(1),
                 Reply::Int(1),
-                Reply::Int(10),
-                Reply::Int(20),
+                Reply::Bulk(b"ten".to_vec()),
+                Reply::Int(1),
                 Reply::Null,
-                Reply::Array(vec![Reply::Pair(1, 10)]),
+                Reply::Array(vec![Reply::Pair(1, b"ten".to_vec())]),
             ]
         );
         // The pipeline is reusable after run().
         let mut p = c.pipeline();
         assert!(p.is_empty());
         p.get(1);
-        assert_eq!(p.run().unwrap(), vec![Reply::Int(10)]);
+        assert_eq!(p.run().unwrap(), vec![Reply::Bulk(b"ten".to_vec())]);
+        server.join();
+    }
+
+    #[test]
+    fn empty_mset_is_a_noop_and_keeps_the_connection_in_sync() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert_eq!(c.mset(&[]).unwrap(), Vec::<bool>::new());
+        // Nothing was sent, so the reply stream stays perfectly paired.
+        c.ping().unwrap();
+        assert!(c.set(1, b"one").unwrap());
+        assert_eq!(c.get(1).unwrap(), Some(b"one".to_vec()));
+        c.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn binary_values_survive_typed_calls() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        let nasty = [0u8, b'\r', b'\n', 0xFF, b' ', 0, b'$', b'*'];
+        assert!(c.set(77, &nasty).unwrap());
+        assert_eq!(c.get(77).unwrap(), Some(nasty.to_vec()));
+        assert_eq!(c.scan(77, 1).unwrap(), vec![(77, nasty.to_vec())]);
+        c.quit().unwrap();
         server.join();
     }
 }

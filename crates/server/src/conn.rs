@@ -8,10 +8,12 @@
 //! buffer in request order and flushed once per batch, so a client that
 //! pipelines `k` frames pays one round trip instead of `k`.
 //!
-//! `MGET`/`MSET` frames dispatch through the store's batched operations
-//! (the shard layer visits each shard once per frame); malformed frames
-//! consume exactly one error reply and the connection keeps serving
-//! (the parser resynchronizes at the next line).
+//! `MGET` dispatches through the store's batched lookup into a per-
+//! connection result buffer (the shard layer visits each shard once per
+//! frame and no per-batch result vector is allocated); `GET` copies the
+//! value out into a reused buffer. Malformed frames — oversized values
+//! included — consume exactly one error reply and the connection keeps
+//! serving (the parser resynchronizes past the offending input).
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
@@ -37,6 +39,16 @@ pub(crate) struct ConnCtx<'a> {
     pub stats: &'a WorkerStats,
     /// Aggregated counters across all workers (for `STATS` frames).
     pub totals: &'a dyn Fn() -> ServerStatsSnapshot,
+}
+
+/// Reusable per-connection buffers for value copy-out, so the serving hot
+/// path allocates per payload copy, not per frame.
+#[derive(Default)]
+struct ConnBufs {
+    /// `GET` value destination.
+    value: Vec<u8>,
+    /// `MGET` result destination.
+    batch: Vec<Option<Vec<u8>>>,
 }
 
 /// Why [`serve_connection`] returned.
@@ -66,6 +78,7 @@ pub(crate) fn serve_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> Conn
     let mut chunk = [0u8; 16 * 1024];
     let mut wbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut batch: Vec<Result<Request, ParseError>> = Vec::new();
+    let mut bufs = ConnBufs::default();
 
     loop {
         let n = match stream.read(&mut chunk) {
@@ -101,7 +114,7 @@ pub(crate) fn serve_connection(mut stream: TcpStream, ctx: &ConnCtx<'_>) -> Conn
             for item in &batch {
                 match item {
                     Ok(req) => {
-                        if execute(req, ctx, &mut wbuf) == Flow::Quit {
+                        if execute(req, ctx, &mut bufs, &mut wbuf) == Flow::Quit {
                             quit = true;
                             break;
                         }
@@ -153,7 +166,7 @@ fn key_ok(key: u64) -> bool {
 const KEY_RANGE_MSG: &str = "key out of usable range [1, 2^64-2]";
 
 /// Executes one well-formed frame against the store, appending its reply.
-fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
+fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<u8>) -> Flow {
     let stats = ctx.stats;
     WorkerStats::bump(&stats.frames, 1);
     match req {
@@ -164,9 +177,10 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
                 return Flow::Continue;
             }
             WorkerStats::bump(&stats.ops, 1);
-            match ctx.store.get(*k) {
-                Some(v) => wire::int(out, v),
-                None => wire::null(out),
+            if ctx.store.get(*k, &mut bufs.value) {
+                wire::bulk(out, &bufs.value);
+            } else {
+                wire::null(out);
             }
         }
         Request::Set(k, v) => {
@@ -176,7 +190,7 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
                 return Flow::Continue;
             }
             WorkerStats::bump(&stats.ops, 1);
-            wire::int(out, ctx.store.set(*k, *v) as u64);
+            wire::int(out, ctx.store.set(*k, v) as u64);
         }
         Request::Del(k) => {
             if !key_ok(*k) {
@@ -185,10 +199,7 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
                 return Flow::Continue;
             }
             WorkerStats::bump(&stats.ops, 1);
-            match ctx.store.del(*k) {
-                Some(v) => wire::int(out, v),
-                None => wire::null(out),
-            }
+            wire::int(out, ctx.store.del(*k) as u64);
         }
         Request::MGet(keys) => {
             // Validate the whole frame before executing any of it: a batch
@@ -199,11 +210,11 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
                 return Flow::Continue;
             }
             WorkerStats::bump(&stats.ops, keys.len() as u64);
-            let found = ctx.store.multi_get(keys);
-            wire::array_header(out, found.len());
-            for item in found {
+            ctx.store.multi_get(keys, &mut bufs.batch);
+            wire::array_header(out, bufs.batch.len());
+            for item in &bufs.batch {
                 match item {
-                    Some(v) => wire::int(out, v),
+                    Some(v) => wire::bulk(out, v),
                     None => wire::null(out),
                 }
             }
@@ -217,8 +228,8 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
             WorkerStats::bump(&stats.ops, entries.len() as u64);
             let outcomes = ctx.store.multi_set(entries);
             wire::array_header(out, outcomes.len());
-            for ok in outcomes {
-                wire::int(out, ok as u64);
+            for created in outcomes {
+                wire::int(out, created as u64);
             }
         }
         Request::Scan(from, n) => match ctx.store.scan(*from, *n) {
@@ -226,7 +237,7 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
                 WorkerStats::bump(&stats.ops, 1);
                 wire::array_header(out, pairs.len());
                 for (k, v) in pairs {
-                    wire::pair(out, k, v);
+                    wire::pair(out, k, &v);
                 }
             }
             None => {
@@ -239,9 +250,10 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, out: &mut Vec<u8>) -> Flow {
             let totals = (ctx.totals)();
             let (store_ops, store_hits) = ctx.store.ops_and_hits();
             let info = format!(
-                "size={} shards={} store_ops={store_ops} store_hits={store_hits} conns={} frames={} ops={} errors={} bytes_in={} bytes_out={}",
+                "size={} shards={} value_bytes={} store_ops={store_ops} store_hits={store_hits} conns={} frames={} ops={} errors={} bytes_in={} bytes_out={}",
                 ctx.store.size(),
                 ctx.store.shard_count(),
+                ctx.store.value_bytes(),
                 totals.connections,
                 totals.frames,
                 totals.ops,

@@ -7,41 +7,47 @@
 //! measured at — a TCP server speaking a compact text protocol, driven by
 //! real clients over sockets — using nothing but `std::net`:
 //!
-//! * [`protocol`] — the RESP-like frame codec: `GET`/`SET`/`DEL`,
-//!   batched `MGET`/`MSET`, ordered `SCAN`, `PING`/`STATS`/`QUIT`;
-//!   incremental push parsers that tolerate arbitrarily split reads and
-//!   answer malformed frames with in-band errors (never a panic, always
-//!   resynchronizing at the next line). The full grammar lives in
-//!   `PROTOCOL.md` at the repository root.
-//! * [`store`] — the [`KvStore`] keyspace interface and its adapters over
-//!   [`ascylib_shard::ShardedMap`]: [`ShardedStore`] for any backing,
-//!   [`ShardedOrderedStore`] adding cross-shard merged scans.
+//! * [`protocol`] — the RESP-like frame codec (protocol **version 2**):
+//!   `GET`/`SET`/`DEL` with binary-safe **bulk values** (`SET k <len>` +
+//!   payload requests, `$<len>` + payload replies, bounded by
+//!   [`protocol::MAX_VALUE`]), batched `MGET`/`MSET`, ordered `SCAN` with
+//!   payloads, `PING`/`STATS`/`QUIT`; incremental push parsers that
+//!   tolerate arbitrarily split reads and answer malformed frames —
+//!   oversized values included — with in-band errors (never a panic,
+//!   always resynchronizing). The full grammar lives in `PROTOCOL.md` at
+//!   the repository root.
+//! * [`store`] — the byte-valued [`KvStore`] keyspace interface and its
+//!   adapters over [`ascylib_shard::BlobMap`] (per-shard ssmem value
+//!   arenas, epoch-guarded copy-out reads): [`BlobStore`] for any backing,
+//!   [`BlobOrderedStore`] adding cross-shard merged scans.
 //! * `conn` (internal) — buffered per-connection state with request
 //!   **pipelining**: every complete frame that arrived is executed and
-//!   answered in order with one flush; `MGET`/`MSET` dispatch through the
-//!   shard layer's batched operations.
+//!   answered in order with one flush; `MGET` dispatches through the shard
+//!   layer's batched `multi_get_into` (no per-batch result allocation).
 //! * [`server`] — the acceptor + worker-pool TCP tier with per-worker
 //!   cache-padded stats, graceful `QUIT`/shutdown draining, and ephemeral
 //!   port support for tests.
-//! * [`client`] — a blocking client with typed per-verb calls and a
-//!   [`Pipeline`] that turns `k` round trips into one.
+//! * [`client`] — a blocking client with typed per-verb calls over `&[u8]`
+//!   values and a [`Pipeline`] that turns `k` round trips into one.
 //! * [`loadgen`] — a closed-loop multi-connection load generator that
 //!   reuses the harness's [`OpMix`](ascylib_harness::OpMix) /
-//!   [`KeyDist`](ascylib_harness::KeyDist) vocabulary, so every in-process
-//!   bench scenario replays over loopback sockets with latency percentiles
-//!   from the same `LatencyStats` machinery.
+//!   [`KeyDist`](ascylib_harness::KeyDist) vocabulary plus a
+//!   [`ValueSize`] payload-size axis (fixed / uniform / bimodal), and
+//!   reports payload bandwidth (MB/s read and written) alongside latency
+//!   percentiles.
 //!
 //! ```no_run
 //! use std::sync::Arc;
-//! use ascylib::hashtable::ClhtLb;
-//! use ascylib_shard::ShardedMap;
-//! use ascylib_server::{Client, Server, ServerConfig, ShardedStore};
+//! use ascylib::skiplist::FraserOptSkipList;
+//! use ascylib_shard::BlobMap;
+//! use ascylib_server::{BlobOrderedStore, Client, Server, ServerConfig};
 //!
-//! let map = Arc::new(ShardedMap::new(4, |_| ClhtLb::with_capacity(1024)));
-//! let server = Server::start("127.0.0.1:0", ShardedStore::new(map), ServerConfig::default())?;
+//! let map = Arc::new(BlobMap::new(4, |_| FraserOptSkipList::new()));
+//! let server =
+//!     Server::start("127.0.0.1:0", BlobOrderedStore::new(map), ServerConfig::default())?;
 //! let mut client = Client::connect(server.addr())?;
-//! client.set(7, 700)?;
-//! assert_eq!(client.get(7)?, Some(700));
+//! client.set(7, b"seven hundred")?;
+//! assert_eq!(client.get(7)?, Some(b"seven hundred".to_vec()));
 //! client.quit()?;
 //! server.join();
 //! # Ok::<(), std::io::Error>(())
@@ -58,8 +64,8 @@ pub mod stats;
 pub mod store;
 
 pub use client::{Client, Pipeline};
-pub use loadgen::{LoadGenConfig, LoadGenResult};
+pub use loadgen::{LoadGenConfig, LoadGenResult, ValueSize};
 pub use protocol::{ParseError, Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ServerStatsSnapshot;
-pub use store::{KvStore, ShardedOrderedStore, ShardedStore};
+pub use store::{BlobOrderedStore, BlobStore, KvStore};

@@ -1,23 +1,27 @@
-//! A closed-loop, multi-connection load generator for the wire protocol.
+//! A closed-loop, multi-connection load generator for the wire protocol,
+//! with payload generation.
 //!
 //! Replays the harness's workload vocabulary — any
 //! [`OpMix`] (YCSB A–E presets included) under any
-//! [`KeyDist`] (uniform / Zipfian / hotspot) — over real sockets: every
-//! in-process benchmark scenario can be re-run against a server and the
-//! results compared apples-to-apples (`fig12_server` in the bench crate
-//! does exactly that).
+//! [`KeyDist`] (uniform / Zipfian / hotspot) — over real sockets, now with
+//! a **value-size axis**: every `SET` carries a payload drawn from a
+//! [`ValueSize`] distribution (fixed, uniform, or bimodal — the classic
+//! "mostly small values, a tail of big ones" production shape), generated
+//! with `Rng::fill_bytes`, so the measured traffic moves real bytes, not
+//! just 64-bit tokens.
 //!
 //! **Closed loop:** each connection keeps at most `pipeline_depth` requests
 //! in flight and issues the next batch only after the previous one is fully
 //! answered, so measured throughput is bounded by round trips (depth 1) or
-//! by server capacity (deep pipelines) — the contrast between those two is
-//! the serving tier's pipelining win.
+//! by server capacity (deep pipelines).
 //!
-//! Latency is recorded per *round trip* (one flushed batch of
-//! `pipeline_depth` frames), the unit a closed-loop client actually waits
-//! for; percentiles come from the same [`LatencyStats`] machinery the
-//! in-process harness reports.
+//! Alongside operation throughput and per-round-trip latency percentiles,
+//! the result reports **payload bandwidth**: bytes of values written
+//! (`SET` payloads sent) and read (`GET` hits and `SCAN` pairs received),
+//! as MB/s — the number that shows when a workload stops being
+//! latency-bound and starts being memory/bandwidth-bound.
 
+use std::fmt;
 use std::io;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -25,12 +29,128 @@ use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 
 use ascylib_harness::{KeyDist, LatencyStats, OpMix, Operation};
 
 use crate::client::Client;
-use crate::protocol::{Reply, Request, MAX_SCAN};
+use crate::protocol::{Reply, MAX_SCAN, MAX_VALUE};
+
+/// Distribution of `SET` payload sizes (bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueSize {
+    /// Every value is exactly this many bytes.
+    Fixed(usize),
+    /// Uniform in `[min, max]` (inclusive).
+    Uniform {
+        /// Smallest value size.
+        min: usize,
+        /// Largest value size.
+        max: usize,
+    },
+    /// `large_pct`% of values are `large` bytes, the rest `small` — the
+    /// "metadata plus occasional media" shape of production KV traffic.
+    Bimodal {
+        /// Size of the common small values.
+        small: usize,
+        /// Size of the rare large values.
+        large: usize,
+        /// Percentage (0–100) of values that are large.
+        large_pct: u32,
+    },
+}
+
+impl ValueSize {
+    /// Draws one payload size. Sizes are clamped to the protocol's
+    /// [`MAX_VALUE`] so generated traffic is always conforming.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let raw = match *self {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max), min.max(max));
+                rng.random_range(lo as u64..=hi as u64) as usize
+            }
+            ValueSize::Bimodal { small, large, large_pct } => {
+                if rng.random_range(0..100u32) < large_pct.min(100) {
+                    large
+                } else {
+                    small
+                }
+            }
+        };
+        raw.min(MAX_VALUE)
+    }
+
+    /// Parses a CLI/environment spec: `fixed:<n>`, `uniform:<min>,<max>`,
+    /// or `bimodal:<small>,<large>,<large_pct>` (a bare number means
+    /// `fixed`). Returns `None` on anything else.
+    pub fn parse(spec: &str) -> Option<ValueSize> {
+        if let Ok(n) = spec.parse::<usize>() {
+            return Some(ValueSize::Fixed(n));
+        }
+        let (kind, args) = spec.split_once(':')?;
+        let parts: Vec<usize> = args
+            .split(',')
+            .map(|p| p.trim().parse::<usize>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        match (kind, parts.as_slice()) {
+            ("fixed", [n]) => Some(ValueSize::Fixed(*n)),
+            ("uniform", [min, max]) => Some(ValueSize::Uniform { min: *min, max: *max }),
+            ("bimodal", [small, large, pct]) if *pct <= 100 => Some(ValueSize::Bimodal {
+                small: *small,
+                large: *large,
+                large_pct: *pct as u32,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Reads the `ASCYLIB_VALUES` environment spec (see
+    /// [`parse`](Self::parse)); defaults to `bimodal:16,256,10` — the
+    /// mostly-small-with-a-large-tail shape of production KV traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec (the examples want a loud failure, not a
+    /// silently substituted default).
+    pub fn from_env() -> ValueSize {
+        match std::env::var("ASCYLIB_VALUES") {
+            Ok(spec) => ValueSize::parse(&spec)
+                .unwrap_or_else(|| panic!("bad ASCYLIB_VALUES spec {spec:?}")),
+            Err(_) => ValueSize::Bimodal { small: 16, large: 256, large_pct: 10 },
+        }
+    }
+
+    /// Largest size this distribution can produce (for buffer sizing).
+    pub fn max_size(&self) -> usize {
+        let raw = match *self {
+            ValueSize::Fixed(n) => n,
+            ValueSize::Uniform { min, max } => min.max(max),
+            ValueSize::Bimodal { small, large, .. } => small.max(large),
+        };
+        raw.min(MAX_VALUE)
+    }
+}
+
+impl Default for ValueSize {
+    /// 64-byte fixed values.
+    fn default() -> Self {
+        ValueSize::Fixed(64)
+    }
+}
+
+impl fmt::Display for ValueSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueSize::Fixed(n) => write!(f, "fixed({n}B)"),
+            ValueSize::Uniform { min, max } => write!(f, "uniform({min}-{max}B)"),
+            ValueSize::Bimodal { small, large, large_pct } => {
+                write!(f, "bimodal({small}B/{large}B@{large_pct}%)")
+            }
+        }
+    }
+}
 
 /// Load-generator configuration.
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +167,8 @@ pub struct LoadGenConfig {
     pub dist: KeyDist,
     /// Keys are drawn from `[1, key_range]`.
     pub key_range: u64,
+    /// Payload size distribution for `SET` values.
+    pub value_size: ValueSize,
     /// Frames kept in flight per connection (1 = strict request/response).
     pub pipeline_depth: usize,
     /// Base RNG seed (each connection derives its own stream).
@@ -55,7 +177,7 @@ pub struct LoadGenConfig {
 
 impl Default for LoadGenConfig {
     /// Four connections, 300 ms, the paper's 10%-update mix, uniform keys
-    /// over `[1, 8192]`, pipeline depth 16.
+    /// over `[1, 8192]`, 64-byte values, pipeline depth 16.
     fn default() -> Self {
         Self {
             connections: 4,
@@ -63,6 +185,7 @@ impl Default for LoadGenConfig {
             mix: OpMix::default(),
             dist: KeyDist::Uniform,
             key_range: 8192,
+            value_size: ValueSize::default(),
             pipeline_depth: 16,
             seed: 0x10AD_9E4E,
         }
@@ -86,10 +209,14 @@ pub struct LoadGenResult {
     pub dels: u64,
     /// `SCAN` frames answered.
     pub scans: u64,
-    /// `GET` hits (non-null answers).
+    /// `GET` hits (bulk answers).
     pub hits: u64,
     /// Keys returned across all scans.
     pub scan_keys_returned: u64,
+    /// Payload bytes written (`SET` values sent).
+    pub payload_bytes_written: u64,
+    /// Payload bytes read (`GET` hit values + `SCAN` pair values received).
+    pub payload_bytes_read: u64,
     /// `-ERR` replies received (the run continues past them).
     pub errors: u64,
     /// Round-trip latency of one flushed batch (nanoseconds; at depth 1
@@ -108,6 +235,26 @@ impl LoadGenResult {
             self.hits as f64 / self.gets as f64
         }
     }
+
+    /// Payload write bandwidth in MB/s (`SET` values sent).
+    pub fn write_mbps(&self) -> f64 {
+        ascylib_harness::report::mbps(self.payload_bytes_written, self.elapsed)
+    }
+
+    /// Payload read bandwidth in MB/s (`GET`/`SCAN` values received).
+    pub fn read_mbps(&self) -> f64 {
+        ascylib_harness::report::mbps(self.payload_bytes_read, self.elapsed)
+    }
+}
+
+/// Which verb occupied one pipeline slot (with the payload bytes a `SET`
+/// carried), so replies classify without keeping whole `Request`s around.
+#[derive(Clone, Copy)]
+enum SlotKind {
+    Get,
+    Set(usize),
+    Del,
+    Scan,
 }
 
 #[derive(Default)]
@@ -119,6 +266,8 @@ struct ConnOutput {
     scans: u64,
     hits: u64,
     scan_keys: u64,
+    bytes_written: u64,
+    bytes_read: u64,
     errors: u64,
     rtt_samples: Vec<u64>,
 }
@@ -150,50 +299,68 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
                 let mix = cfg.mix.validated();
                 let dice_range = mix.total();
                 let mut out = ConnOutput::default();
-                let mut batch: Vec<Request> = Vec::with_capacity(depth);
+                let mut kinds: Vec<SlotKind> = Vec::with_capacity(depth);
+                let mut value_buf = vec![0u8; cfg.value_size.max_size()];
                 while !stop.load(Ordering::Relaxed) {
-                    batch.clear();
+                    kinds.clear();
+                    let mut p = client.pipeline();
                     for _ in 0..depth {
                         let key = sampler.sample(&mut rng);
-                        batch.push(match mix.sample(rng.random_range(0..dice_range)) {
-                            Operation::Read => Request::Get(key),
-                            Operation::Insert => Request::Set(key, key.wrapping_mul(10)),
-                            Operation::Remove => Request::Del(key),
+                        match mix.sample(rng.random_range(0..dice_range)) {
+                            Operation::Read => {
+                                p.get(key);
+                                kinds.push(SlotKind::Get);
+                            }
+                            Operation::Insert => {
+                                let len = cfg.value_size.sample(&mut rng);
+                                rng.fill_bytes(&mut value_buf[..len]);
+                                p.set(key, &value_buf[..len]);
+                                kinds.push(SlotKind::Set(len));
+                            }
+                            Operation::Remove => {
+                                p.del(key);
+                                kinds.push(SlotKind::Del);
+                            }
                             Operation::Scan { len } => {
                                 let want = rng.random_range(1..=len.min(MAX_SCAN) as u64);
-                                Request::Scan(key, want as usize)
+                                p.scan(key, want as usize);
+                                kinds.push(SlotKind::Scan);
                             }
-                        });
+                        }
                     }
                     let start = Instant::now();
-                    let mut p = client.pipeline();
-                    for req in &batch {
-                        p.push(req);
-                    }
                     let replies = p.run()?;
                     out.rtt_samples.push(start.elapsed().as_nanos() as u64);
-                    for (req, reply) in batch.iter().zip(replies) {
+                    for (kind, reply) in kinds.iter().zip(replies) {
                         out.ops += 1;
                         if let Reply::Error(_) = reply {
                             out.errors += 1;
                             continue;
                         }
-                        match req {
-                            Request::Get(_) => {
+                        match kind {
+                            SlotKind::Get => {
                                 out.gets += 1;
-                                if matches!(reply, Reply::Int(_)) {
+                                if let Reply::Bulk(v) = &reply {
                                     out.hits += 1;
+                                    out.bytes_read += v.len() as u64;
                                 }
                             }
-                            Request::Set(..) => out.sets += 1,
-                            Request::Del(_) => out.dels += 1,
-                            Request::Scan(..) => {
+                            SlotKind::Set(len) => {
+                                out.sets += 1;
+                                out.bytes_written += *len as u64;
+                            }
+                            SlotKind::Del => out.dels += 1,
+                            SlotKind::Scan => {
                                 out.scans += 1;
-                                if let Reply::Array(elems) = reply {
+                                if let Reply::Array(elems) = &reply {
                                     out.scan_keys += elems.len() as u64;
+                                    for e in elems {
+                                        if let Reply::Pair(_, v) = e {
+                                            out.bytes_read += v.len() as u64;
+                                        }
+                                    }
                                 }
                             }
-                            _ => {}
                         }
                     }
                 }
@@ -221,6 +388,8 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
         scans: 0,
         hits: 0,
         scan_keys_returned: 0,
+        payload_bytes_written: 0,
+        payload_bytes_read: 0,
         errors: 0,
         batch_rtt: LatencyStats::default(),
         elapsed,
@@ -234,6 +403,9 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
         result.scans = result.scans.saturating_add(out.scans);
         result.hits = result.hits.saturating_add(out.hits);
         result.scan_keys_returned = result.scan_keys_returned.saturating_add(out.scan_keys);
+        result.payload_bytes_written =
+            result.payload_bytes_written.saturating_add(out.bytes_written);
+        result.payload_bytes_read = result.payload_bytes_read.saturating_add(out.bytes_read);
         result.errors = result.errors.saturating_add(out.errors);
         rtt_samples.extend(out.rtt_samples);
     }
@@ -243,60 +415,132 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
     Ok(result)
 }
 
-/// Prefills the keyspace over the wire: pipelined `MSET` batches inserting
+/// Prefills the keyspace over the wire: pipelined `MSET` batches upserting
 /// `initial_size` distinct keys spread evenly across `[1, key_range]` (the
-/// same even-coverage shape the in-process harness starts from). Returns
-/// the number of newly inserted keys.
-pub fn prefill(addr: SocketAddr, initial_size: u64, key_range: u64) -> io::Result<u64> {
+/// same even-coverage shape the in-process harness starts from), with
+/// payloads drawn from `value_size`. Returns the number of newly created
+/// keys.
+pub fn prefill(
+    addr: SocketAddr,
+    initial_size: u64,
+    key_range: u64,
+    value_size: ValueSize,
+    seed: u64,
+) -> io::Result<u64> {
     let mut client = Client::connect(addr)?;
+    let mut rng = SmallRng::seed_from_u64(seed);
     let range = key_range.max(initial_size).max(1);
     let step = (range / initial_size.max(1)).max(1);
-    let mut inserted = 0u64;
-    let mut entries: Vec<(u64, u64)> = Vec::with_capacity(256);
+    let mut created = 0u64;
+    let mut entries: Vec<(u64, Vec<u8>)> = Vec::with_capacity(128);
     let mut key = 1u64;
     let mut remaining = initial_size;
+    // Batches are bounded by payload bytes as well as entry count: any
+    // legal per-value size (up to MAX_VALUE) must yield conforming MSET
+    // frames, which cap the *total* payload at MAX_BATCH_PAYLOAD.
+    let payload_budget = crate::protocol::MAX_BATCH_PAYLOAD / 2;
     while remaining > 0 {
         entries.clear();
-        while remaining > 0 && entries.len() < 256 {
-            entries.push((key, key.wrapping_mul(10)));
+        let mut batch_bytes = 0usize;
+        while remaining > 0 && entries.len() < 128 {
+            let len = value_size.sample(&mut rng);
+            if !entries.is_empty() && batch_bytes + len > payload_budget {
+                break;
+            }
+            batch_bytes += len;
+            let mut value = vec![0u8; len];
+            rng.fill_bytes(&mut value);
+            entries.push((key, value));
             key = key.saturating_add(step).min(u64::MAX - 1);
             remaining -= 1;
         }
-        for ok in client.mset(&entries)? {
-            inserted += ok as u64;
+        let borrowed: Vec<(u64, &[u8])> =
+            entries.iter().map(|(k, v)| (*k, v.as_slice())).collect();
+        for newly in client.mset(&borrowed)? {
+            created += newly as u64;
         }
     }
     client.quit()?;
-    Ok(inserted)
+    Ok(created)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::server::{Server, ServerConfig};
-    use crate::store::ShardedOrderedStore;
-    use ascylib::api::ConcurrentMap;
+    use crate::store::BlobOrderedStore;
     use ascylib::skiplist::FraserOptSkipList;
-    use ascylib_shard::ShardedMap;
+    use ascylib_shard::BlobMap;
 
     #[test]
-    fn closed_loop_run_reports_traffic() {
-        let map = Arc::new(ShardedMap::new(2, |_| FraserOptSkipList::new()));
+    fn value_size_distributions_sample_within_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(ValueSize::Fixed(100).sample(&mut rng), 100);
+        assert_eq!(ValueSize::Fixed(MAX_VALUE * 4).sample(&mut rng), MAX_VALUE, "clamped");
+        let u = ValueSize::Uniform { min: 10, max: 50 };
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..2_000 {
+            let s = u.sample(&mut rng);
+            assert!((10..=50).contains(&s));
+            seen_low |= s < 20;
+            seen_high |= s > 40;
+        }
+        assert!(seen_low && seen_high, "uniform must cover its range");
+        let b = ValueSize::Bimodal { small: 16, large: 256, large_pct: 10 };
+        let mut larges = 0;
+        for _ in 0..2_000 {
+            let s = b.sample(&mut rng);
+            assert!(s == 16 || s == 256);
+            larges += (s == 256) as u32;
+        }
+        assert!((100..400).contains(&larges), "~10% large values, got {larges}/2000");
+        assert_eq!(b.max_size(), 256);
+        assert_eq!(b.to_string(), "bimodal(16B/256B@10%)");
+    }
+
+    #[test]
+    fn value_size_specs_parse() {
+        assert_eq!(ValueSize::parse("256"), Some(ValueSize::Fixed(256)));
+        assert_eq!(ValueSize::parse("fixed:8"), Some(ValueSize::Fixed(8)));
+        assert_eq!(
+            ValueSize::parse("uniform:16,4096"),
+            Some(ValueSize::Uniform { min: 16, max: 4096 })
+        );
+        assert_eq!(
+            ValueSize::parse("bimodal:16,256,10"),
+            Some(ValueSize::Bimodal { small: 16, large: 256, large_pct: 10 })
+        );
+        for bad in [
+            "", "fixed", "fixed:x", "uniform:1", "bimodal:1,2", "huge:9",
+            // An impossible percentage is a config error, not a wrap/clamp.
+            "bimodal:16,256,101", "bimodal:16,256,4294967306",
+        ] {
+            assert_eq!(ValueSize::parse(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn closed_loop_run_reports_traffic_and_bandwidth() {
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
         let server = Server::start(
             "127.0.0.1:0",
-            ShardedOrderedStore::new(Arc::clone(&map)),
+            BlobOrderedStore::new(Arc::clone(&map)),
             ServerConfig::for_connections(2),
         )
         .unwrap();
-        let inserted = prefill(server.addr(), 256, 512).unwrap();
-        assert_eq!(inserted, 256);
-        assert_eq!(map.size(), 256);
+        let created =
+            prefill(server.addr(), 256, 512, ValueSize::Fixed(64), 7).unwrap();
+        assert_eq!(created, 256);
+        assert_eq!(map.len(), 256);
+        assert_eq!(map.total_arena_stats().live_bytes(), 256 * 64);
 
         let cfg = LoadGenConfig {
             connections: 2,
             duration_ms: 80,
             mix: OpMix::update(20),
             key_range: 512,
+            value_size: ValueSize::Bimodal { small: 16, large: 256, large_pct: 10 },
             pipeline_depth: 8,
             ..LoadGenConfig::default()
         };
@@ -310,19 +554,43 @@ mod tests {
         assert!(r.throughput > 0.0);
         assert!(r.batch_rtt.samples > 0);
         assert!(r.batch_rtt.p50 > 0);
+        // Payload movement in both directions, at plausible magnitudes.
+        assert!(r.payload_bytes_written > 0, "SETs carried payloads");
+        assert!(r.payload_bytes_read > 0, "GET hits returned payloads");
+        assert!(r.payload_bytes_written >= r.sets * 16);
+        assert!(r.write_mbps() > 0.0 && r.read_mbps() > 0.0);
         server.join();
     }
 
     #[test]
-    fn scan_mix_over_the_wire_returns_keys() {
-        let map = Arc::new(ShardedMap::new(2, |_| FraserOptSkipList::new()));
+    fn prefill_with_large_values_respects_the_batch_payload_cap() {
+        // 128 x 16 KiB would be a 2 MiB MSET frame — over the 1 MiB batch
+        // cap; prefill must split by payload bytes, not just entry count.
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
         let server = Server::start(
             "127.0.0.1:0",
-            ShardedOrderedStore::new(map),
+            BlobOrderedStore::new(Arc::clone(&map)),
+            ServerConfig::for_connections(1),
+        )
+        .unwrap();
+        let created =
+            prefill(server.addr(), 64, 128, ValueSize::Fixed(16 * 1024), 3).unwrap();
+        assert_eq!(created, 64);
+        assert_eq!(map.len(), 64);
+        assert_eq!(map.total_arena_stats().live_bytes(), 64 * 16 * 1024);
+        server.join();
+    }
+
+    #[test]
+    fn scan_mix_over_the_wire_returns_keys_and_bytes() {
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            BlobOrderedStore::new(map),
             ServerConfig::for_connections(2),
         )
         .unwrap();
-        prefill(server.addr(), 256, 512).unwrap();
+        prefill(server.addr(), 256, 512, ValueSize::Fixed(32), 7).unwrap();
         let cfg = LoadGenConfig {
             connections: 2,
             duration_ms: 60,
@@ -334,18 +602,22 @@ mod tests {
         let r = run(server.addr(), &cfg).unwrap();
         assert!(r.scans > 0, "YCSB-E is 95% scans");
         assert!(r.scan_keys_returned > 0);
+        assert!(
+            r.payload_bytes_read >= r.scan_keys_returned * 32,
+            "every scanned pair carries its 32-byte payload"
+        );
         assert_eq!(r.errors, 0);
         server.join();
     }
 
     #[test]
     fn unsupported_scans_surface_as_error_replies_not_failures() {
-        use crate::store::ShardedStore;
+        use crate::store::BlobStore;
         use ascylib::hashtable::ClhtLb;
-        let map = Arc::new(ShardedMap::new(2, |_| ClhtLb::with_capacity(256)));
+        let map = Arc::new(BlobMap::new(2, |_| ClhtLb::with_capacity(256)));
         let server = Server::start(
             "127.0.0.1:0",
-            ShardedStore::new(map),
+            BlobStore::new(map),
             ServerConfig::for_connections(1),
         )
         .unwrap();

@@ -1,76 +1,95 @@
-//! The ASCY wire protocol: a compact RESP-like text frame codec.
+//! The ASCY wire protocol (version 2): a compact RESP-like codec with
+//! binary-safe bulk values.
 //!
 //! # Requests
 //!
-//! A request frame is one ASCII line: a verb, zero or more decimal `u64`
-//! arguments separated by single spaces, terminated by `\r\n` (a bare `\n`
-//! is accepted for hand-driven sessions):
+//! Header lines are ASCII — a verb, decimal `u64` arguments separated by
+//! single spaces, terminated by `\r\n` (bare `\n` accepted). Verbs that
+//! carry values announce the payload length in the header and follow it
+//! with exactly that many raw bytes (any bytes — NUL and newlines
+//! included) plus one line terminator:
 //!
 //! ```text
-//! GET <key>            SET <key> <value>        DEL <key>
-//! MGET <key>...        MSET <key> <value>...    SCAN <from> <count>
-//! PING                 STATS                    QUIT
+//! GET <key>                          DEL <key>
+//! SET <key> <len>\r\n<bytes>\r\n     MGET <key>...
+//! MSET <k1> <l1> ... <kn> <ln>\r\n<bytes1>...<bytesn>\r\n
+//! SCAN <from> <count>                PING   STATS   QUIT
 //! ```
 //!
 //! # Replies
 //!
-//! One line per reply, except arrays which are a `*<n>` header line followed
-//! by `n` element lines:
-//!
 //! ```text
-//! +<text>      simple string (`+OK`, `+PONG`, `+BYE`, STATS info line)
-//! :<u64>       integer (GET/DEL hit value, SET outcome 0/1)
-//! _            null (GET/DEL miss)
-//! =<k> <v>     one key-value pair (SCAN elements)
-//! *<n>         array header (MGET/MSET/SCAN replies)
-//! -ERR <msg>   error frame (malformed request, unsupported operation)
+//! +<text>                  simple string (`+OK`, `+PONG`, `+BYE`, STATS)
+//! :<u64>                   integer (SET/DEL outcomes 0/1, MSET elements)
+//! _                        null (GET/MGET miss)
+//! $<len>\r\n<bytes>\r\n    bulk value (GET hit, MGET elements)
+//! =<k> <len>\r\n<bytes>\r\n  one key-value pair (SCAN elements)
+//! *<n>                     array header (MGET/MSET/SCAN replies)
+//! -ERR <msg>               error frame
 //! ```
 //!
 //! # Incremental parsing
 //!
 //! Both directions are parsed by *push* parsers ([`RequestParser`],
-//! [`ReplyParser`]) that accept arbitrarily split byte chunks (a frame may
-//! arrive one byte at a time, or fifty frames may arrive in one read).
-//! Malformed input yields an error item — never a panic — and the parser
-//! resynchronizes at the next line boundary, so one bad frame costs exactly
-//! one error reply and the connection keeps working. See `PROTOCOL.md` at
-//! the repository root for the full grammar and pipelining rules.
+//! [`ReplyParser`]) that accept arbitrarily split byte chunks. Malformed
+//! input yields an error item — never a panic. Resynchronization: after a
+//! malformed *header* line the parser resumes at the next newline; a frame
+//! whose declared payload exceeds the value cap is answered with one error
+//! and its claimed payload is discarded (bounded by the cap itself), so a
+//! conforming pipeline keeps its request/reply pairing even across a
+//! rejected value. See `PROTOCOL.md` at the repository root.
 
 use std::fmt;
 
-/// Longest accepted line (bytes, excluding the terminator). Bounds both
-/// parser memory and the damage an unterminated frame can do; a run of
-/// more than this many bytes without a newline is discarded up to the next
-/// newline and reported as one [`ParseError::Oversize`]. Sized so that the
-/// worst legal frame — `MGET`/`MSET` with [`MAX_ARGS`] twenty-digit
-/// arguments, ~21.5 KiB — fits with room to spare (the argument cap binds
-/// before the line cap does).
+/// Longest accepted header line (bytes, excluding the terminator). Bulk
+/// payload bytes are not lines and are bounded separately by
+/// [`MAX_VALUE`] / [`MAX_BATCH_PAYLOAD`]. Sized so that the worst legal
+/// header — `MSET` with [`MAX_ARGS`] twenty-digit arguments, ~21.5 KiB —
+/// fits with room to spare (the argument cap binds before the line cap).
 pub const MAX_LINE: usize = 32 * 1024;
 
-/// Most arguments accepted in one `MGET`/`MSET` frame (keys the shard
-/// layer's batched dispatch is visited with at once).
+/// Most arguments accepted in one `MGET`/`MSET` header (for `MSET` that is
+/// [`MAX_ARGS`]`/2` key-value pairs).
 pub const MAX_ARGS: usize = 1024;
 
 /// Largest `SCAN` count a server will honour per frame; larger cursors must
 /// iterate.
 pub const MAX_SCAN: usize = 4096;
 
+/// Largest single value payload (bytes). A `SET` (or `MSET` element, or a
+/// reply bulk) declaring more is rejected with an in-band error; the
+/// declared payload is discarded — at most this many bytes plus a
+/// terminator — before the parser resynchronizes.
+pub const MAX_VALUE: usize = 64 * 1024;
+
+/// Largest total payload of one `MSET` frame (bytes across all values):
+/// bounds per-connection parser memory.
+pub const MAX_BATCH_PAYLOAD: usize = 1024 * 1024;
+
+/// Soft cap on the total payload bytes of one `SCAN` reply (the outbound
+/// analogue of [`MAX_BATCH_PAYLOAD`]): a scan stops early once its copied
+/// values reach this budget (exceeding it by at most one value), so a
+/// keyspace of maximum-size values cannot make one frame materialize
+/// hundreds of megabytes server-side. Clients page exactly as with the
+/// count cap: continue from the last returned key + 1.
+pub const MAX_SCAN_REPLY_PAYLOAD: usize = 4 * 1024 * 1024;
+
 /// One parsed request frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
-    /// `GET key` — point lookup.
+    /// `GET key` — point lookup, answered with a bulk value or null.
     Get(u64),
-    /// `SET key value` — insert-if-absent (the store is a concurrent *set*
-    /// of keyed elements; an existing key is left untouched and reported).
-    Set(u64, u64),
-    /// `DEL key` — remove, returning the removed value.
+    /// `SET key <len> + payload` — **upsert**: stores the value, replacing
+    /// any previous one (reply `:1` created / `:0` replaced).
+    Set(u64, Vec<u8>),
+    /// `DEL key` — remove (reply `:1` removed / `:0` miss).
     Del(u64),
     /// `MGET key...` — batched lookup, answered in input order.
     MGet(Vec<u64>),
-    /// `MSET (key value)...` — batched insert-if-absent, answered in input
+    /// `MSET (key len)... + payloads` — batched upsert, outcomes in input
     /// order.
-    MSet(Vec<(u64, u64)>),
-    /// `SCAN from count` — up to `count` elements with key `>= from`, in
+    MSet(Vec<(u64, Vec<u8>)>),
+    /// `SCAN from count` — up to `count` pairs with key `>= from`, in
     /// ascending key order (requires an ordered store).
     Scan(u64, usize),
     /// `PING` — liveness probe.
@@ -88,9 +107,10 @@ pub enum Request {
 pub enum ParseError {
     /// An empty line (no verb).
     Empty,
-    /// The line exceeded [`MAX_LINE`] bytes.
+    /// A header line exceeded [`MAX_LINE`] bytes.
     Oversize,
-    /// The line contained a NUL, another control byte, or a non-ASCII byte.
+    /// A header line contained a NUL, another control byte, or a non-ASCII
+    /// byte (payload bytes are exempt — they may be anything).
     IllegalByte,
     /// The verb is not part of the protocol.
     UnknownVerb,
@@ -103,6 +123,12 @@ pub enum ParseError {
     TooManyArgs,
     /// A `SCAN` count exceeded [`MAX_SCAN`].
     ScanTooLarge,
+    /// A declared value length exceeded [`MAX_VALUE`].
+    ValueTooLarge,
+    /// An `MSET` frame's total payload exceeded [`MAX_BATCH_PAYLOAD`].
+    BatchPayloadTooLarge,
+    /// The bytes after a declared payload were not a line terminator.
+    BadPayload,
 }
 
 impl fmt::Display for ParseError {
@@ -116,20 +142,25 @@ impl fmt::Display for ParseError {
             ParseError::BadNumber => write!(f, "argument is not a decimal u64"),
             ParseError::TooManyArgs => write!(f, "more than {MAX_ARGS} arguments"),
             ParseError::ScanTooLarge => write!(f, "scan count exceeds {MAX_SCAN}"),
+            ParseError::ValueTooLarge => write!(f, "value exceeds {MAX_VALUE} bytes"),
+            ParseError::BatchPayloadTooLarge => {
+                write!(f, "batch payload exceeds {MAX_BATCH_PAYLOAD} bytes")
+            }
+            ParseError::BadPayload => write!(f, "payload not followed by a line terminator"),
         }
     }
 }
 
-/// Shared line-splitting core of the two push parsers: buffers fed bytes,
-/// yields complete lines (terminator stripped), discards oversize runs up to
-/// the next newline.
+/// Shared byte-stream core of the two push parsers: buffers fed bytes,
+/// yields complete header lines (terminator stripped) or counted payload
+/// regions, discards oversize/rejected runs.
 #[derive(Debug, Default)]
 struct LineBuffer {
     buf: Vec<u8>,
     /// Consumed prefix of `buf` (compacted lazily so feeding is O(bytes)).
     start: usize,
-    /// Set after an oversize run: discard up to the next newline before
-    /// resuming normal parsing.
+    /// Set after an oversize/rejected run: discard up to the next newline
+    /// before resuming normal parsing.
     discarding: bool,
 }
 
@@ -143,6 +174,18 @@ enum Line {
     /// An oversize run was discarded (either the run found its newline, or
     /// the whole buffer was dropped while waiting for one).
     Oversize,
+}
+
+/// One item from [`LineBuffer::take_payload`].
+enum PayloadTake {
+    /// Fewer than `n` bytes (plus terminator) buffered; feed more.
+    Pending,
+    /// The payload region (index pair into the internal buffer — borrow
+    /// immediately); the terminator has been consumed.
+    Complete(usize, usize),
+    /// The byte after the payload was not a terminator. The payload bytes
+    /// were consumed and the buffer is discarding to the next newline.
+    BadTerminator,
 }
 
 impl LineBuffer {
@@ -205,17 +248,90 @@ impl LineBuffer {
             }
         }
     }
+
+    /// Waits for `n` raw payload bytes plus their line terminator. Payload
+    /// bytes are binary — newlines inside them are data, not terminators.
+    fn take_payload(&mut self, n: usize) -> PayloadTake {
+        let avail = self.buf.len() - self.start;
+        if avail < n + 1 {
+            return PayloadTake::Pending;
+        }
+        let after = self.buf[self.start + n];
+        if after == b'\n' {
+            let s = self.start;
+            self.start += n + 1;
+            return PayloadTake::Complete(s, s + n);
+        }
+        if after == b'\r' {
+            if avail < n + 2 {
+                return PayloadTake::Pending;
+            }
+            if self.buf[self.start + n + 1] == b'\n' {
+                let s = self.start;
+                self.start += n + 2;
+                return PayloadTake::Complete(s, s + n);
+            }
+        }
+        // Not a terminator: consume the payload bytes, then resynchronize
+        // at the next newline.
+        self.start += n;
+        self.discarding = true;
+        PayloadTake::BadTerminator
+    }
+
+    /// Discards up to `remaining` payload bytes of a rejected frame;
+    /// returns `true` when the skip is complete.
+    fn skip_payload(&mut self, remaining: &mut usize) -> bool {
+        let avail = self.buf.len() - self.start;
+        let take = avail.min(*remaining);
+        self.start += take;
+        *remaining -= take;
+        if self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        *remaining == 0
+    }
+}
+
+/// What a request header line means: a complete frame, or a frame that
+/// still needs its payload bytes.
+enum ReqHeader {
+    Done(Request),
+    NeedSet { key: u64, len: usize },
+    NeedMSet { pairs: Vec<(u64, usize)>, total: usize },
+}
+
+/// Request-parser payload state.
+#[derive(Debug)]
+enum ReqState {
+    /// Parsing header lines.
+    Lines,
+    /// Collecting a `SET` payload.
+    SetPayload { key: u64, len: usize },
+    /// Collecting an `MSET` payload region (per-value lengths + total).
+    MSetPayload { pairs: Vec<(u64, usize)>, total: usize },
+    /// Discarding the claimed payload of a rejected frame (already
+    /// reported; bounded by the caps at construction).
+    Skip { remaining: usize },
 }
 
 /// Incremental request parser (server side).
 ///
 /// Feed raw socket bytes with [`feed`](Self::feed), then drain complete
 /// frames with [`next`](Self::next). `Err` items are per-frame: the parser
-/// has already resynchronized past the offending line and the following
+/// has already resynchronized past the offending input and the following
 /// frames parse normally.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct RequestParser {
     lines: LineBuffer,
+    state: ReqState,
+}
+
+impl Default for RequestParser {
+    fn default() -> Self {
+        Self { lines: LineBuffer::default(), state: ReqState::Lines }
+    }
 }
 
 impl RequestParser {
@@ -236,12 +352,69 @@ impl RequestParser {
     // iterator adapters (collect, for-loops) would silently truncate streams.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<Request, ParseError>> {
-        match self.lines.next_line() {
-            Line::Pending => None,
-            Line::Oversize => Some(Err(ParseError::Oversize)),
-            // The &mut borrow from next_line() ends at the indices, so the
-            // line can be parsed straight out of the buffer, no copy.
-            Line::Complete(start, end) => Some(parse_request_line(&self.lines.buf[start..end])),
+        loop {
+            match std::mem::replace(&mut self.state, ReqState::Lines) {
+                ReqState::Lines => match self.lines.next_line() {
+                    Line::Pending => return None,
+                    Line::Oversize => return Some(Err(ParseError::Oversize)),
+                    // The &mut borrow from next_line() ends at the indices,
+                    // so the line parses straight out of the buffer, no copy.
+                    Line::Complete(start, end) => {
+                        match parse_request_line(&self.lines.buf[start..end]) {
+                            Ok(ReqHeader::Done(req)) => return Some(Ok(req)),
+                            Ok(ReqHeader::NeedSet { key, len }) => {
+                                self.state = ReqState::SetPayload { key, len };
+                            }
+                            Ok(ReqHeader::NeedMSet { pairs, total }) => {
+                                self.state = ReqState::MSetPayload { pairs, total };
+                            }
+                            Err(RejectedHeader { error, claimed_payload }) => {
+                                if claimed_payload > 0 {
+                                    self.state = ReqState::Skip { remaining: claimed_payload };
+                                }
+                                return Some(Err(error));
+                            }
+                        }
+                    }
+                },
+                ReqState::SetPayload { key, len } => match self.lines.take_payload(len) {
+                    PayloadTake::Pending => {
+                        self.state = ReqState::SetPayload { key, len };
+                        return None;
+                    }
+                    PayloadTake::Complete(s, e) => {
+                        return Some(Ok(Request::Set(key, self.lines.buf[s..e].to_vec())));
+                    }
+                    PayloadTake::BadTerminator => return Some(Err(ParseError::BadPayload)),
+                },
+                ReqState::MSetPayload { pairs, total } => match self.lines.take_payload(total) {
+                    PayloadTake::Pending => {
+                        self.state = ReqState::MSetPayload { pairs, total };
+                        return None;
+                    }
+                    PayloadTake::Complete(s, _) => {
+                        let mut entries = Vec::with_capacity(pairs.len());
+                        let mut offset = s;
+                        for (key, len) in pairs {
+                            entries.push((key, self.lines.buf[offset..offset + len].to_vec()));
+                            offset += len;
+                        }
+                        return Some(Ok(Request::MSet(entries)));
+                    }
+                    PayloadTake::BadTerminator => return Some(Err(ParseError::BadPayload)),
+                },
+                ReqState::Skip { mut remaining } => {
+                    if self.lines.skip_payload(&mut remaining) {
+                        // Eat the terminator (or whatever the lying client
+                        // sent instead) up to the next newline, silently.
+                        self.lines.discarding = true;
+                        // state is already Lines; re-enter the loop.
+                    } else {
+                        self.state = ReqState::Skip { remaining };
+                        return None;
+                    }
+                }
+            }
         }
     }
 }
@@ -262,16 +435,32 @@ fn parse_u64(token: &str) -> Result<u64, ParseError> {
     token.parse().map_err(|_| ParseError::BadNumber)
 }
 
-fn parse_request_line(line: &[u8]) -> Result<Request, ParseError> {
+/// A rejected request header, together with how many payload bytes the
+/// frame *declared* (so the parser can discard them instead of
+/// misinterpreting binary payload as header lines). Bounded by the caps:
+/// an absurd declaration forfeits exact framing and falls back to
+/// newline resynchronization after the bounded skip.
+struct RejectedHeader {
+    error: ParseError,
+    claimed_payload: usize,
+}
+
+impl From<ParseError> for RejectedHeader {
+    fn from(error: ParseError) -> Self {
+        RejectedHeader { error, claimed_payload: 0 }
+    }
+}
+
+fn parse_request_line(line: &[u8]) -> Result<ReqHeader, RejectedHeader> {
     let line = ascii_line(line)?;
     if line.is_empty() {
-        return Err(ParseError::Empty);
+        return Err(ParseError::Empty.into());
     }
     let mut tokens = line.split(' ');
     let verb = tokens.next().expect("split yields at least one token");
     let args: Vec<&str> = tokens.collect();
     if args.len() > MAX_ARGS {
-        return Err(ParseError::TooManyArgs);
+        return Err(ParseError::TooManyArgs.into());
     }
     let arity = |n: usize, usage: &'static str| {
         if args.len() == n {
@@ -280,58 +469,85 @@ fn parse_request_line(line: &[u8]) -> Result<Request, ParseError> {
             Err(ParseError::Arity(usage))
         }
     };
+    let done = |req: Request| Ok(ReqHeader::Done(req));
     match verb {
         "GET" => {
             arity(1, "GET <key>")?;
-            Ok(Request::Get(parse_u64(args[0])?))
+            done(Request::Get(parse_u64(args[0])?))
         }
         "SET" => {
-            arity(2, "SET <key> <value>")?;
-            Ok(Request::Set(parse_u64(args[0])?, parse_u64(args[1])?))
+            arity(2, "SET <key> <len> + payload")?;
+            let key = parse_u64(args[0])?;
+            let len = parse_u64(args[1])?;
+            if len > MAX_VALUE as u64 {
+                return Err(RejectedHeader {
+                    error: ParseError::ValueTooLarge,
+                    claimed_payload: (len as usize).min(MAX_VALUE.saturating_mul(2)),
+                });
+            }
+            Ok(ReqHeader::NeedSet { key, len: len as usize })
         }
         "DEL" => {
             arity(1, "DEL <key>")?;
-            Ok(Request::Del(parse_u64(args[0])?))
+            done(Request::Del(parse_u64(args[0])?))
         }
         "MGET" => {
             if args.is_empty() {
-                return Err(ParseError::Arity("MGET <key>..."));
+                return Err(ParseError::Arity("MGET <key>...").into());
             }
-            let keys = args.iter().map(|t| parse_u64(t)).collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::MGet(keys))
+            let keys =
+                args.iter().map(|t| parse_u64(t)).collect::<Result<Vec<_>, _>>()?;
+            done(Request::MGet(keys))
         }
         "MSET" => {
             if args.is_empty() || args.len() % 2 != 0 {
-                return Err(ParseError::Arity("MSET (<key> <value>)..."));
+                return Err(ParseError::Arity("MSET (<key> <len>)... + payloads").into());
             }
-            let entries = args
-                .chunks_exact(2)
-                .map(|kv| Ok((parse_u64(kv[0])?, parse_u64(kv[1])?)))
-                .collect::<Result<Vec<_>, ParseError>>()?;
-            Ok(Request::MSet(entries))
+            let mut pairs = Vec::with_capacity(args.len() / 2);
+            let mut total = 0u64;
+            let mut reject: Option<ParseError> = None;
+            for kv in args.chunks_exact(2) {
+                let key = parse_u64(kv[0])?;
+                let len = parse_u64(kv[1])?;
+                if len > MAX_VALUE as u64 && reject.is_none() {
+                    reject = Some(ParseError::ValueTooLarge);
+                }
+                total = total.saturating_add(len);
+                pairs.push((key, len as usize));
+            }
+            if total > MAX_BATCH_PAYLOAD as u64 && reject.is_none() {
+                reject = Some(ParseError::BatchPayloadTooLarge);
+            }
+            if let Some(error) = reject {
+                return Err(RejectedHeader {
+                    error,
+                    claimed_payload: (total as usize).min(MAX_BATCH_PAYLOAD.saturating_mul(2)),
+                });
+            }
+            Ok(ReqHeader::NeedMSet { pairs, total: total as usize })
         }
         "SCAN" => {
             arity(2, "SCAN <from> <count>")?;
             let from = parse_u64(args[0])?;
             let count = parse_u64(args[1])?;
             if count > MAX_SCAN as u64 {
-                return Err(ParseError::ScanTooLarge);
+                return Err(ParseError::ScanTooLarge.into());
             }
-            Ok(Request::Scan(from, count as usize))
+            done(Request::Scan(from, count as usize))
         }
         "PING" => {
             arity(0, "PING")?;
-            Ok(Request::Ping)
+            done(Request::Ping)
         }
         "STATS" => {
             arity(0, "STATS")?;
-            Ok(Request::Stats)
+            done(Request::Stats)
         }
         "QUIT" => {
             arity(0, "QUIT")?;
-            Ok(Request::Quit)
+            done(Request::Quit)
         }
-        _ => Err(ParseError::UnknownVerb),
+        _ => Err(ParseError::UnknownVerb.into()),
     }
 }
 
@@ -341,7 +557,10 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
     use std::io::Write as _;
     match req {
         Request::Get(k) => write!(out, "GET {k}\r\n"),
-        Request::Set(k, v) => write!(out, "SET {k} {v}\r\n"),
+        Request::Set(k, v) => {
+            encode_set(out, *k, v);
+            Ok(())
+        }
         Request::Del(k) => write!(out, "DEL {k}\r\n"),
         Request::MGet(keys) => {
             out.extend_from_slice(b"MGET");
@@ -352,11 +571,7 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             Ok(())
         }
         Request::MSet(entries) => {
-            out.extend_from_slice(b"MSET");
-            for (k, v) in entries {
-                write!(out, " {k} {v}").expect("vec write");
-            }
-            out.extend_from_slice(b"\r\n");
+            encode_mset(out, entries.iter().map(|(k, v)| (*k, v.as_slice())));
             Ok(())
         }
         Request::Scan(from, n) => write!(out, "SCAN {from} {n}\r\n"),
@@ -365,6 +580,38 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Quit => write!(out, "QUIT\r\n"),
     }
     .expect("writing to a Vec cannot fail")
+}
+
+/// Encodes a `SET` frame from borrowed payload bytes (no `Request`
+/// allocation — the load generator's hot path).
+pub fn encode_set(out: &mut Vec<u8>, key: u64, value: &[u8]) {
+    use std::io::Write as _;
+    write!(out, "SET {key} {}\r\n", value.len()).expect("vec write");
+    out.extend_from_slice(value);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Encodes an `MSET` frame from borrowed payload bytes.
+///
+/// Zero entries encode as the bare header (one frame, which the server
+/// answers with one arity error) — never a dangling payload terminator,
+/// which would draw a second error reply and desynchronize the
+/// request/reply pairing.
+pub fn encode_mset<'a>(out: &mut Vec<u8>, entries: impl Iterator<Item = (u64, &'a [u8])> + Clone) {
+    use std::io::Write as _;
+    out.extend_from_slice(b"MSET");
+    let mut count = 0usize;
+    for (k, v) in entries.clone() {
+        write!(out, " {k} {}", v.len()).expect("vec write");
+        count += 1;
+    }
+    out.extend_from_slice(b"\r\n");
+    if count > 0 {
+        for (_, v) in entries {
+            out.extend_from_slice(v);
+        }
+        out.extend_from_slice(b"\r\n");
+    }
 }
 
 /// One parsed reply frame (arrays are one level deep by construction).
@@ -376,8 +623,10 @@ pub enum Reply {
     Int(u64),
     /// `_` — null (miss).
     Null,
-    /// `=k v` — one key-value pair.
-    Pair(u64, u64),
+    /// `$len + payload` — one bulk value.
+    Bulk(Vec<u8>),
+    /// `=k len + payload` — one key-value pair.
+    Pair(u64, Vec<u8>),
     /// `*n` header plus `n` scalar elements.
     Array(Vec<Reply>),
     /// `-ERR message`.
@@ -405,9 +654,18 @@ pub mod wire {
         out.extend_from_slice(b"_\r\n");
     }
 
-    /// `=k v` pair frame.
-    pub fn pair(out: &mut Vec<u8>, k: u64, v: u64) {
-        write!(out, "={k} {v}\r\n").expect("vec write");
+    /// `$len + payload` bulk value frame (binary-safe).
+    pub fn bulk(out: &mut Vec<u8>, value: &[u8]) {
+        write!(out, "${}\r\n", value.len()).expect("vec write");
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
+    }
+
+    /// `=k len + payload` pair frame (binary-safe).
+    pub fn pair(out: &mut Vec<u8>, k: u64, value: &[u8]) {
+        write!(out, "={k} {}\r\n", value.len()).expect("vec write");
+        out.extend_from_slice(value);
+        out.extend_from_slice(b"\r\n");
     }
 
     /// `*n` array header (followed by `n` scalar frames the caller writes).
@@ -427,13 +685,25 @@ pub mod wire {
 /// array a conforming server can produce, `MAX_SCAN`).
 pub const MAX_REPLY_ARRAY: usize = MAX_SCAN * 2;
 
+/// An in-flight bulk reply element awaiting its payload bytes.
+#[derive(Debug)]
+enum PendingBulk {
+    Bulk(usize),
+    Pair(u64, usize),
+}
+
 /// Incremental reply parser (client side). Same push discipline as
-/// [`RequestParser`]; array replies are assembled across chunk boundaries.
+/// [`RequestParser`]; array replies (bulk elements included) are assembled
+/// across chunk boundaries.
 #[derive(Debug, Default)]
 pub struct ReplyParser {
     lines: LineBuffer,
     /// In-flight array: remaining element count and the collected elements.
     partial: Option<(usize, Vec<Reply>)>,
+    /// In-flight bulk element (top-level or inside the array).
+    bulk: Option<PendingBulk>,
+    /// Bytes still to discard from a rejected bulk declaration.
+    skip: usize,
 }
 
 impl ReplyParser {
@@ -451,27 +721,81 @@ impl ReplyParser {
     /// or `None` when more bytes are needed.
     ///
     /// Protocol violations (oversize lines, malformed frames, array headers
-    /// inside arrays) surface as `Err`; the parser resynchronizes at the
-    /// next line, dropping any half-assembled array.
+    /// inside arrays, over-cap bulk declarations) surface as `Err`; the
+    /// parser resynchronizes — dropping any half-assembled array — at the
+    /// next line, after a bounded payload discard where one was declared.
     //
     // Not an `Iterator` for the same reason as `RequestParser::next`.
     #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Result<Reply, ParseError>> {
         loop {
-            let item = match self.lines.next_line() {
-                Line::Pending => return None,
-                Line::Oversize => {
-                    self.partial = None;
-                    return Some(Err(ParseError::Oversize));
+            if self.skip > 0 {
+                let mut remaining = self.skip;
+                let finished = self.lines.skip_payload(&mut remaining);
+                self.skip = remaining;
+                if !finished {
+                    return None;
                 }
-                // As in `RequestParser::next`: parse in place, no copy.
-                Line::Complete(start, end) => match parse_reply_line(&self.lines.buf[start..end]) {
-                    Err(e) => {
-                        self.partial = None;
-                        return Some(Err(e));
+                self.lines.discarding = true;
+            }
+            let item = if let Some(pending) = self.bulk.take() {
+                let len = match &pending {
+                    PendingBulk::Bulk(len) => *len,
+                    PendingBulk::Pair(_, len) => *len,
+                };
+                match self.lines.take_payload(len) {
+                    PayloadTake::Pending => {
+                        self.bulk = Some(pending);
+                        return None;
                     }
-                    Ok(item) => item,
-                },
+                    PayloadTake::BadTerminator => {
+                        self.partial = None;
+                        return Some(Err(ParseError::BadPayload));
+                    }
+                    PayloadTake::Complete(s, e) => {
+                        let bytes = self.lines.buf[s..e].to_vec();
+                        ReplyLine::Scalar(match pending {
+                            PendingBulk::Bulk(_) => Reply::Bulk(bytes),
+                            PendingBulk::Pair(key, _) => Reply::Pair(key, bytes),
+                        })
+                    }
+                }
+            } else {
+                match self.lines.next_line() {
+                    Line::Pending => return None,
+                    Line::Oversize => {
+                        self.partial = None;
+                        return Some(Err(ParseError::Oversize));
+                    }
+                    // As in `RequestParser::next`: parse in place, no copy.
+                    Line::Complete(start, end) => {
+                        match parse_reply_line(&self.lines.buf[start..end]) {
+                            Err(e) => {
+                                self.partial = None;
+                                return Some(Err(e));
+                            }
+                            Ok(ReplyLine::BulkHeader(len)) => {
+                                if len > MAX_VALUE {
+                                    self.partial = None;
+                                    self.skip = len.min(MAX_VALUE.saturating_mul(2));
+                                    return Some(Err(ParseError::ValueTooLarge));
+                                }
+                                self.bulk = Some(PendingBulk::Bulk(len));
+                                continue;
+                            }
+                            Ok(ReplyLine::PairHeader(key, len)) => {
+                                if len > MAX_VALUE {
+                                    self.partial = None;
+                                    self.skip = len.min(MAX_VALUE.saturating_mul(2));
+                                    return Some(Err(ParseError::ValueTooLarge));
+                                }
+                                self.bulk = Some(PendingBulk::Pair(key, len));
+                                continue;
+                            }
+                            Ok(item) => item,
+                        }
+                    }
+                }
             };
             match (item, self.partial.take()) {
                 // Array header outside an array: start collecting.
@@ -492,6 +816,11 @@ impl ReplyParser {
                     }
                     self.partial = Some((remaining - 1, elems));
                 }
+                // Bulk headers were intercepted above (they `continue` into
+                // payload collection before reaching array assembly).
+                (ReplyLine::BulkHeader(_) | ReplyLine::PairHeader(..), _) => {
+                    unreachable!("bulk headers never reach array assembly");
+                }
             }
         }
     }
@@ -500,6 +829,8 @@ impl ReplyParser {
 enum ReplyLine {
     Scalar(Reply),
     ArrayHeader(usize),
+    BulkHeader(usize),
+    PairHeader(u64, usize),
 }
 
 fn parse_reply_line(line: &[u8]) -> Result<ReplyLine, ParseError> {
@@ -518,9 +849,10 @@ fn parse_reply_line(line: &[u8]) -> Result<ReplyLine, ParseError> {
                 Err(ParseError::BadNumber)
             }
         }
+        '$' => Ok(ReplyLine::BulkHeader(parse_u64(rest)? as usize)),
         '=' => {
-            let (k, v) = rest.split_once(' ').ok_or(ParseError::Arity("=<key> <value>"))?;
-            Ok(ReplyLine::Scalar(Reply::Pair(parse_u64(k)?, parse_u64(v)?)))
+            let (k, len) = rest.split_once(' ').ok_or(ParseError::Arity("=<key> <len>"))?;
+            Ok(ReplyLine::PairHeader(parse_u64(k)?, parse_u64(len)? as usize))
         }
         '*' => {
             let n = parse_u64(rest)?;
@@ -551,18 +883,22 @@ mod tests {
         out
     }
 
+    fn set(k: u64, v: &[u8]) -> Request {
+        Request::Set(k, v.to_vec())
+    }
+
     #[test]
     fn parses_every_verb() {
-        let stream = b"GET 1\r\nSET 2 20\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 70 8 80\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nQUIT\r\n";
+        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nQUIT\r\n";
         let got = parse_all(stream);
         assert_eq!(
             got,
             vec![
                 Ok(Request::Get(1)),
-                Ok(Request::Set(2, 20)),
+                Ok(set(2, b"abc")),
                 Ok(Request::Del(3)),
                 Ok(Request::MGet(vec![4, 5, 6])),
-                Ok(Request::MSet(vec![(7, 70), (8, 80)])),
+                Ok(Request::MSet(vec![(7, b"hi".to_vec()), (8, b"two".to_vec())])),
                 Ok(Request::Scan(9, 16)),
                 Ok(Request::Ping),
                 Ok(Request::Stats),
@@ -572,13 +908,99 @@ mod tests {
     }
 
     #[test]
-    fn bare_newline_is_accepted() {
-        assert_eq!(parse_all(b"PING\nGET 7\n"), vec![Ok(Request::Ping), Ok(Request::Get(7))]);
+    fn bare_newline_is_accepted_for_headers_and_payloads() {
+        assert_eq!(
+            parse_all(b"PING\nSET 7 2\nok\nGET 7\n"),
+            vec![Ok(Request::Ping), Ok(set(7, b"ok")), Ok(Request::Get(7))]
+        );
     }
 
     #[test]
-    fn split_reads_reassemble() {
-        let stream = b"SET 123 456\r\nGET 123\r\n";
+    fn payloads_are_binary_safe() {
+        // NULs, CR, LF, and non-ASCII bytes inside a payload are data.
+        let payload = [0u8, b'\n', b'\r', 0xFF, b'\n', 0, 7];
+        let mut stream = format!("SET 42 {}\r\n", payload.len()).into_bytes();
+        stream.extend_from_slice(&payload);
+        stream.extend_from_slice(b"\r\nPING\r\n");
+        assert_eq!(parse_all(&stream), vec![Ok(set(42, &payload)), Ok(Request::Ping)]);
+    }
+
+    #[test]
+    fn empty_and_max_size_values_parse() {
+        let mut stream = b"SET 1 0\r\n\r\n".to_vec();
+        let big = vec![0xABu8; MAX_VALUE];
+        stream.extend_from_slice(format!("SET 2 {MAX_VALUE}\r\n").as_bytes());
+        stream.extend_from_slice(&big);
+        stream.extend_from_slice(b"\r\n");
+        assert_eq!(parse_all(&stream), vec![Ok(set(1, b"")), Ok(set(2, &big))]);
+    }
+
+    #[test]
+    fn oversize_value_is_rejected_and_its_payload_discarded() {
+        // The declared payload (cap + 1 bytes, full of newlines to tempt a
+        // line-resync bug) is skipped exactly, and the next frame parses.
+        let len = MAX_VALUE + 1;
+        let mut stream = format!("SET 5 {len}\r\n").into_bytes();
+        stream.extend_from_slice(&vec![b'\n'; len]);
+        stream.extend_from_slice(b"\r\nPING\r\n");
+        assert_eq!(
+            parse_all(&stream),
+            vec![Err(ParseError::ValueTooLarge), Ok(Request::Ping)]
+        );
+    }
+
+    #[test]
+    fn mset_payload_region_is_split_by_declared_lengths() {
+        let mut stream = b"MSET 1 3 2 0 3 4\r\n".to_vec();
+        stream.extend_from_slice(b"abc");
+        stream.extend_from_slice(b"wxyz");
+        stream.extend_from_slice(b"\r\nPING\r\n");
+        assert_eq!(
+            parse_all(&stream),
+            vec![
+                Ok(Request::MSet(vec![
+                    (1, b"abc".to_vec()),
+                    (2, Vec::new()),
+                    (3, b"wxyz".to_vec())
+                ])),
+                Ok(Request::Ping)
+            ]
+        );
+    }
+
+    #[test]
+    fn mset_over_batch_cap_is_rejected_with_bounded_discard() {
+        let per = MAX_VALUE as u64;
+        let n = (MAX_BATCH_PAYLOAD as u64 / per) + 1;
+        let mut header = String::from("MSET");
+        for i in 0..n {
+            header.push_str(&format!(" {} {per}", i + 1));
+        }
+        header.push_str("\r\n");
+        let mut stream = header.into_bytes();
+        stream.extend_from_slice(&vec![0u8; (n * per) as usize]);
+        stream.extend_from_slice(b"\r\nPING\r\n");
+        assert_eq!(
+            parse_all(&stream),
+            vec![Err(ParseError::BatchPayloadTooLarge), Ok(Request::Ping)]
+        );
+    }
+
+    #[test]
+    fn missing_payload_terminator_is_one_error() {
+        // The stray bytes after "abc" abort the frame; the parser consumes
+        // the declared payload, discards to the next newline, and the
+        // following frame parses — one client mistake, bounded damage.
+        let stream = b"SET 9 3\r\nabcXGARBAGE\r\nPING\r\n";
+        assert_eq!(
+            parse_all(stream),
+            vec![Err(ParseError::BadPayload), Ok(Request::Ping)]
+        );
+    }
+
+    #[test]
+    fn split_reads_reassemble_headers_and_payloads() {
+        let stream = b"SET 123 6\r\nab\ncd\x00\r\nGET 123\r\n";
         for split in 0..stream.len() {
             let mut p = RequestParser::new();
             p.feed(&stream[..split]);
@@ -592,7 +1014,7 @@ mod tests {
             }
             assert_eq!(
                 got,
-                vec![Ok(Request::Set(123, 456)), Ok(Request::Get(123))],
+                vec![Ok(set(123, b"ab\ncd\x00")), Ok(Request::Get(123))],
                 "split at {split}"
             );
         }
@@ -606,13 +1028,13 @@ mod tests {
             (b"get 1\r\n", ParseError::UnknownVerb),
             (b"GET\r\n", ParseError::Arity("GET <key>")),
             (b"GET 1 2\r\n", ParseError::Arity("GET <key>")),
-            (b"SET 1\r\n", ParseError::Arity("SET <key> <value>")),
+            (b"SET 1\r\n", ParseError::Arity("SET <key> <len> + payload")),
             (b"GET x\r\n", ParseError::BadNumber),
             // Double space: the empty token counts toward arity.
             (b"GET  1\r\n", ParseError::Arity("GET <key>")),
             (b"GET 18446744073709551616\r\n", ParseError::BadNumber),
             (b"GET -1\r\n", ParseError::BadNumber),
-            (b"MSET 1\r\n", ParseError::Arity("MSET (<key> <value>)...")),
+            (b"MSET 1\r\n", ParseError::Arity("MSET (<key> <len>)... + payloads")),
             (b"MGET\r\n", ParseError::Arity("MGET <key>...")),
             (b"SCAN 1 999999\r\n", ParseError::ScanTooLarge),
             (b"GET \x001\r\n", ParseError::IllegalByte),
@@ -652,6 +1074,46 @@ mod tests {
     }
 
     #[test]
+    fn the_worst_legal_batch_header_fits_under_the_line_cap() {
+        // MAX_ARGS twenty-digit arguments must be limited by the argument
+        // cap, not silently by MAX_LINE (a conforming client batching at
+        // the documented limit must get answers, not Oversize).
+        let key = u64::MAX - 1; // 20 digits
+        let keys = vec![key; MAX_ARGS];
+        let mut bytes = Vec::new();
+        encode_request(&Request::MGet(keys.clone()), &mut bytes);
+        assert!(bytes.len() <= MAX_LINE, "worst MGET is {} bytes", bytes.len());
+        assert_eq!(parse_all(&bytes), vec![Ok(Request::MGet(keys))]);
+        // MSET: MAX_ARGS/2 pairs, 20-digit keys, 4-digit lengths (bounded by
+        // the batch payload cap, so lengths cannot also be 20 digits).
+        let per_len = MAX_BATCH_PAYLOAD / (MAX_ARGS / 2);
+        let entries: Vec<(u64, Vec<u8>)> =
+            (0..MAX_ARGS / 2).map(|_| (key, vec![7u8; per_len])).collect();
+        let mut bytes = Vec::new();
+        encode_request(&Request::MSet(entries.clone()), &mut bytes);
+        let header_len = bytes.iter().position(|&b| b == b'\n').unwrap();
+        assert!(header_len <= MAX_LINE, "worst MSET header is {header_len} bytes");
+        assert_eq!(parse_all(&bytes), vec![Ok(Request::MSet(entries))]);
+    }
+
+    #[test]
+    fn empty_mset_encodes_as_one_frame_drawing_one_error() {
+        let mut bytes = Vec::new();
+        encode_request(&Request::MSet(Vec::new()), &mut bytes);
+        bytes.extend_from_slice(b"PING\r\n");
+        // Exactly one error for the invalid frame, then normal parsing —
+        // a stray payload terminator here would cost a second error reply
+        // and desynchronize a pipelined connection.
+        assert_eq!(
+            parse_all(&bytes),
+            vec![
+                Err(ParseError::Arity("MSET (<key> <len>)... + payloads")),
+                Ok(Request::Ping)
+            ]
+        );
+    }
+
+    #[test]
     fn maximal_line_verdict_does_not_depend_on_read_boundaries() {
         // A line of exactly MAX_LINE bytes must get the same (non-Oversize)
         // verdict whether its CRLF arrives in the same read or split after
@@ -672,24 +1134,6 @@ mod tests {
     }
 
     #[test]
-    fn the_worst_legal_batch_frame_fits_under_the_line_cap() {
-        // MAX_ARGS twenty-digit arguments must be limited by the argument
-        // cap, not silently by MAX_LINE (a conforming client batching at
-        // the documented limit must get answers, not Oversize).
-        let key = u64::MAX - 1; // 20 digits
-        let keys = vec![key; MAX_ARGS];
-        let mut bytes = Vec::new();
-        encode_request(&Request::MGet(keys.clone()), &mut bytes);
-        assert!(bytes.len() <= MAX_LINE, "worst MGET is {} bytes", bytes.len());
-        assert_eq!(parse_all(&bytes), vec![Ok(Request::MGet(keys))]);
-        let entries = vec![(key, key); MAX_ARGS / 2]; // MAX_ARGS args total
-        let mut bytes = Vec::new();
-        encode_request(&Request::MSet(entries.clone()), &mut bytes);
-        assert!(bytes.len() <= MAX_LINE, "worst MSET is {} bytes", bytes.len());
-        assert_eq!(parse_all(&bytes), vec![Ok(Request::MSet(entries))]);
-    }
-
-    #[test]
     fn too_many_args_is_rejected() {
         let mut line = b"MGET".to_vec();
         for i in 0..(MAX_ARGS + 1) {
@@ -703,10 +1147,11 @@ mod tests {
     fn request_encoding_round_trips() {
         let reqs = vec![
             Request::Get(7),
-            Request::Set(1, u64::MAX),
+            set(1, b"value with \0 and \n inside"),
+            set(2, b""),
             Request::Del(0),
             Request::MGet(vec![9, 9, 8]),
-            Request::MSet(vec![(1, 2), (3, 4)]),
+            Request::MSet(vec![(1, b"a".to_vec()), (3, Vec::new()), (4, vec![0xEE; 300])]),
             Request::Scan(5, MAX_SCAN),
             Request::Ping,
             Request::Stats,
@@ -732,24 +1177,26 @@ mod tests {
 
     #[test]
     fn reply_frames_parse() {
-        let stream = b"+OK\r\n:42\r\n_\r\n=3 30\r\n-ERR boom\r\n*2\r\n:1\r\n_\r\n*0\r\n";
+        let stream =
+            b"+OK\r\n:42\r\n_\r\n$3\r\nv\x00v\r\n=3 2\r\nhi\r\n-ERR boom\r\n*2\r\n$1\r\nx\r\n_\r\n*0\r\n";
         assert_eq!(
             parse_replies(stream),
             vec![
                 Ok(Reply::Simple("OK".into())),
                 Ok(Reply::Int(42)),
                 Ok(Reply::Null),
-                Ok(Reply::Pair(3, 30)),
+                Ok(Reply::Bulk(b"v\x00v".to_vec())),
+                Ok(Reply::Pair(3, b"hi".to_vec())),
                 Ok(Reply::Error("boom".into())),
-                Ok(Reply::Array(vec![Reply::Int(1), Reply::Null])),
+                Ok(Reply::Array(vec![Reply::Bulk(b"x".to_vec()), Reply::Null])),
                 Ok(Reply::Array(vec![])),
             ]
         );
     }
 
     #[test]
-    fn reply_arrays_assemble_across_splits() {
-        let stream = b"*3\r\n=1 10\r\n=2 20\r\n=3 30\r\n+OK\r\n";
+    fn reply_arrays_with_bulk_elements_assemble_across_splits() {
+        let stream = b"*3\r\n=1 2\r\nv1\r\n=2 0\r\n\r\n=3 3\r\nx\ny\r\n+OK\r\n";
         for split in 0..stream.len() {
             let mut p = ReplyParser::new();
             p.feed(&stream[..split]);
@@ -765,9 +1212,9 @@ mod tests {
                 got,
                 vec![
                     Ok(Reply::Array(vec![
-                        Reply::Pair(1, 10),
-                        Reply::Pair(2, 20),
-                        Reply::Pair(3, 30)
+                        Reply::Pair(1, b"v1".to_vec()),
+                        Reply::Pair(2, Vec::new()),
+                        Reply::Pair(3, b"x\ny".to_vec())
                     ])),
                     Ok(Reply::Simple("OK".into())),
                 ],
@@ -777,7 +1224,7 @@ mod tests {
     }
 
     #[test]
-    fn reply_parser_rejects_nested_arrays_and_huge_headers() {
+    fn reply_parser_rejects_nested_arrays_huge_headers_and_huge_bulks() {
         assert_eq!(
             parse_replies(b"*2\r\n*1\r\n:1\r\n"),
             vec![Err(ParseError::UnknownVerb), Ok(Reply::Int(1))],
@@ -785,6 +1232,16 @@ mod tests {
         );
         let huge = format!("*{}\r\n", MAX_REPLY_ARRAY + 1);
         assert_eq!(parse_replies(huge.as_bytes()), vec![Err(ParseError::TooManyArgs)]);
+        // An over-cap bulk declaration: one error, declared bytes skipped,
+        // next frame intact.
+        let len = MAX_VALUE + 9;
+        let mut stream = format!("${len}\r\n").into_bytes();
+        stream.extend_from_slice(&vec![b'\n'; len]);
+        stream.extend_from_slice(b"\r\n+OK\r\n");
+        assert_eq!(
+            parse_replies(&stream),
+            vec![Err(ParseError::ValueTooLarge), Ok(Reply::Simple("OK".into()))]
+        );
     }
 
     #[test]
@@ -793,8 +1250,9 @@ mod tests {
         wire::simple(&mut out, "PONG");
         wire::int(&mut out, 5);
         wire::null(&mut out);
+        wire::bulk(&mut out, b"pay\r\nload");
         wire::array_header(&mut out, 1);
-        wire::pair(&mut out, 2, 4);
+        wire::pair(&mut out, 2, &[0, 1, 2]);
         wire::error(&mut out, "bad\r\nthing");
         assert_eq!(
             parse_replies(&out),
@@ -802,7 +1260,8 @@ mod tests {
                 Ok(Reply::Simple("PONG".into())),
                 Ok(Reply::Int(5)),
                 Ok(Reply::Null),
-                Ok(Reply::Array(vec![Reply::Pair(2, 4)])),
+                Ok(Reply::Bulk(b"pay\r\nload".to_vec())),
+                Ok(Reply::Array(vec![Reply::Pair(2, vec![0, 1, 2])])),
                 Ok(Reply::Error("bad??thing".into())),
             ]
         );
@@ -813,5 +1272,9 @@ mod tests {
         assert_eq!(ParseError::Empty.to_string(), "empty frame");
         assert!(ParseError::Oversize.to_string().contains("bytes"));
         assert!(ParseError::Arity("GET <key>").to_string().contains("GET <key>"));
+        assert!(ParseError::ValueTooLarge.to_string().contains(&MAX_VALUE.to_string()));
+        assert!(ParseError::BatchPayloadTooLarge
+            .to_string()
+            .contains(&MAX_BATCH_PAYLOAD.to_string()));
     }
 }

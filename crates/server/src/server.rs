@@ -245,16 +245,16 @@ impl Drop for ServerHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::store::ShardedStore;
+    use crate::store::BlobStore;
     use ascylib::hashtable::ClhtLb;
-    use ascylib_shard::ShardedMap;
+    use ascylib_shard::BlobMap;
     use std::io::{Read, Write};
 
     fn tiny_server(workers: usize) -> ServerHandle {
-        let map = Arc::new(ShardedMap::new(2, |_| ClhtLb::with_capacity(64)));
+        let map = Arc::new(BlobMap::new(2, |_| ClhtLb::with_capacity(64)));
         Server::start(
             "127.0.0.1:0",
-            ShardedStore::new(map),
+            BlobStore::new(map),
             ServerConfig { workers, ..ServerConfig::default() },
         )
         .expect("bind ephemeral")
@@ -264,10 +264,10 @@ mod tests {
     fn starts_serves_raw_frames_and_shuts_down() {
         let server = tiny_server(2);
         let mut s = TcpStream::connect(server.addr()).unwrap();
-        s.write_all(b"SET 5 50\r\nGET 5\r\nGET 6\r\nbogus\r\nPING\r\nQUIT\r\n").unwrap();
+        s.write_all(b"SET 5 2\r\n50\r\nGET 5\r\nGET 6\r\nbogus\r\nPING\r\nQUIT\r\n").unwrap();
         let mut reply = String::new();
         s.read_to_string(&mut reply).unwrap();
-        assert_eq!(reply, ":1\r\n:50\r\n_\r\n-ERR unknown verb\r\n+PONG\r\n+BYE\r\n");
+        assert_eq!(reply, ":1\r\n$2\r\n50\r\n_\r\n-ERR unknown verb\r\n+PONG\r\n+BYE\r\n");
         assert_eq!(server.store_size(), 1);
         let stats = server.join();
         assert_eq!(stats.connections, 1, "QUIT closes and the worker records the connection");

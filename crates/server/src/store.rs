@@ -1,51 +1,58 @@
-//! What the server serves: a keyspace abstraction over the shard layer.
+//! What the server serves: a byte-valued keyspace abstraction over the
+//! blob layer.
 //!
 //! The connection loop dispatches frames against a [`KvStore`] trait object,
-//! so one server binary can front any backing. Two adapters cover the
-//! library:
+//! so one server binary can front any backing. Values are variable-length
+//! byte strings stored in [`ascylib_shard::BlobMap`] (per-shard ssmem
+//! arenas, epoch-guarded copy-out reads); the sharded index itself moves
+//! only 64-bit handles. Two adapters cover the library:
 //!
-//! * [`ShardedStore`] — any [`ConcurrentMap`] backing (hash tables
-//!   included). `SCAN` frames are answered with an error: the backing has no
-//!   key order to scan in.
-//! * [`ShardedOrderedStore`] — ordered backings (lists, skip lists, BSTs),
-//!   adding `SCAN` via the shard layer's k-way-merged
-//!   [`OrderedMap`] scans.
+//! * [`BlobStore`] — any [`ConcurrentMap`] backing (hash tables included).
+//!   `SCAN` frames are answered with an error: the backing has no key order
+//!   to scan in.
+//! * [`BlobOrderedStore`] — ordered backings (lists, skip lists, BSTs),
+//!   adding `SCAN` with payload copy-out via the shard layer's k-way-merged
+//!   scans.
 //!
-//! Both adapters hold an `Arc` to the map, so the process that started the
-//! server keeps a handle for direct inspection (the loopback tests compare
-//! final server state against a sequential model through that handle).
-//! `MGET`/`MSET` frames go through the shard layer's batched
-//! `multi_get`/`multi_insert`, which visits each shard once per frame.
+//! Both adapters hold an `Arc` to the blob map, so the process that started
+//! the server keeps a handle for direct inspection (the loopback tests
+//! compare final server state against a sequential model through that
+//! handle). `MGET` goes through the shard layer's batched `multi_get_into`
+//! (each shard visited once, no per-batch result allocation).
 
 use std::sync::Arc;
 
 use ascylib::api::{ConcurrentMap, KEY_MAX, KEY_MIN};
 use ascylib::ordered::OrderedMap;
-use ascylib_shard::ShardedMap;
+use ascylib_shard::BlobMap;
 
 /// The serving-side keyspace interface: what a wire frame can do to the
 /// data. All methods are `&self` and thread-safe; worker threads share one
-/// store.
+/// store. Reads have copy-out semantics (the caller's buffers are cleared
+/// and refilled), so the store never hands out references into epoch-managed
+/// memory.
 pub trait KvStore: Send + Sync + 'static {
-    /// Point lookup (`GET`).
-    fn get(&self, key: u64) -> Option<u64>;
+    /// Point lookup (`GET`): copies the value into `out`; `true` if found.
+    fn get(&self, key: u64, out: &mut Vec<u8>) -> bool;
 
-    /// Insert-if-absent (`SET`); `true` if the key was newly inserted.
-    fn set(&self, key: u64, value: u64) -> bool;
+    /// Upsert (`SET`); `true` if the key was newly created, `false` if an
+    /// existing value was replaced.
+    fn set(&self, key: u64, value: &[u8]) -> bool;
 
-    /// Remove (`DEL`), returning the removed value.
-    fn del(&self, key: u64) -> Option<u64>;
+    /// Remove (`DEL`); `true` if the key was present.
+    fn del(&self, key: u64) -> bool;
 
-    /// Batched lookup (`MGET`), results in input order.
-    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>>;
+    /// Batched lookup (`MGET`): clears `out` and refills it with per-key
+    /// answers in input order.
+    fn multi_get(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>);
 
-    /// Batched insert-if-absent (`MSET`), outcomes in input order.
-    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool>;
+    /// Batched upsert (`MSET`), outcomes in input order.
+    fn multi_set(&self, entries: &[(u64, Vec<u8>)]) -> Vec<bool>;
 
-    /// Ordered scan (`SCAN`): up to `n` elements with key `>= from` in
-    /// ascending key order, or `None` if the backing is unordered (the
-    /// server answers with an error frame).
-    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, u64)>>;
+    /// Ordered scan (`SCAN`): up to `n` `(key, value)` pairs with key
+    /// `>= from` in ascending key order, or `None` if the backing is
+    /// unordered (the server answers with an error frame).
+    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, Vec<u8>)>>;
 
     /// Element count (`STATS`; same non-linearizable caveat as
     /// [`ConcurrentMap::size`]).
@@ -57,6 +64,9 @@ pub trait KvStore: Send + Sync + 'static {
     /// Aggregate operation/hit counters for `STATS` (shard-layer traffic
     /// counters where available).
     fn ops_and_hits(&self) -> (u64, u64);
+
+    /// Live payload bytes currently stored (`STATS`).
+    fn value_bytes(&self) -> u64;
 }
 
 /// The usable key interval servers enforce before touching the store
@@ -64,50 +74,50 @@ pub trait KvStore: Send + Sync + 'static {
 /// `u64::MAX` for sentinels).
 pub const KEY_RANGE: (u64, u64) = (KEY_MIN, KEY_MAX);
 
-/// [`KvStore`] over a [`ShardedMap`] of any point-operation backing.
-pub struct ShardedStore<M> {
-    map: Arc<ShardedMap<M>>,
+/// [`KvStore`] over a [`BlobMap`] of any point-operation backing.
+pub struct BlobStore<M> {
+    map: Arc<BlobMap<M>>,
 }
 
-impl<M: ConcurrentMap + 'static> ShardedStore<M> {
-    /// Wraps a shared sharded map (the caller keeps its handle).
-    pub fn new(map: Arc<ShardedMap<M>>) -> Self {
+impl<M: ConcurrentMap + 'static> BlobStore<M> {
+    /// Wraps a shared blob map (the caller keeps its handle).
+    pub fn new(map: Arc<BlobMap<M>>) -> Self {
         Self { map }
     }
 
     /// The underlying map handle.
-    pub fn map(&self) -> &Arc<ShardedMap<M>> {
+    pub fn map(&self) -> &Arc<BlobMap<M>> {
         &self.map
     }
 }
 
-impl<M: ConcurrentMap + 'static> KvStore for ShardedStore<M> {
-    fn get(&self, key: u64) -> Option<u64> {
-        self.map.search(key)
+impl<M: ConcurrentMap + 'static> KvStore for BlobStore<M> {
+    fn get(&self, key: u64, out: &mut Vec<u8>) -> bool {
+        self.map.get(key, out)
     }
 
-    fn set(&self, key: u64, value: u64) -> bool {
-        self.map.insert(key, value)
+    fn set(&self, key: u64, value: &[u8]) -> bool {
+        self.map.set(key, value)
     }
 
-    fn del(&self, key: u64) -> Option<u64> {
-        self.map.remove(key)
+    fn del(&self, key: u64) -> bool {
+        self.map.del(key)
     }
 
-    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        self.map.multi_get(keys)
+    fn multi_get(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>) {
+        self.map.multi_get_into(keys, out)
     }
 
-    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool> {
-        self.map.multi_insert(entries)
+    fn multi_set(&self, entries: &[(u64, Vec<u8>)]) -> Vec<bool> {
+        self.map.multi_set(entries)
     }
 
-    fn scan(&self, _from: u64, _n: usize) -> Option<Vec<(u64, u64)>> {
+    fn scan(&self, _from: u64, _n: usize) -> Option<Vec<(u64, Vec<u8>)>> {
         None
     }
 
     fn size(&self) -> usize {
-        self.map.size()
+        self.map.len()
     }
 
     fn shard_count(&self) -> usize {
@@ -118,50 +128,63 @@ impl<M: ConcurrentMap + 'static> KvStore for ShardedStore<M> {
         let s = self.map.total_stats();
         (s.operations(), s.hits)
     }
+
+    fn value_bytes(&self) -> u64 {
+        self.map.total_arena_stats().live_bytes()
+    }
 }
 
-/// [`KvStore`] over a [`ShardedMap`] of an ordered backing: everything
-/// [`ShardedStore`] does (it wraps one and delegates), plus `SCAN` through
-/// the shard layer's merged range scans.
-pub struct ShardedOrderedStore<M> {
-    inner: ShardedStore<M>,
+/// [`KvStore`] over a [`BlobMap`] of an ordered backing: everything
+/// [`BlobStore`] does (it wraps one and delegates), plus `SCAN` through the
+/// shard layer's merged range scans with payload copy-out.
+pub struct BlobOrderedStore<M> {
+    inner: BlobStore<M>,
 }
 
-impl<M: OrderedMap + 'static> ShardedOrderedStore<M> {
-    /// Wraps a shared sharded map over an ordered backing.
-    pub fn new(map: Arc<ShardedMap<M>>) -> Self {
-        Self { inner: ShardedStore::new(map) }
+impl<M: OrderedMap + 'static> BlobOrderedStore<M> {
+    /// Wraps a shared blob map over an ordered backing.
+    pub fn new(map: Arc<BlobMap<M>>) -> Self {
+        Self { inner: BlobStore::new(map) }
     }
 
     /// The underlying map handle.
-    pub fn map(&self) -> &Arc<ShardedMap<M>> {
+    pub fn map(&self) -> &Arc<BlobMap<M>> {
         self.inner.map()
     }
 }
 
-impl<M: OrderedMap + 'static> KvStore for ShardedOrderedStore<M> {
-    fn get(&self, key: u64) -> Option<u64> {
-        self.inner.get(key)
+impl<M: OrderedMap + 'static> KvStore for BlobOrderedStore<M> {
+    fn get(&self, key: u64, out: &mut Vec<u8>) -> bool {
+        self.inner.get(key, out)
     }
 
-    fn set(&self, key: u64, value: u64) -> bool {
+    fn set(&self, key: u64, value: &[u8]) -> bool {
         self.inner.set(key, value)
     }
 
-    fn del(&self, key: u64) -> Option<u64> {
+    fn del(&self, key: u64) -> bool {
         self.inner.del(key)
     }
 
-    fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        self.inner.multi_get(keys)
+    fn multi_get(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>) {
+        self.inner.multi_get(keys, out)
     }
 
-    fn multi_set(&self, entries: &[(u64, u64)]) -> Vec<bool> {
+    fn multi_set(&self, entries: &[(u64, Vec<u8>)]) -> Vec<bool> {
         self.inner.multi_set(entries)
     }
 
-    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, u64)>> {
-        Some(self.inner.map.scan(from.clamp(KEY_MIN, KEY_MAX), n))
+    fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, Vec<u8>)>> {
+        // Bound the reply's materialized payload, the outbound analogue of
+        // the request-side batch cap: a keyspace of maximum-size values
+        // must not let one SCAN frame collect hundreds of megabytes.
+        // Truncation is transparent to paging clients (resume from the
+        // last returned key + 1, same as the count cap).
+        Some(self.inner.map.scan_bounded(
+            from.clamp(KEY_MIN, KEY_MAX),
+            n,
+            crate::protocol::MAX_SCAN_REPLY_PAYLOAD,
+        ))
     }
 
     fn size(&self) -> usize {
@@ -175,6 +198,10 @@ impl<M: OrderedMap + 'static> KvStore for ShardedOrderedStore<M> {
     fn ops_and_hits(&self) -> (u64, u64) {
         self.inner.ops_and_hits()
     }
+
+    fn value_bytes(&self) -> u64 {
+        self.inner.value_bytes()
+    }
 }
 
 #[cfg(test)]
@@ -184,21 +211,32 @@ mod tests {
     use ascylib::skiplist::FraserOptSkipList;
 
     #[test]
-    fn sharded_store_serves_point_and_batched_ops() {
-        let map = Arc::new(ShardedMap::new(4, |_| ClhtLb::with_capacity(64)));
-        let store = ShardedStore::new(Arc::clone(&map));
-        assert!(store.set(1, 10));
-        assert!(!store.set(1, 11), "SET is insert-if-absent");
-        assert_eq!(store.get(1), Some(10));
-        assert_eq!(store.multi_set(&[(2, 20), (1, 99)]), vec![true, false]);
-        assert_eq!(store.multi_get(&[1, 2, 3]), vec![Some(10), Some(20), None]);
-        assert_eq!(store.del(2), Some(20));
-        assert_eq!(store.del(2), None);
+    fn blob_store_serves_point_and_batched_ops() {
+        let map = Arc::new(BlobMap::new(4, |_| ClhtLb::with_capacity(64)));
+        let store = BlobStore::new(Arc::clone(&map));
+        assert!(store.set(1, b"ten"));
+        assert!(!store.set(1, b"ten, revised"), "SET is an upsert");
+        let mut out = Vec::new();
+        assert!(store.get(1, &mut out));
+        assert_eq!(out, b"ten, revised");
+        assert_eq!(
+            store.multi_set(&[(2, b"twenty".to_vec()), (1, b"again".to_vec())]),
+            vec![true, false]
+        );
+        let mut batch = Vec::new();
+        store.multi_get(&[1, 2, 3], &mut batch);
+        assert_eq!(
+            batch,
+            vec![Some(b"again".to_vec()), Some(b"twenty".to_vec()), None]
+        );
+        assert!(store.del(2));
+        assert!(!store.del(2));
         assert_eq!(store.size(), 1);
         assert_eq!(store.shard_count(), 4);
+        assert_eq!(store.value_bytes(), b"again".len() as u64);
         assert!(store.scan(1, 8).is_none(), "hash shards have no order to scan");
         // The outside handle observes the same data.
-        assert_eq!(map.search(1), Some(10));
+        assert_eq!(map.get_owned(1), Some(b"again".to_vec()));
         let (ops, hits) = store.ops_and_hits();
         assert!(ops >= 8);
         assert!(hits >= 3);
@@ -206,17 +244,46 @@ mod tests {
 
     #[test]
     fn ordered_store_scans_across_shards_in_key_order() {
-        let map = Arc::new(ShardedMap::new(3, |_| FraserOptSkipList::new()));
-        let store = ShardedOrderedStore::new(Arc::clone(&map));
+        let map = Arc::new(BlobMap::new(3, |_| FraserOptSkipList::new()));
+        let store = BlobOrderedStore::new(Arc::clone(&map));
         for k in (2..=40u64).step_by(2) {
-            assert!(store.set(k, k * 5));
+            assert!(store.set(k, format!("v{k}").as_bytes()));
         }
-        let got = store.scan(7, 5).expect("ordered backing supports scans");
-        assert_eq!(got, vec![(8, 40), (10, 50), (12, 60), (14, 70), (16, 80)]);
+        let got = store.scan(7, 3).expect("ordered backing supports scans");
+        assert_eq!(
+            got,
+            vec![
+                (8, b"v8".to_vec()),
+                (10, b"v10".to_vec()),
+                (12, b"v12".to_vec())
+            ]
+        );
         // `from = 0` is clamped into the usable key range instead of
         // tripping the structures' sentinel assertions.
-        let from_start = store.scan(0, 3).unwrap();
-        assert_eq!(from_start, vec![(2, 10), (4, 20), (6, 30)]);
+        let from_start = store.scan(0, 2).unwrap();
+        assert_eq!(from_start, vec![(2, b"v2".to_vec()), (4, b"v4".to_vec())]);
         assert_eq!(store.scan(41, 10).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn scan_replies_are_bounded_by_the_payload_budget() {
+        use crate::protocol::{MAX_SCAN_REPLY_PAYLOAD, MAX_VALUE};
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+        let store = BlobOrderedStore::new(Arc::clone(&map));
+        // 70 maximum-size values = ~4.4 MiB stored; one SCAN frame must
+        // stop at the 4 MiB reply budget instead of materializing it all.
+        let value = vec![0x5Au8; MAX_VALUE];
+        for k in 1..=70u64 {
+            store.set(k, &value);
+        }
+        let got = store.scan(1, 4096).unwrap();
+        let full_values = MAX_SCAN_REPLY_PAYLOAD / MAX_VALUE;
+        assert_eq!(got.len(), full_values, "soft cap: stop once the budget is reached");
+        let payload: usize = got.iter().map(|(_, v)| v.len()).sum();
+        assert!(payload <= MAX_SCAN_REPLY_PAYLOAD + MAX_VALUE);
+        // Paging from the last key + 1 reaches the rest.
+        let last = got.last().unwrap().0;
+        let rest = store.scan(last + 1, 4096).unwrap();
+        assert_eq!(got.len() + rest.len(), 70);
     }
 }

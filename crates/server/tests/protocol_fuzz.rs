@@ -1,28 +1,54 @@
 //! Fuzz-style codec tests: the incremental parsers must survive arbitrary
 //! byte splits and arbitrary garbage — erroring per frame, never panicking,
-//! and always resynchronizing at the next line boundary.
+//! and always resynchronizing. With bulk payloads in the grammar, the
+//! resynchronization witness needs care: a garbage line that *happens* to
+//! form a valid `SET`/`MSET` header legally captures following bytes as
+//! payload, so the guaranteed-recovery properties use digit-free garbage
+//! (no digits → no parsable length → no payload capture), while the
+//! arbitrary-garbage property asserts the weaker no-panic/termination
+//! contract.
 
 use proptest::prelude::*;
 
 use ascylib_server::protocol::{
     encode_request, wire, ParseError, Reply, ReplyParser, Request, RequestParser, MAX_LINE,
-    MAX_SCAN,
+    MAX_SCAN, MAX_VALUE,
 };
 
 /// Deterministically builds a request from fuzz integers (the vendored
 /// proptest has no enum strategies; this is the projection).
-fn request_from(selector: u8, a: u64, b: u64, keys: &[u64]) -> Request {
+fn request_from(selector: u8, a: u64, b: u64, keys: &[u64], payload: &[u8]) -> Request {
     let nonempty = |ks: &[u64]| if ks.is_empty() { vec![a] } else { ks.to_vec() };
     match selector % 9 {
         0 => Request::Get(a),
-        1 => Request::Set(a, b),
+        1 => Request::Set(a, payload.to_vec()),
         2 => Request::Del(a),
         3 => Request::MGet(nonempty(keys)),
-        4 => Request::MSet(nonempty(keys).iter().map(|&k| (k, k ^ b)).collect()),
+        4 => Request::MSet(
+            nonempty(keys)
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| {
+                    let mut v = payload.to_vec();
+                    v.push(i as u8); // distinct payload per entry
+                    (k, v)
+                })
+                .collect(),
+        ),
         5 => Request::Scan(a, (b as usize) % (MAX_SCAN + 1)),
         6 => Request::Ping,
         7 => Request::Stats,
         _ => Request::Quit,
+    }
+}
+
+/// Remaps ASCII digits out of a garbage byte so a random line can never
+/// declare a payload length (it still exercises every other parser path).
+fn no_digits(b: u8) -> u8 {
+    if b.is_ascii_digit() {
+        b + 10 // '0'..'9' become ':'..'C'
+    } else {
+        b
     }
 }
 
@@ -56,15 +82,18 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     /// Encode → split anywhere → parse is the identity, for any request
-    /// sequence and any chunking.
+    /// sequence (binary payloads included) and any chunking.
     #[test]
     fn encoded_streams_survive_any_split(
         specs in collection::vec((any::<u8>(), any::<u64>(), any::<u64>(),
-            collection::vec(any::<u64>(), 0..8)), 1..12),
+            collection::vec(any::<u64>(), 0..8),
+            collection::vec(any::<u8>(), 0..64)), 1..12),
         cuts in collection::vec(any::<usize>(), 0..24),
     ) {
-        let requests: Vec<Request> =
-            specs.iter().map(|(s, a, b, ks)| request_from(*s, *a, *b, ks)).collect();
+        let requests: Vec<Request> = specs
+            .iter()
+            .map(|(s, a, b, ks, payload)| request_from(*s, *a, *b, ks, payload))
+            .collect();
         let mut bytes = Vec::new();
         for r in &requests {
             encode_request(r, &mut bytes);
@@ -75,31 +104,44 @@ proptest! {
         assert_eq!(round_tripped, requests);
     }
 
-    /// Arbitrary byte soup: the parser never panics, and after the soup a
-    /// newline plus a valid frame always parses — whatever state the
-    /// garbage left behind, the parser resynchronized.
+    /// Arbitrary byte soup (digits included, so payload-capturing headers
+    /// may form): the parser never panics and always terminates, yielding
+    /// no more items than terminators.
     #[test]
-    fn garbage_never_panics_and_resynchronizes(
+    fn arbitrary_garbage_never_panics(
         soup in collection::vec(any::<u8>(), 0..2048),
         cuts in collection::vec(any::<usize>(), 0..16),
     ) {
         let mut bytes = soup.clone();
         bytes.extend_from_slice(b"\nPING\r\n");
         let parsed = parse_in_random_chunks(&bytes, &cuts);
-        // No panic is the main property; the trailing PING is the
-        // resynchronization witness.
+        let newlines = bytes.iter().filter(|&&b| b == b'\n').count();
+        assert!(parsed.len() <= newlines, "more items than terminators");
+    }
+
+    /// Digit-free byte soup cannot declare payload lengths, so the parser
+    /// provably resynchronizes: after the soup, a newline plus a valid
+    /// frame always parses.
+    #[test]
+    fn digit_free_garbage_resynchronizes(
+        soup in collection::vec(any::<u8>(), 0..2048),
+        cuts in collection::vec(any::<usize>(), 0..16),
+    ) {
+        let mut bytes: Vec<u8> = soup.iter().map(|&b| no_digits(b)).collect();
+        bytes.extend_from_slice(b"\nPING\r\n");
+        let parsed = parse_in_random_chunks(&bytes, &cuts);
         assert_eq!(parsed.last(), Some(&Ok(Request::Ping)));
     }
 
-    /// Soup sprinkled with newlines parses to per-line verdicts; every
-    /// error is one of the documented kinds and parsing always terminates.
+    /// Digit-free soup sprinkled with newlines parses to per-line verdicts;
+    /// every error is one of the documented kinds and parsing terminates.
     #[test]
     fn newline_heavy_garbage_yields_per_line_errors(
         lines in collection::vec(collection::vec(any::<u8>(), 0..64), 1..32),
     ) {
         let mut bytes = Vec::new();
         for l in &lines {
-            bytes.extend_from_slice(l);
+            bytes.extend(l.iter().map(|&b| no_digits(b)));
             bytes.push(b'\n');
         }
         let mut parser = RequestParser::new();
@@ -111,17 +153,19 @@ proptest! {
             assert!(items <= newlines, "cannot yield more items than terminators");
         }
         // Every newline terminates exactly one line (none can exceed
-        // MAX_LINE here), and every terminated line yields one verdict.
+        // MAX_LINE here, and none can open a payload), and every terminated
+        // line yields one verdict.
         assert_eq!(items, newlines);
     }
 
-    /// The reply parser holds the same never-panic/resynchronize contract.
+    /// The reply parser holds the same never-panic/resynchronize contract
+    /// (digit-free soup: no `$`/`=` header can declare a payload).
     #[test]
     fn reply_parser_survives_garbage(
         soup in collection::vec(any::<u8>(), 0..1024),
         cuts in collection::vec(any::<usize>(), 0..8),
     ) {
-        let mut bytes = soup.clone();
+        let mut bytes: Vec<u8> = soup.iter().map(|&b| no_digits(b)).collect();
         bytes.extend_from_slice(b"\n+PONG\r\n");
         let mut positions: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
         positions.sort_unstable();
@@ -140,32 +184,36 @@ proptest! {
     }
 
     /// Server-side reply writers and the client-side parser agree for any
-    /// payload values.
+    /// payload bytes.
     #[test]
-    fn reply_writers_round_trip(n in any::<u64>(), k in any::<u64>(), v in any::<u64>(),
+    fn reply_writers_round_trip(n in any::<u64>(), k in any::<u64>(),
+                                payload in collection::vec(any::<u8>(), 0..128),
                                 count in any::<u8>()) {
         let mut bytes = Vec::new();
         wire::int(&mut bytes, n);
         wire::null(&mut bytes);
-        wire::pair(&mut bytes, k, v);
+        wire::bulk(&mut bytes, &payload);
+        wire::pair(&mut bytes, k, &payload);
         let count = count as usize % 64;
         wire::array_header(&mut bytes, count);
         for i in 0..count {
-            wire::int(&mut bytes, i as u64);
+            wire::pair(&mut bytes, i as u64, &payload);
         }
         let mut parser = ReplyParser::new();
         parser.feed(&bytes);
         assert_eq!(parser.next(), Some(Ok(Reply::Int(n))));
         assert_eq!(parser.next(), Some(Ok(Reply::Null)));
-        assert_eq!(parser.next(), Some(Ok(Reply::Pair(k, v))));
-        let arr = (0..count as u64).map(Reply::Int).collect::<Vec<_>>();
+        assert_eq!(parser.next(), Some(Ok(Reply::Bulk(payload.clone()))));
+        assert_eq!(parser.next(), Some(Ok(Reply::Pair(k, payload.clone()))));
+        let arr = (0..count as u64).map(|i| Reply::Pair(i, payload.clone())).collect::<Vec<_>>();
         assert_eq!(parser.next(), Some(Ok(Reply::Array(arr))));
         assert_eq!(parser.next(), None);
     }
 }
 
 /// Directed malformed-frame cases the fuzz loops may miss: oversize lines
-/// (terminated and unterminated), missing terminators, interior NULs.
+/// (terminated and unterminated), missing terminators, interior NULs,
+/// payload-state edges.
 #[test]
 fn directed_malformed_cases() {
     // Missing terminator: a frame without a newline stays pending forever
@@ -176,7 +224,7 @@ fn directed_malformed_cases() {
     p.feed(b"\r\n");
     assert_eq!(p.next(), Some(Ok(Request::Get(42))));
 
-    // Interior NUL, before and after the terminator boundary.
+    // Interior NUL in a header, before and after the terminator boundary.
     let mut p = RequestParser::new();
     p.feed(b"GET 4\x002\r\nPING\r\n");
     assert_eq!(p.next(), Some(Err(ParseError::IllegalByte)));
@@ -205,4 +253,46 @@ fn directed_malformed_cases() {
     p.feed(b"\nSTATS\r\n");
     assert_eq!(p.next(), Some(Ok(Request::Stats)));
     assert_eq!(p.next(), None);
+}
+
+/// Directed payload-state cases: byte-at-a-time payload delivery, an
+/// over-cap value skipped byte-at-a-time, and a payload whose terminator
+/// never comes.
+#[test]
+fn directed_payload_cases() {
+    // Payload trickling in one byte at a time, newlines and NULs included.
+    let mut p = RequestParser::new();
+    p.feed(b"SET 1 5\r\n");
+    assert_eq!(p.next(), None);
+    for &b in b"\n\x00a\rb" {
+        assert_eq!(p.next(), None, "mid-payload");
+        p.feed(&[b]);
+    }
+    p.feed(b"\r\n");
+    assert_eq!(p.next(), Some(Ok(Request::Set(1, b"\n\x00a\rb".to_vec()))));
+
+    // An over-cap declaration is one error; the declared payload (fed in
+    // big sloppy chunks) is absorbed, then parsing resumes.
+    let mut p = RequestParser::new();
+    let claimed = MAX_VALUE + 5000;
+    p.feed(format!("SET 2 {claimed}\r\n").as_bytes());
+    assert_eq!(p.next(), Some(Err(ParseError::ValueTooLarge)));
+    let mut sent = 0;
+    while sent < claimed {
+        let n = (claimed - sent).min(10_000);
+        p.feed(&vec![b'\n'; n]);
+        assert_eq!(p.next(), None, "skipping the rejected payload");
+        sent += n;
+    }
+    p.feed(b"\r\nPING\r\n");
+    assert_eq!(p.next(), Some(Ok(Request::Ping)));
+    assert_eq!(p.next(), None);
+
+    // Reply side: a bulk that ends mid-payload surfaces as UnexpectedEof at
+    // the client layer; at the parser layer it simply stays pending.
+    let mut rp = ReplyParser::new();
+    rp.feed(b"$10\r\nabc");
+    assert_eq!(rp.next(), None, "bulk payload pending");
+    rp.feed(b"defghij\r\n");
+    assert_eq!(rp.next(), Some(Ok(Reply::Bulk(b"abcdefghij".to_vec()))));
 }

@@ -82,11 +82,30 @@ impl<M: ConcurrentMap> ShardedMap<M> {
         succeeded: impl Fn(&R) -> bool,
         record: impl Fn(&crate::stats::ShardStats, u64, u64),
     ) -> Vec<R> {
+        let mut results = Vec::new();
+        self.dispatch_into(items, key_of, op, succeeded, record, &mut results);
+        results
+    }
+
+    /// Buffer-reusing core of [`dispatch`](Self::dispatch): clears `results`
+    /// and refills it in input order, so a caller looping over batches (the
+    /// server's `MGET` hot path) pays for the result allocation once, not
+    /// once per batch.
+    fn dispatch_into<T: Copy, R: Clone + Default>(
+        &self,
+        items: &[T],
+        key_of: impl Fn(&T) -> u64,
+        op: impl Fn(&M, T) -> R,
+        succeeded: impl Fn(&R) -> bool,
+        record: impl Fn(&crate::stats::ShardStats, u64, u64),
+        results: &mut Vec<R>,
+    ) {
+        results.clear();
         if items.is_empty() {
-            return Vec::new();
+            return;
         }
         let grouped = group_by_shard(self, items, key_of);
-        let mut results = vec![R::default(); items.len()];
+        results.resize(items.len(), R::default());
         for s in 0..self.shard_count() {
             let shard = self.shard(s);
             let slice = &grouped.slots[grouped.bounds[s]..grouped.bounds[s + 1]];
@@ -100,19 +119,29 @@ impl<M: ConcurrentMap> ShardedMap<M> {
             }
             record(self.stats_of(s), slice.len() as u64, ok);
         }
-        results
     }
 
     /// Looks up every key, visiting each shard once; results are in input
     /// order (`result[i]` answers `keys[i]`), duplicates included.
     pub fn multi_get(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        self.dispatch(
+        let mut out = Vec::new();
+        self.multi_get_into(keys, &mut out);
+        out
+    }
+
+    /// Buffer-reusing variant of [`multi_get`](Self::multi_get) (mirroring
+    /// `scan_into`): clears `out` and refills it with the per-key answers in
+    /// input order. A front-end answering a stream of `MGET` batches reuses
+    /// one buffer instead of allocating a fresh result vector per frame.
+    pub fn multi_get_into(&self, keys: &[u64], out: &mut Vec<Option<u64>>) {
+        self.dispatch_into(
             keys,
             |&k| k,
             |shard, k| shard.search(k),
             Option::is_some,
             |stats, n, ok| stats.record_searches(n, ok),
-        )
+            out,
+        );
     }
 
     /// Inserts every `(key, value)` pair, visiting each shard once;
@@ -165,6 +194,28 @@ mod tests {
             let expect = if k % 2 == 0 { Some(k * 3) } else { None };
             assert_eq!(got[i], expect, "key {k} at position {i}");
         }
+    }
+
+    #[test]
+    fn multi_get_into_reuses_the_buffer_and_matches_the_allocating_wrapper() {
+        let map = sharded();
+        for k in 1..=40u64 {
+            map.insert(k, k + 7);
+        }
+        let mut out: Vec<Option<u64>> = Vec::new();
+        let keys_a: Vec<u64> = (1..=50u64).collect();
+        map.multi_get_into(&keys_a, &mut out);
+        assert_eq!(out, map.multi_get(&keys_a));
+        let cap = out.capacity();
+        // A second, smaller batch through the same buffer: cleared, refilled
+        // in input order, no reallocation.
+        let keys_b = [40u64, 3, 99, 3];
+        map.multi_get_into(&keys_b, &mut out);
+        assert_eq!(out, vec![Some(47), Some(10), None, Some(10)]);
+        assert_eq!(out.capacity(), cap, "smaller batch must reuse the allocation");
+        // Empty batch clears the buffer.
+        map.multi_get_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

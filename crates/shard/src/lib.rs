@@ -28,6 +28,11 @@
 //!   per-shard sorted results with a k-way merge into one globally
 //!   key-ordered answer (with the same non-snapshot semantics as a single
 //!   structure).
+//! * [`blob::BlobMap`] layers **variable-length byte values** on top: the
+//!   sharded index stores 64-bit handles into per-shard ssmem-backed
+//!   [`blob::ValueArena`]s, readers copy payloads out under epoch guards,
+//!   and overwrites/deletes retire the displaced blob through the same
+//!   grace-period machinery that protects the structures' nodes.
 //!
 //! Pairs with `ascylib_harness::dist::KeyDist` to benchmark any structure
 //! under uniform, Zipfian, or hotspot traffic (`fig10_sharding` in the bench
@@ -46,11 +51,13 @@
 
 #![warn(missing_docs)]
 
+pub mod blob;
 mod batch;
 mod map;
 mod range;
 pub mod router;
 pub mod stats;
 
+pub use blob::{ArenaStatsSnapshot, BlobMap, ValueArena};
 pub use map::ShardedMap;
 pub use stats::ShardStatsSnapshot;

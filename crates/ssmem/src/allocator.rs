@@ -56,6 +56,11 @@ pub struct SsmemStats {
     pub gc_passes: u64,
     /// Retired objects still waiting for their grace period.
     pub pending: u64,
+    /// Allocations sitting in the reuse pool right now (grace period
+    /// passed, awaiting their next life). Bounded by the pool cap; a value
+    /// that stops growing under steady churn is the "no leak across
+    /// epochs" witness the blob-arena tests assert on.
+    pub pooled: u64,
     /// Current guard nesting depth of the owning thread.
     pub guard_depth: u64,
 }
@@ -106,6 +111,7 @@ impl SsmemAllocator {
         let mut s = self.stats;
         s.pending = (self.current.len()
             + self.sealed.iter().map(|s| s.retired.len()).sum::<usize>()) as u64;
+        s.pooled = self.pool.values().map(|list| list.len() as u64).sum();
         s.guard_depth = self.guard_depth as u64;
         s
     }
@@ -406,6 +412,26 @@ mod tests {
         if a.stats().reclaimed > 0 {
             let q = a.alloc(9u64);
             assert_eq!(q as usize, addr, "same-size allocation should reuse the slot");
+            // SAFETY: q is exclusively owned.
+            unsafe { dealloc_now(q) };
+        }
+    }
+
+    #[test]
+    fn pooled_stat_tracks_the_reuse_pool() {
+        let mut a = SsmemAllocator::new();
+        a.set_gc_threshold(1);
+        assert_eq!(a.stats().pooled, 0);
+        let p = a.alloc(5u64);
+        a.retire(p);
+        a.collect();
+        let s = a.stats();
+        // Either still pending (another test's guard) or sitting in the
+        // pool; the two states partition the retired object.
+        assert_eq!(s.pooled + s.pending, 1, "{s:?}");
+        if s.pooled == 1 {
+            let q = a.alloc(6u64);
+            assert_eq!(a.stats().pooled, 0, "allocation drains the pool");
             // SAFETY: q is exclusively owned.
             unsafe { dealloc_now(q) };
         }

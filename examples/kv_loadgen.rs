@@ -1,4 +1,5 @@
-//! Drives a running `kv_server` with the closed-loop load generator.
+//! Drives a `kv_server` with the closed-loop load generator, moving real
+//! payload bytes.
 //!
 //! Start the server in one terminal, the load in another:
 //!
@@ -7,9 +8,17 @@
 //! $ cargo run --release --example kv_loadgen
 //! ```
 //!
+//! Or let the load generator host its own in-process server on an
+//! ephemeral port (the CI smoke-test mode — no second terminal needed):
+//!
+//! ```text
+//! $ cargo run --release --example kv_loadgen -- --self
+//! ```
+//!
 //! Environment knobs:
 //!
-//! * `ASCYLIB_ADDR` — server address (default `127.0.0.1:7878`);
+//! * `ASCYLIB_ADDR` — server address (default `127.0.0.1:7878`; ignored
+//!   with `--self`);
 //! * `ASCYLIB_CONNS` — concurrent connections (default 4; keep at or below
 //!   the server's worker count);
 //! * `ASCYLIB_BENCH_MILLIS` — burst duration (default 300);
@@ -17,13 +26,19 @@
 //!   request/response);
 //! * `ASCYLIB_MIX` — `a`, `b`, `c`, `e` (YCSB presets) or an update
 //!   percentage like `20` (default `b`);
+//! * `ASCYLIB_VALUES` — value-size spec: `fixed:64`, `uniform:16,4096`, or
+//!   `bimodal:16,256,10` (default `bimodal:16,256,10` — mostly-small
+//!   values with a 256 B tail);
 //! * `ASCYLIB_PREFILL` — keys to MSET before the burst (default 4096;
 //!   0 skips).
 
 use std::net::{SocketAddr, ToSocketAddrs};
+use std::sync::Arc;
 
 use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig};
+use ascylib_server::{BlobOrderedStore, Server, ServerConfig, ServerHandle, ValueSize};
+use ascylib_shard::BlobMap;
 
 fn resolve(addr: &str) -> SocketAddr {
     addr.to_socket_addrs()
@@ -46,26 +61,49 @@ fn mix_from_env() -> (String, OpMix) {
 }
 
 fn main() {
-    let addr = resolve(&std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".into()));
+    let conns = env_or("ASCYLIB_CONNS", 4) as usize;
+    // `--self`: host an in-process server on an ephemeral port, so one
+    // command exercises the whole serving stack (CI smoke test).
+    let self_serve: Option<ServerHandle> = if std::env::args().any(|a| a == "--self") {
+        let map = Arc::new(BlobMap::new(4, |_| ascylib::skiplist::FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            BlobOrderedStore::new(map),
+            ServerConfig::for_connections(conns),
+        )
+        .expect("bind ephemeral self-serve port");
+        println!("kv_loadgen: self-serving a 4-shard blob skip list on {}", server.addr());
+        Some(server)
+    } else {
+        None
+    };
+    let addr = match &self_serve {
+        Some(server) => server.addr(),
+        None => resolve(&std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".into())),
+    };
+
     let (mix_name, mix) = mix_from_env();
+    let values = ValueSize::from_env();
     let prefill = env_or("ASCYLIB_PREFILL", 4096);
     let key_range = (prefill * 2).max(1024);
     if prefill > 0 {
-        let inserted = loadgen::prefill(addr, prefill, key_range)
+        let inserted = loadgen::prefill(addr, prefill, key_range, values, 0x10AD)
             .unwrap_or_else(|e| panic!("prefill against {addr} failed (is kv_server up?): {e}"));
-        println!("kv_loadgen: prefilled {inserted} new keys (of {prefill} sent)");
+        println!("kv_loadgen: prefilled {inserted} new keys (of {prefill} sent, {values} values)");
     }
     let cfg = LoadGenConfig {
-        connections: env_or("ASCYLIB_CONNS", 4) as usize,
+        connections: conns,
         duration_ms: bench_millis(),
         mix,
         dist: KeyDist::Zipfian { theta: 0.99 },
         key_range,
+        value_size: values,
         pipeline_depth: env_or("ASCYLIB_DEPTH", 16) as usize,
         ..LoadGenConfig::default()
     };
     println!(
-        "kv_loadgen: {} conns x depth {} against {addr}, mix={mix_name}, zipf(0.99), {} ms",
+        "kv_loadgen: {} conns x depth {} against {addr}, mix={mix_name}, zipf(0.99), \
+         values={values}, {} ms",
         cfg.connections, cfg.pipeline_depth, cfg.duration_ms
     );
     let r = loadgen::run(addr, &cfg)
@@ -81,10 +119,32 @@ fn main() {
         r.errors
     );
     println!(
+        "kv_loadgen: payload read {:.2} MB/s ({} B), wrote {:.2} MB/s ({} B)",
+        r.read_mbps(),
+        r.payload_bytes_read,
+        r.write_mbps(),
+        r.payload_bytes_written
+    );
+    println!(
         "kv_loadgen: batch rtt p1={} p50={} p99={} us (depth {} per round trip)",
         r.batch_rtt.p1 / 1000,
         r.batch_rtt.p50 / 1000,
         r.batch_rtt.p99 / 1000,
         cfg.pipeline_depth
     );
+    if let Some(server) = self_serve {
+        let stats = server.join();
+        println!(
+            "kv_loadgen: self-serve shutdown after {} conns, {} frames, {} errors",
+            stats.connections, stats.frames, stats.errors
+        );
+        // Smoke-test contract: traffic was served, nothing errored, and
+        // real payload bytes moved in both directions.
+        assert!(r.total_ops > 0, "self-serve burst served nothing");
+        assert_eq!(r.errors, 0, "self-serve burst must be error-free");
+        assert!(
+            r.payload_bytes_written > 0 && r.payload_bytes_read > 0,
+            "self-serve burst must move payload bytes"
+        );
+    }
 }

@@ -1,7 +1,9 @@
-//! A standalone key-value server speaking the ASCY wire protocol.
+//! A standalone key-value server speaking the ASCY wire protocol (v2:
+//! binary bulk values).
 //!
-//! Serves a sharded Fraser skip list (ordered, so `SCAN` works) over TCP.
-//! Two modes:
+//! Serves a blob-valued sharded Fraser skip list (ordered, so `SCAN`
+//! works; values are arbitrary byte strings up to 64 KiB stored in
+//! per-shard ssmem arenas). Two modes:
 //!
 //! * **serve** (default): bind `ASCYLIB_ADDR` (default `127.0.0.1:7878`)
 //!   and serve until killed (or for `ASCYLIB_SERVE_MILLIS` milliseconds if
@@ -10,42 +12,47 @@
 //!
 //!   ```text
 //!   $ nc 127.0.0.1 7878
-//!   SET 7 700
+//!   SET 7 5
+//!   hello
 //!   :1
 //!   GET 7
-//!   :700
+//!   $5
+//!   hello
 //!   SCAN 1 4
 //!   *1
-//!   =7 700
+//!   =7 5
+//!   hello
 //!   QUIT
 //!   +BYE
 //!   ```
 //!
 //! * **`--demo`**: bind an ephemeral port, run the in-process closed-loop
 //!   load generator against it for a short burst (pipelined and
-//!   unpipelined), print both reports, and shut down cleanly. Exits
-//!   non-zero if the burst served nothing — CI uses this as the serving
-//!   smoke test.
+//!   unpipelined), print both reports — payload bandwidth included — and
+//!   shut down cleanly. Exits non-zero if the burst served nothing — CI
+//!   uses this as the serving smoke test.
 //!
 //! Environment: `ASCYLIB_ADDR`, `ASCYLIB_SHARDS` (default 4),
 //! `ASCYLIB_WORKERS` (default 8), `ASCYLIB_SERVE_MILLIS` (0 = forever),
-//! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300).
+//! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300),
+//! `ASCYLIB_VALUES` (value-size spec: `fixed:64`, `uniform:16,4096`, or
+//! `bimodal:16,256,10`; demo default `bimodal:16,256,10`).
 
 use std::sync::Arc;
 
 use ascylib::skiplist::FraserOptSkipList;
 use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
-use ascylib_server::{Server, ServerConfig, ServerHandle, ShardedOrderedStore};
-use ascylib_shard::ShardedMap;
+use ascylib_server::{BlobOrderedStore, Server, ServerConfig, ServerHandle, ValueSize};
+use ascylib_shard::BlobMap;
 
 fn start(addr: &str, shards: usize, workers: usize) -> ServerHandle {
-    let map = Arc::new(ShardedMap::new(shards, |_| FraserOptSkipList::new()));
+    let map = Arc::new(BlobMap::new(shards, |_| FraserOptSkipList::new()));
     let config = ServerConfig { workers, ..ServerConfig::default() };
-    let server = Server::start(addr, ShardedOrderedStore::new(map), config)
+    let server = Server::start(addr, BlobOrderedStore::new(map), config)
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
-        "kv_server: serving {shards}-shard fraser-opt skip list on {} ({workers} workers)",
+        "kv_server: serving {shards}-shard blob-valued fraser-opt skip list on {} ({workers} workers)",
         server.addr()
     );
     server
@@ -65,14 +72,20 @@ fn print_result(label: &str, r: &LoadGenResult) {
         r.batch_rtt.p50 as f64 / 1e3,
         r.batch_rtt.p99 as f64 / 1e3,
     );
+    println!(
+        "{:>14}  payload: read {:.2} MB/s, wrote {:.2} MB/s",
+        "", r.read_mbps(), r.write_mbps()
+    );
 }
 
 fn demo(shards: usize, workers: usize) {
     let server = start("127.0.0.1:0", shards, workers);
     let addr = server.addr();
     let key_range = 8192u64;
-    let inserted = loadgen::prefill(addr, key_range / 2, key_range).expect("prefill");
-    println!("kv_server: prefilled {inserted} keys over the wire");
+    let vsize = ValueSize::from_env();
+    let inserted =
+        loadgen::prefill(addr, key_range / 2, key_range, vsize, 0xDE30).expect("prefill");
+    println!("kv_server: prefilled {inserted} keys over the wire ({vsize} values)");
 
     // YCSB-B-flavoured point mix plus a dash of scans, skewed keys — the
     // full protocol surface in one burst.
@@ -83,6 +96,7 @@ fn demo(shards: usize, workers: usize) {
         mix,
         dist: KeyDist::Zipfian { theta: 0.99 },
         key_range,
+        value_size: vsize,
         pipeline_depth: 1,
         ..LoadGenConfig::default()
     };
@@ -107,6 +121,10 @@ fn demo(shards: usize, workers: usize) {
     assert!(unpipelined.total_ops > 0, "unpipelined burst served nothing");
     assert!(pipelined.total_ops > 0, "pipelined burst served nothing");
     assert_eq!(unpipelined.errors + pipelined.errors, 0, "bursts must be error-free");
+    assert!(
+        pipelined.payload_bytes_written > 0 && pipelined.payload_bytes_read > 0,
+        "the burst must move real payload bytes"
+    );
     assert!(stats.frames > 0 && stats.connections > 0);
 }
 
@@ -121,7 +139,8 @@ fn main() {
     let addr = std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
     let server = start(&addr, shards, workers);
     println!(
-        "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT (see PROTOCOL.md);\n\
+        "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT with bulk values \
+         (see PROTOCOL.md);\n\
          kv_server: drive with `cargo run --release --example kv_loadgen` or `nc {}`",
         server.addr()
     );

@@ -161,13 +161,15 @@ fn harness_runs_ycsb_e_over_a_sharded_ordered_map() {
 
 /// The full serving stack across crates: the *same* workload vocabulary
 /// (OpMix preset + key distribution) drives a sharded map in-process via
-/// the harness and over loopback TCP via the wire tier's load generator;
+/// the harness and over loopback TCP via the wire tier's load generator —
+/// the loopback side now moving real byte payloads through the blob layer;
 /// both must serve traffic, and the in-process result must serialize
 /// through the stable JSON emitter.
 #[test]
 fn serving_tier_replays_a_harness_workload_over_loopback() {
     use ascylib_server::loadgen::{self, LoadGenConfig};
-    use ascylib_server::{Server, ServerConfig, ShardedStore};
+    use ascylib_server::{BlobStore, Server, ServerConfig, ValueSize};
+    use ascylib_shard::BlobMap;
 
     // In-process: harness measurement over a 4-shard CLHT.
     let entry = registry::by_name("ht-clht-lb").unwrap();
@@ -185,16 +187,19 @@ fn serving_tier_replays_a_harness_workload_over_loopback() {
     assert!(json.contains("\"dist\":\"zipf(0.99)\""), "{json}");
     assert!(json.contains(&format!("\"total_ops\":{}", in_process.total_ops)));
 
-    // Over loopback: same mix, same distribution, same sharding — through
-    // sockets, frames, and the closed-loop client.
-    let map = Arc::new(ShardedMap::from_registry(&entry, 4, 1024));
+    // Over loopback: same mix, same distribution, same sharding and the
+    // same CLHT backing — through sockets, frames, the closed-loop client,
+    // and the blob-value layer (registry shards drop straight into BlobMap
+    // via the `Arc<dyn ConcurrentMap>` blanket impl).
+    let per_shard = 1024 / 4;
+    let map = Arc::new(BlobMap::new(4, |_| (entry.construct)(per_shard)));
     let server = Server::start(
         "127.0.0.1:0",
-        ShardedStore::new(Arc::clone(&map)),
+        BlobStore::new(Arc::clone(&map)),
         ServerConfig::for_connections(2),
     )
     .expect("ephemeral bind");
-    loadgen::prefill(server.addr(), 512, 1024).expect("prefill");
+    loadgen::prefill(server.addr(), 512, 1024, ValueSize::Fixed(32), 7).expect("prefill");
     let r = loadgen::run(
         server.addr(),
         &LoadGenConfig {
@@ -203,6 +208,7 @@ fn serving_tier_replays_a_harness_workload_over_loopback() {
             mix: OpMix::ycsb_b(),
             dist: KeyDist::Zipfian { theta: 0.99 },
             key_range: 1024,
+            value_size: ValueSize::Bimodal { small: 16, large: 256, large_pct: 10 },
             pipeline_depth: 8,
             ..LoadGenConfig::default()
         },
@@ -211,12 +217,20 @@ fn serving_tier_replays_a_harness_workload_over_loopback() {
     assert!(r.total_ops > 0);
     assert_eq!(r.errors, 0);
     assert!(r.hits > 0, "zipf head over a prefilled keyspace must hit");
+    assert!(
+        r.payload_bytes_read > 0 && r.payload_bytes_written > 0,
+        "the replay must move payload bytes both ways"
+    );
     // Mutations over the wire land in the map the test kept a handle to:
     // write a sentinel through a fresh client, observe it in-process.
     let mut probe = ascylib_server::Client::connect(server.addr()).expect("probe connect");
     let sentinel = 1_000_000u64;
-    assert!(probe.set(sentinel, 42).expect("wire SET"));
-    assert_eq!(map.search(sentinel), Some(42), "wire mutation visible through the Arc");
+    assert!(probe.set(sentinel, b"forty-two").expect("wire SET"));
+    assert_eq!(
+        map.get_owned(sentinel),
+        Some(b"forty-two".to_vec()),
+        "wire mutation visible through the Arc"
+    );
     probe.quit().expect("quit");
     let stats = server.join();
     assert!(stats.ops > r.total_ops, "server accounted the keyspace ops it served");

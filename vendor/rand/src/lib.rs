@@ -19,6 +19,22 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Fills `dest` with random bytes (the little-endian byte stream of
+    /// successive [`next_u64`](Self::next_u64) words, as the real
+    /// `rand_core` does), so payload generators don't hand-roll byte loops.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let last = self.next_u64().to_le_bytes();
+            let n = rem.len();
+            rem.copy_from_slice(&last[..n]);
+        }
+    }
 }
 
 /// A random number generator seedable from a `u64` (subset of the real
@@ -178,7 +194,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::SmallRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn ranges_stay_in_bounds() {
@@ -239,6 +255,63 @@ mod tests {
             }
         }
         assert!((300..700).contains(&trues), "bool heavily biased: {trues}/1000");
+    }
+
+    #[test]
+    fn fill_bytes_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(0xB10B);
+        let mut b = SmallRng::seed_from_u64(0xB10B);
+        let mut c = SmallRng::seed_from_u64(0xB10C);
+        let (mut x, mut y, mut z) = ([0u8; 64], [0u8; 64], [0u8; 64]);
+        a.fill_bytes(&mut x);
+        b.fill_bytes(&mut y);
+        c.fill_bytes(&mut z);
+        assert_eq!(x, y, "same seed must give the same byte stream");
+        assert_ne!(x, z, "different seeds must diverge");
+    }
+
+    #[test]
+    fn fill_bytes_matches_the_u64_stream_at_every_length() {
+        // The byte stream is the little-endian serialization of next_u64
+        // words, including a partial trailing word — for all tail lengths.
+        for len in 0..=17usize {
+            let mut bytes_rng = SmallRng::seed_from_u64(7);
+            let mut word_rng = SmallRng::seed_from_u64(7);
+            let mut buf = vec![0u8; len];
+            bytes_rng.fill_bytes(&mut buf);
+            let mut expected = Vec::with_capacity(len + 8);
+            while expected.len() < len {
+                expected.extend_from_slice(&word_rng.next_u64().to_le_bytes());
+            }
+            expected.truncate(len);
+            assert_eq!(buf, expected, "length {len}");
+            // After a partial word the two streams resynchronize: the next
+            // word drawn from each generator is identical.
+            assert_eq!(bytes_rng.next_u64(), word_rng.next_u64(), "length {len}");
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_all_byte_values() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut buf = vec![0u8; 64 * 1024];
+        rng.fill_bytes(&mut buf);
+        let mut seen = [false; 256];
+        for &b in &buf {
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 KiB of random bytes must hit every value");
+        // NUL and newline bytes do appear — the payloads the wire tests
+        // round-trip are genuinely binary.
+        assert!(buf.contains(&0) && buf.contains(&b'\n') && buf.contains(&b'\r'));
+    }
+
+    #[test]
+    fn fill_bytes_of_empty_slice_is_a_noop() {
+        let mut a = SmallRng::seed_from_u64(3);
+        let mut b = SmallRng::seed_from_u64(3);
+        a.fill_bytes(&mut []);
+        assert_eq!(a.next_u64(), b.next_u64(), "empty fill must not consume words");
     }
 
     #[test]
