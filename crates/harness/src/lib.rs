@@ -44,6 +44,26 @@ pub fn env_or(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+/// Looks up a command-line flag's value: `--flag value` or `--flag=value`.
+/// Shared by the example binaries so their flag handling stays uniform
+/// (environment variables configure defaults, flags override per run).
+pub fn arg_value(flag: &str) -> Option<String> {
+    arg_value_in(std::env::args().skip(1), flag)
+}
+
+fn arg_value_in(args: impl Iterator<Item = String>, flag: &str) -> Option<String> {
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        if arg == flag {
+            return args.next();
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')) {
+            return Some(value.to_string());
+        }
+    }
+    None
+}
+
 /// Duration (milliseconds) of a single measurement, controlled by
 /// `ASCYLIB_BENCH_MILLIS` (default 300 ms so that the full figure suite
 /// completes quickly; the paper uses 5 s runs).
@@ -90,5 +110,17 @@ mod tests {
     #[test]
     fn env_or_falls_back_to_default() {
         assert_eq!(env_or("ASCYLIB_DOES_NOT_EXIST", 42), 42);
+    }
+
+    #[test]
+    fn arg_values_parse_in_both_spellings() {
+        let args = |list: &[&str]| list.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let got = |list: &[&str], flag: &str| arg_value_in(args(list).into_iter(), flag);
+        assert_eq!(got(&["--mode", "open:4000"], "--mode").as_deref(), Some("open:4000"));
+        assert_eq!(got(&["--mode=open:4000"], "--mode").as_deref(), Some("open:4000"));
+        assert_eq!(got(&["--conns", "8", "--mode", "closed"], "--mode").as_deref(), Some("closed"));
+        assert_eq!(got(&["--mode"], "--mode"), None, "flag with no value");
+        assert_eq!(got(&["--moderate=x"], "--mode"), None, "prefix must not match");
+        assert_eq!(got(&[], "--mode"), None);
     }
 }

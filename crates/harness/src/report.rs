@@ -196,12 +196,18 @@ fn json_num(v: f64) -> String {
 
 fn json_latency(s: &LatencyStats) -> String {
     format!(
-        "{{\"p1\":{},\"p25\":{},\"p50\":{},\"p75\":{},\"p99\":{},\"mean\":{},\"samples\":{}}}",
+        concat!(
+            "{{\"p1\":{},\"p25\":{},\"p50\":{},\"p75\":{},\"p99\":{},",
+            "\"p999\":{},\"p9999\":{},\"max\":{},\"mean\":{},\"samples\":{}}}"
+        ),
         s.p1,
         s.p25,
         s.p50,
         s.p75,
         s.p99,
+        s.p999,
+        s.p9999,
+        s.max,
         json_num(s.mean),
         s.samples
     )

@@ -28,7 +28,8 @@ pub enum OpKind {
 }
 
 /// Latency percentiles (nanoseconds) over the sampled operations, as plotted
-/// in the paper's latency-distribution panels (1/25/50/75/99).
+/// in the paper's latency-distribution panels (1/25/50/75/99), extended with
+/// the high tail (p999/p9999/max) that open-loop overload measurement needs.
 ///
 /// Also reused for any sampled per-operation count (e.g. keys returned per
 /// scan), where the "nanoseconds" are just units.
@@ -44,6 +45,12 @@ pub struct LatencyStats {
     pub p75: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile (see [`resolves`](Self::resolves)).
+    pub p999: u64,
+    /// 99.99th percentile (see [`resolves`](Self::resolves)).
+    pub p9999: u64,
+    /// Largest sample.
+    pub max: u64,
     /// Arithmetic mean.
     pub mean: f64,
     /// Number of samples.
@@ -52,6 +59,14 @@ pub struct LatencyStats {
 
 impl LatencyStats {
     /// Computes percentiles from raw nanosecond samples.
+    ///
+    /// The low/mid percentiles (p1–p99) use nearest-index interpolation as
+    /// before. The tail quantiles (p999/p9999) use the nearest-rank
+    /// definition (`ceil(q·n)`), which is exact when the sample count
+    /// resolves them and **degenerates to `max` otherwise** — e.g. p9999 of
+    /// 500 samples *is* the maximum, by construction, not an estimate.
+    /// Check [`resolves`](Self::resolves) before reading meaning into a
+    /// tail quantile from a small run.
     pub fn from_samples(mut samples: Vec<u64>) -> Self {
         if samples.is_empty() {
             return Self::default();
@@ -61,6 +76,12 @@ impl LatencyStats {
             let idx = ((samples.len() - 1) as f64 * p / 100.0).round() as usize;
             samples[idx]
         };
+        // Nearest rank: the smallest sample ≥ the requested fraction of the
+        // distribution. Clamped, so under-resolved quantiles report max.
+        let rank = |q: f64| -> u64 {
+            let r = (samples.len() as f64 * q).ceil() as usize;
+            samples[r.clamp(1, samples.len()) - 1]
+        };
         let mean = samples.iter().sum::<u64>() as f64 / samples.len() as f64;
         Self {
             p1: pct(1.0),
@@ -68,9 +89,22 @@ impl LatencyStats {
             p50: pct(50.0),
             p75: pct(75.0),
             p99: pct(99.0),
+            p999: rank(0.999),
+            p9999: rank(0.9999),
+            max: *samples.last().expect("non-empty"),
             mean,
             samples: samples.len(),
         }
+    }
+
+    /// `true` if the sample count is large enough for the `q`-quantile
+    /// (e.g. `0.999`) to be distinguishable from the maximum — at least
+    /// `1/(1-q)` samples. Below that, the tail fields are exact for the
+    /// data observed but carry no information beyond `max`.
+    pub fn resolves(&self, q: f64) -> bool {
+        // Rounding keeps binary-representation noise (1 - 0.9999 is not
+        // exactly 1e-4) from shifting the threshold by one sample.
+        q < 1.0 && self.samples as f64 >= (1.0 / (1.0 - q)).round()
     }
 }
 
@@ -382,8 +416,58 @@ mod tests {
         assert_eq!(stats.p50, 37);
         assert_eq!(stats.p75, 37);
         assert_eq!(stats.p99, 37);
+        assert_eq!(stats.p999, 37);
+        assert_eq!(stats.p9999, 37);
+        assert_eq!(stats.max, 37);
         assert_eq!(stats.mean, 37.0);
         assert_eq!(stats.samples, 1);
+        assert!(!stats.resolves(0.999), "1 sample cannot resolve the tail");
+    }
+
+    #[test]
+    fn tail_quantiles_resolve_with_enough_samples() {
+        // 10_000 distinct samples: every tail quantile is exact.
+        let stats = LatencyStats::from_samples((1..=10_000u64).collect());
+        assert_eq!(stats.p999, 9_990, "nearest rank of the 99.9th");
+        assert_eq!(stats.p9999, 9_999);
+        assert_eq!(stats.max, 10_000);
+        assert!(stats.p99 <= stats.p999 && stats.p999 <= stats.p9999);
+        assert!(stats.p9999 <= stats.max);
+        assert!(stats.resolves(0.999));
+        assert!(stats.resolves(0.9999), "10k samples resolve 1-in-10k");
+    }
+
+    #[test]
+    fn under_resolved_tail_quantiles_degenerate_to_max_and_say_so() {
+        // 100 samples: p99 is resolvable, p999/p9999 are not — they must
+        // pin to the maximum rather than interpolate something fictional.
+        let stats = LatencyStats::from_samples((1..=100u64).collect());
+        assert_eq!(stats.p999, 100);
+        assert_eq!(stats.p9999, 100);
+        assert_eq!(stats.max, 100);
+        assert!(stats.resolves(0.99), "100 samples resolve 1-in-100");
+        assert!(!stats.resolves(0.999));
+        assert!(!stats.resolves(0.9999));
+        // Exactly at the resolution boundary.
+        let boundary = LatencyStats::from_samples((1..=1000u64).collect());
+        assert!(boundary.resolves(0.999));
+        assert_eq!(boundary.p999, 999, "1000 samples: p999 is the 999th rank, not max");
+        assert!(!boundary.resolves(0.9999));
+        assert_eq!(boundary.p9999, 1000);
+    }
+
+    #[test]
+    fn tail_quantiles_track_a_spiky_distribution() {
+        // 999 fast ops and one outlier: p999 must surface the outlier
+        // (nearest rank: ceil(0.999 * 1000) = 999 → the largest fast op;
+        // p9999 and max catch the spike).
+        let mut samples = vec![100u64; 999];
+        samples.push(1_000_000);
+        let stats = LatencyStats::from_samples(samples);
+        assert_eq!(stats.p99, 100);
+        assert_eq!(stats.p999, 100, "the spike is rank 1000 of 1000");
+        assert_eq!(stats.p9999, 1_000_000, "under-resolved: degenerates to max");
+        assert_eq!(stats.max, 1_000_000);
     }
 
     #[test]

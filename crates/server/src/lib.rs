@@ -20,21 +20,31 @@
 //!   adapters over [`ascylib_shard::BlobMap`] (per-shard ssmem value
 //!   arenas, epoch-guarded copy-out reads): [`BlobStore`] for any backing,
 //!   [`BlobOrderedStore`] adding cross-shard merged scans.
-//! * `conn` (internal) — buffered per-connection state with request
-//!   **pipelining**: every complete frame that arrived is executed and
-//!   answered in order with one flush; `MGET` dispatches through the shard
-//!   layer's batched `multi_get_into` (no per-batch result allocation).
-//! * [`server`] — the acceptor + worker-pool TCP tier with per-worker
-//!   cache-padded stats, graceful `QUIT`/shutdown draining, and ephemeral
-//!   port support for tests.
+//! * `conn` (internal) — a nonblocking per-connection **state machine**
+//!   (Reading → Executing → Writing → Closing) with request **pipelining**
+//!   and write backpressure: every complete frame that arrived is executed
+//!   and answered in order; a partial flush re-arms for writability and
+//!   stops reading, so a peer that won't drain its replies cannot grow
+//!   server buffers; `MGET` dispatches through the shard layer's batched
+//!   `multi_get_into` (no per-batch result allocation).
+//! * [`server`] — the **event-driven** TCP tier: an epoll/poll readiness
+//!   loop (`vendor/polling`, oneshot semantics) dispatching to a small
+//!   worker pool through a generation-tagged slab registry, with idle-
+//!   timeout eviction, per-worker cache-padded stats, graceful
+//!   `QUIT`/shutdown draining, and ephemeral port support for tests.
+//!   Thousands of concurrent connections per handful of worker threads.
 //! * [`client`] — a blocking client with typed per-verb calls over `&[u8]`
 //!   values and a [`Pipeline`] that turns `k` round trips into one.
-//! * [`loadgen`] — a closed-loop multi-connection load generator that
-//!   reuses the harness's [`OpMix`](ascylib_harness::OpMix) /
+//! * [`loadgen`] — a multi-connection load generator in two modes:
+//!   **closed-loop** (each connection keeps a fixed number of requests in
+//!   flight) and **open-loop** ([`LoadMode::Open`]: Poisson or fixed-rate
+//!   scheduled arrivals, latency measured from the *intended* send time so
+//!   queueing delay is charged to the server — no coordinated omission).
+//!   Reuses the harness's [`OpMix`](ascylib_harness::OpMix) /
 //!   [`KeyDist`](ascylib_harness::KeyDist) vocabulary plus a
 //!   [`ValueSize`] payload-size axis (fixed / uniform / bimodal), and
 //!   reports payload bandwidth (MB/s read and written) alongside latency
-//!   percentiles.
+//!   percentiles through p9999.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -62,9 +72,10 @@ pub mod protocol;
 pub mod server;
 pub mod stats;
 pub mod store;
+mod timer;
 
 pub use client::{Client, Pipeline};
-pub use loadgen::{LoadGenConfig, LoadGenResult, ValueSize};
+pub use loadgen::{LoadGenConfig, LoadGenResult, LoadMode, ValueSize};
 pub use protocol::{ParseError, Reply, Request};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ServerStatsSnapshot;

@@ -1,40 +1,56 @@
-//! A closed-loop, multi-connection load generator for the wire protocol,
-//! with payload generation.
+//! Multi-connection load generators for the wire protocol, with payload
+//! generation, in two driving disciplines.
 //!
 //! Replays the harness's workload vocabulary — any
 //! [`OpMix`] (YCSB A–E presets included) under any
-//! [`KeyDist`] (uniform / Zipfian / hotspot) — over real sockets, now with
-//! a **value-size axis**: every `SET` carries a payload drawn from a
+//! [`KeyDist`] (uniform / Zipfian / hotspot) — over real sockets, with a
+//! **value-size axis**: every `SET` carries a payload drawn from a
 //! [`ValueSize`] distribution (fixed, uniform, or bimodal — the classic
 //! "mostly small values, a tail of big ones" production shape), generated
 //! with `Rng::fill_bytes`, so the measured traffic moves real bytes, not
 //! just 64-bit tokens.
 //!
-//! **Closed loop:** each connection keeps at most `pipeline_depth` requests
-//! in flight and issues the next batch only after the previous one is fully
-//! answered, so measured throughput is bounded by round trips (depth 1) or
-//! by server capacity (deep pipelines).
+//! **Closed loop** ([`LoadMode::Closed`]): each connection keeps at most
+//! `pipeline_depth` requests in flight and issues the next batch only after
+//! the previous one is fully answered, so measured throughput is bounded by
+//! round trips (depth 1) or by server capacity (deep pipelines). A closed
+//! loop self-throttles: when the server slows down, the clients slow down
+//! with it — which also means its latency numbers silently *exclude* the
+//! queueing delay a real open population would have suffered (coordinated
+//! omission).
 //!
-//! Alongside operation throughput and per-round-trip latency percentiles,
-//! the result reports **payload bandwidth**: bytes of values written
-//! (`SET` payloads sent) and read (`GET` hits and `SCAN` pairs received),
-//! as MB/s — the number that shows when a workload stops being
-//! latency-bound and starts being memory/bandwidth-bound.
+//! **Open loop** ([`LoadMode::Open`]): requests arrive on a schedule —
+//! fixed-rate or Poisson — independent of how fast the server answers, and
+//! every operation's latency is measured from its **intended send time**,
+//! not from when the socket finally accepted it. If the server stalls for
+//! 100 ms, the operations scheduled during the stall each record their full
+//! queueing delay, exactly as a real user would have experienced it. This
+//! is the discipline that makes tail percentiles (p999/p9999) honest, and
+//! it is how the connection-sweep figure is measured.
+//!
+//! Alongside operation throughput and latency percentiles, the result
+//! reports **payload bandwidth**: bytes of values written (`SET` payloads
+//! sent) and read (`GET` hits and `SCAN` pairs received), as MB/s — the
+//! number that shows when a workload stops being latency-bound and starts
+//! being memory/bandwidth-bound.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::io;
-use std::net::SocketAddr;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use polling::{Events, Interest, Poller};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
-use ascylib_harness::{KeyDist, LatencyStats, OpMix, Operation};
+use ascylib_harness::{KeyDist, KeySampler, LatencyStats, OpMix, Operation};
 
 use crate::client::Client;
-use crate::protocol::{Reply, MAX_SCAN, MAX_VALUE};
+use crate::protocol::{encode_request, encode_set, Reply, ReplyParser, Request, MAX_SCAN, MAX_VALUE};
 
 /// Distribution of `SET` payload sizes (bytes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -152,14 +168,91 @@ impl fmt::Display for ValueSize {
     }
 }
 
+/// Interarrival-time distribution for [`LoadMode::Open`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Exactly `1/rate` between arrivals (a deterministic pacer).
+    Fixed,
+    /// Exponential interarrivals (a Poisson process — the memoryless
+    /// arrival pattern of independent users, and the default).
+    Poisson,
+}
+
+/// How the load generator drives the server.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Each connection waits for its batch to be answered before sending
+    /// the next (self-throttling; subject to coordinated omission).
+    Closed,
+    /// Requests are *scheduled* at `rate` operations per second across all
+    /// connections, regardless of how fast the server answers; latency is
+    /// measured from each operation's intended send time.
+    Open {
+        /// Aggregate offered load, operations per second.
+        rate: f64,
+        /// Interarrival shape.
+        arrival: Arrival,
+    },
+}
+
+impl LoadMode {
+    /// Parses a CLI/environment spec: `closed`, `open:<rate>`,
+    /// `open:<rate>:poisson`, or `open:<rate>:fixed`. Returns `None` on
+    /// anything else (non-positive rates included).
+    pub fn parse(spec: &str) -> Option<LoadMode> {
+        if spec.eq_ignore_ascii_case("closed") {
+            return Some(LoadMode::Closed);
+        }
+        let rest = spec.strip_prefix("open:")?;
+        let (rate_str, arrival) = match rest.split_once(':') {
+            None => (rest, Arrival::Poisson),
+            Some((r, "poisson")) => (r, Arrival::Poisson),
+            Some((r, "fixed")) => (r, Arrival::Fixed),
+            Some(_) => return None,
+        };
+        let rate: f64 = rate_str.parse().ok()?;
+        (rate.is_finite() && rate > 0.0).then_some(LoadMode::Open { rate, arrival })
+    }
+
+    /// Reads the `ASCYLIB_MODE` environment spec (see
+    /// [`parse`](Self::parse)); defaults to `closed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec (the examples want a loud failure, not a
+    /// silently substituted default).
+    pub fn from_env() -> LoadMode {
+        match std::env::var("ASCYLIB_MODE") {
+            Ok(spec) => LoadMode::parse(&spec)
+                .unwrap_or_else(|| panic!("bad ASCYLIB_MODE spec {spec:?}")),
+            Err(_) => LoadMode::Closed,
+        }
+    }
+}
+
+impl fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadMode::Closed => write!(f, "closed"),
+            LoadMode::Open { rate, arrival: Arrival::Poisson } => {
+                write!(f, "open({rate:.0}/s poisson)")
+            }
+            LoadMode::Open { rate, arrival: Arrival::Fixed } => {
+                write!(f, "open({rate:.0}/s fixed)")
+            }
+        }
+    }
+}
+
 /// Load-generator configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct LoadGenConfig {
-    /// Concurrent connections (one thread each). The server must have at
-    /// least this many workers, or the surplus waits in its accept queue.
+    /// Concurrent connections.
     pub connections: usize,
     /// Measurement duration in milliseconds.
     pub duration_ms: u64,
+    /// Driving discipline (closed loop or scheduled open-loop arrivals).
+    pub mode: LoadMode,
     /// Operation mix (read → `GET`, insert → `SET`, remove → `DEL`,
     /// scan → `SCAN`; scans need an ordered store).
     pub mix: OpMix,
@@ -169,19 +262,22 @@ pub struct LoadGenConfig {
     pub key_range: u64,
     /// Payload size distribution for `SET` values.
     pub value_size: ValueSize,
-    /// Frames kept in flight per connection (1 = strict request/response).
+    /// Frames kept in flight per connection in closed-loop mode
+    /// (1 = strict request/response). Open-loop mode ignores this: its
+    /// in-flight depth is whatever the arrival schedule demands.
     pub pipeline_depth: usize,
     /// Base RNG seed (each connection derives its own stream).
     pub seed: u64,
 }
 
 impl Default for LoadGenConfig {
-    /// Four connections, 300 ms, the paper's 10%-update mix, uniform keys
-    /// over `[1, 8192]`, 64-byte values, pipeline depth 16.
+    /// Four connections, closed loop, 300 ms, the paper's 10%-update mix,
+    /// uniform keys over `[1, 8192]`, 64-byte values, pipeline depth 16.
     fn default() -> Self {
         Self {
             connections: 4,
             duration_ms: 300,
+            mode: LoadMode::Closed,
             mix: OpMix::default(),
             dist: KeyDist::Uniform,
             key_range: 8192,
@@ -197,7 +293,13 @@ impl Default for LoadGenConfig {
 pub struct LoadGenResult {
     /// Operations answered across all connections (scans count one each).
     pub total_ops: u64,
-    /// Operations per second.
+    /// Operations scheduled (open loop; equals answered + unanswered).
+    /// Closed-loop runs report it equal to `total_ops`.
+    pub scheduled_ops: u64,
+    /// Operations scheduled and sent but never answered before the drain
+    /// window closed (open loop only; 0 in closed loop).
+    pub unanswered: u64,
+    /// Operations per second (answered / duration).
     pub throughput: f64,
     /// Mega-operations per second.
     pub mops: f64,
@@ -219,9 +321,13 @@ pub struct LoadGenResult {
     pub payload_bytes_read: u64,
     /// `-ERR` replies received (the run continues past them).
     pub errors: u64,
-    /// Round-trip latency of one flushed batch (nanoseconds; at depth 1
-    /// this is per-operation latency).
+    /// Round-trip latency of one flushed batch (nanoseconds; closed loop
+    /// only — at depth 1 this is per-operation latency).
     pub batch_rtt: LatencyStats,
+    /// Per-operation latency measured from the *intended* send time
+    /// (nanoseconds; open loop only — free of coordinated omission, so the
+    /// p999/p9999 tails are honest). Empty in closed-loop runs.
+    pub latency: LatencyStats,
     /// Wall-clock measurement duration.
     pub elapsed: Duration,
 }
@@ -247,7 +353,7 @@ impl LoadGenResult {
     }
 }
 
-/// Which verb occupied one pipeline slot (with the payload bytes a `SET`
+/// Which verb occupied one in-flight slot (with the payload bytes a `SET`
 /// carried), so replies classify without keeping whole `Request`s around.
 #[derive(Clone, Copy)]
 enum SlotKind {
@@ -257,9 +363,39 @@ enum SlotKind {
     Scan,
 }
 
+/// One sampled operation, before encoding (shared between the closed and
+/// open engines so both drive byte-identical workloads).
+enum GenOp {
+    Get(u64),
+    Set(u64, usize),
+    Del(u64),
+    Scan(u64, usize),
+}
+
+fn sample_op(
+    rng: &mut SmallRng,
+    sampler: &KeySampler,
+    mix: &OpMix,
+    dice_range: u32,
+    value_size: ValueSize,
+) -> GenOp {
+    let key = sampler.sample(rng);
+    match mix.sample(rng.random_range(0..dice_range)) {
+        Operation::Read => GenOp::Get(key),
+        Operation::Insert => GenOp::Set(key, value_size.sample(rng)),
+        Operation::Remove => GenOp::Del(key),
+        Operation::Scan { len } => {
+            let want = rng.random_range(1..=len.min(MAX_SCAN) as u64);
+            GenOp::Scan(key, want as usize)
+        }
+    }
+}
+
 #[derive(Default)]
 struct ConnOutput {
     ops: u64,
+    scheduled: u64,
+    unanswered: u64,
     gets: u64,
     sets: u64,
     dels: u64,
@@ -270,12 +406,105 @@ struct ConnOutput {
     bytes_read: u64,
     errors: u64,
     rtt_samples: Vec<u64>,
+    lat_samples: Vec<u64>,
 }
 
-/// Runs the closed loop: `connections` threads connect to `addr`, apply the
-/// mix until the duration elapses, and the per-connection tallies are
-/// merged. Fails if any connection cannot be established or dies mid-run.
+/// Classifies one reply against the slot kind that requested it (shared by
+/// both engines so the tallies mean the same thing in either mode).
+fn tally_reply(kind: SlotKind, reply: &Reply, out: &mut ConnOutput) {
+    out.ops += 1;
+    if let Reply::Error(_) = reply {
+        out.errors += 1;
+        return;
+    }
+    match kind {
+        SlotKind::Get => {
+            out.gets += 1;
+            if let Reply::Bulk(v) = reply {
+                out.hits += 1;
+                out.bytes_read += v.len() as u64;
+            }
+        }
+        SlotKind::Set(len) => {
+            out.sets += 1;
+            out.bytes_written += len as u64;
+        }
+        SlotKind::Del => out.dels += 1,
+        SlotKind::Scan => {
+            out.scans += 1;
+            if let Reply::Array(elems) = reply {
+                out.scan_keys += elems.len() as u64;
+                for e in elems {
+                    if let Reply::Pair(_, v) = e {
+                        out.bytes_read += v.len() as u64;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn merge_outputs(outputs: Vec<ConnOutput>, elapsed: Duration) -> LoadGenResult {
+    let mut result = LoadGenResult {
+        total_ops: 0,
+        scheduled_ops: 0,
+        unanswered: 0,
+        throughput: 0.0,
+        mops: 0.0,
+        gets: 0,
+        sets: 0,
+        dels: 0,
+        scans: 0,
+        hits: 0,
+        scan_keys_returned: 0,
+        payload_bytes_written: 0,
+        payload_bytes_read: 0,
+        errors: 0,
+        batch_rtt: LatencyStats::default(),
+        latency: LatencyStats::default(),
+        elapsed,
+    };
+    let mut rtt_samples = Vec::new();
+    let mut lat_samples = Vec::new();
+    for out in outputs {
+        result.total_ops = result.total_ops.saturating_add(out.ops);
+        result.scheduled_ops = result.scheduled_ops.saturating_add(out.scheduled);
+        result.unanswered = result.unanswered.saturating_add(out.unanswered);
+        result.gets = result.gets.saturating_add(out.gets);
+        result.sets = result.sets.saturating_add(out.sets);
+        result.dels = result.dels.saturating_add(out.dels);
+        result.scans = result.scans.saturating_add(out.scans);
+        result.hits = result.hits.saturating_add(out.hits);
+        result.scan_keys_returned = result.scan_keys_returned.saturating_add(out.scan_keys);
+        result.payload_bytes_written =
+            result.payload_bytes_written.saturating_add(out.bytes_written);
+        result.payload_bytes_read = result.payload_bytes_read.saturating_add(out.bytes_read);
+        result.errors = result.errors.saturating_add(out.errors);
+        rtt_samples.extend(out.rtt_samples);
+        lat_samples.extend(out.lat_samples);
+    }
+    if result.scheduled_ops == 0 {
+        result.scheduled_ops = result.total_ops; // closed loop: 1:1
+    }
+    result.throughput = result.total_ops as f64 / elapsed.as_secs_f64().max(1e-9);
+    result.mops = result.throughput / 1e6;
+    result.batch_rtt = LatencyStats::from_samples(rtt_samples);
+    result.latency = LatencyStats::from_samples(lat_samples);
+    result
+}
+
+/// Runs the configured load against `addr` and merges the per-connection
+/// tallies. Fails if any connection cannot be established or dies mid-run.
 pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
+    match cfg.mode {
+        LoadMode::Closed => run_closed(addr, cfg),
+        LoadMode::Open { rate, arrival } => run_open(addr, cfg, rate, arrival),
+    }
+}
+
+/// The closed loop: `connections` threads connect to `addr` and apply the
+/// mix in pipelined batches until the duration elapses.
+fn run_closed(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
     let connections = cfg.connections.max(1);
     let depth = cfg.pipeline_depth.max(1);
     let stop = Arc::new(AtomicBool::new(false));
@@ -295,7 +524,7 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
                 let mut client = connected?;
                 let mut rng =
                     SmallRng::seed_from_u64(cfg.seed ^ ((conn_id as u64 + 1) * 0x9E37_79B9));
-                let sampler = ascylib_harness::KeySampler::new(cfg.dist, cfg.key_range.max(1));
+                let sampler = KeySampler::new(cfg.dist, cfg.key_range.max(1));
                 let mix = cfg.mix.validated();
                 let dice_range = mix.total();
                 let mut out = ConnOutput::default();
@@ -305,25 +534,22 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
                     kinds.clear();
                     let mut p = client.pipeline();
                     for _ in 0..depth {
-                        let key = sampler.sample(&mut rng);
-                        match mix.sample(rng.random_range(0..dice_range)) {
-                            Operation::Read => {
+                        match sample_op(&mut rng, &sampler, &mix, dice_range, cfg.value_size) {
+                            GenOp::Get(key) => {
                                 p.get(key);
                                 kinds.push(SlotKind::Get);
                             }
-                            Operation::Insert => {
-                                let len = cfg.value_size.sample(&mut rng);
+                            GenOp::Set(key, len) => {
                                 rng.fill_bytes(&mut value_buf[..len]);
                                 p.set(key, &value_buf[..len]);
                                 kinds.push(SlotKind::Set(len));
                             }
-                            Operation::Remove => {
+                            GenOp::Del(key) => {
                                 p.del(key);
                                 kinds.push(SlotKind::Del);
                             }
-                            Operation::Scan { len } => {
-                                let want = rng.random_range(1..=len.min(MAX_SCAN) as u64);
-                                p.scan(key, want as usize);
+                            GenOp::Scan(key, want) => {
+                                p.scan(key, want);
                                 kinds.push(SlotKind::Scan);
                             }
                         }
@@ -331,37 +557,8 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
                     let start = Instant::now();
                     let replies = p.run()?;
                     out.rtt_samples.push(start.elapsed().as_nanos() as u64);
-                    for (kind, reply) in kinds.iter().zip(replies) {
-                        out.ops += 1;
-                        if let Reply::Error(_) = reply {
-                            out.errors += 1;
-                            continue;
-                        }
-                        match kind {
-                            SlotKind::Get => {
-                                out.gets += 1;
-                                if let Reply::Bulk(v) = &reply {
-                                    out.hits += 1;
-                                    out.bytes_read += v.len() as u64;
-                                }
-                            }
-                            SlotKind::Set(len) => {
-                                out.sets += 1;
-                                out.bytes_written += *len as u64;
-                            }
-                            SlotKind::Del => out.dels += 1,
-                            SlotKind::Scan => {
-                                out.scans += 1;
-                                if let Reply::Array(elems) = &reply {
-                                    out.scan_keys += elems.len() as u64;
-                                    for e in elems {
-                                        if let Reply::Pair(_, v) = e {
-                                            out.bytes_read += v.len() as u64;
-                                        }
-                                    }
-                                }
-                            }
-                        }
+                    for (kind, reply) in kinds.iter().zip(&replies) {
+                        tally_reply(*kind, reply, &mut out);
                     }
                 }
                 let _ = client.quit();
@@ -376,43 +573,326 @@ pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
             .map(|h| h.join().expect("loadgen connection thread panicked"))
             .collect()
     })?;
-    let elapsed = Duration::from_millis(cfg.duration_ms.max(1));
+    Ok(merge_outputs(outputs, Duration::from_millis(cfg.duration_ms.max(1))))
+}
 
-    let mut result = LoadGenResult {
-        total_ops: 0,
-        throughput: 0.0,
-        mops: 0.0,
-        gets: 0,
-        sets: 0,
-        dels: 0,
-        scans: 0,
-        hits: 0,
-        scan_keys_returned: 0,
-        payload_bytes_written: 0,
-        payload_bytes_read: 0,
-        errors: 0,
-        batch_rtt: LatencyStats::default(),
-        elapsed,
-    };
-    let mut rtt_samples = Vec::new();
-    for out in outputs {
-        result.total_ops = result.total_ops.saturating_add(out.ops);
-        result.gets = result.gets.saturating_add(out.gets);
-        result.sets = result.sets.saturating_add(out.sets);
-        result.dels = result.dels.saturating_add(out.dels);
-        result.scans = result.scans.saturating_add(out.scans);
-        result.hits = result.hits.saturating_add(out.hits);
-        result.scan_keys_returned = result.scan_keys_returned.saturating_add(out.scan_keys);
-        result.payload_bytes_written =
-            result.payload_bytes_written.saturating_add(out.bytes_written);
-        result.payload_bytes_read = result.payload_bytes_read.saturating_add(out.bytes_read);
-        result.errors = result.errors.saturating_add(out.errors);
-        rtt_samples.extend(out.rtt_samples);
+/// Per-connection state inside an open-loop driver thread.
+struct OpenConn {
+    stream: TcpStream,
+    parser: ReplyParser,
+    /// Encoded-but-unflushed request bytes; `wpos..` is the unsent tail.
+    out: Vec<u8>,
+    wpos: usize,
+    /// In-flight operations, in send order: (intended send time, kind).
+    pending: VecDeque<(Instant, SlotKind)>,
+    /// The next scheduled arrival. Never pushed back by server slowness —
+    /// that is the whole point of the open loop.
+    next_send: Instant,
+    /// What the poller currently has this socket armed for (`None` after a
+    /// delivered oneshot event).
+    armed: Option<Interest>,
+    rng: SmallRng,
+    open: bool,
+}
+
+/// Stop encoding new requests for a connection while this many bytes are
+/// already queued on it; the schedule keeps its intended times, so the
+/// deferred operations still measure their full delay once sent.
+const OPEN_OUT_SOFT_CAP: usize = 1 << 20;
+
+/// How long after the measurement deadline the drain phase waits for
+/// in-flight replies before declaring them unanswered.
+const OPEN_DRAIN_WINDOW: Duration = Duration::from_millis(500);
+
+fn connect_retry(addr: SocketAddr) -> io::Result<TcpStream> {
+    // Large sweeps can outrun the accept loop; brief retries absorb
+    // transient RST/backlog rejections without failing the run.
+    let mut last = None;
+    for attempt in 0..20 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(5 * (attempt + 1)));
+            }
+        }
     }
-    result.throughput = result.total_ops as f64 / elapsed.as_secs_f64().max(1e-9);
-    result.mops = result.throughput / 1e6;
-    result.batch_rtt = LatencyStats::from_samples(rtt_samples);
-    Ok(result)
+    Err(last.unwrap_or_else(|| io::Error::other("connect failed")))
+}
+
+fn interarrival(arrival: Arrival, mean_ns: f64, rng: &mut SmallRng) -> Duration {
+    let ns = match arrival {
+        Arrival::Fixed => mean_ns,
+        Arrival::Poisson => {
+            // u uniform in (0, 1]: the +1 keeps ln away from zero.
+            let u = (rng.random_range(0..(1u64 << 53)) as f64 + 1.0) / (1u64 << 53) as f64;
+            -u.ln() * mean_ns
+        }
+    };
+    Duration::from_nanos(ns.clamp(0.0, 60e9) as u64)
+}
+
+/// Writes a connection's queued bytes until done or the socket pushes back.
+/// Transport errors close the connection (its in-flight ops end up
+/// unanswered).
+fn open_flush(conn: &mut OpenConn) {
+    while conn.wpos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.wpos..]) {
+            Ok(0) => {
+                conn.open = false;
+                return;
+            }
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.open = false;
+                return;
+            }
+        }
+    }
+    conn.out.clear();
+    conn.wpos = 0;
+}
+
+/// Reads everything available, pairing replies with pending slots and
+/// recording intended-time latency.
+fn open_drain_replies(conn: &mut OpenConn, out: &mut ConnOutput, chunk: &mut [u8]) {
+    loop {
+        match conn.stream.read(chunk) {
+            Ok(0) => {
+                conn.open = false;
+                return;
+            }
+            Ok(n) => {
+                conn.parser.feed(&chunk[..n]);
+                let now = Instant::now();
+                loop {
+                    match conn.parser.next() {
+                        Some(Ok(reply)) => {
+                            let Some((intended, kind)) = conn.pending.pop_front() else {
+                                // A reply with no matching request: protocol
+                                // desync; abandon the connection.
+                                conn.open = false;
+                                return;
+                            };
+                            out.lat_samples.push(
+                                now.saturating_duration_since(intended).as_nanos() as u64,
+                            );
+                            tally_reply(kind, &reply, out);
+                        }
+                        Some(Err(_)) => {
+                            conn.open = false;
+                            return;
+                        }
+                        None => break,
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.open = false;
+                return;
+            }
+        }
+    }
+}
+
+/// Re-arms a connection for what it is actually waiting on: always
+/// readability, plus writability while queued bytes remain.
+fn open_ensure_armed(poller: &Poller, conn: &mut OpenConn, token: u64) {
+    if !conn.open {
+        return;
+    }
+    let want =
+        if conn.wpos < conn.out.len() { Interest::BOTH } else { Interest::READABLE };
+    if conn.armed != Some(want) && poller.rearm(conn.stream.as_raw_fd(), token, want).is_ok()
+    {
+        conn.armed = Some(want);
+    }
+}
+
+/// The open loop: a few driver threads, each running a private poller over
+/// its share of nonblocking connections, encode requests on a fixed or
+/// Poisson schedule and measure every reply against its intended send time.
+fn run_open(
+    addr: SocketAddr,
+    cfg: &LoadGenConfig,
+    rate: f64,
+    arrival: Arrival,
+) -> io::Result<LoadGenResult> {
+    let connections = cfg.connections.max(1);
+    let drivers = connections.min(4);
+    // Each connection runs an independent arrival process at its share of
+    // the aggregate rate; superposed they offer `rate` ops/s.
+    let mean_ns = connections as f64 * 1e9 / rate.max(1e-3);
+    let duration = Duration::from_millis(cfg.duration_ms.max(1));
+    let barrier = Arc::new(Barrier::new(drivers));
+
+    let outputs = std::thread::scope(|scope| -> io::Result<Vec<ConnOutput>> {
+        let mut handles = Vec::with_capacity(drivers);
+        for driver in 0..drivers {
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || -> io::Result<ConnOutput> {
+                // Connect this driver's share up front; reach the barrier
+                // even on failure so siblings are not deadlocked.
+                let setup = (|| -> io::Result<(Poller, Vec<OpenConn>)> {
+                    let poller = Poller::new()?;
+                    let mut conns = Vec::new();
+                    for global_id in (driver..connections).step_by(drivers) {
+                        let stream = connect_retry(addr)?;
+                        stream.set_nonblocking(true)?;
+                        let _ = stream.set_nodelay(true);
+                        let token = conns.len() as u64;
+                        poller.register(stream.as_raw_fd(), token, Interest::READABLE)?;
+                        conns.push(OpenConn {
+                            stream,
+                            parser: ReplyParser::new(),
+                            out: Vec::with_capacity(4096),
+                            wpos: 0,
+                            pending: VecDeque::new(),
+                            next_send: Instant::now(), // re-based after the barrier
+                            armed: Some(Interest::READABLE),
+                            rng: SmallRng::seed_from_u64(
+                                cfg.seed ^ ((global_id as u64 + 1) * 0x9E37_79B9),
+                            ),
+                            open: true,
+                        });
+                    }
+                    Ok((poller, conns))
+                })();
+                barrier.wait();
+                let (poller, mut conns) = setup?;
+
+                let sampler = KeySampler::new(cfg.dist, cfg.key_range.max(1));
+                let mix = cfg.mix.validated();
+                let dice_range = mix.total();
+                let mut out = ConnOutput::default();
+                let mut value_buf = vec![0u8; cfg.value_size.max_size()];
+                let mut chunk = vec![0u8; 16 * 1024];
+                let mut events = Events::new();
+
+                let start = Instant::now();
+                let deadline = start + duration;
+                for conn in conns.iter_mut() {
+                    conn.next_send = start + interarrival(arrival, mean_ns, &mut conn.rng);
+                }
+
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    let mut min_next: Option<Instant> = None;
+                    for (i, conn) in conns.iter_mut().enumerate() {
+                        if !conn.open {
+                            continue;
+                        }
+                        // Encode every arrival whose scheduled time has
+                        // come. A stalled server defers the *sending*, never
+                        // the schedule — intended times are kept, so the
+                        // stall shows up in the measured latency.
+                        while conn.next_send <= now
+                            && conn.out.len() - conn.wpos < OPEN_OUT_SOFT_CAP
+                        {
+                            let intended = conn.next_send;
+                            let kind = match sample_op(
+                                &mut conn.rng,
+                                &sampler,
+                                &mix,
+                                dice_range,
+                                cfg.value_size,
+                            ) {
+                                GenOp::Get(key) => {
+                                    encode_request(&Request::Get(key), &mut conn.out);
+                                    SlotKind::Get
+                                }
+                                GenOp::Set(key, len) => {
+                                    conn.rng.fill_bytes(&mut value_buf[..len]);
+                                    encode_set(&mut conn.out, key, &value_buf[..len]);
+                                    SlotKind::Set(len)
+                                }
+                                GenOp::Del(key) => {
+                                    encode_request(&Request::Del(key), &mut conn.out);
+                                    SlotKind::Del
+                                }
+                                GenOp::Scan(key, want) => {
+                                    encode_request(&Request::Scan(key, want), &mut conn.out);
+                                    SlotKind::Scan
+                                }
+                            };
+                            conn.pending.push_back((intended, kind));
+                            out.scheduled += 1;
+                            conn.next_send += interarrival(arrival, mean_ns, &mut conn.rng);
+                        }
+                        open_flush(conn);
+                        open_ensure_armed(&poller, conn, i as u64);
+                        if conn.open {
+                            min_next = Some(match min_next {
+                                Some(t) => t.min(conn.next_send),
+                                None => conn.next_send,
+                            });
+                        }
+                    }
+                    if conns.iter().all(|c| !c.open) {
+                        break;
+                    }
+                    let now = Instant::now();
+                    let until_send = min_next
+                        .map_or(Duration::from_millis(10), |t| t.saturating_duration_since(now));
+                    let timeout = until_send
+                        .min(deadline.saturating_duration_since(now))
+                        .min(Duration::from_millis(10));
+                    let _ = poller.wait(&mut events, Some(timeout));
+                    for ev in events.iter() {
+                        let conn = &mut conns[ev.token as usize];
+                        conn.armed = None;
+                        if ev.readable {
+                            open_drain_replies(conn, &mut out, &mut chunk);
+                        }
+                        if ev.writable && conn.open {
+                            open_flush(conn);
+                        }
+                        open_ensure_armed(&poller, conn, ev.token);
+                    }
+                }
+
+                // Drain: no new arrivals; give in-flight replies a bounded
+                // window before declaring them unanswered.
+                let drain_deadline = Instant::now() + OPEN_DRAIN_WINDOW;
+                loop {
+                    let all_done = conns.iter().all(|c| {
+                        !c.open || (c.pending.is_empty() && c.wpos >= c.out.len())
+                    });
+                    if all_done || Instant::now() >= drain_deadline {
+                        break;
+                    }
+                    let _ = poller.wait(&mut events, Some(Duration::from_millis(20)));
+                    for ev in events.iter() {
+                        let conn = &mut conns[ev.token as usize];
+                        conn.armed = None;
+                        if ev.readable {
+                            open_drain_replies(conn, &mut out, &mut chunk);
+                        }
+                        if ev.writable && conn.open {
+                            open_flush(conn);
+                        }
+                        open_ensure_armed(&poller, conn, ev.token);
+                    }
+                }
+                for conn in &conns {
+                    out.unanswered += conn.pending.len() as u64;
+                }
+                Ok(out)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen driver thread panicked"))
+            .collect()
+    })?;
+    Ok(merge_outputs(outputs, duration))
 }
 
 /// Prefills the keyspace over the wire: pipelined `MSET` batches upserting
@@ -521,6 +1001,53 @@ mod tests {
     }
 
     #[test]
+    fn load_mode_specs_parse() {
+        assert_eq!(LoadMode::parse("closed"), Some(LoadMode::Closed));
+        assert_eq!(LoadMode::parse("CLOSED"), Some(LoadMode::Closed));
+        assert_eq!(
+            LoadMode::parse("open:5000"),
+            Some(LoadMode::Open { rate: 5000.0, arrival: Arrival::Poisson })
+        );
+        assert_eq!(
+            LoadMode::parse("open:2500.5:fixed"),
+            Some(LoadMode::Open { rate: 2500.5, arrival: Arrival::Fixed })
+        );
+        assert_eq!(
+            LoadMode::parse("open:100:poisson"),
+            Some(LoadMode::Open { rate: 100.0, arrival: Arrival::Poisson })
+        );
+        for bad in ["", "open", "open:", "open:x", "open:0", "open:-5", "open:inf",
+                    "open:100:weird", "closed:1"] {
+            assert_eq!(LoadMode::parse(bad), None, "{bad:?} must not parse");
+        }
+        assert_eq!(LoadMode::Closed.to_string(), "closed");
+        assert_eq!(
+            LoadMode::Open { rate: 4000.0, arrival: Arrival::Poisson }.to_string(),
+            "open(4000/s poisson)"
+        );
+    }
+
+    #[test]
+    fn poisson_interarrivals_average_to_the_mean() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let mean_ns = 1e6; // 1 ms
+        let n = 20_000;
+        let total: u64 = (0..n)
+            .map(|_| interarrival(Arrival::Poisson, mean_ns, &mut rng).as_nanos() as u64)
+            .sum();
+        let avg = total as f64 / n as f64;
+        assert!(
+            (avg - mean_ns).abs() < mean_ns * 0.05,
+            "sample mean {avg} vs expected {mean_ns}"
+        );
+        // Fixed arrivals are exactly the mean.
+        assert_eq!(
+            interarrival(Arrival::Fixed, mean_ns, &mut rng),
+            Duration::from_nanos(mean_ns as u64)
+        );
+    }
+
+    #[test]
     fn closed_loop_run_reports_traffic_and_bandwidth() {
         let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
         let server = Server::start(
@@ -547,6 +1074,8 @@ mod tests {
         let r = run(server.addr(), &cfg).unwrap();
         assert!(r.total_ops > 0);
         assert_eq!(r.total_ops, r.gets + r.sets + r.dels + r.scans + r.errors);
+        assert_eq!(r.scheduled_ops, r.total_ops, "closed loop schedules what it answers");
+        assert_eq!(r.unanswered, 0);
         assert_eq!(r.errors, 0, "well-formed traffic must not error");
         assert!(r.gets > r.sets, "80% reads dominate");
         assert!(r.hits > 0, "prefilled keyspace yields GET hits");
@@ -559,6 +1088,77 @@ mod tests {
         assert!(r.payload_bytes_read > 0, "GET hits returned payloads");
         assert!(r.payload_bytes_written >= r.sets * 16);
         assert!(r.write_mbps() > 0.0 && r.read_mbps() > 0.0);
+        server.join();
+    }
+
+    #[test]
+    fn open_loop_run_measures_from_intended_send_times() {
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            BlobOrderedStore::new(Arc::clone(&map)),
+            ServerConfig::for_connections(4),
+        )
+        .unwrap();
+        prefill(server.addr(), 256, 512, ValueSize::Fixed(64), 7).unwrap();
+
+        let cfg = LoadGenConfig {
+            connections: 3,
+            duration_ms: 150,
+            mode: LoadMode::Open { rate: 3000.0, arrival: Arrival::Poisson },
+            mix: OpMix::update(10),
+            key_range: 512,
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &cfg).unwrap();
+        assert!(r.scheduled_ops > 0, "the schedule must have fired");
+        assert_eq!(
+            r.total_ops + r.unanswered,
+            r.scheduled_ops,
+            "every scheduled op is answered or reported unanswered"
+        );
+        assert!(r.total_ops > 0, "a loopback server answers most of the offered load");
+        assert_eq!(r.errors, 0, "well-formed traffic must not error");
+        assert!(r.latency.samples > 0, "open loop records per-op latency");
+        assert!(r.latency.p50 > 0);
+        assert!(r.latency.p999 >= r.latency.p50, "tail at least the median");
+        assert_eq!(r.batch_rtt.samples, 0, "batch RTT is a closed-loop metric");
+        // ~3000/s for 150 ms ≈ 450 scheduled ops; allow wide slack but
+        // catch a schedule that silently stops early.
+        assert!(
+            r.scheduled_ops >= 150,
+            "offered load too low: {} scheduled",
+            r.scheduled_ops
+        );
+        assert!(r.hits > 0, "prefilled keyspace yields GET hits");
+        server.join();
+    }
+
+    #[test]
+    fn open_loop_fixed_arrivals_approximate_the_offered_rate() {
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            BlobOrderedStore::new(map),
+            ServerConfig::for_connections(2),
+        )
+        .unwrap();
+        let cfg = LoadGenConfig {
+            connections: 2,
+            duration_ms: 200,
+            mode: LoadMode::Open { rate: 2000.0, arrival: Arrival::Fixed },
+            key_range: 256,
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &cfg).unwrap();
+        // 2000/s over 200 ms = 400 expected arrivals; the pacer should land
+        // within a generous factor on a loopback.
+        assert!(
+            (200..=800).contains(&r.scheduled_ops),
+            "fixed pacer scheduled {} ops, expected about 400",
+            r.scheduled_ops
+        );
+        assert!(r.unanswered <= r.scheduled_ops / 4, "loopback drain leaves little behind");
         server.join();
     }
 

@@ -1,74 +1,182 @@
-//! The TCP serving tier: acceptor + worker-pool architecture.
+//! The TCP serving tier: an event-driven readiness loop over a worker pool.
 //!
-//! [`Server::start`] binds a listener and spawns one acceptor thread plus
-//! `N` worker threads. The acceptor pushes accepted sockets onto a shared
-//! queue; each worker pulls one connection and serves it to completion
-//! (EOF, `QUIT`, or server shutdown) before taking the next — the
-//! thread-per-worker model keeps every connection's frames strictly ordered
-//! with no cross-thread handoff on the hot path.
+//! [`Server::start`] binds a nonblocking listener and spawns one **event
+//! loop** thread plus `N` **worker** threads. The event loop owns a oneshot
+//! [`Poller`] (epoll on Linux, poll(2) elsewhere — see `vendor/polling`):
+//! it accepts new sockets, registers each under a generation-tagged token,
+//! and pushes ready tokens onto a queue the workers drain. A worker locks
+//! the connection's slot, drives its state machine (`Connection::advance`
+//! in `conn.rs`) as far as the socket allows, and re-arms the descriptor
+//! for whatever readiness the machine is waiting on.
 //!
-//! **Capacity:** a closed-loop client holds its connection for its whole
-//! session, so size `workers` at least as large as the number of concurrent
-//! long-lived connections; extra connections wait in the accept queue until
-//! a worker frees up.
+//! **Why oneshot readiness:** a delivered event disarms the descriptor
+//! until the serving worker re-arms it, so two workers can never be woken
+//! for the same connection — cross-thread dispatch is race-free by
+//! construction, and each connection's frames stay strictly ordered.
+//!
+//! **Capacity:** connections are no longer pinned to threads. A handful of
+//! workers serves any number of concurrent connections (the registry grows
+//! slab-style, slots are recycled through a free list), bounded by file
+//! descriptors rather than threads — this is the refactor that takes the
+//! tier from `workers` concurrent clients to thousands.
+//!
+//! **Token hygiene:** a token packs `(generation << 32) | slot-index`. The
+//! generation bumps whenever a slot's connection closes, so a stale token —
+//! still in the ready queue, or filed in the idle timer wheel — fails the
+//! generation check and is dropped instead of touching a recycled slot.
+//! Descriptors are closed while the slot lock is held, which is what makes
+//! a worker's re-arm race against fd reuse impossible.
+//!
+//! **Idle eviction:** the event loop files one deadline per connection in a
+//! coarse timer wheel (`timer.rs`) and lazily re-checks `last_active` when it comes
+//! due — active connections just reschedule, idle ones (and slow-loris
+//! trickles that never complete a frame... which *do* update `last_active`,
+//! so "idle" means no socket progress at all) are closed and counted in
+//! `timeouts`.
 //!
 //! **Shutdown** ([`ServerHandle::shutdown`]) is graceful and bounded: the
-//! acceptor stops accepting, each worker finishes the batch it is executing
-//! (responses already computed are flushed), notices the flag at its next
-//! read-timeout tick, and exits. Queued-but-unserved connections are closed
-//! without service. [`ServerHandle::join`] (or dropping the handle) blocks
-//! until every thread has exited.
+//! event loop wakes via [`Poller::notify`], stops accepting, best-effort
+//! flushes every live connection's buffered replies, and closes them;
+//! workers drain and exit. [`ServerHandle::join`] (or dropping the handle)
+//! blocks until every thread has exited.
 //!
 //! Per-worker counters live in cache-line-padded blocks
-//! ([`crate::stats::WorkerStats`]) so the serving hot path never bounces a
-//! stats line between workers.
+//! ([`crate::stats::WorkerStats`]); the event loop owns one extra block for
+//! accept/timeout/wakeup counts.
 
 use std::collections::VecDeque;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam_utils::CachePadded;
+use polling::{Events, Interest, Poller};
 
-use crate::conn::{serve_connection, ConnCtx, ConnExit};
+use crate::conn::{Advance, ConnCtx, Connection};
 use crate::stats::{ServerStatsSnapshot, WorkerStats};
 use crate::store::KvStore;
+use crate::timer::TimerWheel;
 
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads (= maximum concurrently served connections).
+    /// Worker threads executing ready connections. Decoupled from the
+    /// connection count: a few workers serve thousands of connections.
     pub workers: usize,
     /// Most frames executed per pipelining batch.
     pub max_pipeline: usize,
-    /// Socket read timeout; also the shutdown-poll granularity, so shutdown
-    /// latency for idle connections is about this long.
-    pub read_timeout: Duration,
+    /// Close connections with no socket progress for this long (`None`
+    /// disables eviction). Enforced lazily at timer-wheel granularity
+    /// (about an eighth of the timeout), so eviction can run a tick late.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { workers: 4, max_pipeline: 128, read_timeout: Duration::from_millis(20) }
+        Self {
+            workers: 4,
+            max_pipeline: 128,
+            idle_timeout: Some(Duration::from_secs(60)),
+        }
     }
 }
 
 impl ServerConfig {
-    /// A config sized to serve `n` concurrent closed-loop connections.
+    /// A config sized to serve `n` concurrent connections. The event-driven
+    /// tier decouples workers from connections, so this only nudges the
+    /// worker count up for parallel execution — it is *not* a capacity
+    /// limit the way it was for the thread-per-connection design.
     pub fn for_connections(n: usize) -> Self {
-        Self { workers: n.max(1), ..Self::default() }
+        Self { workers: n.clamp(1, 8), ..Self::default() }
     }
 }
 
-/// Shared state between the acceptor, the workers, and the handle.
+/// Reserved readiness token for the listening socket (distinct from every
+/// `(generation, index)` connection token in practice, and from the
+/// poller's internal waker at `u64::MAX`).
+const LISTENER_TOKEN: u64 = u64::MAX - 1;
+
+/// Most sockets accepted per listener readiness event before re-arming, so
+/// an accept flood cannot starve ready-connection dispatch.
+const ACCEPT_BURST: usize = 64;
+
+#[inline]
+fn make_token(idx: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn split_token(token: u64) -> (u32, u32) {
+    (token as u32, (token >> 32) as u32)
+}
+
+/// One registry slot: the connection (if open) and the generation its
+/// token must carry to be considered current.
+struct Slot {
+    gen: u32,
+    conn: Option<Connection>,
+}
+
+/// Slab-style connection registry: an append-only vector of slots plus a
+/// free list. Lookup by index is a read-lock and a clone of the slot's
+/// `Arc`; the vector's write lock is taken only when the slab grows.
+struct Registry {
+    slots: RwLock<Vec<Arc<Mutex<Slot>>>>,
+    free: Mutex<Vec<u32>>,
+}
+
+impl Registry {
+    fn new() -> Registry {
+        Registry { slots: RwLock::new(Vec::new()), free: Mutex::new(Vec::new()) }
+    }
+
+    /// A free slot (recycled or freshly grown) and its index.
+    fn alloc(&self) -> (u32, Arc<Mutex<Slot>>) {
+        if let Some(idx) = self.free.lock().expect("free list poisoned").pop() {
+            let slot =
+                Arc::clone(&self.slots.read().expect("registry poisoned")[idx as usize]);
+            return (idx, slot);
+        }
+        let mut slots = self.slots.write().expect("registry poisoned");
+        let idx = slots.len() as u32;
+        let slot = Arc::new(Mutex::new(Slot { gen: 0, conn: None }));
+        slots.push(Arc::clone(&slot));
+        (idx, slot)
+    }
+
+    fn slot(&self, idx: u32) -> Option<Arc<Mutex<Slot>>> {
+        self.slots.read().expect("registry poisoned").get(idx as usize).cloned()
+    }
+
+    /// Returns `idx` to the free list. Call only after the slot's
+    /// connection was taken and its generation bumped.
+    fn release(&self, idx: u32) {
+        self.free.lock().expect("free list poisoned").push(idx);
+    }
+
+    fn all(&self) -> Vec<Arc<Mutex<Slot>>> {
+        self.slots.read().expect("registry poisoned").clone()
+    }
+}
+
+/// Shared state between the event loop, the workers, and the handle.
 struct Shared {
     store: Arc<dyn KvStore>,
     shutdown: AtomicBool,
-    queue: Mutex<VecDeque<TcpStream>>,
+    poller: Poller,
+    registry: Registry,
+    /// Tokens whose connections are ready to advance.
+    ready: Mutex<VecDeque<u64>>,
     available: Condvar,
+    /// `workers` blocks for the workers plus one trailing block owned by
+    /// the event loop (accepts, timeouts, wakeups, swept connections).
     stats: Box<[CachePadded<WorkerStats>]>,
+    /// Gauge of currently open connections.
+    curr_conns: AtomicU64,
     config: ServerConfig,
 }
 
@@ -78,7 +186,26 @@ impl Shared {
         for s in self.stats.iter() {
             total.merge(&s.snapshot());
         }
+        total.curr_connections = self.curr_conns.load(Ordering::Relaxed);
         total
+    }
+
+    fn enqueue(&self, token: u64) {
+        self.ready.lock().expect("ready queue poisoned").push_back(token);
+        self.available.notify_one();
+    }
+
+    /// Takes the connection out of a locked slot, deregisters it, and
+    /// closes it — all under the slot lock, so a racing worker can never
+    /// re-arm a recycled descriptor. The caller releases the index (after
+    /// dropping the lock) and does its own counting.
+    fn retire(&self, slot: &mut Slot) {
+        if let Some(conn) = slot.conn.take() {
+            let _ = self.poller.deregister(conn.fd());
+            drop(conn);
+            self.curr_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+        slot.gen = slot.gen.wrapping_add(1);
     }
 }
 
@@ -88,7 +215,7 @@ pub struct Server;
 
 impl Server {
     /// Binds `addr` (use port `0` for an ephemeral port — the bound address
-    /// is on the handle) and starts the acceptor + worker threads serving
+    /// is on the handle) and starts the event loop + worker threads serving
     /// `store`.
     pub fn start<S: KvStore>(
         addr: impl ToSocketAddrs,
@@ -99,12 +226,17 @@ impl Server {
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let workers = config.workers.max(1);
+        let poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READABLE)?;
         let shared = Arc::new(Shared {
             store: Arc::new(store),
             shutdown: AtomicBool::new(false),
-            queue: Mutex::new(VecDeque::new()),
+            poller,
+            registry: Registry::new(),
+            ready: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            stats: (0..workers).map(|_| CachePadded::new(WorkerStats::default())).collect(),
+            stats: (0..workers + 1).map(|_| CachePadded::new(WorkerStats::default())).collect(),
+            curr_conns: AtomicU64::new(0),
             config: ServerConfig { workers, ..config },
         });
 
@@ -113,8 +245,8 @@ impl Server {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name("ascy-accept".into())
-                    .spawn(move || acceptor_loop(listener, &shared))?,
+                    .name("ascy-events".into())
+                    .spawn(move || event_loop(listener, &shared))?,
             );
         }
         for i in 0..workers {
@@ -129,59 +261,188 @@ impl Server {
     }
 }
 
-fn acceptor_loop(listener: TcpListener, shared: &Shared) {
+fn event_loop(listener: TcpListener, shared: &Shared) {
+    // The trailing stats block belongs to the event loop.
+    let stats = &shared.stats[shared.config.workers];
+    let idle = shared.config.idle_timeout;
+    let mut wheel = idle.map(|t| {
+        let gran = (t / 8).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        TimerWheel::new(t, gran, Instant::now())
+    });
+    let tick = wheel.as_ref().map_or(Duration::from_millis(200), |w| w.granularity());
+    let mut events = Events::new();
+    let mut expired: Vec<u64> = Vec::new();
+
     while !shared.shutdown.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let mut queue = shared.queue.lock().expect("accept queue poisoned");
-                queue.push_back(stream);
-                drop(queue);
-                shared.available.notify_one();
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                // Nonblocking accept doubles as the shutdown poll; 1 ms keeps
-                // accept latency negligible against a connection's lifetime.
-                std::thread::sleep(Duration::from_millis(1));
-            }
-            Err(_) => {
-                // Transient accept failure (e.g. aborted handshake): retry.
-                std::thread::sleep(Duration::from_millis(1));
+        if shared.poller.wait(&mut events, Some(tick)).is_err() {
+            break;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        for ev in events.iter() {
+            if ev.token == LISTENER_TOKEN {
+                accept_burst(&listener, shared, stats, wheel.as_mut(), idle);
+                let _ = shared.poller.rearm(
+                    listener.as_raw_fd(),
+                    LISTENER_TOKEN,
+                    Interest::READABLE,
+                );
+            } else {
+                WorkerStats::bump(&stats.wakeups, 1);
+                shared.enqueue(ev.token);
             }
         }
+        if let (Some(wheel), Some(idle)) = (wheel.as_mut(), idle) {
+            expired.clear();
+            wheel.advance(Instant::now(), &mut expired);
+            for &token in &expired {
+                check_idle(shared, stats, wheel, token, idle);
+            }
+        }
+    }
+
+    // Final sweep: flush what was already computed, close everything. Swept
+    // connections count as served so accept/close bookkeeping balances.
+    for slot_arc in shared.registry.all() {
+        let mut slot = slot_arc.lock().expect("slot poisoned");
+        if let Some(conn) = slot.conn.as_mut() {
+            conn.final_flush(stats);
+            shared.retire(&mut slot);
+            WorkerStats::bump(&stats.connections, 1);
+        }
+    }
+    shared.ready.lock().expect("ready queue poisoned").clear();
+    // Dropping the listener here closes the accept socket.
+}
+
+fn accept_burst(
+    listener: &TcpListener,
+    shared: &Shared,
+    stats: &WorkerStats,
+    mut wheel: Option<&mut TimerWheel>,
+    idle: Option<Duration>,
+) {
+    for _ in 0..ACCEPT_BURST {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            // Transient accept failure (e.g. aborted handshake): the
+            // listener re-arms and the next readiness event retries.
+            Err(_) => break,
+        };
+        let Ok(conn) = Connection::new(stream) else { continue };
+        let fd = conn.fd();
+        let (idx, slot_arc) = shared.registry.alloc();
+        let mut slot = slot_arc.lock().expect("slot poisoned");
+        let token = make_token(idx, slot.gen);
+        if shared.poller.register(fd, token, Interest::READABLE).is_err() {
+            slot.gen = slot.gen.wrapping_add(1);
+            drop(slot);
+            shared.registry.release(idx);
+            continue;
+        }
+        slot.conn = Some(conn);
+        drop(slot);
+        WorkerStats::bump(&stats.accepted, 1);
+        shared.curr_conns.fetch_add(1, Ordering::Relaxed);
+        if let (Some(wheel), Some(idle)) = (wheel.as_deref_mut(), idle) {
+            wheel.schedule(token, Instant::now() + idle);
+        }
+    }
+}
+
+/// A wheel deadline came due: evict if the connection really made no
+/// progress for the whole timeout, otherwise reschedule from its actual
+/// last activity (the lazy re-check that keeps activity O(1)).
+fn check_idle(
+    shared: &Shared,
+    stats: &WorkerStats,
+    wheel: &mut TimerWheel,
+    token: u64,
+    idle: Duration,
+) {
+    let (idx, gen) = split_token(token);
+    let Some(slot_arc) = shared.registry.slot(idx) else { return };
+    let mut slot = slot_arc.lock().expect("slot poisoned");
+    if slot.gen != gen {
+        return; // stale: the connection this deadline was for is gone
+    }
+    let Some(conn) = slot.conn.as_ref() else { return };
+    let deadline = conn.last_active + idle;
+    if Instant::now() >= deadline {
+        shared.retire(&mut slot);
+        drop(slot);
+        shared.registry.release(idx);
+        WorkerStats::bump(&stats.timeouts, 1);
+        WorkerStats::bump(&stats.connections, 1);
+    } else {
+        drop(slot);
+        wheel.schedule(token, deadline);
     }
 }
 
 fn worker_loop(index: usize, shared: &Shared) {
     let stats = &shared.stats[index];
+    let totals = || shared.totals();
+    let ctx = ConnCtx {
+        store: &*shared.store,
+        max_pipeline: shared.config.max_pipeline,
+        stats,
+        totals: &totals,
+    };
+    let mut chunk = vec![0u8; 16 * 1024];
     loop {
-        let stream = {
-            let mut queue = shared.queue.lock().expect("accept queue poisoned");
+        let token = {
+            let mut ready = shared.ready.lock().expect("ready queue poisoned");
             loop {
-                if let Some(stream) = queue.pop_front() {
-                    break Some(stream);
+                if let Some(token) = ready.pop_front() {
+                    break Some(token);
                 }
                 if shared.shutdown.load(Ordering::Acquire) {
                     break None;
                 }
                 let (guard, _timeout) = shared
                     .available
-                    .wait_timeout(queue, Duration::from_millis(20))
-                    .expect("accept queue poisoned");
-                queue = guard;
+                    .wait_timeout(ready, Duration::from_millis(100))
+                    .expect("ready queue poisoned");
+                ready = guard;
             }
         };
-        let Some(stream) = stream else { return };
-        let totals = || shared.totals();
-        let ctx = ConnCtx {
-            store: &*shared.store,
-            shutdown: &shared.shutdown,
-            max_pipeline: shared.config.max_pipeline,
-            read_timeout: shared.config.read_timeout,
-            stats,
-            totals: &totals,
-        };
-        let _exit: ConnExit = serve_connection(stream, &ctx);
-        WorkerStats::bump(&stats.connections, 1);
+        let Some(token) = token else { return };
+        let (idx, gen) = split_token(token);
+        let Some(slot_arc) = shared.registry.slot(idx) else { continue };
+        let mut slot = slot_arc.lock().expect("slot poisoned");
+        if slot.gen != gen {
+            continue; // stale wakeup for a recycled slot
+        }
+        let Some(conn) = slot.conn.as_mut() else { continue };
+        let fd = conn.fd();
+        match conn.advance(&ctx, &mut chunk) {
+            Advance::Arm(interest) => {
+                // Re-arm while still holding the slot lock: eviction closes
+                // descriptors under this same lock, so the fd cannot have
+                // been recycled out from under the token.
+                if shared.poller.rearm(fd, token, interest).is_ok() {
+                    continue;
+                }
+                // Un-armable (poller torn down or fd invalid): close.
+                shared.retire(&mut slot);
+                drop(slot);
+                shared.registry.release(idx);
+                WorkerStats::bump(&stats.connections, 1);
+            }
+            Advance::Yield => {
+                drop(slot);
+                shared.enqueue(token);
+            }
+            Advance::Close(_exit) => {
+                shared.retire(&mut slot);
+                drop(slot);
+                shared.registry.release(idx);
+                WorkerStats::bump(&stats.connections, 1);
+            }
+        }
     }
 }
 
@@ -200,7 +461,7 @@ impl ServerHandle {
         self.addr
     }
 
-    /// Aggregated per-worker counters.
+    /// Aggregated per-worker counters (plus the current-connection gauge).
     pub fn stats(&self) -> ServerStatsSnapshot {
         self.shared.totals()
     }
@@ -210,15 +471,16 @@ impl ServerHandle {
         self.shared.store.size()
     }
 
-    /// Signals shutdown (idempotent, non-blocking): stop accepting, drain
-    /// in-flight batches, close connections.
+    /// Signals shutdown (idempotent, non-blocking): stop accepting, flush
+    /// buffered replies, close connections.
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
+        let _ = self.shared.poller.notify();
         self.shared.available.notify_all();
     }
 
-    /// Shuts down, blocks until the acceptor and every worker exited, and
-    /// returns the final (race-free: all workers joined) counters.
+    /// Shuts down, blocks until the event loop and every worker exited, and
+    /// returns the final (race-free: all threads joined) counters.
     pub fn join(mut self) -> ServerStatsSnapshot {
         self.join_inner();
         self.shared.totals()
@@ -228,10 +490,6 @@ impl ServerHandle {
         self.shutdown();
         for handle in self.threads.drain(..) {
             let _ = handle.join();
-        }
-        // Close connections the acceptor queued but no worker picked up.
-        if let Ok(mut queue) = self.shared.queue.lock() {
-            queue.clear();
         }
     }
 }
@@ -249,6 +507,7 @@ mod tests {
     use ascylib::hashtable::ClhtLb;
     use ascylib_shard::BlobMap;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn tiny_server(workers: usize) -> ServerHandle {
         let map = Arc::new(BlobMap::new(2, |_| ClhtLb::with_capacity(64)));
@@ -271,15 +530,18 @@ mod tests {
         assert_eq!(server.store_size(), 1);
         let stats = server.join();
         assert_eq!(stats.connections, 1, "QUIT closes and the worker records the connection");
+        assert_eq!(stats.accepted, 1);
         assert_eq!(stats.frames, 5, "bogus line is an error, not a frame");
         assert_eq!(stats.errors, 1);
+        assert!(stats.wakeups >= 1, "serving required at least one readiness dispatch");
+        assert_eq!(stats.curr_connections, 0, "nothing left open after join");
         assert!(stats.bytes_in > 0 && stats.bytes_out > 0);
     }
 
     #[test]
     fn shutdown_unblocks_idle_connections_and_workers() {
         let server = tiny_server(2);
-        // One idle connection parked in a worker's read loop.
+        // One idle connection parked in the poller.
         let mut idle = TcpStream::connect(server.addr()).unwrap();
         idle.write_all(b"PING\r\n").unwrap();
         let mut buf = [0u8; 16];
@@ -292,22 +554,27 @@ mod tests {
     }
 
     #[test]
-    fn queued_connections_wait_for_a_free_worker() {
+    fn one_worker_serves_many_connections_concurrently() {
+        // The event-driven refactor's point: with a single worker there is
+        // no head-of-line blocking — an open idle connection does not stop
+        // later connections from being served.
         let server = tiny_server(1);
-        let mut first = TcpStream::connect(server.addr()).unwrap();
-        first.write_all(b"PING\r\n").unwrap();
+        let mut held: Vec<TcpStream> = (0..8)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        // All eight get answered while all eight stay open.
+        for s in held.iter_mut() {
+            s.write_all(b"PING\r\n").unwrap();
+        }
         let mut buf = [0u8; 16];
-        let n = first.read(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"+PONG\r\n");
-        // Second connection queues behind the first (single worker)...
-        let mut second = TcpStream::connect(server.addr()).unwrap();
-        second.write_all(b"PING\r\n").unwrap();
-        // ...and is served once the first disconnects.
-        first.write_all(b"QUIT\r\n").unwrap();
-        drop(first);
-        second.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
-        let n = second.read(&mut buf).unwrap();
-        assert_eq!(&buf[..n], b"+PONG\r\n");
+        for s in held.iter_mut() {
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            let n = s.read(&mut buf).unwrap();
+            assert_eq!(&buf[..n], b"+PONG\r\n");
+        }
+        let open = server.stats().curr_connections;
+        assert_eq!(open, 8, "all connections stay open at once on one worker");
+        drop(held);
         server.join();
     }
 }

@@ -3,8 +3,10 @@
 //! Each worker thread owns one cache-line-padded [`WorkerStats`] block, so
 //! hot-path counting never bounces a line between workers (the same
 //! observability-without-false-sharing discipline as
-//! `ascylib_shard::stats`). Aggregation walks the blocks only when a
-//! snapshot is requested (`STATS` frames, [`crate::server::ServerHandle`]).
+//! `ascylib_shard::stats`). The event loop owns one extra block for the
+//! counters only it maintains (accepts, idle-timeout evictions, readiness
+//! wakeups). Aggregation walks the blocks only when a snapshot is requested
+//! (`STATS` frames, [`crate::server::ServerHandle`]).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -18,6 +20,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct WorkerStats {
     /// Connections fully served (accepted, drained, closed).
     pub connections: AtomicU64,
+    /// Connections accepted (event-loop block only).
+    pub accepted: AtomicU64,
+    /// Connections evicted by the idle timeout (event-loop block only).
+    pub timeouts: AtomicU64,
+    /// Readiness events dispatched to workers (event-loop block only).
+    pub wakeups: AtomicU64,
+    /// Reply flushes that hit `WouldBlock` mid-buffer and had to re-arm the
+    /// connection for writability.
+    pub partial_writes: AtomicU64,
     /// Well-formed request frames executed.
     pub frames: AtomicU64,
     /// Keyspace operations performed (an `MGET` of 10 keys counts 10).
@@ -41,6 +52,11 @@ impl WorkerStats {
     pub fn snapshot(&self) -> ServerStatsSnapshot {
         ServerStatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
+            curr_connections: 0,
+            accepted: self.accepted.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
+            partial_writes: self.partial_writes.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
@@ -56,6 +72,18 @@ impl WorkerStats {
 pub struct ServerStatsSnapshot {
     /// Connections fully served.
     pub connections: u64,
+    /// Connections currently open (a gauge, not a counter: the server fills
+    /// it in from its registry when the snapshot is taken; per-worker blocks
+    /// report 0).
+    pub curr_connections: u64,
+    /// Connections accepted since the server started.
+    pub accepted: u64,
+    /// Connections evicted by the idle timeout.
+    pub timeouts: u64,
+    /// Readiness events dispatched to workers.
+    pub wakeups: u64,
+    /// Reply flushes that blocked mid-buffer (wait-for-writability re-arms).
+    pub partial_writes: u64,
     /// Well-formed request frames executed.
     pub frames: u64,
     /// Keyspace operations performed.
@@ -73,6 +101,11 @@ impl ServerStatsSnapshot {
     /// is visibly wrong, a wrapped tiny one is not).
     pub fn merge(&mut self, other: &ServerStatsSnapshot) {
         self.connections = self.connections.saturating_add(other.connections);
+        self.curr_connections = self.curr_connections.saturating_add(other.curr_connections);
+        self.accepted = self.accepted.saturating_add(other.accepted);
+        self.timeouts = self.timeouts.saturating_add(other.timeouts);
+        self.wakeups = self.wakeups.saturating_add(other.wakeups);
+        self.partial_writes = self.partial_writes.saturating_add(other.partial_writes);
         self.frames = self.frames.saturating_add(other.frames);
         self.ops = self.ops.saturating_add(other.ops);
         self.errors = self.errors.saturating_add(other.errors);
@@ -91,9 +124,13 @@ mod tests {
         WorkerStats::bump(&a.frames, 3);
         WorkerStats::bump(&a.ops, 7);
         WorkerStats::bump(&a.bytes_in, 100);
+        WorkerStats::bump(&a.partial_writes, 2);
         let b = WorkerStats::default();
         WorkerStats::bump(&b.frames, 2);
         WorkerStats::bump(&b.errors, 1);
+        WorkerStats::bump(&b.accepted, 4);
+        WorkerStats::bump(&b.timeouts, 1);
+        WorkerStats::bump(&b.wakeups, 9);
         let mut total = a.snapshot();
         total.merge(&b.snapshot());
         assert_eq!(total.frames, 5);
@@ -101,6 +138,11 @@ mod tests {
         assert_eq!(total.errors, 1);
         assert_eq!(total.bytes_in, 100);
         assert_eq!(total.connections, 0);
+        assert_eq!(total.accepted, 4);
+        assert_eq!(total.timeouts, 1);
+        assert_eq!(total.wakeups, 9);
+        assert_eq!(total.partial_writes, 2);
+        assert_eq!(total.curr_connections, 0, "gauge is filled in by the server, not workers");
     }
 
     #[test]

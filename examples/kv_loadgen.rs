@@ -1,5 +1,6 @@
-//! Drives a `kv_server` with the closed-loop load generator, moving real
-//! payload bytes.
+//! Drives a `kv_server` with the load generator — closed-loop (pipelined
+//! request/response) or open-loop (scheduled arrivals, coordinated-
+//! omission-free latency) — moving real payload bytes.
 //!
 //! Start the server in one terminal, the load in another:
 //!
@@ -15,12 +16,19 @@
 //! $ cargo run --release --example kv_loadgen -- --self
 //! ```
 //!
+//! Flags: `--mode closed|open:<rate>[:poisson|:fixed]` and `--conns <n>`
+//! override the corresponding environment knobs per run.
+//!
 //! Environment knobs:
 //!
 //! * `ASCYLIB_ADDR` — server address (default `127.0.0.1:7878`; ignored
 //!   with `--self`);
-//! * `ASCYLIB_CONNS` — concurrent connections (default 4; keep at or below
-//!   the server's worker count);
+//! * `ASCYLIB_MODE` — driving discipline: `closed` (default) or
+//!   `open:<rate>` aggregate ops/s (`:poisson` arrivals unless `:fixed`);
+//!   open-loop runs report latency from each operation's *intended* send
+//!   time, so server stalls surface in the tail percentiles;
+//! * `ASCYLIB_CONNS` — concurrent connections (default 4; the event-driven
+//!   server no longer caps capacity at its worker count);
 //! * `ASCYLIB_BENCH_MILLIS` — burst duration (default 300);
 //! * `ASCYLIB_DEPTH` — pipeline depth (default 16; 1 = strict
 //!   request/response);
@@ -35,9 +43,9 @@
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 
-use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
+use ascylib_harness::{arg_value, bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig};
-use ascylib_server::{BlobOrderedStore, Server, ServerConfig, ServerHandle, ValueSize};
+use ascylib_server::{BlobOrderedStore, LoadMode, Server, ServerConfig, ServerHandle, ValueSize};
 use ascylib_shard::BlobMap;
 
 fn resolve(addr: &str) -> SocketAddr {
@@ -61,7 +69,14 @@ fn mix_from_env() -> (String, OpMix) {
 }
 
 fn main() {
-    let conns = env_or("ASCYLIB_CONNS", 4) as usize;
+    let conns = arg_value("--conns")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(env_or("ASCYLIB_CONNS", 4) as usize);
+    let mode = match arg_value("--mode") {
+        Some(spec) => LoadMode::parse(&spec)
+            .unwrap_or_else(|| panic!("bad --mode spec {spec:?} (closed | open:<rate>[:poisson|:fixed])")),
+        None => LoadMode::from_env(),
+    };
     // `--self`: host an in-process server on an ephemeral port, so one
     // command exercises the whole serving stack (CI smoke test).
     let self_serve: Option<ServerHandle> = if std::env::args().any(|a| a == "--self") {
@@ -94,6 +109,7 @@ fn main() {
     let cfg = LoadGenConfig {
         connections: conns,
         duration_ms: bench_millis(),
+        mode,
         mix,
         dist: KeyDist::Zipfian { theta: 0.99 },
         key_range,
@@ -102,8 +118,8 @@ fn main() {
         ..LoadGenConfig::default()
     };
     println!(
-        "kv_loadgen: {} conns x depth {} against {addr}, mix={mix_name}, zipf(0.99), \
-         values={values}, {} ms",
+        "kv_loadgen: {} conns ({mode}) x depth {} against {addr}, mix={mix_name}, \
+         zipf(0.99), values={values}, {} ms",
         cfg.connections, cfg.pipeline_depth, cfg.duration_ms
     );
     let r = loadgen::run(addr, &cfg)
@@ -125,13 +141,30 @@ fn main() {
         r.write_mbps(),
         r.payload_bytes_written
     );
-    println!(
-        "kv_loadgen: batch rtt p1={} p50={} p99={} us (depth {} per round trip)",
-        r.batch_rtt.p1 / 1000,
-        r.batch_rtt.p50 / 1000,
-        r.batch_rtt.p99 / 1000,
-        cfg.pipeline_depth
-    );
+    match mode {
+        LoadMode::Closed => println!(
+            "kv_loadgen: batch rtt p1={} p50={} p99={} us (depth {} per round trip)",
+            r.batch_rtt.p1 / 1000,
+            r.batch_rtt.p50 / 1000,
+            r.batch_rtt.p99 / 1000,
+            cfg.pipeline_depth
+        ),
+        LoadMode::Open { .. } => {
+            println!(
+                "kv_loadgen: scheduled {} ops, answered {}, unanswered {}",
+                r.scheduled_ops, r.total_ops, r.unanswered
+            );
+            println!(
+                "kv_loadgen: CO-free latency p50={} p99={} p999={} max={} us \
+                 (from intended send times; p999 {})",
+                r.latency.p50 / 1000,
+                r.latency.p99 / 1000,
+                r.latency.p999 / 1000,
+                r.latency.max / 1000,
+                if r.latency.resolves(0.999) { "resolved" } else { "under-sampled" }
+            );
+        }
+    }
     if let Some(server) = self_serve {
         let stats = server.join();
         println!(

@@ -33,7 +33,9 @@
 //!   uses this as the serving smoke test.
 //!
 //! Environment: `ASCYLIB_ADDR`, `ASCYLIB_SHARDS` (default 4),
-//! `ASCYLIB_WORKERS` (default 8), `ASCYLIB_SERVE_MILLIS` (0 = forever),
+//! `ASCYLIB_WORKERS` (default 8; the event-driven tier serves any number
+//! of connections on them), `ASCYLIB_IDLE_MS` (idle-connection eviction
+//! timeout, default 60000; 0 disables), `ASCYLIB_SERVE_MILLIS` (0 = forever),
 //! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300),
 //! `ASCYLIB_VALUES` (value-size spec: `fixed:64`, `uniform:16,4096`, or
 //! `bimodal:16,256,10`; demo default `bimodal:16,256,10`).
@@ -48,12 +50,18 @@ use ascylib_shard::BlobMap;
 
 fn start(addr: &str, shards: usize, workers: usize) -> ServerHandle {
     let map = Arc::new(BlobMap::new(shards, |_| FraserOptSkipList::new()));
-    let config = ServerConfig { workers, ..ServerConfig::default() };
+    let idle_timeout = match env_or("ASCYLIB_IDLE_MS", 60_000) {
+        0 => None,
+        ms => Some(std::time::Duration::from_millis(ms)),
+    };
+    let config = ServerConfig { workers, idle_timeout, ..ServerConfig::default() };
     let server = Server::start(addr, BlobOrderedStore::new(map), config)
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
-        "kv_server: serving {shards}-shard blob-valued fraser-opt skip list on {} ({workers} workers)",
-        server.addr()
+        "kv_server: serving {shards}-shard blob-valued fraser-opt skip list on {} \
+         ({workers} workers, event-driven, idle timeout {:?})",
+        server.addr(),
+        config.idle_timeout
     );
     server
 }

@@ -1,0 +1,122 @@
+//! The Linux epoll backend: `EPOLLONESHOT` registrations, a nonblocking
+//! socketpair as the self-pipe waker, O(ready) event dispatch.
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sys::{self, cvt, EpollEvent};
+use crate::{timeout_ms, Event, Events, Interest, NOTIFY_TOKEN};
+
+/// Most events drained per `epoll_wait` call; more ready descriptors are
+/// simply delivered by the next call.
+const MAX_EVENTS: usize = 256;
+
+pub(crate) struct Epoll {
+    epfd: RawFd,
+    /// Self-pipe read side, registered level-triggered (not oneshot) under
+    /// [`NOTIFY_TOKEN`]; `wait` drains it and never reports it.
+    notify_r: Mutex<UnixStream>,
+    notify_w: Mutex<UnixStream>,
+}
+
+fn interest_flags(interest: Interest) -> u32 {
+    let mut flags = sys::EPOLLONESHOT | sys::EPOLLRDHUP;
+    if interest.is_readable() {
+        flags |= sys::EPOLLIN;
+    }
+    if interest.is_writable() {
+        flags |= sys::EPOLLOUT;
+    }
+    flags
+}
+
+impl Epoll {
+    pub(crate) fn new() -> io::Result<Epoll> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = cvt(unsafe { sys::epoll_create1(sys::EPOLL_CLOEXEC) })?;
+        let (notify_r, notify_w) = UnixStream::pair()?;
+        notify_r.set_nonblocking(true)?;
+        notify_w.set_nonblocking(true)?;
+        let mut ev = EpollEvent { events: sys::EPOLLIN, data: NOTIFY_TOKEN };
+        // SAFETY: `ev` is valid for the duration of the call.
+        if let Err(e) =
+            cvt(unsafe { sys::epoll_ctl(epfd, sys::EPOLL_CTL_ADD, notify_r.as_raw_fd(), &mut ev) })
+        {
+            // SAFETY: epfd came from epoll_create1 above.
+            unsafe { sys::close(epfd) };
+            return Err(e);
+        }
+        Ok(Epoll { epfd, notify_r: Mutex::new(notify_r), notify_w: Mutex::new(notify_w) })
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut ev = EpollEvent { events: interest_flags(interest), data: token };
+        // SAFETY: `ev` is valid for the duration of the call.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    pub(crate) fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        // A dummy event keeps pre-2.6.9 kernels happy (they reject NULL).
+        let mut ev = EpollEvent { events: 0, data: 0 };
+        // SAFETY: `ev` is valid for the duration of the call.
+        cvt(unsafe { sys::epoll_ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, &mut ev) }).map(|_| ())
+    }
+
+    pub(crate) fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        let mut raw = [EpollEvent { events: 0, data: 0 }; MAX_EVENTS];
+        // SAFETY: `raw` is a valid buffer of MAX_EVENTS entries.
+        let n = match cvt(unsafe {
+            sys::epoll_wait(self.epfd, raw.as_mut_ptr(), MAX_EVENTS as i32, timeout_ms(timeout))
+        }) {
+            Ok(n) => n as usize,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        for ev in &raw[..n] {
+            // Copy out of the (packed on x86) struct before use.
+            let (flags, token) = (ev.events, ev.data);
+            if token == NOTIFY_TOKEN {
+                let mut drain = [0u8; 64];
+                let mut pipe = self.notify_r.lock().expect("notify pipe poisoned");
+                while matches!(pipe.read(&mut drain), Ok(n) if n > 0) {}
+                continue;
+            }
+            let hangup = flags & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0;
+            events.push(Event {
+                token,
+                readable: flags & sys::EPOLLIN != 0 || hangup,
+                writable: flags & sys::EPOLLOUT != 0,
+                hangup,
+            });
+        }
+        Ok(events.len())
+    }
+
+    pub(crate) fn notify(&self) -> io::Result<()> {
+        let mut pipe = self.notify_w.lock().expect("notify pipe poisoned");
+        match pipe.write(&[1]) {
+            Ok(_) => Ok(()),
+            // A full pipe already guarantees a pending wakeup.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: epfd came from epoll_create1 and is closed exactly once.
+        unsafe { sys::close(self.epfd) };
+    }
+}

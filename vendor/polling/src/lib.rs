@@ -1,0 +1,482 @@
+//! Offline stand-in for a readiness-polling crate (in the spirit of
+//! `mio`/`polling`): a minimal, dependency-free **oneshot** readiness API
+//! over thin libc-style FFI declarations.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the surface the ASCYLIB-RS event-driven serving tier
+//! needs:
+//!
+//! * [`Poller`] — registers file descriptors with a `u64` token and an
+//!   [`Interest`] (readable / writable), and delivers [`Event`]s from
+//!   [`Poller::wait`]. Registration is **oneshot**: once an event for a
+//!   descriptor is delivered, that descriptor is disarmed until
+//!   [`Poller::rearm`] is called. Oneshot semantics make a
+//!   multi-threaded dispatch loop race-free by construction — two workers
+//!   can never be woken for the same connection at once.
+//! * Two backends behind one API: **epoll** on Linux
+//!   (`EPOLLONESHOT`-based, O(ready) dispatch) and a portable **poll(2)**
+//!   fallback that emulates oneshot delivery in user space. Select
+//!   explicitly with [`Poller::with_backend`] or take the platform default
+//!   from [`Poller::new`].
+//! * [`Poller::notify`] — a self-pipe waker: any thread can interrupt a
+//!   blocked [`Poller::wait`] (used for shutdown and for re-arming under
+//!   the poll(2) backend).
+//! * [`fd_limit`] / [`raise_fd_limit`] — `RLIMIT_NOFILE` helpers, so
+//!   connection-sweep benchmarks can size themselves to the descriptor
+//!   budget instead of dying on `EMFILE`.
+//!
+//! Thread-safety contract: `register`/`rearm`/`deregister`/`notify` may be
+//! called from any thread; `wait` is designed for a **single** waiting
+//! thread (the event loop).
+//!
+//! Everything is implemented with `std` plus a handful of `extern "C"`
+//! declarations (`sys` module) — no external crates, following the same
+//! offline stand-in pattern as `vendor/rand` and `vendor/criterion`.
+
+#![warn(missing_docs)]
+
+#[cfg(not(unix))]
+compile_error!("vendor/polling supports Unix targets only (epoll on Linux, poll(2) elsewhere)");
+
+mod sys;
+
+#[cfg(target_os = "linux")]
+mod epoll;
+mod pollbk;
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Token value reserved for the internal self-pipe waker; user
+/// registrations must not use it.
+pub(crate) const NOTIFY_TOKEN: u64 = u64::MAX;
+
+/// The readiness directions a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Wake when the descriptor has bytes to read (or hung up).
+    pub const READABLE: Interest = Interest(1);
+    /// Wake when the descriptor can accept writes.
+    pub const WRITABLE: Interest = Interest(2);
+    /// Wake for either direction.
+    pub const BOTH: Interest = Interest(3);
+
+    /// Does this interest include readability?
+    pub fn is_readable(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// Does this interest include writability?
+    pub fn is_writable(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// The union of two interests.
+    pub fn with(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: u64,
+    /// The descriptor is readable. Also set on hangup/error so consumers
+    /// always make read progress and observe EOF in-band.
+    pub readable: bool,
+    /// The descriptor is writable.
+    pub writable: bool,
+    /// The peer hung up or the descriptor errored; a read will surface the
+    /// exact condition (EOF or an error).
+    pub hangup: bool,
+}
+
+/// Reusable event buffer for [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    events: Vec<Event>,
+}
+
+impl Events {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Iterates the events delivered by the last `wait`.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of delivered events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if the last `wait` delivered nothing.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    pub(crate) fn push(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+}
+
+/// Which readiness implementation backs a [`Poller`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Linux `epoll` with `EPOLLONESHOT` (the default on Linux).
+    Epoll,
+    /// Portable `poll(2)` with user-space oneshot emulation.
+    Poll,
+}
+
+/// The platform's preferred backend.
+pub fn default_backend() -> Backend {
+    if cfg!(target_os = "linux") {
+        Backend::Epoll
+    } else {
+        Backend::Poll
+    }
+}
+
+enum Imp {
+    #[cfg(target_os = "linux")]
+    Epoll(epoll::Epoll),
+    Poll(pollbk::PollBackend),
+}
+
+/// A oneshot readiness poller (see the crate docs for the contract).
+pub struct Poller {
+    imp: Imp,
+}
+
+impl Poller {
+    /// A poller on the platform's default backend.
+    pub fn new() -> io::Result<Poller> {
+        Poller::with_backend(default_backend())
+    }
+
+    /// A poller on an explicit backend. Requesting [`Backend::Epoll`] off
+    /// Linux fails with [`io::ErrorKind::Unsupported`].
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => Ok(Poller { imp: Imp::Epoll(epoll::Epoll::new()?) }),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                Err(io::Error::new(io::ErrorKind::Unsupported, "epoll requires Linux"))
+            }
+            Backend::Poll => Ok(Poller { imp: Imp::Poll(pollbk::PollBackend::new()?) }),
+        }
+    }
+
+    /// The backend this poller runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(_) => Backend::Epoll,
+            Imp::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Arms `fd` once for `interest`, tagging its events with `token`.
+    /// The descriptor is disarmed after its first delivered event; call
+    /// [`rearm`](Self::rearm) to arm it again.
+    pub fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if token == NOTIFY_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token u64::MAX is reserved for the internal waker",
+            ));
+        }
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(p) => p.register(fd, token, interest),
+            Imp::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Re-arms an already-registered descriptor (possibly changing its
+    /// token or interest). Readiness is level-checked at arm time: if the
+    /// condition already holds, the event is delivered by the next `wait`.
+    pub fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if token == NOTIFY_TOKEN {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "token u64::MAX is reserved for the internal waker",
+            ));
+        }
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(p) => p.rearm(fd, token, interest),
+            Imp::Poll(p) => p.rearm(fd, token, interest),
+        }
+    }
+
+    /// Removes a descriptor entirely (no further events, armed or not).
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(p) => p.deregister(fd),
+            Imp::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Blocks until at least one armed descriptor is ready, the timeout
+    /// elapses (`None` = forever), or another thread calls
+    /// [`notify`](Self::notify). Returns the number of events delivered
+    /// into `events` (0 on timeout/notify). `EINTR` surfaces as `Ok(0)`.
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(p) => p.wait(events, timeout),
+            Imp::Poll(p) => p.wait(events, timeout),
+        }
+    }
+
+    /// Wakes the thread blocked in [`wait`](Self::wait), if any (the wakeup
+    /// is sticky: a `notify` with no waiter makes the next `wait` return
+    /// immediately).
+    pub fn notify(&self) -> io::Result<()> {
+        match &self.imp {
+            #[cfg(target_os = "linux")]
+            Imp::Epoll(p) => p.notify(),
+            Imp::Poll(p) => p.notify(),
+        }
+    }
+}
+
+/// Converts an optional timeout to the millisecond argument `epoll_wait` /
+/// `poll` expect: `-1` blocks forever, sub-millisecond nonzero waits round
+/// up to 1 ms so they do not busy-spin.
+pub(crate) fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            if d.is_zero() {
+                0
+            } else {
+                let ms = d.as_millis().clamp(1, i32::MAX as u128);
+                ms as i32
+            }
+        }
+    }
+}
+
+/// The process's `RLIMIT_NOFILE` as `(soft, hard)`.
+pub fn fd_limit() -> io::Result<(u64, u64)> {
+    sys::fd_limit()
+}
+
+/// Raises the soft `RLIMIT_NOFILE` to the hard limit and returns the new
+/// soft limit. Idempotent; useful before opening tens of thousands of
+/// sockets.
+pub fn raise_fd_limit() -> io::Result<u64> {
+    sys::raise_fd_limit()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    fn backends() -> Vec<Poller> {
+        let mut v = vec![Poller::with_backend(Backend::Poll).expect("poll backend")];
+        if cfg!(target_os = "linux") {
+            v.push(Poller::with_backend(Backend::Epoll).expect("epoll backend"));
+        }
+        v
+    }
+
+    fn pair() -> (UnixStream, UnixStream) {
+        UnixStream::pair().expect("socketpair")
+    }
+
+    #[test]
+    fn readable_events_are_oneshot_until_rearmed() {
+        for poller in backends() {
+            let (a, mut b) = pair();
+            poller.register(a.as_raw_fd(), 7, Interest::READABLE).unwrap();
+            let mut events = Events::new();
+            // Nothing to read yet: timeout.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert_eq!(n, 0, "{:?}", poller.backend());
+
+            b.write_all(b"x").unwrap();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(n, 1, "{:?}", poller.backend());
+            let ev = events.iter().next().unwrap();
+            assert_eq!(ev.token, 7);
+            assert!(ev.readable);
+
+            // Oneshot: the byte is still unread, but the fd is disarmed.
+            let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+            assert_eq!(n, 0, "{:?} must not redeliver before rearm", poller.backend());
+
+            // Rearm while the byte is still pending: level-checked, so the
+            // event comes right back.
+            poller.rearm(a.as_raw_fd(), 8, Interest::READABLE).unwrap();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(n, 1);
+            assert_eq!(events.iter().next().unwrap().token, 8, "rearm can retag the token");
+        }
+    }
+
+    #[test]
+    fn writable_is_immediate_on_an_empty_socket_buffer() {
+        for poller in backends() {
+            let (a, _b) = pair();
+            poller.register(a.as_raw_fd(), 1, Interest::WRITABLE).unwrap();
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(n, 1, "{:?}", poller.backend());
+            assert!(events.iter().next().unwrap().writable);
+        }
+    }
+
+    #[test]
+    fn both_interests_deliver_read_and_write_readiness_together() {
+        for poller in backends() {
+            let (a, mut b) = pair();
+            b.write_all(b"hi").unwrap();
+            poller.register(a.as_raw_fd(), 3, Interest::BOTH).unwrap();
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(n, 1);
+            let ev = events.iter().next().unwrap();
+            assert!(ev.readable && ev.writable, "{ev:?}");
+        }
+    }
+
+    #[test]
+    fn deregistered_descriptors_stay_silent() {
+        for poller in backends() {
+            let (a, mut b) = pair();
+            poller.register(a.as_raw_fd(), 9, Interest::READABLE).unwrap();
+            poller.deregister(a.as_raw_fd()).unwrap();
+            b.write_all(b"x").unwrap();
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+            assert_eq!(n, 0, "{:?}", poller.backend());
+        }
+    }
+
+    #[test]
+    fn notify_wakes_a_blocked_wait() {
+        for poller in backends() {
+            let poller = std::sync::Arc::new(poller);
+            let waker = std::sync::Arc::clone(&poller);
+            let start = Instant::now();
+            let t = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                waker.notify().unwrap();
+            });
+            let mut events = Events::new();
+            // Block "forever"; only the notify can end this before the test
+            // harness times out.
+            let n = poller.wait(&mut events, Some(Duration::from_secs(30))).unwrap();
+            assert_eq!(n, 0);
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "{:?} wait must be interrupted by notify",
+                poller.backend()
+            );
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn sticky_notify_makes_the_next_wait_return_immediately() {
+        for poller in backends() {
+            poller.notify().unwrap();
+            let mut events = Events::new();
+            let start = Instant::now();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+            assert_eq!(n, 0);
+            assert!(start.elapsed() < Duration::from_secs(5));
+            // The wakeup is consumed: the next wait times out normally.
+            let start = Instant::now();
+            poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+            assert!(start.elapsed() >= Duration::from_millis(5), "{:?}", poller.backend());
+        }
+    }
+
+    #[test]
+    fn hangup_is_delivered_as_readable() {
+        for poller in backends() {
+            let (mut a, b) = pair();
+            poller.register(a.as_raw_fd(), 4, Interest::READABLE).unwrap();
+            drop(b);
+            let mut events = Events::new();
+            let n = poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+            assert_eq!(n, 1, "{:?}", poller.backend());
+            let ev = *events.iter().next().unwrap();
+            assert!(ev.readable, "hangup must force read progress: {ev:?}");
+            let mut buf = [0u8; 8];
+            assert_eq!(a.read(&mut buf).unwrap(), 0, "the read observes EOF");
+        }
+    }
+
+    #[test]
+    fn distinct_tokens_route_to_their_descriptors() {
+        for poller in backends() {
+            let (a, mut a_peer) = pair();
+            let (b, mut b_peer) = pair();
+            poller.register(a.as_raw_fd(), 100, Interest::READABLE).unwrap();
+            poller.register(b.as_raw_fd(), 200, Interest::READABLE).unwrap();
+            a_peer.write_all(b"x").unwrap();
+            b_peer.write_all(b"y").unwrap();
+            let mut events = Events::new();
+            let mut seen = Vec::new();
+            while seen.len() < 2 {
+                poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+                seen.extend(events.iter().map(|e| e.token));
+                if events.is_empty() {
+                    break;
+                }
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, vec![100, 200], "{:?}", poller.backend());
+        }
+    }
+
+    #[test]
+    fn reserved_token_is_rejected() {
+        for poller in backends() {
+            let (a, _b) = pair();
+            let err = poller.register(a.as_raw_fd(), u64::MAX, Interest::READABLE).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        }
+    }
+
+    #[test]
+    fn fd_limit_helpers_report_and_raise() {
+        let (soft, hard) = fd_limit().expect("getrlimit");
+        assert!(soft > 0 && hard >= soft, "soft={soft} hard={hard}");
+        let raised = raise_fd_limit().expect("setrlimit");
+        assert_eq!(raised, hard, "soft limit raised to the hard limit");
+        assert_eq!(fd_limit().unwrap().0, hard);
+    }
+
+    #[test]
+    fn timeout_ms_rounds_up_submillisecond_waits() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(10))), 1, "no busy-spin");
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+    }
+}

@@ -1,0 +1,138 @@
+//! The portable `poll(2)` backend: an interest table consulted on every
+//! `wait`, with oneshot delivery emulated by clearing a descriptor's
+//! interest when an event for it fires. Registration changes from other
+//! threads take effect immediately because every mutation tickles the
+//! self-pipe, interrupting an in-flight `poll`.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::sys::{self, cvt, PollFd};
+use crate::{timeout_ms, Event, Events, Interest};
+
+#[derive(Clone, Copy)]
+struct Entry {
+    token: u64,
+    /// `None` = disarmed (oneshot already delivered, awaiting rearm).
+    armed: Option<Interest>,
+}
+
+pub(crate) struct PollBackend {
+    table: Mutex<HashMap<RawFd, Entry>>,
+    notify_r: Mutex<UnixStream>,
+    notify_w: Mutex<UnixStream>,
+}
+
+impl PollBackend {
+    pub(crate) fn new() -> io::Result<PollBackend> {
+        let (notify_r, notify_w) = UnixStream::pair()?;
+        notify_r.set_nonblocking(true)?;
+        notify_w.set_nonblocking(true)?;
+        Ok(PollBackend {
+            table: Mutex::new(HashMap::new()),
+            notify_r: Mutex::new(notify_r),
+            notify_w: Mutex::new(notify_w),
+        })
+    }
+
+    pub(crate) fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut table = self.table.lock().expect("poll table poisoned");
+        if table.insert(fd, Entry { token, armed: Some(interest) }).is_some() {
+            // Match epoll: double-registration is an error (use rearm).
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "descriptor already registered",
+            ));
+        }
+        drop(table);
+        self.notify()
+    }
+
+    pub(crate) fn rearm(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let mut table = self.table.lock().expect("poll table poisoned");
+        match table.get_mut(&fd) {
+            Some(entry) => {
+                *entry = Entry { token, armed: Some(interest) };
+                drop(table);
+                self.notify()
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "descriptor not registered")),
+        }
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        let mut table = self.table.lock().expect("poll table poisoned");
+        match table.remove(&fd) {
+            Some(_) => {
+                drop(table);
+                self.notify()
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "descriptor not registered")),
+        }
+    }
+
+    pub(crate) fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+        // Snapshot the armed set; the table lock is NOT held across poll().
+        let notify_fd = self.notify_r.lock().expect("notify pipe poisoned").as_raw_fd();
+        let mut fds: Vec<PollFd> = vec![PollFd { fd: notify_fd, events: sys::POLLIN, revents: 0 }];
+        {
+            let table = self.table.lock().expect("poll table poisoned");
+            for (&fd, entry) in table.iter() {
+                let Some(interest) = entry.armed else { continue };
+                let mut mask = 0i16;
+                if interest.is_readable() {
+                    mask |= sys::POLLIN;
+                }
+                if interest.is_writable() {
+                    mask |= sys::POLLOUT;
+                }
+                fds.push(PollFd { fd, events: mask, revents: 0 });
+            }
+        }
+        // SAFETY: `fds` is a valid pollfd array of the stated length.
+        match cvt(unsafe { sys::poll(fds.as_mut_ptr(), fds.len(), timeout_ms(timeout)) }) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => return Ok(0),
+            Err(e) => return Err(e),
+        }
+        if fds[0].revents != 0 {
+            let mut drain = [0u8; 64];
+            let mut pipe = self.notify_r.lock().expect("notify pipe poisoned");
+            while matches!(pipe.read(&mut drain), Ok(n) if n > 0) {}
+        }
+        let mut table = self.table.lock().expect("poll table poisoned");
+        for pfd in &fds[1..] {
+            if pfd.revents == 0 {
+                continue;
+            }
+            // The entry may have been deregistered or retagged while poll()
+            // ran; only the current table state is authoritative.
+            let Some(entry) = table.get_mut(&pfd.fd) else { continue };
+            if entry.armed.is_none() {
+                continue;
+            }
+            entry.armed = None; // oneshot delivery
+            let hangup = pfd.revents & (sys::POLLERR | sys::POLLHUP) != 0;
+            events.push(Event {
+                token: entry.token,
+                readable: pfd.revents & sys::POLLIN != 0 || hangup,
+                writable: pfd.revents & sys::POLLOUT != 0,
+                hangup,
+            });
+        }
+        Ok(events.len())
+    }
+
+    pub(crate) fn notify(&self) -> io::Result<()> {
+        let mut pipe = self.notify_w.lock().expect("notify pipe poisoned");
+        match pipe.write(&[1]) {
+            Ok(_) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}

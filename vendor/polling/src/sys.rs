@@ -1,0 +1,127 @@
+//! Thin libc-style FFI declarations — the only unsafe surface of the
+//! crate. Only the handful of calls the two backends need are declared;
+//! constants are the Linux/POSIX values.
+
+use std::io;
+
+pub(crate) type CInt = i32;
+
+// --- poll(2) ---------------------------------------------------------------
+
+/// `struct pollfd` (POSIX layout).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PollFd {
+    pub fd: CInt,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub(crate) const POLLIN: i16 = 0x001;
+pub(crate) const POLLOUT: i16 = 0x004;
+pub(crate) const POLLERR: i16 = 0x008;
+pub(crate) const POLLHUP: i16 = 0x010;
+
+extern "C" {
+    // `nfds_t` is `unsigned long`, which matches `usize` on the supported
+    // LP64/ILP32 Unix targets.
+    pub(crate) fn poll(fds: *mut PollFd, nfds: usize, timeout: CInt) -> CInt;
+}
+
+// --- epoll (Linux) ---------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+pub(crate) use linux::*;
+
+#[cfg(target_os = "linux")]
+mod linux {
+    use super::CInt;
+
+    /// `struct epoll_event`. The kernel ABI packs it on x86 so 32- and
+    /// 64-bit layouts agree; other architectures use natural alignment.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Debug, Clone, Copy)]
+    pub(crate) struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    pub(crate) const EPOLL_CLOEXEC: CInt = 0o2000000;
+    pub(crate) const EPOLL_CTL_ADD: CInt = 1;
+    pub(crate) const EPOLL_CTL_DEL: CInt = 2;
+    pub(crate) const EPOLL_CTL_MOD: CInt = 3;
+
+    pub(crate) const EPOLLIN: u32 = 0x001;
+    pub(crate) const EPOLLOUT: u32 = 0x004;
+    pub(crate) const EPOLLERR: u32 = 0x008;
+    pub(crate) const EPOLLHUP: u32 = 0x010;
+    pub(crate) const EPOLLRDHUP: u32 = 0x2000;
+    pub(crate) const EPOLLONESHOT: u32 = 1 << 30;
+
+    extern "C" {
+        pub(crate) fn epoll_create1(flags: CInt) -> CInt;
+        pub(crate) fn epoll_ctl(epfd: CInt, op: CInt, fd: CInt, event: *mut EpollEvent) -> CInt;
+        pub(crate) fn epoll_wait(
+            epfd: CInt,
+            events: *mut EpollEvent,
+            maxevents: CInt,
+            timeout: CInt,
+        ) -> CInt;
+        pub(crate) fn close(fd: CInt) -> CInt;
+    }
+}
+
+// --- RLIMIT_NOFILE ---------------------------------------------------------
+
+/// `struct rlimit`. `rlim_t` is 64-bit on every supported target (glibc,
+/// musl, and the BSDs use a 64-bit `rlim_t` on LP64; 32-bit Linux with
+/// large-file support likewise).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+struct Rlimit {
+    cur: u64,
+    max: u64,
+}
+
+#[cfg(target_os = "linux")]
+const RLIMIT_NOFILE: CInt = 7;
+#[cfg(not(target_os = "linux"))]
+const RLIMIT_NOFILE: CInt = 8; // the BSD/macOS value
+
+extern "C" {
+    fn getrlimit(resource: CInt, rlim: *mut Rlimit) -> CInt;
+    fn setrlimit(resource: CInt, rlim: *const Rlimit) -> CInt;
+}
+
+pub(crate) fn fd_limit() -> io::Result<(u64, u64)> {
+    let mut lim = Rlimit { cur: 0, max: 0 };
+    // SAFETY: `lim` is a valid, writable rlimit struct.
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok((lim.cur, lim.max))
+}
+
+pub(crate) fn raise_fd_limit() -> io::Result<u64> {
+    let (soft, hard) = fd_limit()?;
+    if soft >= hard {
+        return Ok(soft);
+    }
+    let lim = Rlimit { cur: hard, max: hard };
+    // SAFETY: `lim` is a valid, initialized rlimit struct.
+    if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(hard)
+}
+
+/// `Ok` for a zero return, `last_os_error` otherwise — the return-code
+/// convention shared by every call declared here.
+pub(crate) fn cvt(ret: CInt) -> io::Result<CInt> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
