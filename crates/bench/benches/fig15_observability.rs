@@ -1,0 +1,222 @@
+//! Figure 15 (extension): what always-on telemetry costs.
+//!
+//! The serving tier counts **every** request exactly (per-family ops,
+//! hit/miss) and samples service-time histograms and phase timings
+//! (`ServerConfig::telemetry`, default on). This bench replays the fig12 loopback workload — the
+//! paper's 10%-update mix over a sharded CLHT, closed-loop pipelined
+//! clients — twice per round, telemetry on and off, interleaved so thermal
+//! and cache drift hits both configs equally. Best-of-rounds throughput
+//! per config feeds the headline number:
+//!
+//! ```text
+//! overhead% = (off_mops - on_mops) / off_mops * 100
+//! ```
+//!
+//! The recording hot path bumps exact per-family counters for every
+//! request and *samples* service time with calibrated TSC reading pairs
+//! (first and every 8th slot of a pipelined batch; multi-key/scan verbs
+//! and depth-1 traffic always timed) into cache-padded single-writer
+//! blocks, so the bench **asserts** the overhead stays under
+//! `ASCYLIB_FIG15_MAX_OVERHEAD_PCT` (default 3%).
+//!
+//! Scheduling noise on a loaded (or single-core) host can depress any one
+//! trial by far more than the recording cost, and it only ever *deflates*
+//! throughput — so each config's best trial estimates its true capacity
+//! ceiling, and extra rounds sharpen both ceilings without hiding real
+//! overhead. The bench therefore runs a discarded warmup round, then at
+//! least `MIN_ROUNDS` measured rounds, continuing up to `MAX_ROUNDS` only
+//! while the running estimate still exceeds the budget: a genuinely
+//! over-budget recording path fails every round, while a noisy-but-cheap
+//! one converges. The machine-readable trajectory
+//! (`BENCH_fig15_observability.json`) embeds the server's full-resolution
+//! request and per-phase histograms (`report::embed_histograms`), so
+//! downstream tooling can recompute any percentile.
+
+use std::sync::Arc;
+
+use ascylib::hashtable::ClhtLb;
+use ascylib_harness::report::{embed_histograms, f2, write_json, Table};
+use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
+use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
+use ascylib_server::{
+    BlobStore, Phase, Server, ServerConfig, TelemetrySnapshot, ValueSize,
+};
+use ascylib_shard::BlobMap;
+
+const INITIAL_SIZE: usize = 8192;
+const UPDATE_PCT: u32 = 10;
+const DEPTH: usize = 16;
+const MIN_ROUNDS: usize = 3;
+const MAX_ROUNDS: usize = 9;
+
+/// Same payload size as fig12, so the two figures' loopback panels compare.
+const VALUE_SIZE: ValueSize = ValueSize::Fixed(8);
+
+fn connections() -> usize {
+    (ascylib_harness::max_threads()).clamp(1, 4)
+}
+
+/// One fig12-shaped loopback run with telemetry on or off. Returns the
+/// client-side result plus the server's own telemetry view (empty when
+/// recording was off).
+fn run_once(telemetry: bool, conns: usize) -> (LoadGenResult, TelemetrySnapshot) {
+    let map = Arc::new(BlobMap::new(2, |_| ClhtLb::with_capacity(INITIAL_SIZE)));
+    let server = Server::start(
+        "127.0.0.1:0",
+        BlobStore::new(map),
+        ServerConfig { telemetry, ..ServerConfig::for_connections(conns) },
+    )
+    .expect("bind ephemeral port");
+    loadgen::prefill(
+        server.addr(),
+        INITIAL_SIZE as u64,
+        INITIAL_SIZE as u64 * 2,
+        VALUE_SIZE,
+        0xF1615,
+    )
+    .expect("prefill over the wire");
+    let cfg = LoadGenConfig {
+        connections: conns,
+        duration_ms: bench_millis(),
+        mix: OpMix::update(UPDATE_PCT),
+        dist: KeyDist::Uniform,
+        key_range: INITIAL_SIZE as u64 * 2,
+        value_size: VALUE_SIZE,
+        pipeline_depth: DEPTH,
+        ..LoadGenConfig::default()
+    };
+    let result = loadgen::run(server.addr(), &cfg).expect("loadgen run");
+    assert_eq!(result.errors, 0, "well-formed traffic must not error");
+    let snap = server.telemetry();
+    server.join();
+    (result, snap)
+}
+
+fn main() {
+    let conns = connections();
+    let max_overhead = env_or("ASCYLIB_FIG15_MAX_OVERHEAD_PCT", 3) as f64;
+
+    // Warm the page cache, allocator pools, and branch predictors outside
+    // the measured window (both configs, so neither inherits an advantage).
+    let _ = run_once(true, conns);
+    let _ = run_once(false, conns);
+
+    // Interleave the configs across rounds so drift is shared; keep the
+    // best of each (the least-disturbed run is the honest cost estimate —
+    // noise only depresses throughput, so extra rounds sharpen the ceiling
+    // without masking real recording cost).
+    let mut best_on: Option<(LoadGenResult, TelemetrySnapshot)> = None;
+    let mut best_off: Option<LoadGenResult> = None;
+    let mut rounds = 0usize;
+    while rounds < MAX_ROUNDS {
+        let (on, snap) = run_once(true, conns);
+        match &best_on {
+            Some((b, _)) if b.mops >= on.mops => {}
+            _ => best_on = Some((on, snap)),
+        }
+        let (off, _) = run_once(false, conns);
+        match &best_off {
+            Some(b) if b.mops >= off.mops => {}
+            _ => best_off = Some(off),
+        }
+        rounds += 1;
+        if rounds >= MIN_ROUNDS {
+            let on_mops = best_on.as_ref().map(|(b, _)| b.mops).unwrap_or(0.0);
+            let off_mops = best_off.as_ref().map(|b| b.mops).unwrap_or(0.0);
+            let est = (off_mops - on_mops) / off_mops.max(f64::MIN_POSITIVE) * 100.0;
+            if est <= max_overhead {
+                break;
+            }
+        }
+    }
+    let (on, snap) = best_on.expect("at least one round");
+    let off = best_off.expect("at least one round");
+
+    let overhead_pct = (off.mops - on.mops) / off.mops.max(f64::MIN_POSITIVE) * 100.0;
+    let sl = on.server_latency.expect("telemetry-on run scrapes itself");
+    assert!(
+        off.server_latency.is_none(),
+        "telemetry off must leave nothing to scrape"
+    );
+
+    let mut table = Table::new(
+        &format!(
+            "Figure 15 — telemetry overhead, fig12 loopback workload, {conns} conns, \
+             depth {DEPTH}, {UPDATE_PCT}% upd, N={INITIAL_SIZE}, best of {rounds} rounds"
+        ),
+        &[
+            "telemetry",
+            "Mops/s",
+            "batch p50 RTT us",
+            "server p50 us",
+            "server p99 us",
+        ],
+    );
+    table.row(vec![
+        "on".into(),
+        f2(on.mops),
+        f2(on.batch_rtt.p50 as f64 / 1e3),
+        f2(sl.p50_ns as f64 / 1e3),
+        f2(sl.p99_ns as f64 / 1e3),
+    ]);
+    table.row(vec![
+        "off".into(),
+        f2(off.mops),
+        f2(off.batch_rtt.p50 as f64 / 1e3),
+        "-".into(),
+        "-".into(),
+    ]);
+    table.print();
+    let _ = table.write_csv("fig15_observability");
+    println!("\nrecording overhead: {overhead_pct:.2}% (budget {max_overhead:.0}%)");
+
+    // Machine-readable trajectory with the full-resolution server-side
+    // histograms embedded (bucket upper bound, count pairs).
+    let requests = snap.data_requests(); // merged histogram over data families
+    let base = format!(
+        concat!(
+            "{{\"connections\":{},\"pipeline_depth\":{},\"update_pct\":{},",
+            "\"initial_size\":{},\"rounds\":{},",
+            "\"mops_on\":{:.4},\"mops_off\":{:.4},\"overhead_pct\":{:.4},",
+            "\"server_request_count\":{},\"server_p50_ns\":{},\"server_p99_ns\":{}}}"
+        ),
+        conns,
+        DEPTH,
+        UPDATE_PCT,
+        INITIAL_SIZE,
+        rounds,
+        on.mops,
+        off.mops,
+        overhead_pct,
+        sl.count,
+        sl.p50_ns,
+        sl.p99_ns,
+    );
+    let req_buckets = requests.nonzero_buckets();
+    let phase_buckets: Vec<(String, Vec<(u64, u64)>)> = Phase::ALL
+        .iter()
+        .map(|p| {
+            (
+                format!("phase_{}_ns", p.name()),
+                snap.phases[*p as usize].nonzero_buckets(),
+            )
+        })
+        .collect();
+    let mut named: Vec<(&str, &[(u64, u64)])> = vec![("request_ns", &req_buckets)];
+    for (name, buckets) in &phase_buckets {
+        named.push((name.as_str(), buckets.as_slice()));
+    }
+    let _ = write_json("fig15_observability", &embed_histograms(&base, &named));
+
+    assert!(
+        sl.count >= on.total_ops,
+        "the server must have counted every answered request"
+    );
+    assert!(
+        overhead_pct <= max_overhead,
+        "telemetry overhead {overhead_pct:.2}% exceeds the {max_overhead:.0}% budget \
+         (on {:.3} vs off {:.3} Mops/s)",
+        on.mops,
+        off.mops,
+    );
+}

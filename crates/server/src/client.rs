@@ -17,7 +17,9 @@ use std::io::{self, ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{encode_mset, encode_request, encode_set, Reply, ReplyParser, Request};
+use crate::protocol::{
+    encode_mset, encode_request, encode_set, Reply, ReplyParser, Request, SlowlogCmd,
+};
 
 /// A blocking connection to an `ascylib-server`.
 pub struct Client {
@@ -132,6 +134,40 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<String> {
         match self.call(&Request::Stats)? {
             Reply::Simple(s) => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `INFO [section]` → the server's multi-line report (all sections, or
+    /// just `server` / `commands` / `latency` / `memory`).
+    pub fn info(&mut self, section: Option<&str>) -> io::Result<String> {
+        let req = Request::Info(section.map(|s| s.to_ascii_lowercase()));
+        decode_text(self.call(&req)?)
+    }
+
+    /// `METRICS` → the Prometheus text-exposition scrape body.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        decode_text(self.call(&Request::Metrics)?)
+    }
+
+    /// `SLOWLOG GET` → the captured slow operations, one line per entry,
+    /// newest first (empty string when nothing was captured).
+    pub fn slowlog_get(&mut self) -> io::Result<String> {
+        decode_text(self.call(&Request::Slowlog(SlowlogCmd::Get))?)
+    }
+
+    /// `SLOWLOG LEN` → slow-op entries currently held server-side.
+    pub fn slowlog_len(&mut self) -> io::Result<u64> {
+        match self.call(&Request::Slowlog(SlowlogCmd::Len))? {
+            Reply::Int(n) => Ok(n),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `SLOWLOG RESET` → clears every worker's slow-op ring.
+    pub fn slowlog_reset(&mut self) -> io::Result<()> {
+        match self.call(&Request::Slowlog(SlowlogCmd::Reset))? {
+            Reply::Simple(s) if s == "OK" => Ok(()),
             other => Err(unexpected(other)),
         }
     }
@@ -268,6 +304,16 @@ pub fn decode_array(reply: Reply) -> io::Result<Vec<Reply>> {
     }
 }
 
+/// Decodes a bulk reply carrying UTF-8 report text (`INFO`, `SLOWLOG GET`,
+/// `METRICS` bodies).
+fn decode_text(reply: Reply) -> io::Result<String> {
+    match reply {
+        Reply::Bulk(bytes) => String::from_utf8(bytes)
+            .map_err(|_| protocol_err("report body is not valid UTF-8")),
+        other => Err(unexpected(other)),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +361,35 @@ mod tests {
         assert!(stats.contains("size=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
         assert!(stats.contains("value_bytes="), "{stats}");
+        c.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn observability_accessors_round_trip() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.set(1, b"one").unwrap());
+        assert_eq!(c.get(1).unwrap(), Some(b"one".to_vec()));
+        assert_eq!(c.get(2).unwrap(), None);
+
+        let info = c.info(None).unwrap();
+        for header in ["# server", "# commands", "# latency", "# memory"] {
+            assert!(info.contains(header), "INFO missing {header}:\n{info}");
+        }
+        let latency = c.info(Some("latency")).unwrap();
+        assert!(latency.starts_with("# latency"));
+        assert!(latency.contains("request_p99_ns:"));
+        let err = c.info(Some("bogus")).unwrap_err();
+        assert!(err.to_string().contains("unknown INFO section"), "{err}");
+
+        let metrics = c.metrics().unwrap();
+        ascylib_telemetry::expo::validate(&metrics).expect("scrape body validates");
+        assert!(metrics.contains("ascy_read_hits_total 1"), "{metrics}");
+
+        assert_eq!(c.slowlog_len().unwrap(), 0, "default 10ms threshold captures nothing here");
+        assert_eq!(c.slowlog_get().unwrap(), "");
+        c.slowlog_reset().unwrap();
         c.quit().unwrap();
         server.join();
     }

@@ -33,13 +33,37 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use polling::Interest;
 
-use crate::protocol::{wire, Request, RequestParser};
+use ascylib_telemetry::expo::Exposition;
+use ascylib_telemetry::{
+    clock, Family, HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot, WorkerTelemetry,
+};
+
+use crate::protocol::{wire, Request, RequestParser, SlowlogCmd, MAX_VALUE};
 use crate::stats::{ServerStatsSnapshot, WorkerStats};
 use crate::store::{KvStore, KEY_RANGE};
+
+/// Cross-worker telemetry aggregation, implemented by the server's shared
+/// state (and by test fixtures). The hot path records into this worker's
+/// own [`WorkerTelemetry`]; the observability verbs (`INFO`, `SLOWLOG`,
+/// `METRICS`) read the whole server through this trait.
+pub(crate) trait TelemetryHub {
+    /// Merged telemetry across every worker block.
+    fn telemetry_totals(&self) -> TelemetrySnapshot;
+    /// Slow-op entries across every worker, newest first.
+    fn slow_ops(&self) -> Vec<SlowOp>;
+    /// Clears every worker's slow-op ring.
+    fn slow_reset(&self);
+    /// Total entries currently held across every ring.
+    fn slow_len(&self) -> u64;
+    /// Worker thread count.
+    fn workers(&self) -> usize;
+    /// Milliseconds since the server started.
+    fn uptime_ms(&self) -> u64;
+}
 
 /// Everything a worker needs to serve one connection.
 pub(crate) struct ConnCtx<'a> {
@@ -52,6 +76,16 @@ pub(crate) struct ConnCtx<'a> {
     pub stats: &'a WorkerStats,
     /// Aggregated counters across all workers (for `STATS` frames).
     pub totals: &'a dyn Fn() -> ServerStatsSnapshot,
+    /// This worker's telemetry block (hot-path recording).
+    pub tel: &'a WorkerTelemetry,
+    /// Whole-server telemetry (`INFO` / `SLOWLOG` / `METRICS`).
+    pub hub: &'a dyn TelemetryHub,
+    /// Latency recording switch. When off, the serving loop takes no clock
+    /// readings at all — the fig15 overhead comparison flips exactly this.
+    pub recording: bool,
+    /// Requests at or above this service time (execute phase, ns) are
+    /// captured in the slow-op ring.
+    pub slow_ns: u64,
 }
 
 /// Reusable per-connection buffers for value copy-out, so the serving hot
@@ -104,6 +138,12 @@ enum Flush {
 /// yielding. Bounds a single wakeup's work so ready connections round-robin
 /// within a worker.
 const ADVANCE_BUDGET: usize = 32;
+
+/// Service-time sampling stride inside a pipelined batch: point ops on
+/// slots `0, N, 2N, …` of each batch are timed, the rest only counted.
+/// Multi-key/scan/admin requests and one-frame batches are always timed
+/// (see [`Connection::execute_batch`]).
+const SAMPLE_EVERY: usize = 8;
 
 /// One nonblocking connection owned by the server's registry and advanced
 /// by whichever worker the event loop hands its readiness token to.
@@ -160,7 +200,12 @@ impl Connection {
             // that stops a non-draining peer from growing `wbuf` forever.
             if self.wpos < self.wbuf.len() {
                 self.state = State::Writing;
-                match self.flush_pending(ctx) {
+                let flush_start = if ctx.recording { Some(clock::now()) } else { None };
+                let flushed = self.flush_pending(ctx);
+                if let Some(start) = flush_start {
+                    ctx.tel.record_phase(Phase::Flush, clock::delta_ns(start, clock::now()));
+                }
+                match flushed {
                     Flush::Done => {
                         self.wbuf.clear();
                         self.wpos = 0;
@@ -249,17 +294,74 @@ impl Connection {
     /// consumed.
     fn execute_batch(&mut self, ctx: &ConnCtx<'_>) -> usize {
         let mut consumed = 0;
+        // Recording strategy: clock reads are the dominant telemetry cost
+        // (~25 ns each even via TSC on virtualized hosts), so service time
+        // is *sampled*. Timed with a start/done reading pair: the first
+        // slot of every batch, every `SAMPLE_EVERY`-th slot after it, and
+        // every multi-key/scan/admin request. Point ops (GET/SET/DEL) in
+        // the remaining slots only bump the exact per-family counters.
+        // Unpipelined traffic (one-frame batches) is therefore always
+        // fully timed, and slow-op detection is exact for the heavyweight
+        // verbs that can plausibly be slow. The parse phase rides on the
+        // first slot (batch start -> its start reading); its service time
+        // doubles as the execute-phase sample. With recording off, no
+        // clock is read at all.
+        let batch_start = if ctx.recording { Some(clock::now()) } else { None };
+        let mut slot = 0usize;
         while consumed < ctx.max_pipeline {
             match self.parser.next() {
                 Some(Ok(req)) => {
                     consumed += 1;
-                    if execute(&req, ctx, &mut self.bufs, &mut self.wbuf) == Flow::Quit {
+                    let flow = if ctx.recording {
+                        let family = family_of(&req);
+                        let heavy =
+                            !matches!(family, Family::Get | Family::Set | Family::Del);
+                        if heavy || slot % SAMPLE_EVERY == 0 {
+                            let start = clock::now();
+                            if slot == 0 {
+                                if let Some(t0) = batch_start {
+                                    ctx.tel.record_phase(
+                                        Phase::Parse,
+                                        clock::delta_ns(t0, start),
+                                    );
+                                }
+                            }
+                            let flow = execute(&req, ctx, &mut self.bufs, &mut self.wbuf);
+                            let done = clock::now();
+                            let total = clock::delta_ns(start, done);
+                            ctx.tel.record_request(family, total);
+                            if slot == 0 {
+                                ctx.tel.record_phase(Phase::Execute, total);
+                            }
+                            if total >= ctx.slow_ns {
+                                let (key, bytes) = slow_fields(&req);
+                                ctx.tel.record_slow(SlowOp {
+                                    family,
+                                    key,
+                                    bytes,
+                                    duration_ns: total,
+                                    unix_ms: unix_ms_now(),
+                                });
+                            }
+                            flow
+                        } else {
+                            ctx.tel.count_request(family);
+                            execute(&req, ctx, &mut self.bufs, &mut self.wbuf)
+                        }
+                    } else {
+                        execute(&req, ctx, &mut self.bufs, &mut self.wbuf)
+                    };
+                    slot += 1;
+                    if flow == Flow::Quit {
                         self.quit = true;
                         break;
                     }
                 }
                 Some(Err(e)) => {
                     consumed += 1;
+                    // Malformed frames consume a slot but are not timed or
+                    // counted (no store work was done).
+                    slot += 1;
                     WorkerStats::bump(&ctx.stats.errors, 1);
                     wire::error(&mut self.wbuf, &e.to_string());
                 }
@@ -267,6 +369,43 @@ impl Connection {
             }
         }
         consumed
+    }
+}
+
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
+        .unwrap_or(0)
+}
+
+/// The telemetry family of a request.
+fn family_of(req: &Request) -> Family {
+    match req {
+        Request::Get(_) => Family::Get,
+        Request::Set(..) => Family::Set,
+        Request::Del(_) => Family::Del,
+        Request::MGet(_) => Family::MGet,
+        Request::MSet(_) => Family::MSet,
+        Request::Scan(..) => Family::Scan,
+        _ => Family::Other,
+    }
+}
+
+/// The (key, payload bytes) a slow-op entry records for a request: the
+/// primary key (first key for batched verbs, the cursor for `SCAN`) and the
+/// total payload carried.
+fn slow_fields(req: &Request) -> (u64, u64) {
+    match req {
+        Request::Get(k) | Request::Del(k) => (*k, 0),
+        Request::Set(k, v) => (*k, v.len() as u64),
+        Request::MGet(keys) => (keys.first().copied().unwrap_or(0), 0),
+        Request::MSet(entries) => (
+            entries.first().map(|(k, _)| *k).unwrap_or(0),
+            entries.iter().map(|(_, v)| v.len() as u64).sum(),
+        ),
+        Request::Scan(from, _) => (*from, 0),
+        _ => (0, 0),
     }
 }
 
@@ -295,8 +434,16 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
             }
             WorkerStats::bump(&stats.ops, 1);
             if ctx.store.get(*k, &mut bufs.value) {
+                WorkerStats::bump(&stats.hits, 1);
+                if ctx.recording {
+                    ctx.tel.record_lookups(Family::Get, 1, 0);
+                }
                 wire::bulk(out, &bufs.value);
             } else {
+                WorkerStats::bump(&stats.misses, 1);
+                if ctx.recording {
+                    ctx.tel.record_lookups(Family::Get, 0, 1);
+                }
                 wire::null(out);
             }
         }
@@ -316,7 +463,13 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
                 return Flow::Continue;
             }
             WorkerStats::bump(&stats.ops, 1);
-            wire::int(out, ctx.store.del(*k) as u64);
+            let removed = ctx.store.del(*k);
+            // DEL reuses the lookup cells as found / not-found (it is not a
+            // read, so the server-wide read hit counters stay untouched).
+            if ctx.recording {
+                ctx.tel.record_lookups(Family::Del, removed as u64, !removed as u64);
+            }
+            wire::int(out, removed as u64);
         }
         Request::MGet(keys) => {
             // Validate the whole frame before executing any of it: a batch
@@ -328,6 +481,13 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
             }
             WorkerStats::bump(&stats.ops, keys.len() as u64);
             ctx.store.multi_get(keys, &mut bufs.batch);
+            let found = bufs.batch.iter().filter(|v| v.is_some()).count() as u64;
+            let missed = bufs.batch.len() as u64 - found;
+            WorkerStats::bump(&stats.hits, found);
+            WorkerStats::bump(&stats.misses, missed);
+            if ctx.recording {
+                ctx.tel.record_lookups(Family::MGet, found, missed);
+            }
             wire::array_header(out, bufs.batch.len());
             for item in &bufs.batch {
                 match item {
@@ -367,7 +527,7 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
             let totals = (ctx.totals)();
             let (store_ops, store_hits) = ctx.store.ops_and_hits();
             let info = format!(
-                "size={} shards={} value_bytes={} store_ops={store_ops} store_hits={store_hits} conns={} curr_conns={} accepted={} timeouts={} wakeups={} partial_writes={} frames={} ops={} errors={} bytes_in={} bytes_out={}",
+                "size={} shards={} value_bytes={} store_ops={store_ops} store_hits={store_hits} conns={} curr_conns={} accepted={} timeouts={} wakeups={} partial_writes={} frames={} ops={} hits={} misses={} errors={} bytes_in={} bytes_out={}",
                 ctx.store.size(),
                 ctx.store.shard_count(),
                 ctx.store.value_bytes(),
@@ -379,18 +539,228 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
                 totals.partial_writes,
                 totals.frames,
                 totals.ops,
+                totals.hits,
+                totals.misses,
                 totals.errors,
                 totals.bytes_in,
                 totals.bytes_out,
             );
             wire::simple(out, &info);
         }
+        Request::Info(section) => match render_info(ctx, section.as_deref()) {
+            Ok(body) => bulk_capped(out, &body),
+            Err(msg) => {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, msg);
+            }
+        },
+        Request::Slowlog(cmd) => match cmd {
+            SlowlogCmd::Get => bulk_capped(out, &render_slowlog(&ctx.hub.slow_ops())),
+            SlowlogCmd::Reset => {
+                ctx.hub.slow_reset();
+                wire::simple(out, "OK");
+            }
+            SlowlogCmd::Len => wire::int(out, ctx.hub.slow_len()),
+        },
+        Request::Metrics => bulk_capped(out, &render_metrics(ctx)),
         Request::Quit => {
             wire::simple(out, "BYE");
             return Flow::Quit;
         }
     }
     Flow::Continue
+}
+
+/// Writes `body` as one bulk frame, truncating at the last full line under
+/// the reply value cap (with a marker line) — the client-side parser
+/// rejects bulk frames over [`MAX_VALUE`], so a report body must never
+/// exceed it.
+fn bulk_capped(out: &mut Vec<u8>, body: &str) {
+    const MARKER: &str = "# truncated\n";
+    if body.len() <= MAX_VALUE {
+        wire::bulk(out, body.as_bytes());
+        return;
+    }
+    let budget = MAX_VALUE - MARKER.len();
+    let cut = body.as_bytes()[..budget]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let mut truncated = String::with_capacity(cut + MARKER.len());
+    truncated.push_str(&body[..cut]);
+    truncated.push_str(MARKER);
+    wire::bulk(out, truncated.as_bytes());
+}
+
+/// Renders the `INFO` report: all four sections, or just the named one.
+/// Unknown section names are a semantic error answered in-band.
+fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'static str> {
+    use std::fmt::Write as _;
+    const KNOWN: [&str; 4] = ["server", "commands", "latency", "memory"];
+    if let Some(s) = section {
+        if !KNOWN.contains(&s) {
+            return Err("unknown INFO section (server|commands|latency|memory)");
+        }
+    }
+    let want = |name: &str| section.is_none() || section == Some(name);
+    let totals = (ctx.totals)();
+    let mut sections: Vec<String> = Vec::new();
+    if want("server") {
+        let mut s = String::new();
+        let _ = writeln!(s, "# server");
+        let _ = writeln!(s, "version:{}", env!("CARGO_PKG_VERSION"));
+        let _ = writeln!(s, "workers:{}", ctx.hub.workers());
+        let _ = writeln!(s, "uptime_ms:{}", ctx.hub.uptime_ms());
+        let _ = writeln!(s, "telemetry:{}", if ctx.recording { "on" } else { "off" });
+        let _ = writeln!(s, "slowlog_threshold_ns:{}", ctx.slow_ns);
+        let _ = writeln!(s, "curr_connections:{}", totals.curr_connections);
+        let _ = writeln!(s, "connections:{}", totals.connections);
+        let _ = writeln!(s, "accepted:{}", totals.accepted);
+        sections.push(s);
+    }
+    if want("commands") || want("latency") {
+        let tel = ctx.hub.telemetry_totals();
+        if want("commands") {
+            let mut s = String::new();
+            let _ = writeln!(s, "# commands");
+            for f in Family::ALL {
+                let fam = tel.family(f);
+                let _ = writeln!(s, "cmd_{}_ops:{}", f.name(), fam.ops());
+                match f {
+                    Family::Get | Family::MGet => {
+                        let _ = writeln!(s, "cmd_{}_hits:{}", f.name(), fam.hits);
+                        let _ = writeln!(s, "cmd_{}_misses:{}", f.name(), fam.misses);
+                    }
+                    Family::Del => {
+                        let _ = writeln!(s, "cmd_del_found:{}", fam.hits);
+                        let _ = writeln!(s, "cmd_del_not_found:{}", fam.misses);
+                    }
+                    _ => {}
+                }
+            }
+            let _ = writeln!(s, "frames:{}", totals.frames);
+            let _ = writeln!(s, "ops:{}", totals.ops);
+            let _ = writeln!(s, "hits:{}", totals.hits);
+            let _ = writeln!(s, "misses:{}", totals.misses);
+            let _ = writeln!(s, "errors:{}", totals.errors);
+            sections.push(s);
+        }
+        if want("latency") {
+            let mut s = String::new();
+            let _ = writeln!(s, "# latency");
+            let req = tel.data_requests();
+            let _ = writeln!(s, "request_count:{}", tel.data_ops());
+            let _ = writeln!(s, "request_samples:{}", req.count());
+            let _ = writeln!(s, "request_mean_ns:{:.0}", req.mean());
+            let _ = writeln!(s, "request_p50_ns:{}", req.quantile(0.50));
+            let _ = writeln!(s, "request_p99_ns:{}", req.quantile(0.99));
+            let _ = writeln!(s, "request_p999_ns:{}", req.quantile(0.999));
+            let _ = writeln!(s, "request_max_ns:{}", req.max());
+            for p in Phase::ALL {
+                let h: &HistogramSnapshot = &tel.phases[p.index()];
+                let _ = writeln!(s, "phase_{}_count:{}", p.name(), h.count());
+                let _ = writeln!(s, "phase_{}_p99_ns:{}", p.name(), h.quantile(0.99));
+            }
+            for f in Family::DATA {
+                let _ =
+                    writeln!(s, "cmd_{}_p99_ns:{}", f.name(), tel.family(f).hist.quantile(0.99));
+            }
+            sections.push(s);
+        }
+    }
+    if want("memory") {
+        let (store_ops, store_hits) = ctx.store.ops_and_hits();
+        let mut s = String::new();
+        let _ = writeln!(s, "# memory");
+        let _ = writeln!(s, "keys:{}", ctx.store.size());
+        let _ = writeln!(s, "shards:{}", ctx.store.shard_count());
+        let _ = writeln!(s, "value_bytes:{}", ctx.store.value_bytes());
+        let _ = writeln!(s, "store_ops:{store_ops}");
+        let _ = writeln!(s, "store_hits:{store_hits}");
+        sections.push(s);
+    }
+    Ok(sections.join("\n"))
+}
+
+/// Renders the `SLOWLOG GET` body: one line per entry, newest first.
+fn render_slowlog(ops: &[SlowOp]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, op) in ops.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{i} family={} key={} bytes={} duration_ns={} unix_ms={}",
+            op.family.name(),
+            op.key,
+            op.bytes,
+            op.duration_ns,
+            op.unix_ms,
+        );
+    }
+    out
+}
+
+/// Renders the `METRICS` body: Prometheus text exposition over the server
+/// counters, store gauges, and per-family / per-phase latency histograms.
+fn render_metrics(ctx: &ConnCtx<'_>) -> String {
+    let totals = (ctx.totals)();
+    let tel = ctx.hub.telemetry_totals();
+    let (store_ops, store_hits) = ctx.store.ops_and_hits();
+    let mut e = Exposition::new();
+    e.gauge("ascy_curr_connections", "Connections currently open.", &[], totals.curr_connections);
+    e.counter("ascy_connections_total", "Connections fully served.", &[], totals.connections);
+    e.counter("ascy_accepted_total", "Connections accepted.", &[], totals.accepted);
+    e.counter("ascy_timeouts_total", "Connections evicted by the idle timeout.", &[], totals.timeouts);
+    e.counter("ascy_frames_total", "Well-formed request frames executed.", &[], totals.frames);
+    e.counter("ascy_ops_total", "Keyspace operations performed.", &[], totals.ops);
+    e.counter("ascy_read_hits_total", "Per-key read lookups that found a value.", &[], totals.hits);
+    e.counter("ascy_read_misses_total", "Per-key read lookups that missed.", &[], totals.misses);
+    e.counter("ascy_errors_total", "Error frames sent.", &[], totals.errors);
+    e.counter("ascy_bytes_in_total", "Bytes read from sockets.", &[], totals.bytes_in);
+    e.counter("ascy_bytes_out_total", "Bytes written to sockets.", &[], totals.bytes_out);
+    e.gauge("ascy_store_keys", "Elements in the served store.", &[], ctx.store.size() as u64);
+    e.gauge("ascy_store_shards", "Shards backing the store.", &[], ctx.store.shard_count() as u64);
+    e.gauge("ascy_store_value_bytes", "Live payload bytes in the value arena.", &[], ctx.store.value_bytes());
+    e.counter("ascy_store_ops_total", "Structure-level operations.", &[], store_ops);
+    e.counter("ascy_store_hits_total", "Structure-level lookup hits.", &[], store_hits);
+    e.gauge("ascy_slowlog_len", "Slow-op entries currently held.", &[], ctx.hub.slow_len());
+    for f in Family::ALL {
+        let fam = tel.family(f);
+        e.counter(
+            "ascy_cmd_requests_total",
+            "Requests recorded per command family.",
+            &[("family", f.name())],
+            fam.ops(),
+        );
+        e.counter(
+            "ascy_cmd_hits_total",
+            "Per-key hits (found keys for del) per command family.",
+            &[("family", f.name())],
+            fam.hits,
+        );
+        e.counter(
+            "ascy_cmd_misses_total",
+            "Per-key misses (absent keys for del) per command family.",
+            &[("family", f.name())],
+            fam.misses,
+        );
+        e.histogram(
+            "ascy_request_duration_ns",
+            "Request service time (execute phase, sampled) in nanoseconds.",
+            &[("family", f.name())],
+            &fam.hist,
+        );
+    }
+    for p in Phase::ALL {
+        e.histogram(
+            "ascy_phase_duration_ns",
+            "Time per request-processing phase in nanoseconds.",
+            &[("phase", p.name())],
+            &tel.phases[p.index()],
+        );
+    }
+    e.finish()
 }
 
 #[cfg(test)]
@@ -410,12 +780,53 @@ mod tests {
         (Connection::new(accepted).unwrap(), peer)
     }
 
+    /// Single-worker hub over one telemetry block, standing in for the
+    /// server's `Shared`.
+    struct TestHub<'a> {
+        tel: &'a WorkerTelemetry,
+        started: Instant,
+    }
+
+    impl TelemetryHub for TestHub<'_> {
+        fn telemetry_totals(&self) -> TelemetrySnapshot {
+            self.tel.snapshot()
+        }
+        fn slow_ops(&self) -> Vec<SlowOp> {
+            let mut ops = self.tel.slow_ops();
+            ops.reverse();
+            ops
+        }
+        fn slow_reset(&self) {
+            self.tel.slow_reset();
+        }
+        fn slow_len(&self) -> u64 {
+            self.tel.slow_len() as u64
+        }
+        fn workers(&self) -> usize {
+            1
+        }
+        fn uptime_ms(&self) -> u64 {
+            self.started.elapsed().as_millis() as u64
+        }
+    }
+
     fn run_ctx(test: impl FnOnce(&ConnCtx<'_>)) {
         let map = Arc::new(BlobMap::new(1, |_| ClhtLb::with_capacity(64)));
         let store = BlobStore::new(map);
         let stats = WorkerStats::default();
+        let tel = WorkerTelemetry::new();
+        let hub = TestHub { tel: &tel, started: Instant::now() };
         let totals = || ServerStatsSnapshot::default();
-        let ctx = ConnCtx { store: &store, max_pipeline: 4, stats: &stats, totals: &totals };
+        let ctx = ConnCtx {
+            store: &store,
+            max_pipeline: 4,
+            stats: &stats,
+            totals: &totals,
+            tel: &tel,
+            hub: &hub,
+            recording: true,
+            slow_ns: u64::MAX,
+        };
         test(&ctx);
     }
 
@@ -501,5 +912,94 @@ mod tests {
             peer.read_to_end(&mut reply).unwrap();
             assert_eq!(reply, b":1\r\n");
         });
+    }
+
+    #[test]
+    fn info_and_metrics_render_from_served_traffic() {
+        run_ctx(|ctx| {
+            let mut bufs = ConnBufs::default();
+            let mut out = Vec::new();
+            execute(&Request::Set(5, b"abc".to_vec()), ctx, &mut bufs, &mut out);
+            execute(&Request::Get(5), ctx, &mut bufs, &mut out);
+            execute(&Request::Get(6), ctx, &mut bufs, &mut out);
+            execute(&Request::Del(5), ctx, &mut bufs, &mut out);
+            execute(&Request::Del(5), ctx, &mut bufs, &mut out);
+            let load = |c: &std::sync::atomic::AtomicU64| {
+                c.load(std::sync::atomic::Ordering::Relaxed)
+            };
+            assert_eq!(load(&ctx.stats.hits), 1);
+            assert_eq!(load(&ctx.stats.misses), 1);
+
+            let info = render_info(ctx, None).unwrap();
+            for header in ["# server", "# commands", "# latency", "# memory"] {
+                assert!(info.contains(header), "INFO is missing {header}:\n{info}");
+            }
+            assert!(info.contains("cmd_get_hits:1"));
+            assert!(info.contains("cmd_get_misses:1"));
+            assert!(info.contains("cmd_del_found:1"));
+            assert!(info.contains("cmd_del_not_found:1"));
+            let only = render_info(ctx, Some("memory")).unwrap();
+            assert!(only.starts_with("# memory") && !only.contains("# server"));
+            assert!(render_info(ctx, Some("bogus")).is_err());
+
+            let metrics = render_metrics(ctx);
+            ascylib_telemetry::expo::validate(&metrics).expect("METRICS body validates");
+            assert!(metrics.contains("ascy_cmd_requests_total{family=\"get\"}"));
+            assert!(metrics.contains("ascy_request_duration_ns_bucket"));
+        });
+    }
+
+    #[test]
+    fn slowlog_threshold_zero_captures_everything() {
+        run_ctx(|ctx| {
+            let ctx = ConnCtx { slow_ns: 0, ..*ctx };
+            let (mut conn, mut peer) = pair();
+            peer.write_all(b"SET 9 3\r\nxyz\r\n").unwrap();
+            let mut chunk = [0u8; 4096];
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while ctx.hub.slow_len() == 0 {
+                if let Advance::Close(exit) = conn.advance(&ctx, &mut chunk) {
+                    panic!("unexpected close: {exit:?}");
+                }
+                assert!(Instant::now() < deadline, "slow op not captured before deadline");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let ops = ctx.hub.slow_ops();
+            assert_eq!(ops[0].family, Family::Set);
+            assert_eq!(ops[0].key, 9);
+            assert_eq!(ops[0].bytes, 3);
+            assert!(ops[0].unix_ms > 0);
+            let body = render_slowlog(&ops);
+            assert!(body.contains("family=set key=9 bytes=3"));
+            ctx.hub.slow_reset();
+            assert_eq!(ctx.hub.slow_len(), 0);
+        });
+    }
+
+    #[test]
+    fn oversized_report_bodies_truncate_at_a_line_boundary() {
+        let line = "x".repeat(99);
+        let mut body = String::new();
+        while body.len() <= MAX_VALUE + 1000 {
+            body.push_str(&line);
+            body.push('\n');
+        }
+        let mut out = Vec::new();
+        bulk_capped(&mut out, &body);
+        let header_end = out.iter().position(|&b| b == b'\n').unwrap();
+        let header = std::str::from_utf8(&out[1..header_end - 1]).unwrap();
+        let len: usize = header.parse().unwrap();
+        assert!(len <= MAX_VALUE, "bulk of {len} bytes would be rejected client-side");
+        let payload = &out[header_end + 1..header_end + 1 + len];
+        assert!(payload.ends_with(b"# truncated\n"));
+        // Whole lines only: every chunk before the marker is a full line.
+        let text = std::str::from_utf8(payload).unwrap();
+        for l in text.lines() {
+            assert!(l == "# truncated" || l.len() == 99);
+        }
+        // Small bodies pass through untouched.
+        let mut small = Vec::new();
+        bulk_capped(&mut small, "hello\n");
+        assert_eq!(small, b"$6\r\nhello\n\r\n");
     }
 }

@@ -35,6 +35,12 @@
 //!   Thousands of concurrent connections per handful of worker threads.
 //! * [`client`] — a blocking client with typed per-verb calls over `&[u8]`
 //!   values and a [`Pipeline`] that turns `k` round trips into one.
+//! * **Telemetry** (protocol verbs `INFO [section]`, `SLOWLOG
+//!   GET|RESET|LEN`, `METRICS`; crate `ascylib-telemetry`) — always-on
+//!   server-side observability: per-command-family lock-free latency
+//!   histograms, parse/execute/flush phase timings, hit/miss counters,
+//!   per-worker slow-op rings, and a Prometheus text exposition surface a
+//!   scraper can point at the wire port directly.
 //! * [`loadgen`] — a multi-connection load generator in two modes:
 //!   **closed-loop** (each connection keeps a fixed number of requests in
 //!   flight) and **open-loop** ([`LoadMode::Open`]: Poisson or fixed-rate
@@ -74,9 +80,10 @@ pub mod stats;
 pub mod store;
 mod timer;
 
+pub use ascylib_telemetry::{Family, Phase, SlowOp, TelemetrySnapshot};
 pub use client::{Client, Pipeline};
-pub use loadgen::{LoadGenConfig, LoadGenResult, LoadMode, ValueSize};
-pub use protocol::{ParseError, Reply, Request};
+pub use loadgen::{LoadGenConfig, LoadGenResult, LoadMode, ServerLatency, ValueSize};
+pub use protocol::{ParseError, Reply, Request, SlowlogCmd};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use stats::ServerStatsSnapshot;
 pub use store::{BlobOrderedStore, BlobStore, KvStore};

@@ -328,6 +328,10 @@ pub struct LoadGenResult {
     /// (nanoseconds; open loop only — free of coordinated omission, so the
     /// p999/p9999 tails are honest). Empty in closed-loop runs.
     pub latency: LatencyStats,
+    /// The server's own service-time view of the run, scraped from
+    /// `INFO latency` after the load stops (`None` when the server has
+    /// telemetry disabled or the scrape fails).
+    pub server_latency: Option<ServerLatency>,
     /// Wall-clock measurement duration.
     pub elapsed: Duration,
 }
@@ -351,6 +355,60 @@ impl LoadGenResult {
     pub fn read_mbps(&self) -> f64 {
         ascylib_harness::report::mbps(self.payload_bytes_read, self.elapsed)
     }
+}
+
+/// Server-side request latency scraped from `INFO latency` at the end of a
+/// run: what the *server* measured for the same traffic (parse → reply
+/// queued), free of client-side scheduling and socket noise. Comparing this
+/// against the client-observed [`LatencyStats`] separates server service
+/// time from everything the network and the load generator added.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerLatency {
+    /// Data requests the server served (GET/SET/DEL/MGET/MSET/SCAN
+    /// frames) — the exact count; percentiles come from the timed sample.
+    pub count: u64,
+    /// Median service time, nanoseconds (histogram bucket upper bound).
+    pub p50_ns: u64,
+    /// 99th-percentile service time, nanoseconds.
+    pub p99_ns: u64,
+    /// 99.9th-percentile service time, nanoseconds.
+    pub p999_ns: u64,
+    /// Largest service time recorded, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl ServerLatency {
+    /// Parses the `request_*` lines of an `INFO latency` body. Returns
+    /// `None` when the section carries no samples (telemetry off, or no
+    /// data requests served).
+    fn parse(info: &str) -> Option<ServerLatency> {
+        let field = |name: &str| -> Option<u64> {
+            info.lines()
+                .find_map(|l| l.strip_prefix(name).and_then(|v| v.strip_prefix(':')))
+                .and_then(|v| v.trim().parse().ok())
+        };
+        let count = field("request_count")?;
+        if count == 0 {
+            return None;
+        }
+        Some(ServerLatency {
+            count,
+            p50_ns: field("request_p50_ns")?,
+            p99_ns: field("request_p99_ns")?,
+            p999_ns: field("request_p999_ns")?,
+            max_ns: field("request_max_ns")?,
+        })
+    }
+}
+
+/// Scrapes the server's own latency view over a fresh connection. Any
+/// failure (connect refused, telemetry disabled, nothing recorded) yields
+/// `None` — the scrape is best-effort garnish on the client-side numbers.
+fn scrape_server_latency(addr: SocketAddr) -> Option<ServerLatency> {
+    let mut client = Client::connect(addr).ok()?;
+    let info = client.info(Some("latency")).ok()?;
+    let _ = client.quit();
+    ServerLatency::parse(&info)
 }
 
 /// Which verb occupied one in-flight slot (with the payload bytes a `SET`
@@ -462,6 +520,7 @@ fn merge_outputs(outputs: Vec<ConnOutput>, elapsed: Duration) -> LoadGenResult {
         errors: 0,
         batch_rtt: LatencyStats::default(),
         latency: LatencyStats::default(),
+        server_latency: None,
         elapsed,
     };
     let mut rtt_samples = Vec::new();
@@ -496,10 +555,12 @@ fn merge_outputs(outputs: Vec<ConnOutput>, elapsed: Duration) -> LoadGenResult {
 /// Runs the configured load against `addr` and merges the per-connection
 /// tallies. Fails if any connection cannot be established or dies mid-run.
 pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
-    match cfg.mode {
+    let mut result = match cfg.mode {
         LoadMode::Closed => run_closed(addr, cfg),
         LoadMode::Open { rate, arrival } => run_open(addr, cfg, rate, arrival),
-    }
+    }?;
+    result.server_latency = scrape_server_latency(addr);
+    Ok(result)
 }
 
 /// The closed loop: `connections` threads connect to `addr` and apply the
@@ -1088,6 +1149,11 @@ mod tests {
         assert!(r.payload_bytes_read > 0, "GET hits returned payloads");
         assert!(r.payload_bytes_written >= r.sets * 16);
         assert!(r.write_mbps() > 0.0 && r.read_mbps() > 0.0);
+        // The end-of-run scrape captures the server's own view of the same
+        // traffic (prefill MSETs included, INFO itself excluded).
+        let sl = r.server_latency.expect("telemetry is on by default");
+        assert!(sl.count >= r.total_ops, "server counted at least the answered ops");
+        assert!(sl.p50_ns > 0 && sl.p99_ns >= sl.p50_ns && sl.max_ns >= sl.p999_ns);
         server.join();
     }
 

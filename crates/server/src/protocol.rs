@@ -14,6 +14,7 @@
 //! SET <key> <len>\r\n<bytes>\r\n     MGET <key>...
 //! MSET <k1> <l1> ... <kn> <ln>\r\n<bytes1>...<bytesn>\r\n
 //! SCAN <from> <count>                PING   STATS   QUIT
+//! INFO [section]                     SLOWLOG GET|RESET|LEN    METRICS
 //! ```
 //!
 //! # Replies
@@ -96,9 +97,29 @@ pub enum Request {
     Ping,
     /// `STATS` — one info line of `name=value` tokens.
     Stats,
+    /// `INFO [section]` — multi-line report (bulk reply). `None` means all
+    /// sections; the section name is lowercased by the parser and validated
+    /// by the executor (so unknown sections get a semantic error, not a
+    /// parse error).
+    Info(Option<String>),
+    /// `SLOWLOG GET|RESET|LEN` — inspect, clear, or count the slow-op log.
+    Slowlog(SlowlogCmd),
+    /// `METRICS` — Prometheus text exposition (bulk reply).
+    Metrics,
     /// `QUIT` — graceful close: the server replies `+BYE`, flushes, and
     /// closes the connection.
     Quit,
+}
+
+/// The `SLOWLOG` subcommands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlowlogCmd {
+    /// `SLOWLOG GET` — the captured entries, newest first (bulk reply).
+    Get,
+    /// `SLOWLOG RESET` — clear every worker's ring (`+OK`).
+    Reset,
+    /// `SLOWLOG LEN` — total entries currently held (integer reply).
+    Len,
 }
 
 /// Why a frame was rejected. The `Display` text is what the server sends
@@ -543,6 +564,26 @@ fn parse_request_line(line: &[u8]) -> Result<ReqHeader, RejectedHeader> {
             arity(0, "STATS")?;
             done(Request::Stats)
         }
+        "INFO" => {
+            if args.len() > 1 {
+                return Err(ParseError::Arity("INFO [section]").into());
+            }
+            done(Request::Info(args.first().map(|s| s.to_ascii_lowercase())))
+        }
+        "SLOWLOG" => {
+            arity(1, "SLOWLOG GET|RESET|LEN")?;
+            let sub = match args[0].to_ascii_uppercase().as_str() {
+                "GET" => SlowlogCmd::Get,
+                "RESET" => SlowlogCmd::Reset,
+                "LEN" => SlowlogCmd::Len,
+                _ => return Err(ParseError::Arity("SLOWLOG GET|RESET|LEN").into()),
+            };
+            done(Request::Slowlog(sub))
+        }
+        "METRICS" => {
+            arity(0, "METRICS")?;
+            done(Request::Metrics)
+        }
         "QUIT" => {
             arity(0, "QUIT")?;
             done(Request::Quit)
@@ -577,6 +618,12 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Scan(from, n) => write!(out, "SCAN {from} {n}\r\n"),
         Request::Ping => write!(out, "PING\r\n"),
         Request::Stats => write!(out, "STATS\r\n"),
+        Request::Info(None) => write!(out, "INFO\r\n"),
+        Request::Info(Some(section)) => write!(out, "INFO {section}\r\n"),
+        Request::Slowlog(SlowlogCmd::Get) => write!(out, "SLOWLOG GET\r\n"),
+        Request::Slowlog(SlowlogCmd::Reset) => write!(out, "SLOWLOG RESET\r\n"),
+        Request::Slowlog(SlowlogCmd::Len) => write!(out, "SLOWLOG LEN\r\n"),
+        Request::Metrics => write!(out, "METRICS\r\n"),
         Request::Quit => write!(out, "QUIT\r\n"),
     }
     .expect("writing to a Vec cannot fail")
@@ -889,7 +936,7 @@ mod tests {
 
     #[test]
     fn parses_every_verb() {
-        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nQUIT\r\n";
+        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nINFO\r\nINFO Latency\r\nSLOWLOG get\r\nSLOWLOG RESET\r\nSLOWLOG LEN\r\nMETRICS\r\nQUIT\r\n";
         let got = parse_all(stream);
         assert_eq!(
             got,
@@ -902,6 +949,12 @@ mod tests {
                 Ok(Request::Scan(9, 16)),
                 Ok(Request::Ping),
                 Ok(Request::Stats),
+                Ok(Request::Info(None)),
+                Ok(Request::Info(Some("latency".into()))),
+                Ok(Request::Slowlog(SlowlogCmd::Get)),
+                Ok(Request::Slowlog(SlowlogCmd::Reset)),
+                Ok(Request::Slowlog(SlowlogCmd::Len)),
+                Ok(Request::Metrics),
                 Ok(Request::Quit),
             ]
         );
@@ -1036,6 +1089,10 @@ mod tests {
             (b"GET -1\r\n", ParseError::BadNumber),
             (b"MSET 1\r\n", ParseError::Arity("MSET (<key> <len>)... + payloads")),
             (b"MGET\r\n", ParseError::Arity("MGET <key>...")),
+            (b"INFO latency extra\r\n", ParseError::Arity("INFO [section]")),
+            (b"SLOWLOG\r\n", ParseError::Arity("SLOWLOG GET|RESET|LEN")),
+            (b"SLOWLOG BAD\r\n", ParseError::Arity("SLOWLOG GET|RESET|LEN")),
+            (b"METRICS now\r\n", ParseError::Arity("METRICS")),
             (b"SCAN 1 999999\r\n", ParseError::ScanTooLarge),
             (b"GET \x001\r\n", ParseError::IllegalByte),
             (b"G\xc3\x89T 1\r\n", ParseError::IllegalByte),
@@ -1155,6 +1212,12 @@ mod tests {
             Request::Scan(5, MAX_SCAN),
             Request::Ping,
             Request::Stats,
+            Request::Info(None),
+            Request::Info(Some("commands".into())),
+            Request::Slowlog(SlowlogCmd::Get),
+            Request::Slowlog(SlowlogCmd::Reset),
+            Request::Slowlog(SlowlogCmd::Len),
+            Request::Metrics,
             Request::Quit,
         ];
         let mut bytes = Vec::new();

@@ -53,10 +53,11 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ascylib_telemetry::{SlowOp, TelemetrySnapshot, WorkerTelemetry};
 use crossbeam_utils::CachePadded;
 use polling::{Events, Interest, Poller};
 
-use crate::conn::{Advance, ConnCtx, Connection};
+use crate::conn::{Advance, ConnCtx, Connection, TelemetryHub};
 use crate::stats::{ServerStatsSnapshot, WorkerStats};
 use crate::store::KvStore;
 use crate::timer::TimerWheel;
@@ -73,6 +74,15 @@ pub struct ServerConfig {
     /// disables eviction). Enforced lazily at timer-wheel granularity
     /// (about an eighth of the timeout), so eviction can run a tick late.
     pub idle_timeout: Option<Duration>,
+    /// Latency recording (histograms, phase timings, slow-op capture).
+    /// Always on by default; turning it off removes every clock reading
+    /// from the serving loop (the `fig15_observability` bench measures
+    /// exactly this delta). The `INFO`/`SLOWLOG`/`METRICS` verbs answer
+    /// either way — with zeroed latency data when recording is off.
+    pub telemetry: bool,
+    /// Requests with service time (execute phase) at or above this are
+    /// captured in the per-worker slow-op rings.
+    pub slowlog_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +91,8 @@ impl Default for ServerConfig {
             workers: 4,
             max_pipeline: 128,
             idle_timeout: Some(Duration::from_secs(60)),
+            telemetry: true,
+            slowlog_threshold: Duration::from_millis(10),
         }
     }
 }
@@ -175,8 +187,12 @@ struct Shared {
     /// `workers` blocks for the workers plus one trailing block owned by
     /// the event loop (accepts, timeouts, wakeups, swept connections).
     stats: Box<[CachePadded<WorkerStats>]>,
+    /// One telemetry block per worker (the event loop executes no frames,
+    /// so it needs none).
+    tel: Box<[CachePadded<WorkerTelemetry>]>,
     /// Gauge of currently open connections.
     curr_conns: AtomicU64,
+    started: Instant,
     config: ServerConfig,
 }
 
@@ -184,8 +200,10 @@ impl Shared {
     fn totals(&self) -> ServerStatsSnapshot {
         let mut total = ServerStatsSnapshot::default();
         for s in self.stats.iter() {
-            total.merge(&s.snapshot());
+            total.merge_counters(&s.snapshot());
         }
+        // Gauge contract (see `stats.rs`): the merge leaves the gauge at
+        // zero; the aggregator overwrites it from the live source.
         total.curr_connections = self.curr_conns.load(Ordering::Relaxed);
         total
     }
@@ -209,6 +227,41 @@ impl Shared {
     }
 }
 
+impl TelemetryHub for Shared {
+    fn telemetry_totals(&self) -> TelemetrySnapshot {
+        let mut total = TelemetrySnapshot::default();
+        for t in self.tel.iter() {
+            total.merge(&t.snapshot());
+        }
+        total
+    }
+
+    fn slow_ops(&self) -> Vec<SlowOp> {
+        let mut ops: Vec<SlowOp> = self.tel.iter().flat_map(|t| t.slow_ops()).collect();
+        // Newest first across workers (each ring is oldest-first locally).
+        ops.sort_by_key(|op| std::cmp::Reverse(op.unix_ms));
+        ops
+    }
+
+    fn slow_reset(&self) {
+        for t in self.tel.iter() {
+            t.slow_reset();
+        }
+    }
+
+    fn slow_len(&self) -> u64 {
+        self.tel.iter().map(|t| t.slow_len() as u64).sum()
+    }
+
+    fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    fn uptime_ms(&self) -> u64 {
+        self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+}
+
 /// The serving tier. Construct with [`Server::start`]; the returned
 /// [`ServerHandle`] owns the threads.
 pub struct Server;
@@ -222,6 +275,11 @@ impl Server {
         store: S,
         config: ServerConfig,
     ) -> io::Result<ServerHandle> {
+        // Calibrate the telemetry fast clock before any request is timed,
+        // so the one-time spin (~200 µs) never lands on a served frame.
+        if config.telemetry {
+            ascylib_telemetry::clock::calibrate();
+        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -236,7 +294,9 @@ impl Server {
             ready: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             stats: (0..workers + 1).map(|_| CachePadded::new(WorkerStats::default())).collect(),
+            tel: (0..workers).map(|_| CachePadded::new(WorkerTelemetry::new())).collect(),
             curr_conns: AtomicU64::new(0),
+            started: Instant::now(),
             config: ServerConfig { workers, ..config },
         });
 
@@ -390,6 +450,10 @@ fn worker_loop(index: usize, shared: &Shared) {
         max_pipeline: shared.config.max_pipeline,
         stats,
         totals: &totals,
+        tel: &shared.tel[index],
+        hub: shared,
+        recording: shared.config.telemetry,
+        slow_ns: shared.config.slowlog_threshold.as_nanos().min(u64::MAX as u128) as u64,
     };
     let mut chunk = vec![0u8; 16 * 1024];
     loop {
@@ -469,6 +533,17 @@ impl ServerHandle {
     /// Elements currently in the served store.
     pub fn store_size(&self) -> usize {
         self.shared.store.size()
+    }
+
+    /// Merged server-side telemetry (per-family/per-phase histograms and
+    /// hit/miss counters) across every worker.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.shared.telemetry_totals()
+    }
+
+    /// Slow-op entries across every worker, newest first.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        TelemetryHub::slow_ops(&*self.shared)
     }
 
     /// Signals shutdown (idempotent, non-blocking): stop accepting, flush

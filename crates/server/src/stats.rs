@@ -33,6 +33,10 @@ pub struct WorkerStats {
     pub frames: AtomicU64,
     /// Keyspace operations performed (an `MGET` of 10 keys counts 10).
     pub ops: AtomicU64,
+    /// Per-key read lookups that found a value (`GET`/`MGET`; one per key).
+    pub hits: AtomicU64,
+    /// Per-key read lookups that missed.
+    pub misses: AtomicU64,
     /// Error frames sent (malformed requests, key-range violations,
     /// unsupported scans).
     pub errors: AtomicU64,
@@ -59,6 +63,8 @@ impl WorkerStats {
             partial_writes: self.partial_writes.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             ops: self.ops.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             bytes_in: self.bytes_in.load(Ordering::Relaxed),
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
@@ -67,7 +73,18 @@ impl WorkerStats {
 }
 
 /// Point-in-time server counters (one worker's, or the sum over all
-/// workers via [`merge`](Self::merge)).
+/// workers via [`merge_counters`](Self::merge_counters)).
+///
+/// # Counters vs. gauges
+///
+/// Every field except `curr_connections` is a monotone **counter**, safe to
+/// sum across snapshots. `curr_connections` is a **gauge**: summing two
+/// full snapshots would double-count it, so
+/// [`merge_counters`](Self::merge_counters) deliberately leaves it
+/// untouched and the owner of the aggregate overwrites it from the live
+/// registry afterwards (see
+/// `Shared::totals` in `server.rs`). Any future gauge field must follow the
+/// same contract: excluded from the merge, set once by the aggregator.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServerStatsSnapshot {
     /// Connections fully served.
@@ -88,6 +105,10 @@ pub struct ServerStatsSnapshot {
     pub frames: u64,
     /// Keyspace operations performed.
     pub ops: u64,
+    /// Per-key read lookups that found a value.
+    pub hits: u64,
+    /// Per-key read lookups that missed.
+    pub misses: u64,
     /// Error frames sent.
     pub errors: u64,
     /// Bytes read from sockets.
@@ -97,17 +118,22 @@ pub struct ServerStatsSnapshot {
 }
 
 impl ServerStatsSnapshot {
-    /// Adds another snapshot into this one (saturating: a clamped aggregate
-    /// is visibly wrong, a wrapped tiny one is not).
-    pub fn merge(&mut self, other: &ServerStatsSnapshot) {
+    /// Adds the **counter** fields of another snapshot into this one
+    /// (saturating: a clamped aggregate is visibly wrong, a wrapped tiny one
+    /// is not). The `curr_connections` gauge is deliberately *not* merged —
+    /// summing a gauge across snapshots double-counts it; the aggregator
+    /// overwrites it from the live source instead (see the type-level
+    /// contract above).
+    pub fn merge_counters(&mut self, other: &ServerStatsSnapshot) {
         self.connections = self.connections.saturating_add(other.connections);
-        self.curr_connections = self.curr_connections.saturating_add(other.curr_connections);
         self.accepted = self.accepted.saturating_add(other.accepted);
         self.timeouts = self.timeouts.saturating_add(other.timeouts);
         self.wakeups = self.wakeups.saturating_add(other.wakeups);
         self.partial_writes = self.partial_writes.saturating_add(other.partial_writes);
         self.frames = self.frames.saturating_add(other.frames);
         self.ops = self.ops.saturating_add(other.ops);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
         self.errors = self.errors.saturating_add(other.errors);
         self.bytes_in = self.bytes_in.saturating_add(other.bytes_in);
         self.bytes_out = self.bytes_out.saturating_add(other.bytes_out);
@@ -125,16 +151,21 @@ mod tests {
         WorkerStats::bump(&a.ops, 7);
         WorkerStats::bump(&a.bytes_in, 100);
         WorkerStats::bump(&a.partial_writes, 2);
+        WorkerStats::bump(&a.hits, 5);
+        WorkerStats::bump(&a.misses, 2);
         let b = WorkerStats::default();
         WorkerStats::bump(&b.frames, 2);
         WorkerStats::bump(&b.errors, 1);
         WorkerStats::bump(&b.accepted, 4);
         WorkerStats::bump(&b.timeouts, 1);
         WorkerStats::bump(&b.wakeups, 9);
+        WorkerStats::bump(&b.hits, 1);
         let mut total = a.snapshot();
-        total.merge(&b.snapshot());
+        total.merge_counters(&b.snapshot());
         assert_eq!(total.frames, 5);
         assert_eq!(total.ops, 7);
+        assert_eq!(total.hits, 6);
+        assert_eq!(total.misses, 2);
         assert_eq!(total.errors, 1);
         assert_eq!(total.bytes_in, 100);
         assert_eq!(total.connections, 0);
@@ -148,7 +179,17 @@ mod tests {
     #[test]
     fn merge_saturates_instead_of_wrapping() {
         let mut a = ServerStatsSnapshot { ops: u64::MAX - 1, ..Default::default() };
-        a.merge(&ServerStatsSnapshot { ops: 5, ..Default::default() });
+        a.merge_counters(&ServerStatsSnapshot { ops: 5, ..Default::default() });
         assert_eq!(a.ops, u64::MAX);
+    }
+
+    #[test]
+    fn merge_counters_leaves_the_gauge_alone() {
+        // The historical bug: merging two full snapshots summed the
+        // curr_connections gauge, double-counting open connections. The
+        // merge must not touch it — the aggregator overwrites it.
+        let mut a = ServerStatsSnapshot { curr_connections: 3, ..Default::default() };
+        a.merge_counters(&ServerStatsSnapshot { curr_connections: 3, ..Default::default() });
+        assert_eq!(a.curr_connections, 3, "gauge must not be summed by the merge");
     }
 }

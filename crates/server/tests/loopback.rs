@@ -64,12 +64,13 @@ fn concurrent_pipelined_clients_match_the_sequential_model() {
     .expect("bind");
     let addr = server.addr();
 
-    let models: Vec<BTreeMap<u64, Vec<u8>>> = std::thread::scope(|scope| {
+    let results: Vec<(BTreeMap<u64, Vec<u8>>, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..CLIENTS as u64 {
             handles.push(scope.spawn(move || {
                 let base = 1 + c * SPAN;
                 let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+                let mut gets = 0u64;
                 let mut client = Client::connect(addr).expect("connect");
                 let mut rng = SmallRng::seed_from_u64(0x5EED ^ (c + 1));
                 for round in 0..ROUNDS {
@@ -84,6 +85,7 @@ fn concurrent_pipelined_clients_match_the_sequential_model() {
                         match rng.random_range(0..100u32) {
                             0..=39 => {
                                 p.get(key);
+                                gets += 1;
                                 kinds.push(Request::Get(key));
                                 expected.push(Some(model.get(&key).cloned()));
                             }
@@ -144,15 +146,16 @@ fn concurrent_pipelined_clients_match_the_sequential_model() {
                     }
                 }
                 client.quit().expect("quit");
-                model
+                (model, gets)
             }));
         }
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
+    let total_gets: u64 = results.iter().map(|(_, g)| g).sum();
 
     // Union of the sequential models == final server contents.
     let mut combined: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-    for model in &models {
+    for (model, _) in &results {
         combined.extend(model.iter().map(|(&k, v)| (k, v.clone())));
     }
 
@@ -184,6 +187,14 @@ fn concurrent_pipelined_clients_match_the_sequential_model() {
     let stats = server.join();
     assert_eq!(stats.errors, 0, "a well-formed run must produce no error frames");
     assert_eq!(stats.connections, CLIENTS as u64 + 1);
+    // Read-outcome coherence: every single-key lookup the run performed —
+    // the clients' GETs plus the checker's per-key MGET probes — classified
+    // as exactly one hit or one miss.
+    assert_eq!(
+        stats.hits + stats.misses,
+        total_gets + all_keys.len() as u64,
+        "hits + misses must equal the keys looked up"
+    );
 }
 
 /// The value-payload acceptance test: binary values — NUL and newline bytes
@@ -298,6 +309,8 @@ fn stats_frame_reports_store_and_server_counters() {
     for k in 1..=10u64 {
         assert!(c.set(k, &[7u8; 100]).unwrap());
     }
+    assert!(c.get(1).unwrap().is_some());
+    assert!(c.get(999).unwrap().is_none());
     let stats = c.stats().unwrap();
     let field = |name: &str| -> u64 {
         stats
@@ -310,10 +323,116 @@ fn stats_frame_reports_store_and_server_counters() {
     assert_eq!(field("size"), 10);
     assert_eq!(field("shards"), 3);
     assert_eq!(field("value_bytes"), 1000, "10 live values of 100 bytes");
-    assert_eq!(field("ops"), 10, "ten SETs before the STATS frame");
-    assert_eq!(field("frames"), 11);
+    assert_eq!(field("ops"), 12, "ten SETs and two GETs before the STATS frame");
+    assert_eq!(field("frames"), 13);
+    assert_eq!(field("hits"), 1, "GET 1 found its value");
+    assert_eq!(field("misses"), 1, "GET 999 did not");
     assert!(field("bytes_in") > 0);
     assert_eq!(field("errors"), 0);
     c.quit().unwrap();
+    server.join();
+}
+
+/// End-to-end telemetry: a real loadgen run, then every observability
+/// surface — `INFO`, `SLOWLOG`, `METRICS`, and the loadgen's own scrape —
+/// checked against the client-side view of the same traffic.
+#[test]
+fn telemetry_surfaces_reflect_the_run_and_bound_the_client_view() {
+    use ascylib_server::loadgen::{self, LoadGenConfig, ValueSize};
+    use std::time::Duration;
+
+    let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+    let server = Server::start(
+        "127.0.0.1:0",
+        BlobOrderedStore::new(map),
+        ServerConfig {
+            // A zero threshold turns the slow-op log into a full recent-op
+            // log, so the deliberate slow op below is captured regardless
+            // of how fast this machine is.
+            slowlog_threshold: Duration::ZERO,
+            ..ServerConfig::for_connections(4)
+        },
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let cfg = LoadGenConfig {
+        connections: 2,
+        duration_ms: 120,
+        key_range: 512,
+        value_size: ValueSize::Fixed(64),
+        pipeline_depth: 8,
+        ..LoadGenConfig::default()
+    };
+    let r = loadgen::run(addr, &cfg).expect("loadgen");
+    assert!(r.total_ops > 0);
+    assert_eq!(r.errors, 0);
+
+    // The loadgen scraped the server's own latency view at end of run. Each
+    // request's service time elapses inside the round trip of the batch
+    // that carried it, so the server-side p99 must sit within the client's
+    // worst batch RTT — plus the histogram's 6.25% bucket-rounding slack.
+    let sl = r.server_latency.expect("telemetry is on by default");
+    assert!(sl.count >= r.total_ops, "server counted at least the answered ops");
+    assert!(sl.p50_ns > 0 && sl.p99_ns >= sl.p50_ns && sl.max_ns >= sl.p999_ns);
+    assert!(
+        sl.p99_ns <= r.batch_rtt.max + r.batch_rtt.max / 8,
+        "server p99 {}ns outside the client envelope (worst batch RTT {}ns)",
+        sl.p99_ns,
+        r.batch_rtt.max,
+    );
+
+    // A deliberately heavy operation: one MSET carrying ~1 MiB of payload.
+    let mut c = Client::connect(addr).expect("connect");
+    let big = vec![0xABu8; MAX_VALUE];
+    let entries: Vec<(u64, &[u8])> = (1000..1015).map(|k| (k, big.as_slice())).collect();
+    c.mset(&entries).expect("big MSET");
+
+    // SLOWLOG captured it (newest entries first).
+    assert!(c.slowlog_len().expect("len") > 0);
+    let slow = c.slowlog_get().expect("slowlog");
+    let entry = slow
+        .lines()
+        .find(|l| l.contains("family=mset"))
+        .unwrap_or_else(|| panic!("big MSET missing from slowlog:\n{slow}"));
+    assert!(entry.contains("key=1000"), "{entry}");
+    assert!(
+        entry.contains(&format!("bytes={}", 15 * MAX_VALUE)),
+        "payload bytes recorded: {entry}"
+    );
+    c.slowlog_reset().expect("reset");
+    // At threshold zero the RESET frame records *itself* after clearing the
+    // rings, so exactly one entry survives its own reset.
+    assert_eq!(c.slowlog_len().expect("len after reset"), 1);
+
+    // INFO renders every section; the commands section agrees with the
+    // client-side tally on reads (GET hits + misses == GETs answered).
+    let info = c.info(None).expect("info");
+    for header in ["# server", "# commands", "# latency", "# memory"] {
+        assert!(info.contains(header), "INFO missing {header}");
+    }
+    let field = |name: &str| -> u64 {
+        info.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.strip_prefix(':')))
+            .unwrap_or_else(|| panic!("missing {name} in INFO"))
+            .trim()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(field("cmd_get_ops"), r.gets, "server GET count == client GETs answered");
+    assert_eq!(
+        field("cmd_get_hits") + field("cmd_get_misses"),
+        r.gets,
+        "every GET classified as a hit or a miss"
+    );
+    assert_eq!(field("cmd_get_hits"), r.hits, "hit counts agree across the wire");
+
+    // METRICS is well-formed Prometheus text exposition with real samples.
+    let metrics = c.metrics().expect("metrics");
+    ascylib_telemetry::expo::validate(&metrics).expect("exposition validates");
+    assert!(metrics.contains("ascy_request_duration_ns_bucket"), "{metrics}");
+    assert!(metrics.contains("ascy_phase_duration_ns_bucket{phase=\"execute\""), "{metrics}");
+
+    c.quit().expect("quit");
     server.join();
 }

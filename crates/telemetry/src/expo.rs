@@ -1,0 +1,392 @@
+//! Prometheus text exposition (version 0.0.4) rendering and validation.
+//!
+//! [`Exposition`] builds the scrape body line by line: `# HELP` / `# TYPE`
+//! headers are emitted once per metric name (label-varied series of the
+//! same metric share them), counters and gauges are one sample line each,
+//! and histograms render the standard cumulative `_bucket{le="…"}` series
+//! plus `_sum` and `_count`. Only non-empty buckets are materialized (the
+//! cumulative encoding loses nothing by skipping repeats), which keeps a
+//! 592-bucket histogram's wire form proportional to the distribution's
+//! support, not the bucket array.
+//!
+//! [`validate`] is a mini-parser for the same format, used by tests and
+//! smoke checks to assert a scrape body is well-formed without a real
+//! Prometheus in the loop.
+
+use std::fmt::Write as _;
+
+use crate::hist::HistogramSnapshot;
+
+/// Builder for one scrape body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+    seen: Vec<String>,
+}
+
+impl Exposition {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        if self.seen.iter().any(|s| s == name) {
+            return;
+        }
+        self.seen.push(name.to_string());
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn labels(labels: &[(&str, &str)], extra: Option<(&str, &str)>) -> String {
+        let mut parts: Vec<String> = labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            String::new()
+        } else {
+            format!("{{{}}}", parts.join(","))
+        }
+    }
+
+    /// Emits one counter sample.
+    pub fn counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::labels(labels, None));
+    }
+
+    /// Emits one gauge sample.
+    pub fn gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name}{} {value}", Self::labels(labels, None));
+    }
+
+    /// Emits one histogram: cumulative `_bucket` series over the snapshot's
+    /// non-empty buckets, a closing `le="+Inf"` bucket, `_sum`, and
+    /// `_count`.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+    ) {
+        self.header(name, help, "histogram");
+        let mut cumulative = 0u64;
+        for (high, count) in snap.nonzero_buckets() {
+            cumulative = cumulative.saturating_add(count);
+            let lbl = Self::labels(labels, Some(("le", &high.to_string())));
+            let _ = writeln!(self.out, "{name}_bucket{lbl} {cumulative}");
+        }
+        let inf = Self::labels(labels, Some(("le", "+Inf")));
+        let _ = writeln!(self.out, "{name}_bucket{inf} {}", snap.count());
+        let plain = Self::labels(labels, None);
+        let _ = writeln!(self.out, "{name}_sum{plain} {}", snap.sum());
+        let _ = writeln!(self.out, "{name}_count{plain} {}", snap.count());
+    }
+
+    /// The finished scrape body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Splits `name{label="v",...}` into the name and its label pairs,
+/// validating quoting and escapes.
+fn parse_series(series: &str) -> Result<(String, Vec<(String, String)>), String> {
+    let Some(brace) = series.find('{') else {
+        if !valid_metric_name(series) {
+            return Err(format!("bad metric name {series:?}"));
+        }
+        return Ok((series.to_string(), Vec::new()));
+    };
+    let name = &series[..brace];
+    if !valid_metric_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    let rest = &series[brace + 1..];
+    let Some(body) = rest.strip_suffix('}') else {
+        return Err(format!("unterminated label set in {series:?}"));
+    };
+    let mut labels = Vec::new();
+    let mut chars = body.chars().peekable();
+    loop {
+        let mut label = String::new();
+        while let Some(&c) = chars.peek() {
+            if c == '=' {
+                break;
+            }
+            label.push(c);
+            chars.next();
+        }
+        if chars.next() != Some('=') || chars.next() != Some('"') {
+            return Err(format!("label {label:?} missing =\"…\" in {series:?}"));
+        }
+        if !valid_label_name(&label) {
+            return Err(format!("bad label name {label:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(e @ ('\\' | '"' | 'n')) => {
+                        value.push('\\');
+                        value.push(e);
+                    }
+                    other => return Err(format!("bad escape {other:?} in {series:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {series:?}")),
+            }
+        }
+        labels.push((label, value));
+        match chars.next() {
+            None => break,
+            Some(',') => continue,
+            Some(c) => return Err(format!("expected ',' or end, got {c:?} in {series:?}")),
+        }
+    }
+    Ok((name.to_string(), labels))
+}
+
+/// Strips a histogram series name down to its base metric name.
+fn base_name(name: &str) -> &str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return base;
+        }
+    }
+    name
+}
+
+/// Validates a Prometheus text-exposition body: every line is a comment,
+/// blank, or `series value`; `# TYPE` declarations are well-formed and
+/// precede their samples; histogram `_bucket` series carry an `le` label,
+/// are cumulative (non-decreasing), and close with `le="+Inf"` equal to
+/// `_count`. Returns a description of the first problem found.
+pub fn validate(body: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    // metric name -> declared type
+    let mut types: HashMap<String, String> = HashMap::new();
+    // histogram name+labels -> (last cumulative, saw +Inf with that value)
+    let mut cumul: HashMap<String, u64> = HashMap::new();
+    let mut inf: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in body.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let comment = comment.trim_start();
+            if let Some(rest) = comment.strip_prefix("TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or("");
+                let kind = it.next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad TYPE metric name {name:?}"));
+                }
+                if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                    return Err(format!("line {n}: bad TYPE kind {kind:?}"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {n}: duplicate TYPE for {name}"));
+                }
+            } else if let Some(rest) = comment.strip_prefix("HELP ") {
+                let name = rest.split(' ').next().unwrap_or("");
+                if !valid_metric_name(name) {
+                    return Err(format!("line {n}: bad HELP metric name {name:?}"));
+                }
+            }
+            continue;
+        }
+        let Some(space) = line.rfind(' ') else {
+            return Err(format!("line {n}: no value in {line:?}"));
+        };
+        let (series, value) = (&line[..space], &line[space + 1..]);
+        if value.parse::<f64>().is_err() && value != "+Inf" && value != "-Inf" && value != "NaN"
+        {
+            return Err(format!("line {n}: bad sample value {value:?}"));
+        }
+        let (name, labels) = parse_series(series).map_err(|e| format!("line {n}: {e}"))?;
+        let base = base_name(&name);
+        let declared = types
+            .get(base)
+            .or_else(|| types.get(&name))
+            .ok_or_else(|| format!("line {n}: sample {name} precedes its TYPE"))?;
+        samples += 1;
+        if declared == "histogram" && name.ends_with("_bucket") {
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("line {n}: histogram bucket without le label"))?;
+            let others: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let key = format!("{base}|{}", others.join(","));
+            let v: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer bucket count {value:?}"))?;
+            if le == "+Inf" {
+                inf.insert(key, v);
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("line {n}: non-numeric le {le:?}"))?;
+                let prev = cumul.entry(key).or_insert(0);
+                if v < *prev {
+                    return Err(format!("line {n}: bucket series not cumulative"));
+                }
+                *prev = v;
+            }
+        } else if declared == "histogram" && name.ends_with("_count") {
+            let key_labels: Vec<String> =
+                labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            let key = format!("{base}|{}", key_labels.join(","));
+            let v: u64 = value
+                .parse()
+                .map_err(|_| format!("line {n}: non-integer count {value:?}"))?;
+            counts.insert(key, v);
+        }
+    }
+    if samples == 0 {
+        return Err("no samples".to_string());
+    }
+    for (key, &count) in &counts {
+        match inf.get(key) {
+            Some(&i) if i == count => {}
+            Some(&i) => {
+                return Err(format!("histogram {key}: le=\"+Inf\" {i} != _count {count}"));
+            }
+            None => return Err(format!("histogram {key}: missing le=\"+Inf\" bucket")),
+        }
+        if let Some(&last) = cumul.get(key) {
+            if last > count {
+                return Err(format!("histogram {key}: cumulative {last} exceeds count {count}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    #[test]
+    fn builder_output_validates_and_is_stable() {
+        let h = Histogram::new();
+        for v in [3, 3, 40, 40, 41, 100_000] {
+            h.record(v);
+        }
+        let mut e = Exposition::new();
+        e.counter("ascy_requests_total", "Requests served.", &[("family", "get")], 7);
+        e.counter("ascy_requests_total", "Requests served.", &[("family", "set")], 2);
+        e.gauge("ascy_connections", "Open connections.", &[], 3);
+        e.histogram(
+            "ascy_request_duration_ns",
+            "Request service time.",
+            &[("family", "get")],
+            &h.snapshot(),
+        );
+        let body = e.finish();
+        validate(&body).expect("builder output must validate");
+        // HELP/TYPE once per metric even with two labelled series.
+        assert_eq!(body.matches("# TYPE ascy_requests_total").count(), 1);
+        // Cumulative buckets end at the exact count.
+        assert!(body.contains("ascy_request_duration_ns_bucket{family=\"get\",le=\"+Inf\"} 6"));
+        assert!(body.contains("ascy_request_duration_ns_count{family=\"get\"} 6"));
+        assert!(body.contains("ascy_request_duration_ns_sum{family=\"get\"} 100127"));
+    }
+
+    #[test]
+    fn empty_histogram_still_renders_a_complete_series() {
+        let mut e = Exposition::new();
+        e.histogram("ascy_lat", "x.", &[], &Histogram::new().snapshot());
+        let body = e.finish();
+        validate(&body).expect("empty histogram validates");
+        assert!(body.contains("ascy_lat_bucket{le=\"+Inf\"} 0"));
+        assert!(body.contains("ascy_lat_count 0"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let mut e = Exposition::new();
+        e.counter("ascy_x", "h.", &[("k", "a\"b\\c\nd")], 1);
+        let body = e.finish();
+        validate(&body).expect("escaped labels validate");
+        assert!(body.contains("ascy_x{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_bodies() {
+        for (body, why) in [
+            ("", "empty"),
+            ("# TYPE ascy_x counter\n", "no samples"),
+            ("ascy_x 1\n", "sample precedes TYPE"),
+            ("# TYPE ascy_x counter\nascy_x one\n", "bad value"),
+            ("# TYPE ascy_x counter\nascy_x{k=\"v\" 1\n", "unterminated labels"),
+            ("# TYPE 9bad counter\n9bad 1\n", "bad metric name"),
+            (
+                "# TYPE ascy_h histogram\nascy_h_bucket{le=\"10\"} 5\n\
+                 ascy_h_bucket{le=\"20\"} 3\nascy_h_bucket{le=\"+Inf\"} 5\n\
+                 ascy_h_sum 1\nascy_h_count 5\n",
+                "non-cumulative buckets",
+            ),
+            (
+                "# TYPE ascy_h histogram\nascy_h_bucket{le=\"10\"} 5\n\
+                 ascy_h_sum 1\nascy_h_count 5\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE ascy_h histogram\nascy_h_bucket{le=\"+Inf\"} 4\n\
+                 ascy_h_sum 1\nascy_h_count 5\n",
+                "+Inf != count",
+            ),
+        ] {
+            assert!(validate(body).is_err(), "{why}: {body:?} must not validate");
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! A lock-free log-linear latency histogram (HdrHistogram-style bucketing).
+//!
+//! Values (nanoseconds, but the histogram does not care) are mapped to a
+//! fixed array of buckets: the first [`SUB`] buckets are linear (width 1,
+//! exact), and every power-of-two octave above them is split into
+//! [`SUB`]`/2` equal sub-buckets, so the relative width of any bucket is at
+//! most `2/SUB` (6.25% at the default `SUB = 32`). Recording is one
+//! index computation (a `leading_zeros` and a shift) plus one `Relaxed`
+//! `fetch_add` — no locks, no allocation, no ordering obligations — which
+//! is what makes it safe to leave enabled on a serving hot path.
+//!
+//! Aggregation is snapshot-and-merge: each writer owns its own `Histogram`
+//! (the server gives every worker a cache-padded block), readers copy the
+//! buckets into a [`HistogramSnapshot`] and sum snapshots. A snapshot taken
+//! while writers are recording is *statistical* — each bucket is atomically
+//! read, but the set of buckets is not a consistent cut. That is the same
+//! contract as every other counter in this codebase.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the linear region: values below `1 << SUB_BITS` get exact
+/// width-1 buckets.
+pub const SUB_BITS: u32 = 5;
+
+/// Number of linear buckets (and sub-buckets per octave times two).
+pub const SUB: usize = 1 << SUB_BITS;
+
+const HALF: usize = SUB / 2;
+
+/// Octaves above the linear region. Together with [`SUB_BITS`] this sets
+/// [`MAX_TRACKABLE`]: 35 octaves over 2^5 tracks up to 2^40 − 1 ns ≈ 18.3
+/// minutes — far beyond any plausible request service time.
+const OCTAVES: usize = 35;
+
+/// Total bucket count.
+pub const NUM_BUCKETS: usize = SUB + OCTAVES * HALF;
+
+/// Largest distinguishable value. Recording a larger value saturates into
+/// the top bucket (and contributes `MAX_TRACKABLE` to the sum, keeping the
+/// mean and the buckets consistent with each other).
+pub const MAX_TRACKABLE: u64 = (1u64 << (SUB_BITS as u64 + OCTAVES as u64)) - 1;
+
+/// Maximum relative error of a reported quantile: a bucket's width divided
+/// by its lower bound never exceeds `2 / SUB`.
+pub const MAX_RELATIVE_ERROR: f64 = 2.0 / SUB as f64;
+
+/// Maps a value to its bucket index (clamping into the top bucket above
+/// [`MAX_TRACKABLE`]).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - (SUB_BITS - 1);
+    let sub = (v >> shift) as usize; // in [HALF, SUB)
+    let idx = SUB + (msb - SUB_BITS) as usize * HALF + (sub - HALF);
+    idx.min(NUM_BUCKETS - 1)
+}
+
+/// The largest value bucket `i` covers (inclusive). This is what quantile
+/// queries report, so reported quantiles never under-estimate.
+#[inline]
+pub fn bucket_high(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i - SUB) / HALF;
+    let pos = ((i - SUB) % HALF) as u64;
+    let shift = octave as u32 + 1;
+    ((HALF as u64 + pos + 1) << shift) - 1
+}
+
+/// The smallest value bucket `i` covers.
+#[inline]
+pub fn bucket_low(i: usize) -> u64 {
+    if i < SUB {
+        return i as u64;
+    }
+    let octave = (i - SUB) / HALF;
+    let pos = ((i - SUB) % HALF) as u64;
+    let shift = octave as u32 + 1;
+    (HALF as u64 + pos) << shift
+}
+
+/// A fixed-size atomic bucket array. One writer per instance is the
+/// intended discipline (per-worker blocks), but concurrent recording is
+/// safe — just slower, because the lines bounce.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram ([`NUM_BUCKETS`] zeroed buckets).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value: one index computation plus `Relaxed` atomics.
+    /// The max is checked with a plain load first, so the common case
+    /// (value not a new maximum) costs two `fetch_add`s.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let clamped = v.min(MAX_TRACKABLE);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(clamped, Ordering::Relaxed);
+        if clamped > self.max.load(Ordering::Relaxed) {
+            self.max.fetch_max(clamped, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one value from the histogram's **single writer**: the
+    /// read-modify-writes are plain load + store pairs (no `lock` prefix),
+    /// which on virtualized hosts costs a fraction of [`record`](Self::record).
+    ///
+    /// Memory-safe under any concurrency, but if two threads call this on
+    /// the same histogram concurrently, increments may be lost. Use it only
+    /// where one thread owns the writes (e.g. a per-worker telemetry
+    /// block); concurrent readers may still
+    /// [`snapshot`](Self::snapshot) at any time.
+    #[inline]
+    pub fn record_unsync(&self, v: u64) {
+        let clamped = v.min(MAX_TRACKABLE);
+        let bucket = &self.buckets[bucket_index(v)];
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.sum
+            .store(self.sum.load(Ordering::Relaxed).saturating_add(clamped), Ordering::Relaxed);
+        if clamped > self.max.load(Ordering::Relaxed) {
+            self.max.store(clamped, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the buckets (statistical, see module docs).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+            count = count.saturating_add(*dst);
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Histogram`]'s state, mergeable and queryable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// A snapshot with zero recorded values.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: vec![0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+
+    /// Recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (each clamped to [`MAX_TRACKABLE`]).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (clamped to [`MAX_TRACKABLE`]).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Adds another snapshot into this one (saturating).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `q`-quantile (`q` in `(0, 1]`) by the nearest-rank definition:
+    /// the upper bound of the bucket holding the `ceil(q·count)`-th
+    /// smallest recorded value, capped at the largest recorded value (a
+    /// bucket bound can overshoot every sample when the rank lands in the
+    /// max's own bucket). Reported values never under-estimate the exact
+    /// quantile and over-estimate it by at most [`MAX_RELATIVE_ERROR`], and
+    /// every reported quantile is `<= max()`. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(c);
+            if seen >= rank {
+                return bucket_high(i).min(self.max);
+            }
+        }
+        bucket_high(NUM_BUCKETS - 1).min(self.max)
+    }
+
+    /// The non-empty buckets as `(inclusive upper bound, count)` pairs, in
+    /// ascending bound order — the compact form the exposition and JSON
+    /// emitters serialize.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_high(i), c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn record_unsync_matches_record_for_a_single_writer() {
+        let locked = Histogram::new();
+        let unsync = Histogram::new();
+        let values = [0u64, 1, 31, 32, 1000, MAX_TRACKABLE, u64::MAX];
+        for &v in &values {
+            locked.record(v);
+            unsync.record_unsync(v);
+        }
+        let (a, b) = (locked.snapshot(), unsync.snapshot());
+        assert_eq!(a.buckets, b.buckets);
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.max(), b.max());
+    }
+
+    #[test]
+    fn bucket_geometry_is_contiguous_and_exhaustive() {
+        // Every bucket's low is the previous bucket's high + 1, buckets
+        // cover [0, MAX_TRACKABLE] with no gaps, and bucket_index inverts
+        // the bounds.
+        assert_eq!(bucket_low(0), 0);
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = (bucket_low(i), bucket_high(i));
+            assert!(lo <= hi, "bucket {i}");
+            if i > 0 {
+                assert_eq!(lo, bucket_high(i - 1) + 1, "bucket {i} starts after {}", i - 1);
+            }
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            // Relative width bound: (hi - lo) <= lo * MAX_RELATIVE_ERROR.
+            if lo > 0 {
+                assert!(
+                    (hi - lo) as f64 <= lo as f64 * MAX_RELATIVE_ERROR,
+                    "bucket {i}: [{lo}, {hi}] too wide"
+                );
+            }
+        }
+        assert_eq!(bucket_high(NUM_BUCKETS - 1), MAX_TRACKABLE);
+    }
+
+    #[test]
+    fn record_and_query_round_trip() {
+        let h = Histogram::new();
+        for v in [0, 1, 31, 32, 33, 1000, 1_000_000, MAX_TRACKABLE] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 8);
+        assert_eq!(s.max(), MAX_TRACKABLE);
+        assert_eq!(s.sum(), 1 + 31 + 32 + 33 + 1000 + 1_000_000 + MAX_TRACKABLE);
+        // Linear region is exact.
+        assert_eq!(s.quantile(0.125), 0);
+        assert_eq!(s.quantile(1.0), MAX_TRACKABLE);
+        // The non-zero bucket list is ascending and covers all 8 records.
+        let nz = s.nonzero_buckets();
+        assert!(nz.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(nz.iter().map(|&(_, c)| c).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn saturation_at_max_trackable() {
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(MAX_TRACKABLE + 1);
+        h.record(MAX_TRACKABLE);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.max(), MAX_TRACKABLE);
+        assert_eq!(s.sum(), 3 * MAX_TRACKABLE);
+        assert_eq!(s.quantile(0.5), MAX_TRACKABLE);
+        assert_eq!(s.nonzero_buckets(), vec![(MAX_TRACKABLE, 3)]);
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_keeps_the_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record(10);
+        a.record(100);
+        b.record(100);
+        b.record(5000);
+        let mut s = a.snapshot();
+        s.merge(&b.snapshot());
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum(), 10 + 100 + 100 + 5000);
+        assert!(s.max() >= 5000);
+        assert_eq!(s.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn concurrent_record_snapshot_merge() {
+        // Writers hammer one histogram each while a reader merges snapshots
+        // mid-flight; after joining, the merged total is exact.
+        const WRITERS: usize = 4;
+        const PER: u64 = 50_000;
+        let hists: Arc<Vec<Histogram>> =
+            Arc::new((0..WRITERS).map(|_| Histogram::new()).collect());
+        std::thread::scope(|scope| {
+            for w in 0..WRITERS {
+                let hists = Arc::clone(&hists);
+                scope.spawn(move || {
+                    for i in 0..PER {
+                        // Spread across the whole range, octaves included.
+                        hists[w].record(i.wrapping_mul(2654435761) % (1 << 22));
+                    }
+                });
+            }
+            // Concurrent reader: snapshots must always be internally sane
+            // (counts equal bucket sums — guaranteed by construction — and
+            // never exceed the final total).
+            let hists2 = Arc::clone(&hists);
+            scope.spawn(move || {
+                for _ in 0..100 {
+                    let mut merged = HistogramSnapshot::empty();
+                    for h in hists2.iter() {
+                        merged.merge(&h.snapshot());
+                    }
+                    assert!(merged.count() <= WRITERS as u64 * PER);
+                    if merged.count() > 0 {
+                        assert!(merged.quantile(0.5) <= merged.quantile(1.0));
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        });
+        let mut merged = HistogramSnapshot::empty();
+        for h in hists.iter() {
+            merged.merge(&h.snapshot());
+        }
+        assert_eq!(merged.count(), WRITERS as u64 * PER);
+        assert_eq!(
+            merged.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(),
+            WRITERS as u64 * PER
+        );
+    }
+
+    /// The sorted-`Vec` exact-percentile oracle: nearest-rank over the raw
+    /// (clamped) samples.
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn quantiles_match_the_sorted_vec_oracle_within_bucket_error(
+            values in collection::vec(0u64..(1u64 << 44), 1..400),
+            qs in collection::vec(1u64..10_000, 1..8),
+        ) {
+            let h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted: Vec<u64> =
+                values.iter().map(|&v| v.min(MAX_TRACKABLE)).collect();
+            sorted.sort_unstable();
+            let s = h.snapshot();
+            assert_eq!(s.count(), values.len() as u64);
+            for &qi in &qs {
+                let q = qi as f64 / 10_000.0;
+                let exact = exact_quantile(&sorted, q);
+                let reported = s.quantile(q);
+                // The reported quantile is the upper bound of the exact
+                // value's bucket: never below it, above it by at most the
+                // bucket's relative width.
+                assert!(reported >= exact, "q={q}: reported {reported} < exact {exact}");
+                let slack = (exact as f64 * MAX_RELATIVE_ERROR) as u64 + 1;
+                assert!(
+                    reported - exact <= slack,
+                    "q={q}: reported {reported} vs exact {exact} (slack {slack})"
+                );
+            }
+        }
+
+        #[test]
+        fn every_value_lands_in_a_bucket_that_contains_it(v in 0u64..u64::MAX) {
+            let i = bucket_index(v);
+            let clamped = v.min(MAX_TRACKABLE);
+            assert!(bucket_low(i) <= clamped && clamped <= bucket_high(i));
+        }
+    }
+}

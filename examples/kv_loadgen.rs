@@ -165,6 +165,17 @@ fn main() {
             );
         }
     }
+    // Client-side RTT above includes the wire and the batching; the
+    // server-side view (scraped from INFO latency after the burst) is
+    // per-request service time alone.
+    match r.server_latency {
+        Some(sl) => println!(
+            "kv_loadgen: server-side service time p50={} p99={} p999={} max={} ns \
+             over {} requests",
+            sl.p50_ns, sl.p99_ns, sl.p999_ns, sl.max_ns, sl.count
+        ),
+        None => println!("kv_loadgen: no server-side latency (telemetry off or scrape failed)"),
+    }
     if let Some(server) = self_serve {
         let stats = server.join();
         println!(

@@ -28,33 +28,44 @@
 //!
 //! * **`--demo`**: bind an ephemeral port, run the in-process closed-loop
 //!   load generator against it for a short burst (pipelined and
-//!   unpipelined), print both reports — payload bandwidth included — and
-//!   shut down cleanly. Exits non-zero if the burst served nothing — CI
-//!   uses this as the serving smoke test.
+//!   unpipelined), print both reports — payload bandwidth included — then
+//!   scrape the observability surfaces (`INFO latency`/`INFO commands`,
+//!   `METRICS`, `SLOWLOG`, the threshold forced to zero so the slow log
+//!   fills) and shut down cleanly. Exits non-zero if the burst served
+//!   nothing or a scrape fails to validate — CI uses this as the serving
+//!   smoke test.
 //!
 //! Environment: `ASCYLIB_ADDR`, `ASCYLIB_SHARDS` (default 4),
 //! `ASCYLIB_WORKERS` (default 8; the event-driven tier serves any number
 //! of connections on them), `ASCYLIB_IDLE_MS` (idle-connection eviction
-//! timeout, default 60000; 0 disables), `ASCYLIB_SERVE_MILLIS` (0 = forever),
+//! timeout, default 60000; 0 disables), `ASCYLIB_SLOW_US` (slow-op log
+//! threshold in microseconds, default 10000; serve mode only — the demo
+//! pins it to 0), `ASCYLIB_SERVE_MILLIS` (0 = forever),
 //! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300),
 //! `ASCYLIB_VALUES` (value-size spec: `fixed:64`, `uniform:16,4096`, or
 //! `bimodal:16,256,10`; demo default `bimodal:16,256,10`).
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use ascylib::skiplist::FraserOptSkipList;
 use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
-use ascylib_server::{BlobOrderedStore, Server, ServerConfig, ServerHandle, ValueSize};
+use ascylib_server::{BlobOrderedStore, Client, Server, ServerConfig, ServerHandle, ValueSize};
 use ascylib_shard::BlobMap;
 
-fn start(addr: &str, shards: usize, workers: usize) -> ServerHandle {
+fn start(addr: &str, shards: usize, workers: usize, slowlog: Duration) -> ServerHandle {
     let map = Arc::new(BlobMap::new(shards, |_| FraserOptSkipList::new()));
     let idle_timeout = match env_or("ASCYLIB_IDLE_MS", 60_000) {
         0 => None,
         ms => Some(std::time::Duration::from_millis(ms)),
     };
-    let config = ServerConfig { workers, idle_timeout, ..ServerConfig::default() };
+    let config = ServerConfig {
+        workers,
+        idle_timeout,
+        slowlog_threshold: slowlog,
+        ..ServerConfig::default()
+    };
     let server = Server::start(addr, BlobOrderedStore::new(map), config)
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
@@ -87,7 +98,9 @@ fn print_result(label: &str, r: &LoadGenResult) {
 }
 
 fn demo(shards: usize, workers: usize) {
-    let server = start("127.0.0.1:0", shards, workers);
+    // Threshold zero so the burst is guaranteed to populate the slow-op
+    // log — the demo shows the mechanism, not a tuned production cutoff.
+    let server = start("127.0.0.1:0", shards, workers, Duration::ZERO);
     let addr = server.addr();
     let key_range = 8192u64;
     let vsize = ValueSize::from_env();
@@ -118,6 +131,40 @@ fn demo(shards: usize, workers: usize) {
         "pipelining:",
         pipelined.mops / unpipelined.mops.max(f64::MIN_POSITIVE)
     );
+    if let Some(sl) = pipelined.server_latency {
+        println!(
+            "{:>14}  server-side service time: p50 {} ns, p99 {} ns, max {} ns over {} requests",
+            "", sl.p50_ns, sl.p99_ns, sl.max_ns, sl.count
+        );
+    }
+
+    // The observability surfaces, scraped over the same wire protocol the
+    // data path uses (see PROTOCOL.md and README "Observing a running
+    // server").
+    let mut probe = Client::connect(addr).expect("observability probe connects");
+    let latency = probe.info(Some("latency")).expect("INFO latency");
+    let commands = probe.info(Some("commands")).expect("INFO commands");
+    println!("kv_server: INFO latency ->");
+    for line in latency.lines().take(8) {
+        println!("    {line}");
+    }
+    println!("kv_server: INFO commands ->");
+    for line in commands.lines().filter(|l| l.contains("_ops:")) {
+        println!("    {line}");
+    }
+    let metrics = probe.metrics().expect("METRICS");
+    ascylib_telemetry::expo::validate(&metrics).expect("METRICS body is valid exposition text");
+    println!(
+        "kv_server: METRICS -> {} lines of valid Prometheus text exposition",
+        metrics.lines().count()
+    );
+    let slow_len = probe.slowlog_len().expect("SLOWLOG LEN");
+    let slowlog = probe.slowlog_get().expect("SLOWLOG GET");
+    println!("kv_server: SLOWLOG -> {slow_len} ops at/over threshold; most recent:");
+    for line in slowlog.lines().take(3) {
+        println!("    {line}");
+    }
+    probe.quit().expect("probe quits");
 
     let stats = server.join();
     println!(
@@ -134,6 +181,14 @@ fn demo(shards: usize, workers: usize) {
         "the burst must move real payload bytes"
     );
     assert!(stats.frames > 0 && stats.connections > 0);
+    // Observability contract: the latency section reflects the burst, and
+    // with a zero threshold the slow log cannot be empty.
+    assert!(
+        pipelined.server_latency.is_some_and(|sl| sl.count > 0),
+        "server-side latency must be scraped after the burst"
+    );
+    assert!(latency.contains("request_p99_ns:"), "INFO latency must expose percentiles");
+    assert!(slow_len > 0, "zero-threshold slow log must capture ops");
 }
 
 fn main() {
@@ -145,10 +200,11 @@ fn main() {
     }
 
     let addr = std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
-    let server = start(&addr, shards, workers);
+    let slowlog = Duration::from_micros(env_or("ASCYLIB_SLOW_US", 10_000));
+    let server = start(&addr, shards, workers, slowlog);
     println!(
-        "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT with bulk values \
-         (see PROTOCOL.md);\n\
+        "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT with bulk values, \
+         plus INFO/SLOWLOG/METRICS observability (see PROTOCOL.md);\n\
          kv_server: drive with `cargo run --release --example kv_loadgen` or `nc {}`",
         server.addr()
     );
