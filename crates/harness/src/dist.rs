@@ -44,6 +44,48 @@ pub enum KeyDist {
     },
 }
 
+impl KeyDist {
+    /// Parses a CLI/environment spec: `uniform`, `zipf:<theta>`, or
+    /// `hotspot:<hot_fraction>:<hot_prob>`. Returns `None` on anything else
+    /// (out-of-domain parameters included).
+    pub fn parse(spec: &str) -> Option<KeyDist> {
+        if spec.eq_ignore_ascii_case("uniform") {
+            return Some(KeyDist::Uniform);
+        }
+        let (kind, args) = spec.split_once(':')?;
+        match kind {
+            "zipf" => {
+                let theta: f64 = args.trim().parse().ok()?;
+                (theta > 0.0 && theta.is_finite()).then_some(KeyDist::Zipfian { theta })
+            }
+            "hotspot" => {
+                let (frac_str, prob_str) = args.split_once(':')?;
+                let hot_fraction: f64 = frac_str.trim().parse().ok()?;
+                let hot_prob: f64 = prob_str.trim().parse().ok()?;
+                (hot_fraction > 0.0 && hot_fraction <= 1.0 && (0.0..=1.0).contains(&hot_prob))
+                    .then_some(KeyDist::Hotspot { hot_fraction, hot_prob })
+            }
+            _ => None,
+        }
+    }
+
+    /// Reads the `ASCYLIB_DIST` environment spec (see
+    /// [`parse`](Self::parse)); defaults to `zipf:0.99` — the YCSB skew that
+    /// production serving traffic resembles far more than a uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed spec (the examples want a loud failure, not a
+    /// silently substituted default).
+    pub fn from_env() -> KeyDist {
+        match std::env::var("ASCYLIB_DIST") {
+            Ok(spec) => KeyDist::parse(&spec)
+                .unwrap_or_else(|| panic!("bad ASCYLIB_DIST spec {spec:?}")),
+            Err(_) => KeyDist::Zipfian { theta: 0.99 },
+        }
+    }
+}
+
 impl std::fmt::Display for KeyDist {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -319,5 +361,27 @@ mod tests {
     #[should_panic(expected = "theta must be positive")]
     fn zipfian_rejects_nonpositive_theta() {
         KeySampler::new(KeyDist::Zipfian { theta: 0.0 }, 10);
+    }
+
+    #[test]
+    fn parse_accepts_the_documented_specs() {
+        assert_eq!(KeyDist::parse("uniform"), Some(KeyDist::Uniform));
+        assert_eq!(KeyDist::parse("UNIFORM"), Some(KeyDist::Uniform));
+        assert_eq!(KeyDist::parse("zipf:0.99"), Some(KeyDist::Zipfian { theta: 0.99 }));
+        assert_eq!(KeyDist::parse("zipf: 1.2 "), Some(KeyDist::Zipfian { theta: 1.2 }));
+        assert_eq!(
+            KeyDist::parse("hotspot:0.1:0.9"),
+            Some(KeyDist::Hotspot { hot_fraction: 0.1, hot_prob: 0.9 })
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_and_out_of_domain_specs() {
+        for bad in [
+            "", "zipf", "zipf:", "zipf:0", "zipf:-1", "zipf:inf", "zipf:abc", "hotspot:0.1",
+            "hotspot:0:0.9", "hotspot:1.5:0.9", "hotspot:0.1:1.5", "pareto:1.0", "uniform:1",
+        ] {
+            assert_eq!(KeyDist::parse(bad), None, "spec {bad:?} must be rejected");
+        }
     }
 }

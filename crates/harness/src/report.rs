@@ -102,13 +102,34 @@ pub fn histogram(title: &str, entries: &[(String, f64)], width: usize) -> String
     out
 }
 
+/// Clamps every quantile at the recorded maximum. `from_samples` stats are
+/// already consistent, but histogram-derived ones report each quantile as
+/// its bucket's upper bound, and for tiny sample counts an under-resolved
+/// tail quantile (p999/p9999) can land in a bucket *above* the one holding
+/// the true maximum. The structures that build such stats clamp at the
+/// source; the report layer clamps again so hand-assembled or older stats
+/// can never print `p9999 > max`.
+fn clamp_at_max(s: &LatencyStats) -> LatencyStats {
+    let mut c = *s;
+    c.p1 = c.p1.min(c.max);
+    c.p25 = c.p25.min(c.max);
+    c.p50 = c.p50.min(c.max);
+    c.p75 = c.p75.min(c.max);
+    c.p99 = c.p99.min(c.max);
+    c.p999 = c.p999.min(c.max);
+    c.p9999 = c.p9999.min(c.max);
+    c
+}
+
 /// Renders one labelled percentile line for a sampled distribution
 /// (latencies in nanoseconds, scan lengths in keys, ... — the unit is the
 /// caller's). Prints alongside the latency panels of the figure benches.
+/// Quantiles are clamped at the recorded max (see `clamp_at_max`).
 pub fn distribution_line(label: &str, unit: &str, s: &LatencyStats) -> String {
     if s.samples == 0 {
         return format!("{label}: no samples\n");
     }
+    let s = clamp_at_max(s);
     format!(
         "{label}: p1={} p25={} p50={} p75={} p99={} mean={:.1} {unit} ({} samples)\n",
         s.p1, s.p25, s.p50, s.p75, s.p99, s.mean, s.samples
@@ -195,6 +216,7 @@ fn json_num(v: f64) -> String {
 }
 
 fn json_latency(s: &LatencyStats) -> String {
+    let s = &clamp_at_max(s);
     format!(
         concat!(
             "{{\"p1\":{},\"p25\":{},\"p50\":{},\"p75\":{},\"p99\":{},",
@@ -399,6 +421,35 @@ mod tests {
         assert!(line.contains("5 samples"));
         let empty = distribution_line("scan len", "keys", &LatencyStats::default());
         assert!(empty.contains("no samples"));
+    }
+
+    #[test]
+    fn report_layer_clamps_quantiles_at_the_recorded_max() {
+        // A histogram-derived stats block for a tiny sample count can carry
+        // under-resolved tail quantiles as bucket upper bounds above the
+        // bucket holding the true max; the report layer must not print them.
+        let mangled = LatencyStats {
+            p1: 10,
+            p25: 20,
+            p50: 30,
+            p75: 40,
+            p99: 8_192,
+            p999: 8_192,
+            p9999: 16_384,
+            max: 5_000,
+            mean: 35.0,
+            samples: 3,
+        };
+        let line = distribution_line("lat", "ns", &mangled);
+        assert!(line.contains("p99=5000"), "p99 must clamp at max: {line}");
+        assert!(!line.contains("8192"), "bucket bound leaked past max: {line}");
+        let json = json_latency(&mangled);
+        assert!(json.contains("\"p999\":5000"), "{json}");
+        assert!(json.contains("\"p9999\":5000"), "{json}");
+        assert!(json.contains("\"max\":5000"), "{json}");
+        // Consistent stats pass through untouched.
+        let clean = LatencyStats::from_samples(vec![1, 2, 3, 4, 100]);
+        assert_eq!(clamp_at_max(&clean), clean);
     }
 
     #[test]

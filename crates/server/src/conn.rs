@@ -526,7 +526,7 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
         Request::Stats => {
             let totals = (ctx.totals)();
             let (store_ops, store_hits) = ctx.store.ops_and_hits();
-            let info = format!(
+            let mut info = format!(
                 "size={} shards={} value_bytes={} store_ops={store_ops} store_hits={store_hits} conns={} curr_conns={} accepted={} timeouts={} wakeups={} partial_writes={} frames={} ops={} hits={} misses={} errors={} bytes_in={} bytes_out={}",
                 ctx.store.size(),
                 ctx.store.shard_count(),
@@ -545,6 +545,16 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
                 totals.bytes_in,
                 totals.bytes_out,
             );
+            // Hot-key engine counters ride at the end of the line (new
+            // fields append, existing parsers keep their positions).
+            if let Some(h) = ctx.store.hotkey_stats() {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    info,
+                    " hotkey_fronted={} hotkey_front_hits={} hotkey_front_absent={} hotkey_delegated={} hotkey_batches={}",
+                    h.fronted, h.front_hits, h.front_absent, h.delegated, h.combined_batches,
+                );
+            }
             wire::simple(out, &info);
         }
         Request::Info(section) => match render_info(ctx, section.as_deref()) {
@@ -593,14 +603,14 @@ fn bulk_capped(out: &mut Vec<u8>, body: &str) {
     wire::bulk(out, truncated.as_bytes());
 }
 
-/// Renders the `INFO` report: all four sections, or just the named one.
+/// Renders the `INFO` report: all five sections, or just the named one.
 /// Unknown section names are a semantic error answered in-band.
 fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'static str> {
     use std::fmt::Write as _;
-    const KNOWN: [&str; 4] = ["server", "commands", "latency", "memory"];
+    const KNOWN: [&str; 5] = ["server", "commands", "latency", "memory", "hotkeys"];
     if let Some(s) = section {
         if !KNOWN.contains(&s) {
-            return Err("unknown INFO section (server|commands|latency|memory)");
+            return Err("unknown INFO section (server|commands|latency|memory|hotkeys)");
         }
     }
     let want = |name: &str| section.is_none() || section == Some(name);
@@ -680,6 +690,35 @@ fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'sta
         let _ = writeln!(s, "store_hits:{store_hits}");
         sections.push(s);
     }
+    if want("hotkeys") {
+        let mut s = String::new();
+        let _ = writeln!(s, "# hotkeys");
+        match ctx.store.hotkey_stats() {
+            Some(h) => {
+                let _ = writeln!(s, "hotkey_engine:on");
+                let _ = writeln!(s, "hotkey_fronted:{}", h.fronted);
+                let _ = writeln!(s, "hotkey_sampled:{}", h.sampled);
+                let _ = writeln!(s, "hotkey_promotions:{}", h.promotions);
+                let _ = writeln!(s, "hotkey_demotions:{}", h.demotions);
+                let _ = writeln!(s, "hotkey_front_hits:{}", h.front_hits);
+                let _ = writeln!(s, "hotkey_front_absent:{}", h.front_absent);
+                let _ = writeln!(s, "hotkey_front_pending:{}", h.front_pending);
+                let _ = writeln!(s, "hotkey_front_hit_rate:{:.4}", h.front_hit_rate());
+                let _ = writeln!(s, "hotkey_fills:{}", h.fills);
+                let _ = writeln!(s, "hotkey_poisons:{}", h.poisons);
+                let _ = writeln!(s, "hotkey_delegated:{}", h.delegated);
+                let _ = writeln!(s, "hotkey_combined_batches:{}", h.combined_batches);
+                let _ = writeln!(s, "hotkey_avg_batch:{:.2}", h.avg_batch());
+                for (rank, (key, est)) in ctx.store.hot_keys().into_iter().enumerate() {
+                    let _ = writeln!(s, "hot_key_{rank}:key={key} est={est}");
+                }
+            }
+            None => {
+                let _ = writeln!(s, "hotkey_engine:off");
+            }
+        }
+        sections.push(s);
+    }
     Ok(sections.join("\n"))
 }
 
@@ -725,6 +764,39 @@ fn render_metrics(ctx: &ConnCtx<'_>) -> String {
     e.counter("ascy_store_ops_total", "Structure-level operations.", &[], store_ops);
     e.counter("ascy_store_hits_total", "Structure-level lookup hits.", &[], store_hits);
     e.gauge("ascy_slowlog_len", "Slow-op entries currently held.", &[], ctx.hub.slow_len());
+    if let Some(h) = ctx.store.hotkey_stats() {
+        e.gauge("ascy_hotkey_fronted", "Hot keys currently holding a front-cache slot.", &[], h.fronted);
+        e.counter("ascy_hotkey_sampled_total", "Accesses fed to the hot-key sketch.", &[], h.sampled);
+        e.counter("ascy_hotkey_promotions_total", "Keys promoted into the top-k set.", &[], h.promotions);
+        e.counter("ascy_hotkey_demotions_total", "Keys demoted out of the top-k set.", &[], h.demotions);
+        e.counter(
+            "ascy_hotkey_front_reads_total",
+            "Front-cache read probes by outcome.",
+            &[("result", "hit")],
+            h.front_hits,
+        );
+        e.counter(
+            "ascy_hotkey_front_reads_total",
+            "Front-cache read probes by outcome.",
+            &[("result", "absent")],
+            h.front_absent,
+        );
+        e.counter(
+            "ascy_hotkey_front_reads_total",
+            "Front-cache read probes by outcome.",
+            &[("result", "pending")],
+            h.front_pending,
+        );
+        e.counter("ascy_hotkey_fills_total", "Front-cache slots filled from backing reads.", &[], h.fills);
+        e.counter("ascy_hotkey_poisons_total", "Front-cache invalidations by bypassing writes.", &[], h.poisons);
+        e.counter("ascy_hotkey_delegated_total", "Hot writes routed through flat combining.", &[], h.delegated);
+        e.counter(
+            "ascy_hotkey_combined_batches_total",
+            "Flat-combining drain passes that applied at least one op.",
+            &[],
+            h.combined_batches,
+        );
+    }
     for f in Family::ALL {
         let fam = tel.family(f);
         e.counter(
@@ -946,6 +1018,81 @@ mod tests {
             ascylib_telemetry::expo::validate(&metrics).expect("METRICS body validates");
             assert!(metrics.contains("ascy_cmd_requests_total{family=\"get\"}"));
             assert!(metrics.contains("ascy_request_duration_ns_bucket"));
+        });
+    }
+
+    #[test]
+    fn hotkey_surfaces_render_and_validate() {
+        use ascylib_shard::HotKeyConfig;
+        let map = Arc::new(BlobMap::with_hotkeys(1, HotKeyConfig::eager(8), |_| {
+            ClhtLb::with_capacity(64)
+        }));
+        let store = BlobStore::new(Arc::clone(&map));
+        let stats = WorkerStats::default();
+        let tel = WorkerTelemetry::new();
+        let hub = TestHub { tel: &tel, started: Instant::now() };
+        let totals = || ServerStatsSnapshot::default();
+        let ctx = ConnCtx {
+            store: &store,
+            max_pipeline: 4,
+            stats: &stats,
+            totals: &totals,
+            tel: &tel,
+            hub: &hub,
+            recording: true,
+            slow_ns: u64::MAX,
+        };
+        let mut bufs = ConnBufs::default();
+        let mut out = Vec::new();
+        execute(&Request::Set(7, b"hot".to_vec()), &ctx, &mut bufs, &mut out);
+        for _ in 0..64 {
+            execute(&Request::Get(7), &ctx, &mut bufs, &mut out);
+        }
+        execute(&Request::Set(7, b"hotter".to_vec()), &ctx, &mut bufs, &mut out);
+        execute(&Request::Get(7), &ctx, &mut bufs, &mut out);
+        let h = store.hotkey_stats().expect("engine is attached");
+        assert!(h.front_hits > 0, "64 gets on one key must hit the front cache: {h:?}");
+
+        out.clear();
+        execute(&Request::Stats, &ctx, &mut bufs, &mut out);
+        let stats_line = String::from_utf8_lossy(&out).into_owned();
+        for field in ["hotkey_fronted=", "hotkey_front_hits=", "hotkey_delegated="] {
+            assert!(stats_line.contains(field), "STATS is missing {field}: {stats_line}");
+        }
+
+        let info = render_info(&ctx, Some("hotkeys")).unwrap();
+        assert!(info.starts_with("# hotkeys"));
+        assert!(info.contains("hotkey_engine:on"));
+        assert!(info.contains("hotkey_front_hits:"));
+        assert!(info.contains("hotkey_front_hit_rate:"));
+        assert!(info.contains("hot_key_0:key=7 est="), "top-k line missing:\n{info}");
+        assert!(render_info(&ctx, None).unwrap().contains("# hotkeys"));
+
+        let metrics = render_metrics(&ctx);
+        ascylib_telemetry::expo::validate(&metrics).expect("METRICS body validates");
+        for family in [
+            "ascy_hotkey_fronted ",
+            "ascy_hotkey_sampled_total ",
+            "ascy_hotkey_front_reads_total{result=\"hit\"}",
+            "ascy_hotkey_front_reads_total{result=\"absent\"}",
+            "ascy_hotkey_front_reads_total{result=\"pending\"}",
+            "ascy_hotkey_fills_total ",
+            "ascy_hotkey_delegated_total ",
+            "ascy_hotkey_combined_batches_total ",
+        ] {
+            assert!(metrics.contains(family), "METRICS is missing {family}");
+        }
+
+        // Engine-less stores keep the section but mark the engine off and
+        // export no hotkey metric families.
+        run_ctx(|ctx| {
+            let info = render_info(ctx, Some("hotkeys")).unwrap();
+            assert!(info.contains("hotkey_engine:off"));
+            assert!(!render_metrics(ctx).contains("ascy_hotkey"));
+            out.clear();
+            let mut bufs = ConnBufs::default();
+            execute(&Request::Stats, ctx, &mut bufs, &mut out);
+            assert!(!String::from_utf8_lossy(&out).contains("hotkey_"));
         });
     }
 

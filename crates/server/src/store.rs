@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use ascylib::api::{ConcurrentMap, KEY_MAX, KEY_MIN};
 use ascylib::ordered::OrderedMap;
-use ascylib_shard::BlobMap;
+use ascylib_shard::{BlobMap, HotKeyStatsSnapshot};
 
 /// The serving-side keyspace interface: what a wire frame can do to the
 /// data. All methods are `&self` and thread-safe; worker threads share one
@@ -67,6 +67,18 @@ pub trait KvStore: Send + Sync + 'static {
 
     /// Live payload bytes currently stored (`STATS`).
     fn value_bytes(&self) -> u64;
+
+    /// Hot-key engine counters (`STATS`/`INFO hotkeys`/`METRICS`), when
+    /// the backing map carries a hot-key engine. Default: none.
+    fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
+        None
+    }
+
+    /// Current top-k hot keys as `(key, frequency estimate)` pairs,
+    /// hottest first (`INFO hotkeys`). Default: empty.
+    fn hot_keys(&self) -> Vec<(u64, u64)> {
+        Vec::new()
+    }
 }
 
 /// The usable key interval servers enforce before touching the store
@@ -131,6 +143,14 @@ impl<M: ConcurrentMap + 'static> KvStore for BlobStore<M> {
 
     fn value_bytes(&self) -> u64 {
         self.map.total_arena_stats().live_bytes()
+    }
+
+    fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
+        self.map.hotkey_stats()
+    }
+
+    fn hot_keys(&self) -> Vec<(u64, u64)> {
+        self.map.hot_keys()
     }
 }
 
@@ -201,6 +221,14 @@ impl<M: OrderedMap + 'static> KvStore for BlobOrderedStore<M> {
 
     fn value_bytes(&self) -> u64 {
         self.inner.value_bytes()
+    }
+
+    fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
+        self.inner.hotkey_stats()
+    }
+
+    fn hot_keys(&self) -> Vec<(u64, u64)> {
+        self.inner.hot_keys()
     }
 }
 

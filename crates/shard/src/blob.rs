@@ -45,6 +45,10 @@ use ascylib::ordered::OrderedMap;
 use ascylib_ssmem as ssmem;
 use crossbeam_utils::CachePadded;
 
+use crate::hotkey::{
+    FillTicket, FrontRead, HotKeyConfig, HotKeyEngine, HotKeyStatsSnapshot, HotOp, HotOpKind,
+    HotOpResult,
+};
 use crate::map::ShardedMap;
 
 /// Bytes of blob header (the payload length, stored as a `u64` so the
@@ -244,6 +248,39 @@ thread_local! {
 /// the serving tier dispatches at once).
 const VALUE_POOL_CAP: usize = 1024;
 
+/// Takes a recycled value buffer (empty) or a fresh one.
+fn pool_take() -> Vec<u8> {
+    VALUE_POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Returns an unneeded buffer to the pool for the next hit to reuse.
+fn pool_put(mut value: Vec<u8>) {
+    VALUE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < VALUE_POOL_CAP {
+            value.clear();
+            pool.push(value);
+        }
+    });
+}
+
+/// Harvests the previous batch's value buffers out of a result vector into
+/// the pool (capacity reuse across a stream of batches).
+fn harvest_buffers(out: &mut [Option<Vec<u8>>]) {
+    VALUE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        for slot in out.iter_mut() {
+            if pool.len() >= VALUE_POOL_CAP {
+                break;
+            }
+            if let Some(mut value) = slot.take() {
+                value.clear();
+                pool.push(value);
+            }
+        }
+    });
+}
+
 /// Variable-length byte values over a [`ShardedMap`] of any backing: the
 /// map stores arena handles, the per-shard [`ValueArena`]s store payloads,
 /// and every read copies out under an epoch guard.
@@ -255,6 +292,11 @@ const VALUE_POOL_CAP: usize = 1024;
 pub struct BlobMap<M> {
     map: ShardedMap<M>,
     arenas: Box<[ValueArena]>,
+    /// The blob map's *own* hot-key engine: it caches **payload bytes**
+    /// (never arena handles — a cached handle could outlive a retire and
+    /// dangle), so the inner index stays engine-less and the front cache
+    /// sits above the epoch machinery entirely.
+    hot: Option<Box<HotKeyEngine>>,
 }
 
 impl<M: ConcurrentMap> BlobMap<M> {
@@ -268,6 +310,68 @@ impl<M: ConcurrentMap> BlobMap<M> {
         BlobMap {
             map: ShardedMap::new(shards, make),
             arenas: (0..shards).map(|_| ValueArena::new()).collect(),
+            hot: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), attaching a hot-key engine (see
+    /// [`crate::hotkey`]): hot values up to
+    /// [`crate::hotkey::FRONT_VALUE_CAP`] bytes are served from seqlock'd
+    /// copies without touching the epoch guard, index, or arena, and hot
+    /// writes delegate through a per-shard flat combiner. `cfg.k == 0`
+    /// yields a plain map.
+    pub fn with_hotkeys(shards: usize, cfg: HotKeyConfig, make: impl FnMut(usize) -> M) -> Self {
+        let mut map = Self::new(shards, make);
+        map.hot = HotKeyEngine::new(shards, cfg);
+        map
+    }
+
+    /// The attached hot-key engine, if any.
+    pub fn hotkey_engine(&self) -> Option<&HotKeyEngine> {
+        self.hot.as_deref()
+    }
+
+    /// Hot-key engine counters, when an engine is attached.
+    pub fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
+        self.hot.as_deref().map(HotKeyEngine::stats)
+    }
+
+    /// Current top-k hot keys (empty without an engine).
+    pub fn hot_keys(&self) -> Vec<(u64, u64)> {
+        self.hot.as_deref().map(HotKeyEngine::hot_keys).unwrap_or_default()
+    }
+
+    /// Applies a delegated op against the backing (index + arena). Called
+    /// by whichever thread combines; must not touch the front cache (the
+    /// engine does that, version-guarded, around this call).
+    fn apply_hot(&self, op: &HotOp) -> HotOpResult {
+        match op.kind {
+            HotOpKind::Set => {
+                // The publisher already stored the blob; publish its handle
+                // (same loop as the plain `set` path).
+                let arena = self.arena_of(op.key);
+                let mut created = true;
+                loop {
+                    if self.map.insert(op.key, op.val_u64) {
+                        return HotOpResult { ok: created, old: 0 };
+                    }
+                    if let Some(old) = self.map.remove(op.key) {
+                        created = false;
+                        // SAFETY: `remove` returned `old` to this thread
+                        // alone; unlinked, retired exactly once.
+                        unsafe { arena.retire(old) };
+                    }
+                }
+            }
+            HotOpKind::Del => match self.map.remove(op.key) {
+                Some(handle) => {
+                    // SAFETY: unlinked by the remove, returned only to us.
+                    unsafe { self.arena_of(op.key).retire(handle) };
+                    HotOpResult { ok: true, old: 0 }
+                }
+                None => HotOpResult { ok: false, old: 0 },
+            },
+            HotOpKind::Insert => unreachable!("BlobMap never publishes u64 inserts"),
         }
     }
 
@@ -293,8 +397,33 @@ impl<M: ConcurrentMap> BlobMap<M> {
     }
 
     /// Copies the value of `key` into `out` (cleared first); `true` if the
-    /// key was present.
+    /// key was present. With a hot-key engine attached, fronted keys are
+    /// answered from the engine's value copy (never older than the last
+    /// completed write — see [`crate::hotkey`]) without touching the epoch
+    /// guard, the index, or the arena.
     pub fn get(&self, key: u64, out: &mut Vec<u8>) -> bool {
+        out.clear();
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            match hot.read(key, out) {
+                // Front-served reads skip the shard-stats RMWs (that's
+                // the point of the front path); `total_stats` folds the
+                // engine's own hit/absent counters back in.
+                FrontRead::Hit => return true,
+                FrontRead::Absent => return false,
+                FrontRead::Pending(ticket) => {
+                    let found = self.get_backing(key, out);
+                    hot.fill(&ticket, found.then_some(out.as_slice()));
+                    return found;
+                }
+                FrontRead::Miss => {}
+            }
+        }
+        self.get_backing(key, out)
+    }
+
+    /// The engine-less read path: epoch guard, index search, arena copy.
+    fn get_backing(&self, key: u64, out: &mut Vec<u8>) -> bool {
         out.clear();
         // Guard before the handle fetch: a concurrent DEL/overwrite retires
         // the blob, and this guard is what keeps it readable until we're
@@ -323,8 +452,30 @@ impl<M: ConcurrentMap> BlobMap<M> {
 
     /// Stores `value` under `key`, overwriting any previous value (the
     /// displaced blob is retired). Returns `true` if the key was newly
-    /// created, `false` if an existing value was replaced.
+    /// created, `false` if an existing value was replaced. Writes to a
+    /// fronted key delegate through the flat combiner, which refreshes the
+    /// front-cache copy write-through after the backing publish.
     pub fn set(&self, key: u64, value: &[u8]) -> bool {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            if hot.fronted(key) {
+                // Store the blob up front (arena stores are uncontended);
+                // only the index publish + slot refresh is delegated.
+                let handle = self.arena_of(key).store(value);
+                let res =
+                    hot.delegate(HotOp::set(key, handle, value), &mut |op| self.apply_hot(op));
+                return res.ok;
+            }
+            let created = self.set_backing(key, value);
+            // The key may have been promoted while we wrote: drop any
+            // cached copy so no reader sees a value older than this write.
+            hot.poison(key);
+            return created;
+        }
+        self.set_backing(key, value)
+    }
+
+    fn set_backing(&self, key: u64, value: &[u8]) -> bool {
         let arena = self.arena_of(key);
         let handle = arena.store(value);
         let mut created = true;
@@ -343,8 +494,22 @@ impl<M: ConcurrentMap> BlobMap<M> {
         }
     }
 
-    /// Removes `key`; `true` if it was present (the blob is retired).
+    /// Removes `key`; `true` if it was present (the blob is retired). Same
+    /// fronted-key handling as [`set`](Self::set).
     pub fn del(&self, key: u64) -> bool {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            if hot.fronted(key) {
+                return hot.delegate(HotOp::del(key), &mut |op| self.apply_hot(op)).ok;
+            }
+            let removed = self.del_backing(key);
+            hot.poison(key);
+            return removed;
+        }
+        self.del_backing(key)
+    }
+
+    fn del_backing(&self, key: u64) -> bool {
         match self.map.remove(key) {
             Some(handle) => {
                 // SAFETY: unlinked by the remove, returned only to us.
@@ -356,24 +521,72 @@ impl<M: ConcurrentMap> BlobMap<M> {
     }
 
     /// Batched lookup with copy-out: clears `out` and refills it with
-    /// per-key answers in input order. The whole batch (handle fetch and
-    /// payload copies) runs under one epoch guard.
+    /// per-key answers in input order. With a hot-key engine attached,
+    /// fronted keys are answered from their front-cache copies and only
+    /// the remainder takes the batched backing path (one epoch guard).
     pub fn multi_get_into(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>) {
+        let Some(hot) = self.hot.as_deref() else {
+            self.multi_get_backing(keys, out);
+            return;
+        };
+        harvest_buffers(out);
+        out.clear();
+        out.resize(keys.len(), None);
+        // `(input position, key, fill lease)` of every key the front cache
+        // could not answer; they take the batched backing path below.
+        let mut rest: Vec<(usize, u64, Option<FillTicket>)> = Vec::new();
+        for (i, &key) in keys.iter().enumerate() {
+            hot.record_access(key);
+            let mut value = pool_take();
+            match hot.read(key, &mut value) {
+                // As in `get`: front-served keys skip the shard-stats
+                // RMWs; `total_stats` folds the engine counters back in.
+                FrontRead::Hit => {
+                    out[i] = Some(value);
+                }
+                FrontRead::Absent => {
+                    pool_put(value);
+                }
+                FrontRead::Pending(ticket) => {
+                    pool_put(value);
+                    rest.push((i, key, Some(ticket)));
+                }
+                FrontRead::Miss => {
+                    pool_put(value);
+                    rest.push((i, key, None));
+                }
+            }
+        }
+        if rest.is_empty() {
+            return;
+        }
+        HANDLE_SCRATCH.with(|scratch| {
+            let mut handles = scratch.borrow_mut();
+            let _guard = ssmem::protect();
+            let rest_keys: Vec<u64> = rest.iter().map(|&(_, k, _)| k).collect();
+            self.map.multi_get_into(&rest_keys, &mut handles);
+            for (&(pos, key, ref ticket), handle) in rest.iter().zip(handles.iter()) {
+                let value = handle.map(|h| {
+                    let mut value = pool_take();
+                    // SAFETY: guard created before the batched fetch.
+                    unsafe { self.arena_of(key).read_into(h, &mut value) };
+                    value
+                });
+                if let Some(ticket) = ticket {
+                    hot.fill(ticket, value.as_deref());
+                }
+                out[pos] = value;
+            }
+        });
+    }
+
+    /// The engine-less batched read path (also serves the engine path's
+    /// front-cache misses).
+    fn multi_get_backing(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>) {
         // Harvest the previous batch's value buffers before clearing, so
         // repeated batches through one result buffer stop allocating per
         // hit once capacities have warmed up.
-        VALUE_POOL.with(|pool| {
-            let mut pool = pool.borrow_mut();
-            for slot in out.iter_mut() {
-                if pool.len() >= VALUE_POOL_CAP {
-                    break;
-                }
-                if let Some(mut value) = slot.take() {
-                    value.clear();
-                    pool.push(value);
-                }
-            }
-        });
+        harvest_buffers(out);
         out.clear();
         HANDLE_SCRATCH.with(|scratch| {
             let mut handles = scratch.borrow_mut();
@@ -422,9 +635,17 @@ impl<M: ConcurrentMap> BlobMap<M> {
         total
     }
 
-    /// Traffic counters of the underlying sharded index.
+    /// Traffic counters of the underlying sharded index, plus the reads
+    /// the hot-key front cache answered without touching a shard (folded
+    /// into `searches`/`hits` here so a fronted GET still counts as a
+    /// search; the per-shard snapshots deliberately exclude them).
     pub fn total_stats(&self) -> crate::stats::ShardStatsSnapshot {
-        self.map.total_stats()
+        let mut total = self.map.total_stats();
+        if let Some(h) = self.hotkey_stats() {
+            total.searches = total.searches.saturating_add(h.front_hits + h.front_absent);
+            total.hits = total.hits.saturating_add(h.front_hits);
+        }
+        total
     }
 }
 

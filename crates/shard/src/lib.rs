@@ -53,11 +53,13 @@
 
 pub mod blob;
 mod batch;
+pub mod hotkey;
 mod map;
 mod range;
 pub mod router;
 pub mod stats;
 
 pub use blob::{ArenaStatsSnapshot, BlobMap, ValueArena};
+pub use hotkey::{HotKeyConfig, HotKeyEngine, HotKeyStatsSnapshot};
 pub use map::ShardedMap;
 pub use stats::ShardStatsSnapshot;

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use ascylib::api::ConcurrentMap;
 
+use crate::hotkey::{FrontReadU64, HotKeyConfig, HotKeyEngine, HotKeyStatsSnapshot, HotOp, HotOpKind, HotOpResult};
 use crate::router::ShardRouter;
 use crate::stats::{ShardStats, ShardStatsSnapshot};
 
@@ -26,6 +27,10 @@ pub struct ShardedMap<M> {
     shards: Box<[M]>,
     stats: Box<[ShardStats]>,
     router: ShardRouter,
+    /// The optional hot-key engine (see [`crate::hotkey`]). `None` — the
+    /// default — keeps every path exactly as it was before the engine
+    /// existed; [`Self::with_hotkeys`] opts in.
+    hot: Option<Box<HotKeyEngine>>,
 }
 
 impl<M: ConcurrentMap> ShardedMap<M> {
@@ -41,6 +46,52 @@ impl<M: ConcurrentMap> ShardedMap<M> {
             shards: (0..shards).map(&mut make).collect(),
             stats: (0..shards).map(|_| ShardStats::default()).collect(),
             router,
+            hot: None,
+        }
+    }
+
+    /// Like [`new`](Self::new), additionally attaching a hot-key engine
+    /// (detection + front cache + flat-combining delegation, see
+    /// [`crate::hotkey`]). `cfg.k == 0` — or building without the `hotkey`
+    /// cargo feature — yields a plain map, so callers can thread an
+    /// environment knob straight through.
+    pub fn with_hotkeys(shards: usize, cfg: HotKeyConfig, make: impl FnMut(usize) -> M) -> Self {
+        let mut map = Self::new(shards, make);
+        map.hot = HotKeyEngine::new(shards, cfg);
+        map
+    }
+
+    /// The attached hot-key engine, if any.
+    pub fn hotkey_engine(&self) -> Option<&HotKeyEngine> {
+        self.hot.as_deref()
+    }
+
+    /// Hot-key engine counters, when an engine is attached.
+    pub fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
+        self.hot.as_deref().map(HotKeyEngine::stats)
+    }
+
+    /// Current top-k hot keys (empty without an engine).
+    pub fn hot_keys(&self) -> Vec<(u64, u64)> {
+        self.hot.as_deref().map(HotKeyEngine::hot_keys).unwrap_or_default()
+    }
+
+    pub(crate) fn hot(&self) -> Option<&HotKeyEngine> {
+        self.hot.as_deref()
+    }
+
+    /// Applies a delegated op against the backing shard, *without* stats
+    /// (each delegating thread records its own outcome, so the combiner
+    /// applying a batch must not double-count).
+    fn apply_hot(&self, op: &HotOp) -> HotOpResult {
+        let shard = &self.shards[self.router.route(op.key)];
+        match op.kind {
+            HotOpKind::Insert => HotOpResult { ok: shard.insert(op.key, op.val_u64), old: 0 },
+            HotOpKind::Del => match shard.remove(op.key) {
+                Some(old) => HotOpResult { ok: true, old },
+                None => HotOpResult { ok: false, old: 0 },
+            },
+            HotOpKind::Set => unreachable!("ShardedMap never publishes blob ops"),
         }
     }
 
@@ -82,11 +133,18 @@ impl<M: ConcurrentMap> ShardedMap<M> {
         self.stats.iter().map(|s| s.snapshot()).collect()
     }
 
-    /// Traffic counters aggregated over all shards.
+    /// Traffic counters aggregated over all shards, plus the reads the
+    /// hot-key front cache answered without touching a shard (folded into
+    /// `searches`/`hits` here so a fronted search still counts; the
+    /// per-shard snapshots deliberately exclude them).
     pub fn total_stats(&self) -> ShardStatsSnapshot {
         let mut total = ShardStatsSnapshot::default();
         for s in &self.stats {
             total.merge(&s.snapshot());
+        }
+        if let Some(h) = self.hotkey_stats() {
+            total.searches = total.searches.saturating_add(h.front_hits + h.front_absent);
+            total.hits = total.hits.saturating_add(h.front_hits);
         }
         total
     }
@@ -108,6 +166,23 @@ impl ShardedMap<Arc<dyn ConcurrentMap>> {
 
 impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     fn search(&self, key: u64) -> Option<u64> {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            match hot.read_u64(key) {
+                // Front-served reads skip the shard-stats RMWs;
+                // `total_stats` folds the engine counters back in.
+                FrontReadU64::Hit(v) => return Some(v),
+                FrontReadU64::Absent => return None,
+                FrontReadU64::Pending(ticket) => {
+                    let (shard, stats) = self.shard_and_stats(key);
+                    let found = shard.search(key);
+                    stats.record_search(found.is_some());
+                    hot.fill_u64(&ticket, found);
+                    return found;
+                }
+                FrontReadU64::Miss => {}
+            }
+        }
         let (shard, stats) = self.shard_and_stats(key);
         let found = shard.search(key);
         stats.record_search(found.is_some());
@@ -115,6 +190,21 @@ impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     }
 
     fn insert(&self, key: u64, value: u64) -> bool {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            if hot.fronted(key) {
+                let res = hot.delegate(HotOp::insert(key, value), &mut |op| self.apply_hot(op));
+                self.stats[self.router.route(key)].record_insert(res.ok);
+                return res.ok;
+            }
+            let (shard, stats) = self.shard_and_stats(key);
+            let ok = shard.insert(key, value);
+            stats.record_insert(ok);
+            // The key may have been promoted while we wrote: drop any
+            // cached copy so no reader sees a value older than this write.
+            hot.poison(key);
+            return ok;
+        }
         let (shard, stats) = self.shard_and_stats(key);
         let ok = shard.insert(key, value);
         stats.record_insert(ok);
@@ -122,6 +212,19 @@ impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     }
 
     fn remove(&self, key: u64) -> Option<u64> {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            if hot.fronted(key) {
+                let res = hot.delegate(HotOp::del(key), &mut |op| self.apply_hot(op));
+                self.stats[self.router.route(key)].record_remove(res.ok);
+                return res.ok.then_some(res.old);
+            }
+            let (shard, stats) = self.shard_and_stats(key);
+            let removed = shard.remove(key);
+            stats.record_remove(removed.is_some());
+            hot.poison(key);
+            return removed;
+        }
         let (shard, stats) = self.shard_and_stats(key);
         let removed = shard.remove(key);
         stats.record_remove(removed.is_some());
@@ -139,8 +242,18 @@ impl<M: ConcurrentMap> ConcurrentMap for ShardedMap<M> {
     }
 
     /// Routes to the owning shard's `contains` (no stats recorded: the
-    /// harness counts `search`, and `contains` is its wrapper).
+    /// harness counts `search`, and `contains` is its wrapper). Cached
+    /// front-cache answers are honoured; a pending slot just falls through
+    /// (the backing is always current — writes land there first).
     fn contains(&self, key: u64) -> bool {
+        if let Some(hot) = &self.hot {
+            hot.record_access(key);
+            match hot.read_u64(key) {
+                FrontReadU64::Hit(_) => return true,
+                FrontReadU64::Absent => return false,
+                FrontReadU64::Pending(_) | FrontReadU64::Miss => {}
+            }
+        }
         self.shards[self.router.route(key)].contains(key)
     }
 }

@@ -198,9 +198,12 @@ fn base_name(name: &str) -> &str {
 
 /// Validates a Prometheus text-exposition body: every line is a comment,
 /// blank, or `series value`; `# TYPE` declarations are well-formed and
-/// precede their samples; histogram `_bucket` series carry an `le` label,
-/// are cumulative (non-decreasing), and close with `le="+Inf"` equal to
-/// `_count`. Returns a description of the first problem found.
+/// precede their samples; no series (name plus exact label set) appears
+/// twice — the scrape form of the gauge-vs-counter confusion where one
+/// family is emitted through two paths; histogram `_bucket` series carry
+/// an `le` label, are cumulative (non-decreasing), and close with
+/// `le="+Inf"` equal to `_count`. Returns a description of the first
+/// problem found.
 pub fn validate(body: &str) -> Result<(), String> {
     use std::collections::HashMap;
     // metric name -> declared type
@@ -209,6 +212,8 @@ pub fn validate(body: &str) -> Result<(), String> {
     let mut cumul: HashMap<String, u64> = HashMap::new();
     let mut inf: HashMap<String, u64> = HashMap::new();
     let mut counts: HashMap<String, u64> = HashMap::new();
+    // full series identity (name + sorted labels) -> first line seen
+    let mut series_seen: HashMap<String, usize> = HashMap::new();
     let mut samples = 0usize;
 
     for (lineno, line) in body.lines().enumerate() {
@@ -254,6 +259,14 @@ pub fn validate(body: &str) -> Result<(), String> {
             .or_else(|| types.get(&name))
             .ok_or_else(|| format!("line {n}: sample {name} precedes its TYPE"))?;
         samples += 1;
+        let mut sorted: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        sorted.sort();
+        let identity = format!("{name}|{}", sorted.join(","));
+        if let Some(first) = series_seen.insert(identity, n) {
+            return Err(format!(
+                "line {n}: series {series} already emitted at line {first}"
+            ));
+        }
         if declared == "histogram" && name.ends_with("_bucket") {
             let le = labels
                 .iter()
@@ -358,6 +371,56 @@ mod tests {
         let body = e.finish();
         validate(&body).expect("escaped labels validate");
         assert!(body.contains("ascy_x{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn hotkey_families_render_and_validate() {
+        // The exact shapes the server's hot-key block emits: one gauge, a
+        // run of plain counters, and one counter name fanned out over a
+        // `result` label — the header must appear once for the fan-out.
+        let mut e = Exposition::new();
+        e.gauge("ascy_hotkey_fronted", "Hot keys holding a front slot.", &[], 16);
+        e.counter("ascy_hotkey_sampled_total", "Sketch updates.", &[], 4096);
+        e.counter("ascy_hotkey_promotions_total", "Promotions.", &[], 16);
+        for (result, v) in [("hit", 900u64), ("absent", 40), ("pending", 9)] {
+            e.counter(
+                "ascy_hotkey_front_reads_total",
+                "Front-cache probes by outcome.",
+                &[("result", result)],
+                v,
+            );
+        }
+        e.counter("ascy_hotkey_delegated_total", "Delegated hot writes.", &[], 77);
+        let body = e.finish();
+        validate(&body).expect("hotkey families validate");
+        assert_eq!(body.matches("# TYPE ascy_hotkey_front_reads_total").count(), 1);
+        assert!(body.contains("# TYPE ascy_hotkey_fronted gauge"));
+        assert!(body.contains("# TYPE ascy_hotkey_sampled_total counter"));
+        assert!(body.contains("ascy_hotkey_front_reads_total{result=\"hit\"} 900"));
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_series_and_conflicting_types() {
+        // Same series emitted twice — e.g. a hotkey counter wired through
+        // two code paths — must fail even though each line is well-formed.
+        let dup = "# TYPE ascy_hotkey_fills_total counter\n\
+                   ascy_hotkey_fills_total 3\nascy_hotkey_fills_total 4\n";
+        let err = validate(dup).unwrap_err();
+        assert!(err.contains("already emitted"), "{err}");
+        let dup_labeled = "# TYPE ascy_hotkey_front_reads_total counter\n\
+                           ascy_hotkey_front_reads_total{result=\"hit\"} 1\n\
+                           ascy_hotkey_front_reads_total{result=\"hit\"} 2\n";
+        assert!(validate(dup_labeled).unwrap_err().contains("already emitted"));
+        // Distinct label values are fine.
+        let fanout = "# TYPE ascy_hotkey_front_reads_total counter\n\
+                      ascy_hotkey_front_reads_total{result=\"hit\"} 1\n\
+                      ascy_hotkey_front_reads_total{result=\"absent\"} 2\n";
+        validate(fanout).expect("label fan-out is one family");
+        // Redeclaring a name under a different type (gauge-vs-counter
+        // confusion at the TYPE layer) is caught by the duplicate-TYPE rule.
+        let conflict = "# TYPE ascy_hotkey_fronted gauge\nascy_hotkey_fronted 1\n\
+                        # TYPE ascy_hotkey_fronted counter\nascy_hotkey_fronted 2\n";
+        assert!(validate(conflict).unwrap_err().contains("duplicate TYPE"));
     }
 
     #[test]

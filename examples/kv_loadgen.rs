@@ -16,8 +16,9 @@
 //! $ cargo run --release --example kv_loadgen -- --self
 //! ```
 //!
-//! Flags: `--mode closed|open:<rate>[:poisson|:fixed]` and `--conns <n>`
-//! override the corresponding environment knobs per run.
+//! Flags: `--mode closed|open:<rate>[:poisson|:fixed]`, `--conns <n>`, and
+//! `--dist uniform|zipf:<theta>|hotspot:<frac>:<prob>` override the
+//! corresponding environment knobs per run.
 //!
 //! Environment knobs:
 //!
@@ -34,6 +35,9 @@
 //!   request/response);
 //! * `ASCYLIB_MIX` — `a`, `b`, `c`, `e` (YCSB presets) or an update
 //!   percentage like `20` (default `b`);
+//! * `ASCYLIB_DIST` — key distribution: `uniform`, `zipf:<theta>`, or
+//!   `hotspot:<hot_fraction>:<hot_prob>` (default `zipf:0.99`, the YCSB
+//!   skew);
 //! * `ASCYLIB_VALUES` — value-size spec: `fixed:64`, `uniform:16,4096`, or
 //!   `bimodal:16,256,10` (default `bimodal:16,256,10` — mostly-small
 //!   values with a 256 B tail);
@@ -45,8 +49,10 @@ use std::sync::Arc;
 
 use ascylib_harness::{arg_value, bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig};
-use ascylib_server::{BlobOrderedStore, LoadMode, Server, ServerConfig, ServerHandle, ValueSize};
-use ascylib_shard::BlobMap;
+use ascylib_server::{
+    BlobOrderedStore, Client, LoadMode, Server, ServerConfig, ServerHandle, ValueSize,
+};
+use ascylib_shard::{BlobMap, HotKeyConfig};
 
 fn resolve(addr: &str) -> SocketAddr {
     addr.to_socket_addrs()
@@ -77,17 +83,32 @@ fn main() {
             .unwrap_or_else(|| panic!("bad --mode spec {spec:?} (closed | open:<rate>[:poisson|:fixed])")),
         None => LoadMode::from_env(),
     };
+    let dist = match arg_value("--dist") {
+        Some(spec) => KeyDist::parse(&spec).unwrap_or_else(|| {
+            panic!("bad --dist spec {spec:?} (uniform | zipf:<theta> | hotspot:<frac>:<prob>)")
+        }),
+        None => KeyDist::from_env(),
+    };
     // `--self`: host an in-process server on an ephemeral port, so one
     // command exercises the whole serving stack (CI smoke test).
     let self_serve: Option<ServerHandle> = if std::env::args().any(|a| a == "--self") {
-        let map = Arc::new(BlobMap::new(4, |_| ascylib::skiplist::FraserOptSkipList::new()));
+        let map = Arc::new(BlobMap::with_hotkeys(4, HotKeyConfig::from_env(), |_| {
+            ascylib::skiplist::FraserOptSkipList::new()
+        }));
+        let hotkeys = match map.hotkey_engine() {
+            Some(engine) => format!("hot-key engine k={}", engine.k()),
+            None => "hot-key engine off".to_string(),
+        };
         let server = Server::start(
             "127.0.0.1:0",
             BlobOrderedStore::new(map),
             ServerConfig::for_connections(conns),
         )
         .expect("bind ephemeral self-serve port");
-        println!("kv_loadgen: self-serving a 4-shard blob skip list on {}", server.addr());
+        println!(
+            "kv_loadgen: self-serving a 4-shard blob skip list on {} ({hotkeys})",
+            server.addr()
+        );
         Some(server)
     } else {
         None
@@ -111,7 +132,7 @@ fn main() {
         duration_ms: bench_millis(),
         mode,
         mix,
-        dist: KeyDist::Zipfian { theta: 0.99 },
+        dist,
         key_range,
         value_size: values,
         pipeline_depth: env_or("ASCYLIB_DEPTH", 16) as usize,
@@ -119,7 +140,7 @@ fn main() {
     };
     println!(
         "kv_loadgen: {} conns ({mode}) x depth {} against {addr}, mix={mix_name}, \
-         zipf(0.99), values={values}, {} ms",
+         {dist}, values={values}, {} ms",
         cfg.connections, cfg.pipeline_depth, cfg.duration_ms
     );
     let r = loadgen::run(addr, &cfg)
@@ -177,6 +198,32 @@ fn main() {
         None => println!("kv_loadgen: no server-side latency (telemetry off or scrape failed)"),
     }
     if let Some(server) = self_serve {
+        // Scrape the hot-key section while the server is still up; the CI
+        // skew smoke (`--self --dist zipf:1.2`) asserts the engine saw the
+        // traffic it was built for.
+        let mut probe = Client::connect(server.addr()).expect("hotkey probe connects");
+        let hotkeys = probe.info(Some("hotkeys")).expect("INFO hotkeys");
+        let _ = probe.quit();
+        println!("kv_loadgen: INFO hotkeys ->");
+        for line in hotkeys.lines().take(6) {
+            println!("    {line}");
+        }
+        let field = |name: &str| -> u64 {
+            hotkeys
+                .lines()
+                .find_map(|l| l.strip_prefix(name).and_then(|v| v.strip_prefix(':')))
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(0)
+        };
+        if hotkeys.contains("hotkey_engine:on") {
+            assert!(field("hotkey_sampled") > 0, "engine on but nothing sampled:\n{hotkeys}");
+            if matches!(dist, KeyDist::Zipfian { theta } if theta >= 1.0) {
+                assert!(
+                    field("hotkey_promotions") > 0 && field("hotkey_front_hits") > 0,
+                    "zipf({dist}) burst must promote and front-hit hot keys:\n{hotkeys}"
+                );
+            }
+        }
         let stats = server.join();
         println!(
             "kv_loadgen: self-serve shutdown after {} conns, {} frames, {} errors",

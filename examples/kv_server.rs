@@ -43,7 +43,11 @@
 //! pins it to 0), `ASCYLIB_SERVE_MILLIS` (0 = forever),
 //! `ASCYLIB_BENCH_MILLIS` (demo burst length, default 300),
 //! `ASCYLIB_VALUES` (value-size spec: `fixed:64`, `uniform:16,4096`, or
-//! `bimodal:16,256,10`; demo default `bimodal:16,256,10`).
+//! `bimodal:16,256,10`; demo default `bimodal:16,256,10`),
+//! `ASCYLIB_HOTKEYS` (hot-key engine front-cache size `k`, default 16;
+//! 0 disables the engine), `ASCYLIB_DIST` (demo key distribution:
+//! `uniform`, `zipf:<theta>`, or `hotspot:<frac>:<prob>`; default
+//! `zipf:0.99`).
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,10 +56,15 @@ use ascylib::skiplist::FraserOptSkipList;
 use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
 use ascylib_server::{BlobOrderedStore, Client, Server, ServerConfig, ServerHandle, ValueSize};
-use ascylib_shard::BlobMap;
+use ascylib_shard::{BlobMap, HotKeyConfig};
 
 fn start(addr: &str, shards: usize, workers: usize, slowlog: Duration) -> ServerHandle {
-    let map = Arc::new(BlobMap::new(shards, |_| FraserOptSkipList::new()));
+    let hot = HotKeyConfig::from_env();
+    let map = Arc::new(BlobMap::with_hotkeys(shards, hot, |_| FraserOptSkipList::new()));
+    let hotkeys = match map.hotkey_engine() {
+        Some(engine) => format!("hot-key engine k={}", engine.k()),
+        None => "hot-key engine off".to_string(),
+    };
     let idle_timeout = match env_or("ASCYLIB_IDLE_MS", 60_000) {
         0 => None,
         ms => Some(std::time::Duration::from_millis(ms)),
@@ -70,7 +79,7 @@ fn start(addr: &str, shards: usize, workers: usize, slowlog: Duration) -> Server
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
         "kv_server: serving {shards}-shard blob-valued fraser-opt skip list on {} \
-         ({workers} workers, event-driven, idle timeout {:?})",
+         ({workers} workers, event-driven, {hotkeys}, idle timeout {:?})",
         server.addr(),
         config.idle_timeout
     );
@@ -111,11 +120,13 @@ fn demo(shards: usize, workers: usize) {
     // YCSB-B-flavoured point mix plus a dash of scans, skewed keys — the
     // full protocol surface in one burst.
     let mix = OpMix { read: 85, insert: 5, remove: 5, scan: 5, scan_len: 16 };
+    let dist = KeyDist::from_env();
+    println!("kv_server: demo key distribution {dist}");
     let base = LoadGenConfig {
         connections: 4,
         duration_ms: bench_millis(),
         mix,
-        dist: KeyDist::Zipfian { theta: 0.99 },
+        dist,
         key_range,
         value_size: vsize,
         pipeline_depth: 1,
@@ -150,6 +161,11 @@ fn demo(shards: usize, workers: usize) {
     }
     println!("kv_server: INFO commands ->");
     for line in commands.lines().filter(|l| l.contains("_ops:")) {
+        println!("    {line}");
+    }
+    let hotkeys = probe.info(Some("hotkeys")).expect("INFO hotkeys");
+    println!("kv_server: INFO hotkeys ->");
+    for line in hotkeys.lines().take(8) {
         println!("    {line}");
     }
     let metrics = probe.metrics().expect("METRICS");
@@ -189,6 +205,12 @@ fn demo(shards: usize, workers: usize) {
     );
     assert!(latency.contains("request_p99_ns:"), "INFO latency must expose percentiles");
     assert!(slow_len > 0, "zero-threshold slow log must capture ops");
+    // The stock demo server carries the hot-key engine (ASCYLIB_HOTKEYS=0
+    // turns it off); either way the INFO section must say which.
+    assert!(
+        hotkeys.contains("hotkey_engine:on") || hotkeys.contains("hotkey_engine:off"),
+        "INFO hotkeys must report the engine state"
+    );
 }
 
 fn main() {
