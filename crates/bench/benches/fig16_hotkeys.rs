@@ -43,6 +43,11 @@
 //!   engine must cost at most `ASCYLIB_FIG16_MAX_REGRESSION_PCT`
 //!   (default 3%).
 //!
+//! `ASCYLIB_FIG16_PERF_GATES=0` downgrades the two *timing* gates to
+//! reported numbers (for noisy shared runners, e.g. CI); the functional
+//! gate — the engine must demonstrably engage under heavy skew — always
+//! asserts.
+//!
 //! Emits `fig16_hotkeys.csv` and `BENCH_fig16_hotkeys.json`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -194,6 +199,7 @@ impl PanelResult {
 fn main() {
     let min_speedup = env_or("ASCYLIB_FIG16_MIN_SPEEDUP_X100", 130) as f64 / 100.0;
     let max_regression = env_or("ASCYLIB_FIG16_MAX_REGRESSION_PCT", 3) as f64;
+    let perf_gates = env_or("ASCYLIB_FIG16_PERF_GATES", 1) != 0;
     let n = threads();
 
     // Warmup outside the measured window (both configs).
@@ -317,16 +323,18 @@ fn main() {
                 r.hot_count,
                 r.stats.front_hits
             );
-            assert!(
-                r.speedup() >= min_speedup,
-                "{}: speedup {:.2}x below the {min_speedup:.2}x floor \
-                 (on {:.3} vs off {:.3} Mops/s)",
-                r.label,
-                r.speedup(),
-                r.on,
-                r.off
-            );
-        } else if matches!(r.label, "uniform" | "zipf(0.5)") {
+            if perf_gates {
+                assert!(
+                    r.speedup() >= min_speedup,
+                    "{}: speedup {:.2}x below the {min_speedup:.2}x floor \
+                     (on {:.3} vs off {:.3} Mops/s)",
+                    r.label,
+                    r.speedup(),
+                    r.on,
+                    r.off
+                );
+            }
+        } else if perf_gates && matches!(r.label, "uniform" | "zipf(0.5)") {
             assert!(
                 r.regression_pct() <= max_regression,
                 "{}: engine-on regression {:.2}% exceeds the {max_regression:.0}% budget \

@@ -706,15 +706,22 @@ impl HotKeyEngine {
 
     /// Hot-path detection hook: call once per keyspace operation. Pays a
     /// thread-local tick; 1-in-N calls feed the sketch and may promote.
+    /// The tick counter is shared by every engine the thread drives, so
+    /// the fire decision hashes it with a per-engine salt (the engine's
+    /// address — stable, it lives in a `Box`): two engines interleaved on
+    /// one thread each see a strided subsequence of the shared ticks, and
+    /// an unsalted `tick & mask` test would systematically miss (or
+    /// double-fire) on such strides instead of sampling 1-in-N.
     #[inline]
     pub fn record_access(&self, key: u64) {
         if key == 0 {
             return;
         }
+        let salt = self as *const Self as u64;
         let fire = TICK.with(|t| {
             let v = t.get().wrapping_add(1);
             t.set(v);
-            v & self.sample_mask == 0
+            (mix(u64::from(v) ^ salt) as u32) & self.sample_mask == 0
         });
         if fire {
             self.sample(key);
@@ -1130,8 +1137,10 @@ impl HotKeyEngine {
     /// Applies one op to the backing and write-through refreshes the
     /// front slot. The version snapshot taken *before* the backing apply
     /// orders the install against racing plain-writer poisons: if one
-    /// lands in between, this install is skipped and the slot stays
-    /// invalidated (correct, merely uncached).
+    /// lands in between, this install is downgraded to a fresh poison —
+    /// merely skipping would leave the poison's version live, and a fill
+    /// lease taken against it could install a backing read that predates
+    /// this delegated write.
     fn apply_one(&self, op: &HotOp, apply: &mut dyn FnMut(&HotOp) -> HotOpResult) -> HotOpResult {
         let slot = self.slot_of(op.key);
         let fronted = slot.key.load(Ordering::Relaxed) == op.key;
@@ -1158,11 +1167,20 @@ impl HotKeyEngine {
         };
         if let Some(state) = state {
             slot.acquire();
-            if slot.version.load(Ordering::Relaxed) == version
-                && slot.key.load(Ordering::Relaxed) == op.key
-            {
+            if slot.key.load(Ordering::Relaxed) == op.key {
                 slot.version.fetch_add(1, Ordering::Relaxed);
-                slot.write(op.key, state);
+                if slot.version.load(Ordering::Relaxed) == version.wrapping_add(1) {
+                    slot.write(op.key, state);
+                } else {
+                    // A plain-writer poison landed between our snapshot
+                    // and the backing apply. A reader may hold a fill
+                    // lease minted against *its* version with a backing
+                    // value read before our op landed; the bump above
+                    // voided that lease, and the slot stays uncached
+                    // until a post-apply lease refills it.
+                    slot.write(op.key, SlotState::Pending);
+                    self.c.poisons.fetch_add(1, Ordering::Relaxed);
+                }
             }
             slot.release();
         }
@@ -1330,6 +1348,23 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_engines_both_sample() {
+        // Two engines driven alternately by one thread share the
+        // per-thread tick; the per-engine salt must keep both samplers
+        // firing (an unsalted `tick & mask` test strands whichever
+        // engine lands on the wrong residue of the shared stride).
+        let cfg = HotKeyConfig { sample_every: 2, ..Default::default() };
+        let a = HotKeyEngine::new(2, cfg).unwrap();
+        let b = HotKeyEngine::new(2, cfg).unwrap();
+        for _ in 0..4096 {
+            a.record_access(1);
+            b.record_access(1);
+        }
+        assert!(a.stats().sampled > 0, "engine A never sampled");
+        assert!(b.stats().sampled > 0, "engine B never sampled");
+    }
+
+    #[test]
     fn pending_then_fill_then_hit() {
         let e = eager(4);
         e.pin(7);
@@ -1389,6 +1424,40 @@ mod tests {
         );
         assert_eq!(e.stats().poisons, 1);
         assert_eq!(e.stats().fills, 0);
+    }
+
+    #[test]
+    fn delegated_install_repoisons_after_a_racing_plain_poison() {
+        let e = eager(4);
+        e.pin(17);
+        let mut out = Vec::new();
+        let FrontRead::Pending(t) = e.read(17, &mut out) else { panic!("pending") };
+        e.fill(&t, Some(b"old"));
+        let mut lease = None;
+        // Reproduce the window between the combiner's version snapshot
+        // and its write-through install: a plain writer completes against
+        // the backing and poisons, then a reader takes a fill lease whose
+        // backing read predates the delegated write.
+        e.delegate(HotOp::set(17, 0, b"new"), &mut |_| {
+            e.poison(17);
+            let mut buf = Vec::new();
+            let FrontRead::Pending(t) = e.read(17, &mut buf) else {
+                panic!("poisoned slot must read pending");
+            };
+            lease = Some(t);
+            HotOpResult { ok: true, old: 0 }
+        });
+        // The install saw the version mismatch and must have voided the
+        // lease (re-poison), not skipped silently — otherwise the lease
+        // installs a value older than the completed delegated write.
+        e.fill(&lease.expect("lease taken during the window"), Some(b"stale"));
+        out.clear();
+        assert!(
+            matches!(e.read(17, &mut out), FrontRead::Pending(_)),
+            "a lease minted inside the delegation window must not install"
+        );
+        assert_eq!(e.stats().fills, 1, "only the setup fill may land");
+        assert_eq!(e.stats().poisons, 2, "plain poison + install re-poison");
     }
 
     #[test]

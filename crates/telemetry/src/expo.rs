@@ -212,8 +212,11 @@ pub fn validate(body: &str) -> Result<(), String> {
     let mut cumul: HashMap<String, u64> = HashMap::new();
     let mut inf: HashMap<String, u64> = HashMap::new();
     let mut counts: HashMap<String, u64> = HashMap::new();
-    // full series identity (name + sorted labels) -> first line seen
-    let mut series_seen: HashMap<String, usize> = HashMap::new();
+    // full series identity (name + sorted labels) -> first line seen.
+    // Keyed on the structured label set, not a joined string: label
+    // values may themselves contain '=' or ',', and a flattened join
+    // would collide {a="x,b=y"} with {a="x",b="y"}.
+    let mut series_seen: HashMap<(String, Vec<(String, String)>), usize> = HashMap::new();
     let mut samples = 0usize;
 
     for (lineno, line) in body.lines().enumerate() {
@@ -259,10 +262,9 @@ pub fn validate(body: &str) -> Result<(), String> {
             .or_else(|| types.get(&name))
             .ok_or_else(|| format!("line {n}: sample {name} precedes its TYPE"))?;
         samples += 1;
-        let mut sorted: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        let mut sorted = labels.clone();
         sorted.sort();
-        let identity = format!("{name}|{}", sorted.join(","));
-        if let Some(first) = series_seen.insert(identity, n) {
+        if let Some(first) = series_seen.insert((name.clone(), sorted), n) {
             return Err(format!(
                 "line {n}: series {series} already emitted at line {first}"
             ));
@@ -416,6 +418,12 @@ mod tests {
                       ascy_hotkey_front_reads_total{result=\"hit\"} 1\n\
                       ascy_hotkey_front_reads_total{result=\"absent\"} 2\n";
         validate(fanout).expect("label fan-out is one family");
+        // Distinct series whose label values contain '=' and ',' must not
+        // collide into one identity: {a="x,b=y"} is not {a="x",b="y"}.
+        let tricky = "# TYPE ascy_hotkey_front_reads_total counter\n\
+                      ascy_hotkey_front_reads_total{a=\"x,b=y\"} 1\n\
+                      ascy_hotkey_front_reads_total{a=\"x\",b=\"y\"} 2\n";
+        validate(tricky).expect("structurally distinct label sets are distinct series");
         // Redeclaring a name under a different type (gauge-vs-counter
         // confusion at the TYPE layer) is caught by the duplicate-TYPE rule.
         let conflict = "# TYPE ascy_hotkey_fronted gauge\nascy_hotkey_fronted 1\n\
