@@ -37,6 +37,19 @@ pub struct OpCounters {
 }
 
 impl OpCounters {
+    /// The all-zero snapshot, usable in `const` contexts (thread-local
+    /// baselines) where `Default::default()` is not.
+    pub const ZERO: OpCounters = OpCounters {
+        shared_stores: 0,
+        atomic_ops: 0,
+        atomic_failures: 0,
+        lock_acquisitions: 0,
+        restarts: 0,
+        nodes_traversed: 0,
+        waits: 0,
+        operations: 0,
+    };
+
     /// Estimated cache-line transfers caused by this thread.
     ///
     /// Every store/RMW on a shared line invalidates remote copies, so the
@@ -89,6 +102,24 @@ impl OpCounters {
         self.waits = self.waits.saturating_add(other.waits);
         self.operations = self.operations.saturating_add(other.operations);
     }
+
+    /// Field-wise saturating subtraction: the events in `self` that are
+    /// not already in `earlier`. Both snapshots must come from the same
+    /// thread's cumulative counters for the result to be meaningful;
+    /// saturation (rather than wrap) keeps a mid-air [`reset`] from
+    /// producing astronomically large deltas.
+    pub fn saturating_sub(&self, earlier: &OpCounters) -> OpCounters {
+        OpCounters {
+            shared_stores: self.shared_stores.saturating_sub(earlier.shared_stores),
+            atomic_ops: self.atomic_ops.saturating_sub(earlier.atomic_ops),
+            atomic_failures: self.atomic_failures.saturating_sub(earlier.atomic_failures),
+            lock_acquisitions: self.lock_acquisitions.saturating_sub(earlier.lock_acquisitions),
+            restarts: self.restarts.saturating_sub(earlier.restarts),
+            nodes_traversed: self.nodes_traversed.saturating_sub(earlier.nodes_traversed),
+            waits: self.waits.saturating_sub(earlier.waits),
+            operations: self.operations.saturating_sub(earlier.operations),
+        }
+    }
 }
 
 thread_local! {
@@ -100,6 +131,9 @@ thread_local! {
     static NODES_TRAVERSED: Cell<u64> = const { Cell::new(0) };
     static WAITS: Cell<u64> = const { Cell::new(0) };
     static OPERATIONS: Cell<u64> = const { Cell::new(0) };
+    /// Baseline for [`drain_delta`]: everything already handed out by a
+    /// previous drain on this thread.
+    static DRAINED: Cell<OpCounters> = const { Cell::new(OpCounters::ZERO) };
 }
 
 /// Cross-thread safety: each counter is a thread-local `Cell` with exactly
@@ -179,8 +213,30 @@ pub fn snapshot() -> OpCounters {
     }
 }
 
+/// Returns the calling thread's counters accumulated since the previous
+/// `drain_delta` call (or since thread start for the first call) and
+/// advances the drain baseline, **without** touching the counters
+/// themselves. This is the serving-tier primitive: a worker drains after
+/// every connection pass and folds the delta into a shared per-worker
+/// block, while `snapshot()`/`reset()` users (the bench harness) keep
+/// their absolute view — the two protocols compose because draining never
+/// writes the underlying cells.
+pub fn drain_delta() -> OpCounters {
+    let now = snapshot();
+    DRAINED.with(|c| {
+        let before = c.get();
+        c.set(now);
+        now.saturating_sub(&before)
+    })
+}
+
 /// Resets the calling thread's counters to zero.
+///
+/// Also rewinds the [`drain_delta`] baseline, so a drain after a reset
+/// sees only events recorded since the reset (instead of saturating
+/// against a stale baseline and reporting zero until it catches up).
 pub fn reset() {
+    DRAINED.with(|c| c.set(OpCounters::ZERO));
     SHARED_STORES.with(|c| c.set(0));
     ATOMIC_OPS.with(|c| c.set(0));
     ATOMIC_FAILURES.with(|c| c.set(0));
@@ -220,6 +276,26 @@ mod tests {
         assert!(s.transfers_per_operation() > 0.0);
         reset();
         assert_eq!(snapshot(), OpCounters::default());
+    }
+
+    #[test]
+    fn drain_delta_hands_out_each_event_exactly_once() {
+        reset();
+        record_stores(5);
+        record_operation();
+        let d1 = drain_delta();
+        assert_eq!(d1.shared_stores, 5);
+        assert_eq!(d1.operations, 1);
+        // Nothing new since the drain: empty delta, absolute view intact.
+        assert_eq!(drain_delta(), OpCounters::ZERO);
+        assert_eq!(snapshot().shared_stores, 5);
+        record_stores(2);
+        assert_eq!(drain_delta().shared_stores, 2);
+        // A reset rewinds the baseline as well as the counters.
+        reset();
+        record_store();
+        assert_eq!(drain_delta().shared_stores, 1);
+        reset();
     }
 
     #[test]

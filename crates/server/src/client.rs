@@ -172,11 +172,45 @@ impl Client {
         }
     }
 
-    /// `QUIT` → graceful close (waits for the server's `+BYE`).
-    pub fn quit(mut self) -> io::Result<()> {
-        match self.call(&Request::Quit)? {
-            Reply::Simple(s) if s == "BYE" => Ok(()),
+    /// `MONITOR [sample_n]` → subscribes this connection to the server's
+    /// sampled trace-event stream. After the `OK` the server volunteers
+    /// `+monitor ...` frames (read them with
+    /// [`monitor_next`](Self::monitor_next)); every `sample_n`-th eligible
+    /// event is streamed (`None` keeps them all). The stream is lossy: a
+    /// subscriber that reads too slowly has events dropped and is
+    /// eventually disconnected with an in-band error.
+    pub fn monitor(&mut self, sample_n: Option<u64>) -> io::Result<()> {
+        match self.call(&Request::Monitor(sample_n))? {
+            Reply::Simple(s) if s == "OK" => Ok(()),
             other => Err(unexpected(other)),
+        }
+    }
+
+    /// Reads the next `+monitor ...` trace line (blocking, subject to
+    /// [`set_timeout`](Self::set_timeout)). Call after
+    /// [`monitor`](Self::monitor); the returned line carries
+    /// `unix_ms= family= key= bytes= service_ns= worker=` fields.
+    pub fn monitor_next(&mut self) -> io::Result<String> {
+        match self.read_reply()? {
+            Reply::Simple(s) if s.starts_with("monitor ") => Ok(s),
+            other => Err(unexpected(other)),
+        }
+    }
+
+    /// `QUIT` → graceful close (waits for the server's `+BYE`). A
+    /// monitoring connection may still have `+monitor` trace frames queued
+    /// ahead of the `+BYE`; they are skipped, so a subscriber disconnects
+    /// as cleanly as any other client.
+    pub fn quit(mut self) -> io::Result<()> {
+        let mut out = Vec::with_capacity(8);
+        encode_request(&Request::Quit, &mut out);
+        self.stream.write_all(&out)?;
+        loop {
+            match self.read_reply()? {
+                Reply::Simple(s) if s == "BYE" => return Ok(()),
+                Reply::Simple(s) if s.starts_with("monitor ") => {}
+                other => return Err(unexpected(other)),
+            }
         }
     }
 
@@ -391,6 +425,32 @@ mod tests {
         assert_eq!(c.slowlog_get().unwrap(), "");
         c.slowlog_reset().unwrap();
         c.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn monitor_subscription_yields_trace_lines() {
+        let server = ordered_server();
+        let mut sub = Client::connect(server.addr()).unwrap();
+        sub.monitor(None).unwrap();
+        let mut data = Client::connect(server.addr()).unwrap();
+        // The subscription activates just after the OK reply flushes, so
+        // drive traffic until a line comes through.
+        sub.set_timeout(Some(std::time::Duration::from_millis(50))).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        let line = loop {
+            data.set(3, b"three").unwrap();
+            match sub.monitor_next() {
+                Ok(line) => break line,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) => panic!("unexpected monitor error: {e}"),
+            }
+            assert!(std::time::Instant::now() < deadline, "no trace line arrived");
+        };
+        assert!(line.contains("family=set"), "{line}");
+        assert!(line.contains("key=3"), "{line}");
+        assert!(line.contains("service_ns="), "{line}");
+        data.quit().unwrap();
         server.join();
     }
 

@@ -33,17 +33,20 @@
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::Arc;
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use polling::Interest;
 
 use ascylib_telemetry::expo::Exposition;
 use ascylib_telemetry::{
-    clock, Family, HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot, WorkerTelemetry,
+    clock, Family, HistogramSnapshot, Phase, SlowOp, TelemetrySnapshot, WindowDelta,
+    WorkerTelemetry,
 };
 
+use crate::monitor::{MonitorEvent, MonitorHub, MonitorSink, MONITOR_DRAIN_BACKLOG};
 use crate::protocol::{wire, Request, RequestParser, SlowlogCmd, MAX_VALUE};
-use crate::stats::{ServerStatsSnapshot, WorkerStats};
+use crate::stats::{ConcurrencySnapshot, ServerStatsSnapshot, WorkerStats};
 use crate::store::{KvStore, KEY_RANGE};
 
 /// Cross-worker telemetry aggregation, implemented by the server's shared
@@ -63,7 +66,32 @@ pub(crate) trait TelemetryHub {
     fn workers(&self) -> usize;
     /// Milliseconds since the server started.
     fn uptime_ms(&self) -> u64;
+    /// Summed structure-level concurrency counters across every worker
+    /// block: coherence events (stores, CAS, restarts) plus ssmem
+    /// allocator state.
+    fn concurrency_totals(&self) -> ConcurrencySnapshot;
+    /// Rotates the telemetry sample ring if an interval elapsed and
+    /// returns the delta over the default window. `None` until at least
+    /// two samples exist (the window is still warming up).
+    fn window(&self) -> Option<WindowDelta>;
 }
+
+/// Indices of the cumulative counters carried in every window sample
+/// (`WindowSample::counters`); the hub's sampler and the scrape renderers
+/// must agree on these.
+pub(crate) const WIN_OPS: usize = 0;
+/// Bytes read from sockets.
+pub(crate) const WIN_BYTES_IN: usize = 1;
+/// Bytes written to sockets.
+pub(crate) const WIN_BYTES_OUT: usize = 2;
+/// Error frames sent.
+pub(crate) const WIN_ERRORS: usize = 3;
+/// Failed CAS attempts inside the structures.
+pub(crate) const WIN_CAS_FAILS: usize = 4;
+/// Structure-level operation restarts.
+pub(crate) const WIN_RESTARTS: usize = 5;
+/// How many counters a window sample carries.
+pub(crate) const WIN_COUNTERS: usize = 6;
 
 /// Everything a worker needs to serve one connection.
 pub(crate) struct ConnCtx<'a> {
@@ -86,6 +114,11 @@ pub(crate) struct ConnCtx<'a> {
     /// Requests at or above this service time (execute phase, ns) are
     /// captured in the slow-op ring.
     pub slow_ns: u64,
+    /// This worker's index (slow-op and monitor-event attribution).
+    pub worker: u32,
+    /// The `MONITOR` broadcast hub: published on the sampled hot path,
+    /// subscribed at dispatch, counted at scrape time.
+    pub monitor: &'a MonitorHub,
 }
 
 /// Reusable per-connection buffers for value copy-out, so the serving hot
@@ -162,6 +195,13 @@ pub(crate) struct Connection {
     /// Last time the connection made progress (idle-timeout input; the
     /// timer wheel re-checks this lazily at each scheduled deadline).
     pub(crate) last_active: Instant,
+    /// Set when a `MONITOR` frame executed: the worker (which knows this
+    /// connection's registry token) must subscribe it to the hub. Carries
+    /// the optional sampling stride.
+    pending_monitor: Option<Option<u64>>,
+    /// The monitor mailbox once subscribed; drained into `wbuf` at the
+    /// top of every `advance`.
+    monitor: Option<Arc<MonitorSink>>,
 }
 
 impl Connection {
@@ -181,11 +221,26 @@ impl Connection {
             eof: false,
             quit: false,
             last_active: Instant::now(),
+            pending_monitor: None,
+            monitor: None,
         })
     }
 
     pub(crate) fn fd(&self) -> RawFd {
         self.stream.as_raw_fd()
+    }
+
+    /// Takes the sampling argument of a just-executed `MONITOR` frame, if
+    /// any. The worker calls this after `advance` and performs the actual
+    /// hub subscription — only it knows the connection's registry token.
+    pub(crate) fn take_pending_monitor(&mut self) -> Option<Option<u64>> {
+        self.pending_monitor.take()
+    }
+
+    /// Attaches the subscribed mailbox; queued trace frames reach this
+    /// connection's write buffer on its next `advance`.
+    pub(crate) fn attach_monitor(&mut self, sink: Arc<MonitorSink>) {
+        self.monitor = Some(sink);
     }
 
     /// Drives the state machine as far as the socket allows. Never panics on
@@ -195,6 +250,26 @@ impl Connection {
         self.last_active = Instant::now();
         let mut budget = ADVANCE_BUDGET;
         loop {
+            // Monitor subscribers: move queued trace frames into the write
+            // buffer so they flush with everything else below. A large
+            // unflushed backlog skips the drain — ordinary replies keep
+            // flowing and the sink absorbs (or drops) the burst. An
+            // evicted sink ends the stream loudly, in-band, reusing the
+            // QUIT flush-then-close path.
+            if let Some(sink) = &self.monitor {
+                if sink.evicted() {
+                    let dropped = sink.dropped();
+                    sink.mark_gone();
+                    self.monitor = None;
+                    wire::error(
+                        &mut self.wbuf,
+                        &format!("monitor stream lagged too far behind ({dropped} events dropped); closing"),
+                    );
+                    self.quit = true;
+                } else if self.wbuf.len() - self.wpos < MONITOR_DRAIN_BACKLOG {
+                    sink.drain_into(&mut self.wbuf);
+                }
+            }
             // Writing: pending replies leave first. While a flush is
             // blocked the machine never reads — that is the backpressure
             // that stops a non-draining peer from growing `wbuf` forever.
@@ -341,6 +416,22 @@ impl Connection {
                                     bytes,
                                     duration_ns: total,
                                     unix_ms: unix_ms_now(),
+                                    worker: ctx.worker,
+                                    shard: ctx.store.shard_of(key).unwrap_or(0) as u32,
+                                });
+                            }
+                            // The MONITOR stream rides the sampled timing
+                            // path (it needs the service clock); with no
+                            // subscribers this is one relaxed load.
+                            if ctx.monitor.active() {
+                                let (key, bytes) = slow_fields(&req);
+                                ctx.monitor.publish(&MonitorEvent {
+                                    unix_ms: unix_ms_now(),
+                                    family,
+                                    key,
+                                    bytes,
+                                    service_ns: total,
+                                    worker: ctx.worker,
                                 });
                             }
                             flow
@@ -352,9 +443,13 @@ impl Connection {
                         execute(&req, ctx, &mut self.bufs, &mut self.wbuf)
                     };
                     slot += 1;
-                    if flow == Flow::Quit {
-                        self.quit = true;
-                        break;
+                    match flow {
+                        Flow::Quit => {
+                            self.quit = true;
+                            break;
+                        }
+                        Flow::Monitor(sample) => self.pending_monitor = Some(sample),
+                        Flow::Continue => {}
                     }
                 }
                 Some(Err(e)) => {
@@ -372,7 +467,7 @@ impl Connection {
     }
 }
 
-fn unix_ms_now() -> u64 {
+pub(crate) fn unix_ms_now() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map(|d| d.as_millis().min(u64::MAX as u128) as u64)
@@ -413,6 +508,9 @@ fn slow_fields(req: &Request) -> (u64, u64) {
 enum Flow {
     Continue,
     Quit,
+    /// A `MONITOR` frame executed: the worker must subscribe this
+    /// connection to the hub (the sampling stride rides along).
+    Monitor(Option<u64>),
 }
 
 fn key_ok(key: u64) -> bool {
@@ -555,6 +653,17 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
                     h.fronted, h.front_hits, h.front_absent, h.delegated, h.combined_batches,
                 );
             }
+            // Epoch-allocator aggregates, summed over every worker's
+            // thread-local allocator.
+            {
+                use std::fmt::Write as _;
+                let m = ctx.hub.concurrency_totals().ssmem;
+                let _ = write!(
+                    info,
+                    " ssmem_allocations={} ssmem_frees={} ssmem_reclaimed={} ssmem_pending={} ssmem_pooled={}",
+                    m.allocations, m.frees, m.reclaimed, m.pending, m.pooled,
+                );
+            }
             wire::simple(out, &info);
         }
         Request::Info(section) => match render_info(ctx, section.as_deref()) {
@@ -573,6 +682,13 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
             SlowlogCmd::Len => wire::int(out, ctx.hub.slow_len()),
         },
         Request::Metrics => bulk_capped(out, &render_metrics(ctx)),
+        Request::Monitor(sample) => {
+            // The hub subscription happens back in the worker loop, which
+            // knows this connection's registry token; from the peer's
+            // view the `+OK` marks the start of the stream.
+            wire::simple(out, "OK");
+            return Flow::Monitor(*sample);
+        }
         Request::Quit => {
             wire::simple(out, "BYE");
             return Flow::Quit;
@@ -603,14 +719,17 @@ fn bulk_capped(out: &mut Vec<u8>, body: &str) {
     wire::bulk(out, truncated.as_bytes());
 }
 
-/// Renders the `INFO` report: all five sections, or just the named one.
+/// Renders the `INFO` report: all six sections, or just the named one.
 /// Unknown section names are a semantic error answered in-band.
 fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'static str> {
     use std::fmt::Write as _;
-    const KNOWN: [&str; 5] = ["server", "commands", "latency", "memory", "hotkeys"];
+    const KNOWN: [&str; 6] =
+        ["server", "commands", "latency", "memory", "concurrency", "hotkeys"];
     if let Some(s) = section {
         if !KNOWN.contains(&s) {
-            return Err("unknown INFO section (server|commands|latency|memory|hotkeys)");
+            return Err(
+                "unknown INFO section (server|commands|latency|memory|concurrency|hotkeys)",
+            );
         }
     }
     let want = |name: &str| section.is_none() || section == Some(name);
@@ -676,6 +795,12 @@ fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'sta
                 let _ =
                     writeln!(s, "cmd_{}_p99_ns:{}", f.name(), tel.family(f).hist.quantile(0.99));
             }
+            // Windowed tail latency: the same service-time histogram, but
+            // only what landed in the last sampling window.
+            if let Some(w) = ctx.hub.window() {
+                let _ = writeln!(s, "request_p99_10s_ns:{}", w.hist.quantile(0.99));
+                let _ = writeln!(s, "request_window_ms:{}", w.elapsed_ms());
+            }
             sections.push(s);
         }
     }
@@ -688,6 +813,56 @@ fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'sta
         let _ = writeln!(s, "value_bytes:{}", ctx.store.value_bytes());
         let _ = writeln!(s, "store_ops:{store_ops}");
         let _ = writeln!(s, "store_hits:{store_hits}");
+        let m = ctx.hub.concurrency_totals().ssmem;
+        let _ = writeln!(s, "ssmem_allocations:{}", m.allocations);
+        let _ = writeln!(s, "ssmem_frees:{}", m.frees);
+        let _ = writeln!(s, "ssmem_reclaimed:{}", m.reclaimed);
+        let _ = writeln!(s, "ssmem_reused:{}", m.reused);
+        let _ = writeln!(s, "ssmem_gc_passes:{}", m.gc_passes);
+        let _ = writeln!(s, "ssmem_pending:{}", m.pending);
+        let _ = writeln!(s, "ssmem_pooled:{}", m.pooled);
+        sections.push(s);
+    }
+    if want("concurrency") {
+        let conc = ctx.hub.concurrency_totals();
+        let mut s = String::new();
+        let _ = writeln!(s, "# concurrency");
+        let _ = writeln!(s, "coherence_shared_stores:{}", conc.ops.shared_stores);
+        let _ = writeln!(s, "coherence_atomic_ops:{}", conc.ops.atomic_ops);
+        let _ = writeln!(s, "coherence_atomic_failures:{}", conc.ops.atomic_failures);
+        let _ = writeln!(s, "coherence_lock_acquisitions:{}", conc.ops.lock_acquisitions);
+        let _ = writeln!(s, "coherence_restarts:{}", conc.ops.restarts);
+        let _ = writeln!(s, "coherence_waits:{}", conc.ops.waits);
+        let _ = writeln!(s, "coherence_nodes_traversed:{}", conc.ops.nodes_traversed);
+        let _ = writeln!(s, "coherence_operations:{}", conc.ops.operations);
+        if conc.ops.operations > 0 {
+            // The paper's scalability determinants, normalized per
+            // structure operation: stores to shared lines and atomics.
+            let per = |n: u64| n as f64 / conc.ops.operations as f64;
+            let _ = writeln!(s, "coherence_stores_per_op:{:.3}", per(conc.ops.shared_stores));
+            let _ = writeln!(s, "coherence_atomics_per_op:{:.3}", per(conc.ops.atomic_ops));
+        }
+        let mon = ctx.monitor.stats();
+        let _ = writeln!(s, "monitor_subscribers:{}", mon.subscribers);
+        let _ = writeln!(s, "monitor_events:{}", mon.events);
+        let _ = writeln!(s, "monitor_dropped:{}", mon.dropped);
+        match ctx.hub.window() {
+            Some(w) => {
+                let _ = writeln!(s, "window_samples:{}", w.samples);
+                let _ = writeln!(s, "window_span_ms:{}", w.elapsed_ms());
+                let _ = writeln!(s, "ops_per_sec:{:.1}", w.rate(WIN_OPS));
+                let _ = writeln!(s, "net_in_bytes_per_sec:{:.0}", w.rate(WIN_BYTES_IN));
+                let _ = writeln!(s, "net_out_bytes_per_sec:{:.0}", w.rate(WIN_BYTES_OUT));
+                let _ = writeln!(s, "errors_per_sec:{:.1}", w.rate(WIN_ERRORS));
+                let _ = writeln!(s, "cas_fails_per_sec:{:.1}", w.rate(WIN_CAS_FAILS));
+                let _ = writeln!(s, "restarts_per_sec:{:.1}", w.rate(WIN_RESTARTS));
+            }
+            None => {
+                // Fewer than two samples so far; rates appear once the
+                // ring has a measurable span.
+                let _ = writeln!(s, "window_samples:0");
+            }
+        }
         sections.push(s);
     }
     if want("hotkeys") {
@@ -729,12 +904,14 @@ fn render_slowlog(ops: &[SlowOp]) -> String {
     for (i, op) in ops.iter().enumerate() {
         let _ = writeln!(
             out,
-            "{i} family={} key={} bytes={} duration_ns={} unix_ms={}",
+            "{i} family={} key={} bytes={} duration_ns={} unix_ms={} worker={} shard={}",
             op.family.name(),
             op.key,
             op.bytes,
             op.duration_ns,
             op.unix_ms,
+            op.worker,
+            op.shard,
         );
     }
     out
@@ -832,6 +1009,36 @@ fn render_metrics(ctx: &ConnCtx<'_>) -> String {
             &tel.phases[p.index()],
         );
     }
+    let conc = ctx.hub.concurrency_totals();
+    e.counter("ascy_coherence_shared_stores_total", "Stores to shared cache lines inside the structures.", &[], conc.ops.shared_stores);
+    e.counter("ascy_coherence_atomic_ops_total", "Atomic RMW operations (CAS/TAS/FAI) attempted.", &[], conc.ops.atomic_ops);
+    e.counter("ascy_coherence_atomic_failures_total", "Atomic RMW operations that failed and retried.", &[], conc.ops.atomic_failures);
+    e.counter("ascy_coherence_lock_acquisitions_total", "Lock acquisitions inside lock-based structures.", &[], conc.ops.lock_acquisitions);
+    e.counter("ascy_coherence_restarts_total", "Structure operations that restarted from scratch.", &[], conc.ops.restarts);
+    e.counter("ascy_coherence_waits_total", "Spin-wait episodes on in-flight concurrent work.", &[], conc.ops.waits);
+    e.counter("ascy_coherence_nodes_traversed_total", "Nodes visited during structure traversals.", &[], conc.ops.nodes_traversed);
+    e.counter("ascy_coherence_operations_total", "Structure-level operations recorded.", &[], conc.ops.operations);
+    e.counter("ascy_ssmem_allocations_total", "Epoch-allocator objects handed out.", &[], conc.ssmem.allocations);
+    e.counter("ascy_ssmem_frees_total", "Objects released into the epoch limbo lists.", &[], conc.ssmem.frees);
+    e.counter("ascy_ssmem_reclaimed_total", "Limbo objects whose grace period expired.", &[], conc.ssmem.reclaimed);
+    e.counter("ascy_ssmem_reused_total", "Allocations served from reclaimed memory.", &[], conc.ssmem.reused);
+    e.counter("ascy_ssmem_gc_passes_total", "Epoch-advance collection passes.", &[], conc.ssmem.gc_passes);
+    e.gauge("ascy_ssmem_pending", "Objects waiting in limbo lists across workers.", &[], conc.ssmem.pending);
+    e.gauge("ascy_ssmem_pooled", "Reclaimed objects pooled for reuse across workers.", &[], conc.ssmem.pooled);
+    let mon = ctx.monitor.stats();
+    e.gauge("ascy_monitor_subscribers", "Connections subscribed to the MONITOR stream.", &[], mon.subscribers);
+    e.counter("ascy_monitor_events_total", "Trace events published to the MONITOR stream.", &[], mon.events);
+    e.counter("ascy_monitor_dropped_total", "Trace events dropped on full subscriber sinks.", &[], mon.dropped);
+    if let Some(w) = ctx.hub.window() {
+        e.gauge("ascy_window_span_ms", "Span of the telemetry window backing the rate gauges.", &[], w.elapsed_ms());
+        e.gauge("ascy_window_ops_per_sec", "Keyspace operations per second over the window.", &[], w.rate(WIN_OPS) as u64);
+        e.gauge("ascy_window_bytes_in_per_sec", "Socket bytes read per second over the window.", &[], w.rate(WIN_BYTES_IN) as u64);
+        e.gauge("ascy_window_bytes_out_per_sec", "Socket bytes written per second over the window.", &[], w.rate(WIN_BYTES_OUT) as u64);
+        e.gauge("ascy_window_errors_per_sec", "Error frames per second over the window.", &[], w.rate(WIN_ERRORS) as u64);
+        e.gauge("ascy_window_cas_fails_per_sec", "Failed structure CAS attempts per second over the window.", &[], w.rate(WIN_CAS_FAILS) as u64);
+        e.gauge("ascy_window_restarts_per_sec", "Structure restarts per second over the window.", &[], w.rate(WIN_RESTARTS) as u64);
+        e.gauge("ascy_window_request_p99_ns", "p99 service time over the window in nanoseconds.", &[], w.hist.quantile(0.99));
+    }
     e.finish()
 }
 
@@ -853,10 +1060,31 @@ mod tests {
     }
 
     /// Single-worker hub over one telemetry block, standing in for the
-    /// server's `Shared`.
+    /// server's `Shared`. The test thread doubles as the worker: the
+    /// concurrency fold that a real worker performs after each connection
+    /// pass happens here at query time, and the window clock is a fake
+    /// that advances one millisecond per call so two consecutive scrapes
+    /// always produce a measurable window.
     struct TestHub<'a> {
         tel: &'a WorkerTelemetry,
+        stats: &'a WorkerStats,
+        conc: crate::stats::ConcurrencyStats,
+        ring: ascylib_telemetry::WindowRing,
+        ticks: std::sync::atomic::AtomicU64,
         started: Instant,
+    }
+
+    impl<'a> TestHub<'a> {
+        fn new(tel: &'a WorkerTelemetry, stats: &'a WorkerStats) -> TestHub<'a> {
+            TestHub {
+                tel,
+                stats,
+                conc: crate::stats::ConcurrencyStats::default(),
+                ring: ascylib_telemetry::WindowRing::new(1, 8),
+                ticks: std::sync::atomic::AtomicU64::new(0),
+                started: Instant::now(),
+            }
+        }
     }
 
     impl TelemetryHub for TestHub<'_> {
@@ -880,6 +1108,31 @@ mod tests {
         fn uptime_ms(&self) -> u64 {
             self.started.elapsed().as_millis() as u64
         }
+        fn concurrency_totals(&self) -> ConcurrencySnapshot {
+            self.conc.fold_ops(&ascylib::stats::drain_delta());
+            self.conc.set_ssmem(&ascylib_ssmem::thread_stats());
+            self.conc.snapshot()
+        }
+        fn window(&self) -> Option<WindowDelta> {
+            use std::sync::atomic::Ordering;
+            let tick = self.ticks.fetch_add(1, Ordering::Relaxed) + 1;
+            let t = self.stats.snapshot();
+            let c = self.conc.snapshot();
+            self.ring.rotate(ascylib_telemetry::WindowSample {
+                unix_ms: tick,
+                mono_ns: tick * 1_000_000,
+                counters: vec![
+                    t.ops,
+                    t.bytes_in,
+                    t.bytes_out,
+                    t.errors,
+                    c.ops.atomic_failures,
+                    c.ops.restarts,
+                ],
+                hist: self.tel.snapshot().data_requests(),
+            });
+            self.ring.delta(ascylib_telemetry::window::DEFAULT_WINDOW_NS)
+        }
     }
 
     fn run_ctx(test: impl FnOnce(&ConnCtx<'_>)) {
@@ -887,7 +1140,8 @@ mod tests {
         let store = BlobStore::new(map);
         let stats = WorkerStats::default();
         let tel = WorkerTelemetry::new();
-        let hub = TestHub { tel: &tel, started: Instant::now() };
+        let hub = TestHub::new(&tel, &stats);
+        let monitor = MonitorHub::default();
         let totals = || ServerStatsSnapshot::default();
         let ctx = ConnCtx {
             store: &store,
@@ -898,6 +1152,8 @@ mod tests {
             hub: &hub,
             recording: true,
             slow_ns: u64::MAX,
+            worker: 0,
+            monitor: &monitor,
         };
         test(&ctx);
     }
@@ -1003,7 +1259,7 @@ mod tests {
             assert_eq!(load(&ctx.stats.misses), 1);
 
             let info = render_info(ctx, None).unwrap();
-            for header in ["# server", "# commands", "# latency", "# memory"] {
+            for header in ["# server", "# commands", "# latency", "# memory", "# concurrency"] {
                 assert!(info.contains(header), "INFO is missing {header}:\n{info}");
             }
             assert!(info.contains("cmd_get_hits:1"));
@@ -1030,7 +1286,8 @@ mod tests {
         let store = BlobStore::new(Arc::clone(&map));
         let stats = WorkerStats::default();
         let tel = WorkerTelemetry::new();
-        let hub = TestHub { tel: &tel, started: Instant::now() };
+        let hub = TestHub::new(&tel, &stats);
+        let monitor = MonitorHub::default();
         let totals = || ServerStatsSnapshot::default();
         let ctx = ConnCtx {
             store: &store,
@@ -1041,6 +1298,8 @@ mod tests {
             hub: &hub,
             recording: true,
             slow_ns: u64::MAX,
+            worker: 0,
+            monitor: &monitor,
         };
         let mut bufs = ConnBufs::default();
         let mut out = Vec::new();
@@ -1116,8 +1375,11 @@ mod tests {
             assert_eq!(ops[0].key, 9);
             assert_eq!(ops[0].bytes, 3);
             assert!(ops[0].unix_ms > 0);
+            assert_eq!(ops[0].worker, 0);
+            assert_eq!(ops[0].shard, 0, "single-shard store attributes shard 0");
             let body = render_slowlog(&ops);
             assert!(body.contains("family=set key=9 bytes=3"));
+            assert!(body.contains("worker=0 shard=0"), "{body}");
             ctx.hub.slow_reset();
             assert_eq!(ctx.hub.slow_len(), 0);
         });
@@ -1148,5 +1410,159 @@ mod tests {
         let mut small = Vec::new();
         bulk_capped(&mut small, "hello\n");
         assert_eq!(small, b"$6\r\nhello\n\r\n");
+    }
+
+    #[test]
+    fn info_concurrency_and_windowed_rates_render_from_served_traffic() {
+        run_ctx(|ctx| {
+            let mut bufs = ConnBufs::default();
+            let mut out = Vec::new();
+            for k in 1..=32u64 {
+                execute(&Request::Set(k, b"v".to_vec()), ctx, &mut bufs, &mut out);
+                execute(&Request::Get(k), ctx, &mut bufs, &mut out);
+            }
+            let first = render_info(ctx, Some("concurrency")).unwrap();
+            assert!(first.starts_with("# concurrency"), "{first}");
+            assert!(first.contains("coherence_atomic_ops:"), "{first}");
+            assert!(first.contains("monitor_subscribers:0"), "{first}");
+            // The structures really moved the coherence counters.
+            let conc = ctx.hub.concurrency_totals();
+            assert!(
+                conc.ops.operations > 0,
+                "served sets/gets must fold into the concurrency block: {conc:?}"
+            );
+            // The second scrape has two window samples and renders rates.
+            let second = render_info(ctx, Some("concurrency")).unwrap();
+            assert!(second.contains("ops_per_sec:"), "{second}");
+            assert!(second.contains("window_span_ms:"), "{second}");
+            assert!(second.contains("cas_fails_per_sec:"), "{second}");
+            // Memory section carries the allocator aggregates.
+            let mem = render_info(ctx, Some("memory")).unwrap();
+            assert!(mem.contains("ssmem_allocations:"), "{mem}");
+            assert!(mem.contains("ssmem_pending:"), "{mem}");
+            // The windowed tail-latency fields land in the latency section.
+            let lat = render_info(ctx, Some("latency")).unwrap();
+            assert!(lat.contains("request_p99_10s_ns:"), "{lat}");
+            // STATS rides the allocator aggregates at the end of the line.
+            out.clear();
+            execute(&Request::Stats, ctx, &mut bufs, &mut out);
+            let line = String::from_utf8_lossy(&out).into_owned();
+            assert!(line.contains("ssmem_allocations="), "{line}");
+            // METRICS exports the new families and still validates.
+            let metrics = render_metrics(ctx);
+            ascylib_telemetry::expo::validate(&metrics).expect("METRICS body validates");
+            for family in [
+                "ascy_coherence_atomic_ops_total ",
+                "ascy_coherence_operations_total ",
+                "ascy_ssmem_allocations_total ",
+                "ascy_ssmem_pending ",
+                "ascy_monitor_subscribers ",
+                "ascy_window_ops_per_sec ",
+                "ascy_window_request_p99_ns ",
+            ] {
+                assert!(metrics.contains(family), "METRICS is missing {family}:\n{metrics}");
+            }
+        });
+    }
+
+    #[test]
+    fn monitor_subscription_streams_trace_events_over_loopback() {
+        run_ctx(|ctx| {
+            // Subscribe one connection: MONITOR answers +OK and surfaces
+            // the subscribe intent for the "worker" (this test) to act on.
+            let (mut sub, mut sub_peer) = pair();
+            sub_peer.write_all(b"MONITOR\r\n").unwrap();
+            let mut chunk = [0u8; 4096];
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let sample = loop {
+                if let Advance::Close(exit) = sub.advance(ctx, &mut chunk) {
+                    panic!("unexpected close: {exit:?}");
+                }
+                if let Some(sample) = sub.take_pending_monitor() {
+                    break sample;
+                }
+                assert!(Instant::now() < deadline, "MONITOR frame not served");
+                std::thread::sleep(Duration::from_millis(1));
+            };
+            assert_eq!(sample, None, "bare MONITOR keeps every sampled event");
+            sub.attach_monitor(ctx.monitor.subscribe(1, sample));
+            assert!(ctx.monitor.active());
+
+            // Traffic on a second connection publishes into the hub (the
+            // first slot of every batch is always timed, hence eligible).
+            let (mut data, mut data_peer) = pair();
+            data_peer.write_all(b"SET 5 3\r\nabc\r\n").unwrap();
+            while ctx.monitor.stats().events == 0 {
+                if let Advance::Close(exit) = data.advance(ctx, &mut chunk) {
+                    panic!("unexpected close: {exit:?}");
+                }
+                assert!(Instant::now() < deadline, "no event published");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            // The publishing pass noted the subscriber's token for wake-up.
+            assert!(ctx.monitor.take_wakes().contains(&1), "publish queues a wake");
+
+            // The subscriber's own advance drains the sink into its write
+            // buffer; the peer sees +OK then the trace frame.
+            let mut got = Vec::new();
+            let mut buf = [0u8; 4096];
+            sub_peer.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+            while !String::from_utf8_lossy(&got).contains("+monitor ") {
+                if let Advance::Close(exit) = sub.advance(ctx, &mut chunk) {
+                    panic!("unexpected close: {exit:?}");
+                }
+                if let Ok(n) = sub_peer.read(&mut buf) {
+                    got.extend_from_slice(&buf[..n]);
+                }
+                assert!(Instant::now() < deadline, "trace frame never arrived: {got:?}");
+            }
+            let text = String::from_utf8_lossy(&got);
+            assert!(text.starts_with("+OK\r\n"), "{text}");
+            assert!(text.contains("family=set"), "{text}");
+            assert!(text.contains("key=5"), "{text}");
+            assert!(text.contains("worker=0"), "{text}");
+        });
+    }
+
+    #[test]
+    fn evicted_monitor_subscriber_is_closed_in_band() {
+        run_ctx(|ctx| {
+            // A hub no frame fits into: the first publish drops, and one
+            // drop is already the eviction threshold.
+            let tiny = MonitorHub::with_limits(8, 1);
+            let ctx = ConnCtx { monitor: &tiny, ..*ctx };
+            let (mut conn, mut peer) = pair();
+            conn.attach_monitor(tiny.subscribe(1, None));
+            tiny.publish(&MonitorEvent {
+                unix_ms: 1,
+                family: Family::Get,
+                key: 1,
+                bytes: 0,
+                service_ns: 100,
+                worker: 0,
+            });
+            assert!(tiny.take_wakes().contains(&1), "eviction crossing wakes the victim");
+            let mut chunk = [0u8; 4096];
+            let deadline = Instant::now() + Duration::from_secs(5);
+            loop {
+                match conn.advance(&ctx, &mut chunk) {
+                    Advance::Close(exit) => {
+                        assert_eq!(exit, ConnExit::Quit);
+                        break;
+                    }
+                    _ => {
+                        assert!(Instant::now() < deadline);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
+            drop(conn);
+            let mut reply = Vec::new();
+            peer.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            peer.read_to_end(&mut reply).unwrap();
+            let text = String::from_utf8_lossy(&reply);
+            assert!(text.contains("-ERR monitor stream lagged"), "{text}");
+            assert_eq!(tiny.stats().subscribers, 0, "the sink marked itself gone");
+        });
     }
 }

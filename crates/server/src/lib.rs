@@ -36,11 +36,19 @@
 //! * [`client`] — a blocking client with typed per-verb calls over `&[u8]`
 //!   values and a [`Pipeline`] that turns `k` round trips into one.
 //! * **Telemetry** (protocol verbs `INFO [section]`, `SLOWLOG
-//!   GET|RESET|LEN`, `METRICS`; crate `ascylib-telemetry`) — always-on
-//!   server-side observability: per-command-family lock-free latency
-//!   histograms, parse/execute/flush phase timings, hit/miss counters,
-//!   per-worker slow-op rings, and a Prometheus text exposition surface a
-//!   scraper can point at the wire port directly.
+//!   GET|RESET|LEN`, `METRICS`, `MONITOR [sample_n]`; crate
+//!   `ascylib-telemetry`) — always-on server-side observability:
+//!   per-command-family lock-free latency histograms,
+//!   parse/execute/flush phase timings, hit/miss counters, per-worker
+//!   slow-op rings (tagged with worker and shard), and a Prometheus text
+//!   exposition surface a scraper can point at the wire port directly.
+//!   The `INFO concurrency` section puts the paper's structure-level
+//!   coherence counters (CAS failures, restarts, nodes traversed) and
+//!   the aggregated ssmem allocator totals on the wire, windowed
+//!   telemetry turns cumulative counters into live rates (`ops_per_sec`,
+//!   windowed p99) via a reader-rotated snapshot ring, and `MONITOR`
+//!   subscribes a connection to a bounded, drop-counting stream of
+//!   sampled per-request trace events with slow-consumer eviction.
 //! * [`loadgen`] — a multi-connection load generator in two modes:
 //!   **closed-loop** (each connection keeps a fixed number of requests in
 //!   flight) and **open-loop** ([`LoadMode::Open`]: Poisson or fixed-rate
@@ -74,6 +82,7 @@
 pub mod client;
 mod conn;
 pub mod loadgen;
+mod monitor;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -83,7 +92,8 @@ mod timer;
 pub use ascylib_telemetry::{Family, Phase, SlowOp, TelemetrySnapshot};
 pub use client::{Client, Pipeline};
 pub use loadgen::{LoadGenConfig, LoadGenResult, LoadMode, ServerLatency, ValueSize};
+pub use monitor::MonitorStats;
 pub use protocol::{ParseError, Reply, Request, SlowlogCmd};
 pub use server::{Server, ServerConfig, ServerHandle};
-pub use stats::ServerStatsSnapshot;
+pub use stats::{ConcurrencySnapshot, ConcurrencyStats, ServerStatsSnapshot};
 pub use store::{BlobOrderedStore, BlobStore, KvStore};

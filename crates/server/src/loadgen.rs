@@ -39,15 +39,17 @@ use std::fmt;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
+use crossbeam_utils::CachePadded;
 use polling::{Events, Interest, Poller};
 use rand::rngs::SmallRng;
 use rand::{Rng, RngCore, SeedableRng};
 
 use ascylib_harness::{KeyDist, KeySampler, LatencyStats, OpMix, Operation};
+use ascylib_telemetry::{Histogram, HistogramSnapshot};
 
 use crate::client::Client;
 use crate::protocol::{encode_request, encode_set, Reply, ReplyParser, Request, MAX_SCAN, MAX_VALUE};
@@ -268,6 +270,11 @@ pub struct LoadGenConfig {
     pub pipeline_depth: usize,
     /// Base RNG seed (each connection derives its own stream).
     pub seed: u64,
+    /// Emit a one-line status to stderr this often while the run is in
+    /// flight (ops so far, current ops/s, errors, and latency quantiles
+    /// over the interval just ended). `None` (the default) runs silently —
+    /// the long multi-minute sweeps are the audience, not tests.
+    pub progress: Option<Duration>,
 }
 
 impl Default for LoadGenConfig {
@@ -284,8 +291,96 @@ impl Default for LoadGenConfig {
             value_size: ValueSize::default(),
             pipeline_depth: 16,
             seed: 0x10AD_9E4E,
+            progress: None,
         }
     }
+}
+
+/// Shared live-run counters behind [`LoadGenConfig::progress`]: each
+/// connection (closed loop) or driver (open loop) publishes its running
+/// totals into its own cache-padded slot — plain relaxed stores, no
+/// cross-thread contention on the hot path — and records latency samples
+/// into a lock-free [`Histogram`]. A detached printer thread sums the
+/// slots once per interval and prints one status line.
+struct ProgressBoard {
+    slots: Vec<CachePadded<ProgressSlot>>,
+    /// Latency samples: batch round trips (closed loop) or per-operation
+    /// intended-send-time latency (open loop).
+    hist: Histogram,
+    /// What `hist` holds, for the status line.
+    lat_label: &'static str,
+}
+
+#[derive(Default)]
+struct ProgressSlot {
+    ops: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl ProgressBoard {
+    fn new(slots: usize, lat_label: &'static str) -> Arc<Self> {
+        Arc::new(ProgressBoard {
+            slots: (0..slots.max(1)).map(|_| CachePadded::new(ProgressSlot::default())).collect(),
+            hist: Histogram::new(),
+            lat_label,
+        })
+    }
+
+    /// Publishes one worker's running totals (monotone, so relaxed plain
+    /// stores are enough — the printer tolerates slightly stale slots).
+    fn publish(&self, slot: usize, out: &ConnOutput) {
+        let s = &self.slots[slot];
+        s.ops.store(out.ops, Ordering::Relaxed);
+        s.errors.store(out.errors, Ordering::Relaxed);
+    }
+
+    fn totals(&self) -> (u64, u64) {
+        self.slots.iter().fold((0, 0), |(ops, errs), s| {
+            (ops + s.ops.load(Ordering::Relaxed), errs + s.errors.load(Ordering::Relaxed))
+        })
+    }
+}
+
+/// The progress printer: wakes a few times per interval (so stop latency
+/// stays low), and on each elapsed interval prints answered-op totals, the
+/// rate over the interval, and latency quantiles of the samples recorded
+/// *during* the interval (cumulative-snapshot subtraction — the same
+/// windowing discipline the server's own telemetry uses).
+fn spawn_progress_printer(
+    board: Arc<ProgressBoard>,
+    every: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        let start = Instant::now();
+        let mut last_at = start;
+        let mut last_ops = 0u64;
+        let mut last_hist = HistogramSnapshot::empty();
+        let nap = (every / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(nap);
+            let now = Instant::now();
+            if now.duration_since(last_at) < every {
+                continue;
+            }
+            let (ops, errors) = board.totals();
+            let hist = board.hist.snapshot();
+            let win = hist.delta_since(&last_hist);
+            let rate = (ops - last_ops) as f64 / now.duration_since(last_at).as_secs_f64();
+            eprintln!(
+                "[loadgen +{:>6.1}s] ops={ops} ({rate:.0}/s) errors={errors} \
+                 {} p50={}us p99={}us ({} samples)",
+                now.duration_since(start).as_secs_f64(),
+                board.lat_label,
+                win.quantile(0.50) / 1_000,
+                win.quantile(0.99) / 1_000,
+                win.count(),
+            );
+            last_at = now;
+            last_ops = ops;
+            last_hist = hist;
+        }
+    })
 }
 
 /// Aggregate outcome of one load-generation run.
@@ -554,18 +649,45 @@ fn merge_outputs(outputs: Vec<ConnOutput>, elapsed: Duration) -> LoadGenResult {
 
 /// Runs the configured load against `addr` and merges the per-connection
 /// tallies. Fails if any connection cannot be established or dies mid-run.
+/// With [`LoadGenConfig::progress`] set, a printer thread narrates the run
+/// on stderr once per interval.
 pub fn run(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
-    let mut result = match cfg.mode {
-        LoadMode::Closed => run_closed(addr, cfg),
-        LoadMode::Open { rate, arrival } => run_open(addr, cfg, rate, arrival),
-    }?;
+    let board = cfg.progress.map(|_| {
+        let label = match cfg.mode {
+            LoadMode::Closed => "batch_rtt",
+            LoadMode::Open { .. } => "latency",
+        };
+        ProgressBoard::new(cfg.connections.max(1), label)
+    });
+    let printer = cfg.progress.map(|every| {
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_progress_printer(
+            Arc::clone(board.as_ref().expect("board exists with progress")),
+            every,
+            Arc::clone(&stop),
+        );
+        (stop, handle)
+    });
+    let run_result = match cfg.mode {
+        LoadMode::Closed => run_closed(addr, cfg, board.as_deref()),
+        LoadMode::Open { rate, arrival } => run_open(addr, cfg, rate, arrival, board.as_deref()),
+    };
+    if let Some((stop, handle)) = printer {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    let mut result = run_result?;
     result.server_latency = scrape_server_latency(addr);
     Ok(result)
 }
 
 /// The closed loop: `connections` threads connect to `addr` and apply the
 /// mix in pipelined batches until the duration elapses.
-fn run_closed(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult> {
+fn run_closed(
+    addr: SocketAddr,
+    cfg: &LoadGenConfig,
+    board: Option<&ProgressBoard>,
+) -> io::Result<LoadGenResult> {
     let connections = cfg.connections.max(1);
     let depth = cfg.pipeline_depth.max(1);
     let stop = Arc::new(AtomicBool::new(false));
@@ -617,9 +739,14 @@ fn run_closed(addr: SocketAddr, cfg: &LoadGenConfig) -> io::Result<LoadGenResult
                     }
                     let start = Instant::now();
                     let replies = p.run()?;
-                    out.rtt_samples.push(start.elapsed().as_nanos() as u64);
+                    let rtt = start.elapsed().as_nanos() as u64;
+                    out.rtt_samples.push(rtt);
                     for (kind, reply) in kinds.iter().zip(&replies) {
                         tally_reply(*kind, reply, &mut out);
+                    }
+                    if let Some(b) = board {
+                        b.hist.record(rtt);
+                        b.publish(conn_id, &out);
                     }
                 }
                 let _ = client.quit();
@@ -717,8 +844,14 @@ fn open_flush(conn: &mut OpenConn) {
 }
 
 /// Reads everything available, pairing replies with pending slots and
-/// recording intended-time latency.
-fn open_drain_replies(conn: &mut OpenConn, out: &mut ConnOutput, chunk: &mut [u8]) {
+/// recording intended-time latency (into the progress histogram too, when
+/// a live status line was asked for).
+fn open_drain_replies(
+    conn: &mut OpenConn,
+    out: &mut ConnOutput,
+    chunk: &mut [u8],
+    hist: Option<&Histogram>,
+) {
     loop {
         match conn.stream.read(chunk) {
             Ok(0) => {
@@ -737,9 +870,11 @@ fn open_drain_replies(conn: &mut OpenConn, out: &mut ConnOutput, chunk: &mut [u8
                                 conn.open = false;
                                 return;
                             };
-                            out.lat_samples.push(
-                                now.saturating_duration_since(intended).as_nanos() as u64,
-                            );
+                            let lat = now.saturating_duration_since(intended).as_nanos() as u64;
+                            out.lat_samples.push(lat);
+                            if let Some(h) = hist {
+                                h.record(lat);
+                            }
                             tally_reply(kind, &reply, out);
                         }
                         Some(Err(_)) => {
@@ -782,6 +917,7 @@ fn run_open(
     cfg: &LoadGenConfig,
     rate: f64,
     arrival: Arrival,
+    board: Option<&ProgressBoard>,
 ) -> io::Result<LoadGenResult> {
     let connections = cfg.connections.max(1);
     let drivers = connections.min(4);
@@ -825,6 +961,7 @@ fn run_open(
                 })();
                 barrier.wait();
                 let (poller, mut conns) = setup?;
+                let hist = board.map(|b| &b.hist);
 
                 let sampler = KeySampler::new(cfg.dist, cfg.key_range.max(1));
                 let mix = cfg.mix.validated();
@@ -910,12 +1047,15 @@ fn run_open(
                         let conn = &mut conns[ev.token as usize];
                         conn.armed = None;
                         if ev.readable {
-                            open_drain_replies(conn, &mut out, &mut chunk);
+                            open_drain_replies(conn, &mut out, &mut chunk, hist);
                         }
                         if ev.writable && conn.open {
                             open_flush(conn);
                         }
                         open_ensure_armed(&poller, conn, ev.token);
+                    }
+                    if let Some(b) = board {
+                        b.publish(driver, &out);
                     }
                 }
 
@@ -934,7 +1074,7 @@ fn run_open(
                         let conn = &mut conns[ev.token as usize];
                         conn.armed = None;
                         if ev.readable {
-                            open_drain_replies(conn, &mut out, &mut chunk);
+                            open_drain_replies(conn, &mut out, &mut chunk, hist);
                         }
                         if ev.writable && conn.open {
                             open_flush(conn);
@@ -944,6 +1084,9 @@ fn run_open(
                 }
                 for conn in &conns {
                     out.unanswered += conn.pending.len() as u64;
+                }
+                if let Some(b) = board {
+                    b.publish(driver, &out);
                 }
                 Ok(out)
             }));
@@ -1106,6 +1249,62 @@ mod tests {
             interarrival(Arrival::Fixed, mean_ns, &mut rng),
             Duration::from_nanos(mean_ns as u64)
         );
+    }
+
+    #[test]
+    fn progress_board_totals_and_printer_lifecycle() {
+        let board = ProgressBoard::new(2, "batch_rtt");
+        let mut a = ConnOutput { ops: 10, errors: 1, ..ConnOutput::default() };
+        board.publish(0, &a);
+        let b = ConnOutput { ops: 5, ..ConnOutput::default() };
+        board.publish(1, &b);
+        board.hist.record(1_000_000);
+        assert_eq!(board.totals(), (15, 1));
+        // Slots are overwritten, not accumulated: each worker owns one and
+        // publishes its own running total.
+        a.ops = 20;
+        board.publish(0, &a);
+        assert_eq!(board.totals(), (25, 1));
+        // The printer fires at least once and stops promptly when asked.
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = spawn_progress_printer(
+            Arc::clone(&board),
+            Duration::from_millis(10),
+            Arc::clone(&stop),
+        );
+        std::thread::sleep(Duration::from_millis(40));
+        stop.store(true, Ordering::Relaxed);
+        handle.join().expect("printer thread exits cleanly");
+    }
+
+    #[test]
+    fn progress_enabled_runs_complete_in_both_modes() {
+        let map = Arc::new(BlobMap::new(2, |_| FraserOptSkipList::new()));
+        let server = Server::start(
+            "127.0.0.1:0",
+            BlobOrderedStore::new(map),
+            ServerConfig::for_connections(3),
+        )
+        .unwrap();
+        prefill(server.addr(), 128, 256, ValueSize::Fixed(32), 7).unwrap();
+        let closed = LoadGenConfig {
+            connections: 2,
+            duration_ms: 80,
+            key_range: 256,
+            progress: Some(Duration::from_millis(20)),
+            ..LoadGenConfig::default()
+        };
+        let r = run(server.addr(), &closed).unwrap();
+        assert!(r.total_ops > 0, "progress narration must not stall the run");
+        assert_eq!(r.errors, 0);
+        let open = LoadGenConfig {
+            mode: LoadMode::Open { rate: 2000.0, arrival: Arrival::Poisson },
+            ..closed
+        };
+        let r = run(server.addr(), &open).unwrap();
+        assert!(r.scheduled_ops > 0);
+        assert!(r.latency.samples > 0);
+        server.join();
     }
 
     #[test]

@@ -106,6 +106,13 @@ pub enum Request {
     Slowlog(SlowlogCmd),
     /// `METRICS` — Prometheus text exposition (bulk reply).
     Metrics,
+    /// `MONITOR [sample_n]` — subscribe this connection to the live trace
+    /// stream: after the `+OK`, the server pushes one simple-string event
+    /// line per sampled request (every `sample_n`-th eligible event;
+    /// default and minimum 1). The only verb after which the server
+    /// volunteers frames; see PROTOCOL.md for the event format and the
+    /// slow-consumer drop/eviction semantics.
+    Monitor(Option<u64>),
     /// `QUIT` — graceful close: the server replies `+BYE`, flushes, and
     /// closes the connection.
     Quit,
@@ -584,6 +591,13 @@ fn parse_request_line(line: &[u8]) -> Result<ReqHeader, RejectedHeader> {
             arity(0, "METRICS")?;
             done(Request::Metrics)
         }
+        "MONITOR" => {
+            if args.len() > 1 {
+                return Err(ParseError::Arity("MONITOR [sample_n]").into());
+            }
+            let sample = args.first().map(|t| parse_u64(t)).transpose()?;
+            done(Request::Monitor(sample))
+        }
         "QUIT" => {
             arity(0, "QUIT")?;
             done(Request::Quit)
@@ -624,6 +638,8 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
         Request::Slowlog(SlowlogCmd::Reset) => write!(out, "SLOWLOG RESET\r\n"),
         Request::Slowlog(SlowlogCmd::Len) => write!(out, "SLOWLOG LEN\r\n"),
         Request::Metrics => write!(out, "METRICS\r\n"),
+        Request::Monitor(None) => write!(out, "MONITOR\r\n"),
+        Request::Monitor(Some(n)) => write!(out, "MONITOR {n}\r\n"),
         Request::Quit => write!(out, "QUIT\r\n"),
     }
     .expect("writing to a Vec cannot fail")
@@ -936,7 +952,7 @@ mod tests {
 
     #[test]
     fn parses_every_verb() {
-        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nINFO\r\nINFO Latency\r\nSLOWLOG get\r\nSLOWLOG RESET\r\nSLOWLOG LEN\r\nMETRICS\r\nQUIT\r\n";
+        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nINFO\r\nINFO Latency\r\nSLOWLOG get\r\nSLOWLOG RESET\r\nSLOWLOG LEN\r\nMETRICS\r\nMONITOR\r\nMONITOR 8\r\nQUIT\r\n";
         let got = parse_all(stream);
         assert_eq!(
             got,
@@ -955,6 +971,8 @@ mod tests {
                 Ok(Request::Slowlog(SlowlogCmd::Reset)),
                 Ok(Request::Slowlog(SlowlogCmd::Len)),
                 Ok(Request::Metrics),
+                Ok(Request::Monitor(None)),
+                Ok(Request::Monitor(Some(8))),
                 Ok(Request::Quit),
             ]
         );
@@ -1093,6 +1111,8 @@ mod tests {
             (b"SLOWLOG\r\n", ParseError::Arity("SLOWLOG GET|RESET|LEN")),
             (b"SLOWLOG BAD\r\n", ParseError::Arity("SLOWLOG GET|RESET|LEN")),
             (b"METRICS now\r\n", ParseError::Arity("METRICS")),
+            (b"MONITOR 1 2\r\n", ParseError::Arity("MONITOR [sample_n]")),
+            (b"MONITOR x\r\n", ParseError::BadNumber),
             (b"SCAN 1 999999\r\n", ParseError::ScanTooLarge),
             (b"GET \x001\r\n", ParseError::IllegalByte),
             (b"G\xc3\x89T 1\r\n", ParseError::IllegalByte),
@@ -1218,6 +1238,8 @@ mod tests {
             Request::Slowlog(SlowlogCmd::Reset),
             Request::Slowlog(SlowlogCmd::Len),
             Request::Metrics,
+            Request::Monitor(None),
+            Request::Monitor(Some(16)),
             Request::Quit,
         ];
         let mut bytes = Vec::new();

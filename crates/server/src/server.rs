@@ -53,12 +53,19 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ascylib_telemetry::{SlowOp, TelemetrySnapshot, WorkerTelemetry};
+use ascylib_telemetry::window::{
+    DEFAULT_WINDOW_CAPACITY, DEFAULT_WINDOW_INTERVAL_NS, DEFAULT_WINDOW_NS,
+};
+use ascylib_telemetry::{SlowOp, TelemetrySnapshot, WindowDelta, WindowRing, WindowSample, WorkerTelemetry};
 use crossbeam_utils::CachePadded;
 use polling::{Events, Interest, Poller};
 
-use crate::conn::{Advance, ConnCtx, Connection, TelemetryHub};
-use crate::stats::{ServerStatsSnapshot, WorkerStats};
+use crate::conn::{
+    unix_ms_now, Advance, ConnCtx, Connection, TelemetryHub, WIN_BYTES_IN, WIN_BYTES_OUT,
+    WIN_CAS_FAILS, WIN_COUNTERS, WIN_ERRORS, WIN_OPS, WIN_RESTARTS,
+};
+use crate::monitor::{MonitorHub, MonitorStats};
+use crate::stats::{ConcurrencySnapshot, ConcurrencyStats, ServerStatsSnapshot, WorkerStats};
 use crate::store::KvStore;
 use crate::timer::TimerWheel;
 
@@ -190,6 +197,16 @@ struct Shared {
     /// One telemetry block per worker (the event loop executes no frames,
     /// so it needs none).
     tel: Box<[CachePadded<WorkerTelemetry>]>,
+    /// One structure-level concurrency block per worker: each worker
+    /// drains its thread-local [`ascylib::stats::OpCounters`] delta and
+    /// refreshes its allocator view here after every connection pass.
+    conc: Box<[CachePadded<ConcurrencyStats>]>,
+    /// Cumulative-sample ring behind the windowed rates and quantiles.
+    /// Rotation is reader-driven: scrapes elect one sampler, the serving
+    /// hot path never touches it.
+    window: WindowRing,
+    /// The `MONITOR` broadcast hub.
+    monitor: MonitorHub,
     /// Gauge of currently open connections.
     curr_conns: AtomicU64,
     started: Instant,
@@ -260,6 +277,41 @@ impl TelemetryHub for Shared {
     fn uptime_ms(&self) -> u64 {
         self.started.elapsed().as_millis().min(u64::MAX as u128) as u64
     }
+
+    fn concurrency_totals(&self) -> ConcurrencySnapshot {
+        let mut total = ConcurrencySnapshot::default();
+        for c in self.conc.iter() {
+            total.merge(&c.snapshot());
+        }
+        total
+    }
+
+    fn window(&self) -> Option<WindowDelta> {
+        // Reader-driven rotation: a scrape landing past the interval takes
+        // a whole-server cumulative sample (`rotate` elects exactly one
+        // contender under concurrent scrapes). The monotonic clock is the
+        // server's uptime — `Instant`-based, so it needs no calibration
+        // and works with telemetry recording off.
+        let mono_ns = self.started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if self.window.due(mono_ns) {
+            let totals = self.totals();
+            let conc = self.concurrency_totals();
+            let mut counters = vec![0u64; WIN_COUNTERS];
+            counters[WIN_OPS] = totals.ops;
+            counters[WIN_BYTES_IN] = totals.bytes_in;
+            counters[WIN_BYTES_OUT] = totals.bytes_out;
+            counters[WIN_ERRORS] = totals.errors;
+            counters[WIN_CAS_FAILS] = conc.ops.atomic_failures;
+            counters[WIN_RESTARTS] = conc.ops.restarts;
+            self.window.rotate(WindowSample {
+                unix_ms: unix_ms_now(),
+                mono_ns,
+                counters,
+                hist: self.telemetry_totals().data_requests(),
+            });
+        }
+        self.window.delta(DEFAULT_WINDOW_NS)
+    }
 }
 
 /// The serving tier. Construct with [`Server::start`]; the returned
@@ -295,6 +347,9 @@ impl Server {
             available: Condvar::new(),
             stats: (0..workers + 1).map(|_| CachePadded::new(WorkerStats::default())).collect(),
             tel: (0..workers).map(|_| CachePadded::new(WorkerTelemetry::new())).collect(),
+            conc: (0..workers).map(|_| CachePadded::new(ConcurrencyStats::default())).collect(),
+            window: WindowRing::new(DEFAULT_WINDOW_INTERVAL_NS, DEFAULT_WINDOW_CAPACITY),
+            monitor: MonitorHub::default(),
             curr_conns: AtomicU64::new(0),
             started: Instant::now(),
             config: ServerConfig { workers, ..config },
@@ -454,6 +509,8 @@ fn worker_loop(index: usize, shared: &Shared) {
         hub: shared,
         recording: shared.config.telemetry,
         slow_ns: shared.config.slowlog_threshold.as_nanos().min(u64::MAX as u128) as u64,
+        worker: index as u32,
+        monitor: &shared.monitor,
     };
     let mut chunk = vec![0u8; 16 * 1024];
     loop {
@@ -482,7 +539,24 @@ fn worker_loop(index: usize, shared: &Shared) {
         }
         let Some(conn) = slot.conn.as_mut() else { continue };
         let fd = conn.fd();
-        match conn.advance(&ctx, &mut chunk) {
+        let outcome = conn.advance(&ctx, &mut chunk);
+        // A MONITOR frame executed this pass: perform the subscription
+        // here, where the connection's registry token is known (the wake
+        // path enqueues exactly this token).
+        if let Some(sample) = conn.take_pending_monitor() {
+            conn.attach_monitor(shared.monitor.subscribe(token, sample));
+        }
+        // Per-pass drain: fold the structure-level counter deltas this
+        // pass generated (the store work ran on this thread) into the
+        // worker's padded block, and refresh the allocator absolutes.
+        shared.conc[index].fold_ops(&ascylib::stats::drain_delta());
+        shared.conc[index].set_ssmem(&ascylib_ssmem::thread_stats());
+        // Wake subscribers whose monitor sinks went non-empty under this
+        // pass's publishes.
+        for wake in shared.monitor.take_wakes() {
+            shared.enqueue(wake);
+        }
+        match outcome {
             Advance::Arm(interest) => {
                 // Re-arm while still holding the slot lock: eviction closes
                 // descriptors under this same lock, so the fd cannot have
@@ -544,6 +618,18 @@ impl ServerHandle {
     /// Slow-op entries across every worker, newest first.
     pub fn slow_ops(&self) -> Vec<SlowOp> {
         TelemetryHub::slow_ops(&*self.shared)
+    }
+
+    /// Summed structure-level concurrency counters (coherence events plus
+    /// ssmem allocator state) across every worker block.
+    pub fn concurrency(&self) -> ConcurrencySnapshot {
+        self.shared.concurrency_totals()
+    }
+
+    /// `MONITOR` broadcast counters: live subscribers, events published,
+    /// events dropped on full subscriber sinks.
+    pub fn monitor_stats(&self) -> MonitorStats {
+        self.shared.monitor.stats()
     }
 
     /// Signals shutdown (idempotent, non-blocking): stop accepting, flush
@@ -650,6 +736,62 @@ mod tests {
         let open = server.stats().curr_connections;
         assert_eq!(open, 8, "all connections stay open at once on one worker");
         drop(held);
+        server.join();
+    }
+
+    #[test]
+    fn monitor_streams_trace_events_to_a_tcp_subscriber() {
+        let server = tiny_server(2);
+        let mut sub = TcpStream::connect(server.addr()).unwrap();
+        sub.write_all(b"MONITOR\r\n").unwrap();
+        sub.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 4096];
+        let n = sub.read(&mut buf).unwrap();
+        assert!(
+            String::from_utf8_lossy(&buf[..n]).starts_with("+OK\r\n"),
+            "MONITOR must be acknowledged first"
+        );
+
+        // Traffic on a second connection; keep sending until a trace frame
+        // reaches the subscriber (the subscription activates just after the
+        // +OK flush, so the first few events can legitimately miss it).
+        let mut data = TcpStream::connect(server.addr()).unwrap();
+        data.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        sub.set_read_timeout(Some(Duration::from_millis(50))).unwrap();
+        let mut got = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !String::from_utf8_lossy(&got).contains("+monitor ") {
+            data.write_all(b"SET 7 1\r\nx\r\n").unwrap();
+            let n = data.read(&mut buf).unwrap();
+            assert!(n > 0, "data connection must keep being served");
+            if let Ok(n) = sub.read(&mut buf) {
+                got.extend_from_slice(&buf[..n]);
+            }
+            assert!(Instant::now() < deadline, "no trace frame arrived: {got:?}");
+        }
+        let text = String::from_utf8_lossy(&got);
+        assert!(text.contains("family=set"), "{text}");
+        assert!(text.contains("key=7"), "{text}");
+        let mon = server.monitor_stats();
+        assert_eq!(mon.subscribers, 1);
+        assert!(mon.events >= 1);
+
+        // The served traffic also moved the structure-level counters.
+        let conc = server.concurrency();
+        assert!(conc.ops.operations > 0, "worker folds must surface: {conc:?}");
+
+        // Clean disconnect: QUIT answers +BYE in-band even mid-stream.
+        sub.write_all(b"QUIT\r\n").unwrap();
+        sub.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut bye = Vec::new();
+        sub.read_to_end(&mut bye).unwrap();
+        assert!(String::from_utf8_lossy(&bye).contains("+BYE\r\n"));
+        // The hub prunes the dead sink at the next publish or scrape.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while server.monitor_stats().subscribers != 0 {
+            assert!(Instant::now() < deadline, "dead subscriber never pruned");
+            std::thread::sleep(Duration::from_millis(5));
+        }
         server.join();
     }
 }

@@ -10,6 +10,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ascylib::stats::OpCounters;
+use ascylib_ssmem::SsmemStats;
+
 /// Counters one worker thread maintains while serving its connections.
 ///
 /// All counters are monotone and updated with `Relaxed` ordering: each block
@@ -140,6 +143,128 @@ impl ServerStatsSnapshot {
     }
 }
 
+/// Structure-level concurrency counters one worker publishes for scrapes.
+///
+/// The paper's coherence counters (`ascylib::stats`) live in thread-local
+/// cells only the owning thread can read — which is exactly right for the
+/// bench harness, and exactly wrong for a live server that wants
+/// `INFO concurrency`. Each worker bridges the gap by draining its
+/// thread-local delta after every connection pass
+/// ([`ascylib::stats::drain_delta`]) and folding it into its own
+/// cache-padded block here; the ssmem fields are refreshed as absolutes
+/// from [`ascylib_ssmem::thread_stats`] at the same point. Single-writer
+/// discipline: folds are plain load+store pairs (no `lock` prefix), and
+/// readers aggregate statistically, like every other counter block.
+#[derive(Debug, Default)]
+pub struct ConcurrencyStats {
+    shared_stores: AtomicU64,
+    atomic_ops: AtomicU64,
+    atomic_failures: AtomicU64,
+    lock_acquisitions: AtomicU64,
+    restarts: AtomicU64,
+    nodes_traversed: AtomicU64,
+    waits: AtomicU64,
+    operations: AtomicU64,
+    ssmem_allocations: AtomicU64,
+    ssmem_frees: AtomicU64,
+    ssmem_reclaimed: AtomicU64,
+    ssmem_reused: AtomicU64,
+    ssmem_gc_passes: AtomicU64,
+    ssmem_pending: AtomicU64,
+    ssmem_pooled: AtomicU64,
+    ssmem_guard_depth: AtomicU64,
+}
+
+impl ConcurrencyStats {
+    #[inline]
+    fn add(counter: &AtomicU64, n: u64) {
+        if n != 0 {
+            // Single-writer: plain load + store, no RMW.
+            counter.store(
+                counter.load(Ordering::Relaxed).saturating_add(n),
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Folds one drained [`OpCounters`] delta into the block. Call only
+    /// from the owning worker thread.
+    pub fn fold_ops(&self, d: &OpCounters) {
+        Self::add(&self.shared_stores, d.shared_stores);
+        Self::add(&self.atomic_ops, d.atomic_ops);
+        Self::add(&self.atomic_failures, d.atomic_failures);
+        Self::add(&self.lock_acquisitions, d.lock_acquisitions);
+        Self::add(&self.restarts, d.restarts);
+        Self::add(&self.nodes_traversed, d.nodes_traversed);
+        Self::add(&self.waits, d.waits);
+        Self::add(&self.operations, d.operations);
+    }
+
+    /// Publishes the owning thread's current allocator stats (absolutes —
+    /// `thread_stats()` is already cumulative for the counter fields and
+    /// point-in-time for `pending`/`pooled`/`guard_depth`).
+    pub fn set_ssmem(&self, s: &SsmemStats) {
+        self.ssmem_allocations.store(s.allocations, Ordering::Relaxed);
+        self.ssmem_frees.store(s.frees, Ordering::Relaxed);
+        self.ssmem_reclaimed.store(s.reclaimed, Ordering::Relaxed);
+        self.ssmem_reused.store(s.reused, Ordering::Relaxed);
+        self.ssmem_gc_passes.store(s.gc_passes, Ordering::Relaxed);
+        self.ssmem_pending.store(s.pending, Ordering::Relaxed);
+        self.ssmem_pooled.store(s.pooled, Ordering::Relaxed);
+        self.ssmem_guard_depth.store(s.guard_depth, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the block.
+    pub fn snapshot(&self) -> ConcurrencySnapshot {
+        ConcurrencySnapshot {
+            ops: OpCounters {
+                shared_stores: self.shared_stores.load(Ordering::Relaxed),
+                atomic_ops: self.atomic_ops.load(Ordering::Relaxed),
+                atomic_failures: self.atomic_failures.load(Ordering::Relaxed),
+                lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+                restarts: self.restarts.load(Ordering::Relaxed),
+                nodes_traversed: self.nodes_traversed.load(Ordering::Relaxed),
+                waits: self.waits.load(Ordering::Relaxed),
+                operations: self.operations.load(Ordering::Relaxed),
+            },
+            ssmem: SsmemStats {
+                allocations: self.ssmem_allocations.load(Ordering::Relaxed),
+                frees: self.ssmem_frees.load(Ordering::Relaxed),
+                reclaimed: self.ssmem_reclaimed.load(Ordering::Relaxed),
+                reused: self.ssmem_reused.load(Ordering::Relaxed),
+                gc_passes: self.ssmem_gc_passes.load(Ordering::Relaxed),
+                pending: self.ssmem_pending.load(Ordering::Relaxed),
+                pooled: self.ssmem_pooled.load(Ordering::Relaxed),
+                guard_depth: self.ssmem_guard_depth.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Point-in-time structure-level concurrency numbers (one worker's block
+/// or the sum over all workers).
+///
+/// All `ops` fields are monotone counters. Within `ssmem`, the event
+/// fields are counters while `pending`/`pooled`/`guard_depth` are
+/// per-thread gauges — but unlike `curr_connections` these sum
+/// meaningfully across *distinct* workers' blocks (each worker owns a
+/// separate allocator), so [`merge`](Self::merge) adds every field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConcurrencySnapshot {
+    /// Coherence-relevant structure events (stores, CAS, restarts, ...).
+    pub ops: OpCounters,
+    /// Epoch allocator activity (allocations, reclaimed, pending, ...).
+    pub ssmem: SsmemStats,
+}
+
+impl ConcurrencySnapshot {
+    /// Adds another worker's snapshot into this one (saturating).
+    pub fn merge(&mut self, other: &ConcurrencySnapshot) {
+        self.ops.merge(&other.ops);
+        self.ssmem.merge(&other.ssmem);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +306,26 @@ mod tests {
         let mut a = ServerStatsSnapshot { ops: u64::MAX - 1, ..Default::default() };
         a.merge_counters(&ServerStatsSnapshot { ops: 5, ..Default::default() });
         assert_eq!(a.ops, u64::MAX);
+    }
+
+    #[test]
+    fn concurrency_block_folds_deltas_and_overwrites_ssmem_absolutes() {
+        let block = ConcurrencyStats::default();
+        block.fold_ops(&OpCounters { shared_stores: 3, atomic_ops: 2, ..OpCounters::ZERO });
+        block.fold_ops(&OpCounters { shared_stores: 1, atomic_failures: 1, ..OpCounters::ZERO });
+        block.set_ssmem(&SsmemStats { allocations: 10, pending: 4, ..Default::default() });
+        // set_ssmem overwrites (absolutes), fold_ops accumulates (deltas).
+        block.set_ssmem(&SsmemStats { allocations: 12, pending: 2, ..Default::default() });
+        let snap = block.snapshot();
+        assert_eq!(snap.ops.shared_stores, 4);
+        assert_eq!(snap.ops.atomic_ops, 2);
+        assert_eq!(snap.ops.atomic_failures, 1);
+        assert_eq!(snap.ssmem.allocations, 12);
+        assert_eq!(snap.ssmem.pending, 2);
+        let mut total = snap;
+        total.merge(&snap);
+        assert_eq!(total.ops.shared_stores, 8);
+        assert_eq!(total.ssmem.pending, 4, "per-worker gauges sum across distinct workers");
     }
 
     #[test]

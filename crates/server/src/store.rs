@@ -68,6 +68,14 @@ pub trait KvStore: Send + Sync + 'static {
     /// Live payload bytes currently stored (`STATS`).
     fn value_bytes(&self) -> u64;
 
+    /// The shard index `key` routes to, or `None` when the backing has no
+    /// shard notion — observability surfaces (`SLOWLOG`, `MONITOR`) use it
+    /// to attribute a slow request to a contended shard. Default: none.
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        let _ = key;
+        None
+    }
+
     /// Hot-key engine counters (`STATS`/`INFO hotkeys`/`METRICS`), when
     /// the backing map carries a hot-key engine. Default: none.
     fn hotkey_stats(&self) -> Option<HotKeyStatsSnapshot> {
@@ -134,6 +142,10 @@ impl<M: ConcurrentMap + 'static> KvStore for BlobStore<M> {
 
     fn shard_count(&self) -> usize {
         self.map.shard_count()
+    }
+
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        Some(self.map.shard_of(key))
     }
 
     fn ops_and_hits(&self) -> (u64, u64) {
@@ -215,6 +227,10 @@ impl<M: OrderedMap + 'static> KvStore for BlobOrderedStore<M> {
         self.inner.shard_count()
     }
 
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        self.inner.shard_of(key)
+    }
+
     fn ops_and_hits(&self) -> (u64, u64) {
         self.inner.ops_and_hits()
     }
@@ -263,6 +279,9 @@ mod tests {
         assert_eq!(store.shard_count(), 4);
         assert_eq!(store.value_bytes(), b"again".len() as u64);
         assert!(store.scan(1, 8).is_none(), "hash shards have no order to scan");
+        // Shard attribution agrees with the map's own routing.
+        assert_eq!(store.shard_of(1), Some(map.shard_of(1)));
+        assert!(store.shard_of(1).unwrap() < store.shard_count());
         // The outside handle observes the same data.
         assert_eq!(map.get_owned(1), Some(b"again".to_vec()));
         let (ops, hits) = store.ops_and_hits();

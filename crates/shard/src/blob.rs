@@ -380,6 +380,13 @@ impl<M: ConcurrentMap> BlobMap<M> {
         self.map.shard_count()
     }
 
+    /// The shard (and arena) index `key` routes to — the same routing the
+    /// data path uses, exposed so observability layers can attribute an
+    /// operation to a contended shard.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.map.shard_of(key)
+    }
+
     #[inline]
     fn arena_of(&self, key: u64) -> &ValueArena {
         &self.arenas[self.map.shard_of(key)]

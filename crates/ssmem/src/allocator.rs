@@ -65,6 +65,24 @@ pub struct SsmemStats {
     pub guard_depth: u64,
 }
 
+impl SsmemStats {
+    /// Adds another thread's stats into this one, field-wise and
+    /// saturating, for whole-process aggregation (a server summing its
+    /// workers' allocators). Every field sums meaningfully: the event
+    /// counters are monotonic, and the point-in-time fields (`pending`,
+    /// `pooled`, `guard_depth`) sum to the process-wide totals.
+    pub fn merge(&mut self, other: &SsmemStats) {
+        self.allocations = self.allocations.saturating_add(other.allocations);
+        self.frees = self.frees.saturating_add(other.frees);
+        self.reclaimed = self.reclaimed.saturating_add(other.reclaimed);
+        self.reused = self.reused.saturating_add(other.reused);
+        self.gc_passes = self.gc_passes.saturating_add(other.gc_passes);
+        self.pending = self.pending.saturating_add(other.pending);
+        self.pooled = self.pooled.saturating_add(other.pooled);
+        self.guard_depth = self.guard_depth.saturating_add(other.guard_depth);
+    }
+}
+
 /// A per-thread SSMEM allocator (see the crate-level documentation).
 ///
 /// Normally accessed through the free functions of this crate, which manage a

@@ -215,6 +215,29 @@ impl HistogramSnapshot {
         self.max = self.max.max(other.max);
     }
 
+    /// The change between this snapshot and an `earlier` one of the same
+    /// cumulative histogram: bucket-wise saturating subtraction, with the
+    /// count recomputed from the delta buckets so it is exact even when the
+    /// two snapshots were statistical cuts. The `max` of a window cannot be
+    /// recovered from cumulative state, so the delta keeps the newer
+    /// snapshot's max as a documented **upper bound** (zeroed when the
+    /// window is empty). Windowed quantiles therefore stay within the usual
+    /// bucket error; only `max()` is approximate.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = vec![0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (i, dst) in buckets.iter_mut().enumerate() {
+            *dst = self.buckets[i].saturating_sub(earlier.buckets[i]);
+            count = count.saturating_add(*dst);
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            max: if count == 0 { 0 } else { self.max },
+        }
+    }
+
     /// The `q`-quantile (`q` in `(0, 1]`) by the nearest-rank definition:
     /// the upper bound of the bucket holding the `ceil(q·count)`-th
     /// smallest recorded value, capped at the largest recorded value (a
@@ -344,6 +367,33 @@ mod tests {
         assert_eq!(s.sum(), 10 + 100 + 100 + 5000);
         assert!(s.max() >= 5000);
         assert_eq!(s.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn delta_since_recovers_the_window_and_handles_empty_and_reset_cases() {
+        let h = Histogram::new();
+        h.record(10);
+        h.record(1000);
+        let earlier = h.snapshot();
+        h.record(20);
+        h.record(5000);
+        let later = h.snapshot();
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 20 + 5000);
+        assert_eq!(d.nonzero_buckets().iter().map(|&(_, c)| c).sum::<u64>(), 2);
+        // Quantiles come from the delta buckets alone.
+        assert!(d.quantile(0.5) >= 20 && d.quantile(0.5) <= 21);
+        // Empty window: identical snapshots produce a zero delta with max 0.
+        let z = later.delta_since(&later);
+        assert_eq!(z.count(), 0);
+        assert_eq!(z.sum(), 0);
+        assert_eq!(z.max(), 0);
+        // A "reset" (earlier snapshot ahead of later — counters went
+        // backwards) saturates instead of wrapping.
+        let back = earlier.delta_since(&later);
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.sum(), 0);
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! - [`clock`]: a TSC-backed fast clock for the timing reads themselves —
 //!   on virtualized hosts `Instant::now()` can cost more than the whole
 //!   histogram record, and the recording budget is the embedder's hot path.
+//! - [`window`]: a reader-rotated ring of cumulative samples turning the
+//!   lifetime counters and histograms above into windowed rates and
+//!   short-horizon quantiles (`ops/sec`, `p99` over the last 10 s) with no
+//!   hot-path cost at all.
 //!
 //! The crate deliberately has zero dependencies so any layer of the stack
 //! can embed it.
@@ -29,6 +33,7 @@ pub mod clock;
 pub mod expo;
 pub mod hist;
 pub mod slowlog;
+pub mod window;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -38,6 +43,7 @@ pub use hist::{
     MAX_TRACKABLE, NUM_BUCKETS,
 };
 pub use slowlog::{SlowLog, SlowOp, DEFAULT_SLOWLOG_CAPACITY};
+pub use window::{WindowDelta, WindowRing, WindowSample};
 
 /// Command families tracked separately. `Other` absorbs the control-plane
 /// verbs (`PING`, `STATS`, `INFO`, `SLOWLOG`, `METRICS`, `QUIT`) so data
@@ -425,11 +431,15 @@ mod tests {
             bytes: 1 << 20,
             duration_ns: 15_000_000,
             unix_ms: 1_700_000_000_000,
+            worker: 3,
+            shard: 7,
         });
         assert_eq!(tel.slow_len(), 1);
         let ops = tel.slow_ops();
         assert_eq!(ops[0].key, 42);
         assert_eq!(ops[0].family, Family::MSet);
+        assert_eq!(ops[0].worker, 3);
+        assert_eq!(ops[0].shard, 7);
         tel.slow_reset();
         assert_eq!(tel.slow_len(), 0);
     }

@@ -28,6 +28,13 @@ pub struct SlowOp {
     pub duration_ns: u64,
     /// Capture time as milliseconds since the Unix epoch.
     pub unix_ms: u64,
+    /// Index of the worker thread that served the request, so a slow op
+    /// can be attributed to one serving thread.
+    pub worker: u32,
+    /// Index of the shard the primary key routes to (0 when the embedder
+    /// is unsharded), so a slow op can be attributed to a contended shard
+    /// rather than just a command family.
+    pub shard: u32,
 }
 
 /// The ring buffer proper. Callers wrap it in a `Mutex` (see
@@ -96,7 +103,15 @@ mod tests {
     use super::*;
 
     fn op(key: u64, dur: u64) -> SlowOp {
-        SlowOp { family: Family::Get, key, bytes: 0, duration_ns: dur, unix_ms: key }
+        SlowOp {
+            family: Family::Get,
+            key,
+            bytes: 0,
+            duration_ns: dur,
+            unix_ms: key,
+            worker: 0,
+            shard: 0,
+        }
     }
 
     #[test]

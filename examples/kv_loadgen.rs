@@ -18,7 +18,10 @@
 //!
 //! Flags: `--mode closed|open:<rate>[:poisson|:fixed]`, `--conns <n>`, and
 //! `--dist uniform|zipf:<theta>|hotspot:<frac>:<prob>` override the
-//! corresponding environment knobs per run.
+//! corresponding environment knobs per run; `--progress <secs>` prints a
+//! live status line to stderr that often while the burst runs (ops so far,
+//! current ops/s, errors, and the interval's latency quantiles) — the way
+//! to watch a multi-minute run without waiting for the final report.
 //!
 //! Environment knobs:
 //!
@@ -46,6 +49,7 @@
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 use ascylib_harness::{arg_value, bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig};
@@ -89,6 +93,14 @@ fn main() {
         }),
         None => KeyDist::from_env(),
     };
+    let progress = arg_value("--progress").map(|secs| {
+        let s: f64 = secs
+            .parse()
+            .ok()
+            .filter(|s: &f64| s.is_finite() && *s > 0.0)
+            .unwrap_or_else(|| panic!("bad --progress interval {secs:?} (positive seconds)"));
+        Duration::from_secs_f64(s)
+    });
     // `--self`: host an in-process server on an ephemeral port, so one
     // command exercises the whole serving stack (CI smoke test).
     let self_serve: Option<ServerHandle> = if std::env::args().any(|a| a == "--self") {
@@ -136,6 +148,7 @@ fn main() {
         key_range,
         value_size: values,
         pipeline_depth: env_or("ASCYLIB_DEPTH", 16) as usize,
+        progress,
         ..LoadGenConfig::default()
     };
     println!(

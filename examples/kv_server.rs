@@ -29,11 +29,14 @@
 //! * **`--demo`**: bind an ephemeral port, run the in-process closed-loop
 //!   load generator against it for a short burst (pipelined and
 //!   unpipelined), print both reports — payload bandwidth included — then
-//!   scrape the observability surfaces (`INFO latency`/`INFO commands`,
-//!   `METRICS`, `SLOWLOG`, the threshold forced to zero so the slow log
-//!   fills) and shut down cleanly. Exits non-zero if the burst served
-//!   nothing or a scrape fails to validate — CI uses this as the serving
-//!   smoke test.
+//!   scrape the observability surfaces (`INFO
+//!   latency`/`commands`/`concurrency`/`memory`, `METRICS`, `SLOWLOG`, the
+//!   threshold forced to zero so the slow log fills), wait out one
+//!   telemetry window so the second scrape carries live rates, and run a
+//!   2-second `MONITOR` watch that must see at least one trace event
+//!   before its subscriber disconnects cleanly. Exits non-zero if the
+//!   burst served nothing or a scrape fails to validate — CI uses this as
+//!   the serving smoke test.
 //!
 //! Environment: `ASCYLIB_ADDR`, `ASCYLIB_SHARDS` (default 4),
 //! `ASCYLIB_WORKERS` (default 8; the event-driven tier serves any number
@@ -168,6 +171,22 @@ fn demo(shards: usize, workers: usize) {
     for line in hotkeys.lines().take(8) {
         println!("    {line}");
     }
+    // Structure-level concurrency counters (paper §4: coherence traffic is
+    // what scalability is made of) and the ssmem allocator totals, both on
+    // the wire now.
+    let concurrency = probe.info(Some("concurrency")).expect("INFO concurrency");
+    println!("kv_server: INFO concurrency ->");
+    for line in concurrency.lines().take(13) {
+        println!("    {line}");
+    }
+    let memory = probe.info(Some("memory")).expect("INFO memory");
+    // Two scrapes far enough apart rotate the telemetry window, so the
+    // second one carries live rates (ops_per_sec and friends).
+    std::thread::sleep(Duration::from_millis(1_200));
+    let concurrency2 = probe.info(Some("concurrency")).expect("second INFO concurrency");
+    for line in concurrency2.lines().filter(|l| l.contains("per_sec")).take(3) {
+        println!("    {line}");
+    }
     let metrics = probe.metrics().expect("METRICS");
     ascylib_telemetry::expo::validate(&metrics).expect("METRICS body is valid exposition text");
     println!(
@@ -181,6 +200,40 @@ fn demo(shards: usize, workers: usize) {
         println!("    {line}");
     }
     probe.quit().expect("probe quits");
+
+    // MONITOR smoke: one connection subscribes to the live trace stream,
+    // another drives traffic, and at least one sampled event must arrive
+    // within a 2-second watch before the subscriber disconnects cleanly.
+    let mut watcher = Client::connect(addr).expect("monitor subscriber connects");
+    watcher.monitor(None).expect("MONITOR subscribes");
+    watcher.set_timeout(Some(Duration::from_millis(100))).expect("watch timeout");
+    let mut feeder = Client::connect(addr).expect("monitor feeder connects");
+    let watch_deadline = std::time::Instant::now() + Duration::from_secs(2);
+    let mut trace = None;
+    let mut fed = 0u64;
+    while trace.is_none() && std::time::Instant::now() < watch_deadline {
+        for k in 1..=64u64 {
+            feeder.set(k, b"monitored").expect("feeder SET");
+            fed += 1;
+        }
+        match watcher.monitor_next() {
+            Ok(line) => trace = Some(line),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => panic!("monitor stream failed: {e}"),
+        }
+    }
+    let trace = trace.expect("a 2-second MONITOR watch must see at least one event");
+    println!("kv_server: MONITOR -> {trace} (after {fed} fed ops)");
+    watcher.set_timeout(None).expect("clear watch timeout");
+    feeder.quit().expect("feeder quits");
+    watcher.quit().expect("monitor subscriber disconnects cleanly");
+    let mut after = Client::connect(addr).expect("post-monitor probe connects");
+    after.ping().expect("server stays live after the monitor watch");
+    after.quit().expect("post-monitor probe quits");
 
     let stats = server.join();
     println!(
@@ -210,6 +263,32 @@ fn demo(shards: usize, workers: usize) {
     assert!(
         hotkeys.contains("hotkey_engine:on") || hotkeys.contains("hotkey_engine:off"),
         "INFO hotkeys must report the engine state"
+    );
+    // Coherence counters must have registered the burst, the ssmem totals
+    // must be on the wire, and the second scrape's rotated window must
+    // carry live rates.
+    let field = |body: &str, name: &str| -> Option<u64> {
+        body.lines()
+            .find_map(|l| l.strip_prefix(name).and_then(|v| v.strip_prefix(':')))
+            .and_then(|v| v.trim().parse().ok())
+    };
+    assert!(
+        field(&concurrency, "coherence_operations").unwrap_or(0) > 0,
+        "the burst must register structure-level operations:\n{concurrency}"
+    );
+    assert!(
+        memory.contains("ssmem_allocations:") && memory.contains("ssmem_pending:"),
+        "INFO memory must carry the ssmem allocator totals:\n{memory}"
+    );
+    assert!(
+        concurrency2.contains("ops_per_sec:"),
+        "a rotated window must render live rates:\n{concurrency2}"
+    );
+    assert!(
+        metrics.contains("ascy_coherence_operations_total")
+            && metrics.contains("ascy_ssmem_allocations_total")
+            && metrics.contains("ascy_monitor_subscribers"),
+        "METRICS must export the coherence, ssmem, and monitor families"
     );
 }
 
