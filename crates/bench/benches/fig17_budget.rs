@@ -1,0 +1,358 @@
+//! Figure 17 (extension): what a byte budget costs and buys.
+//!
+//! The cache tier (`ascylib_shard::cache`) turns the blob map into a
+//! bounded cache: per-shard byte budgets enforced by CLOCK eviction on the
+//! SET path, TTL expiry reclaimed lazily on reads and by a sweep
+//! piggybacked on writes, with the reference/TTL/generation metadata
+//! riding spare bits of the 64-bit handle word. Three questions, three
+//! phases, all against the in-process `BlobMap<FraserOptSkipList>` the
+//! stock `kv_server` serves:
+//!
+//! * **Hit rate vs budget** — sweep the budget over 10% → 200% of a 1 MiB
+//!   working set (4096 keys × 256 B) under zipf(0.99) and uniform reads
+//!   with miss-reinstall (a read miss refetches and re-`SET`s, as a cache
+//!   in front of a backing store would). The functional gate, always
+//!   asserted: hit rate is monotone non-decreasing in the budget for both
+//!   distributions, and every sweep point ends with `live_bytes` within
+//!   budget.
+//! * **Budget invariant under churn** — four writer threads churn twice
+//!   the working set (mixed plain, leased, and deleted keys) while the
+//!   main thread samples the gauges; `live_bytes ≤ budget_bytes` and
+//!   `forced == 0` must hold at *every* sample, evictions must engage, and
+//!   the short leases must demonstrably expire.
+//! * **Overhead when disabled** — interleaved best-of rounds of the same
+//!   read-heavy skewed workload over an unbounded (inert-policy) map vs
+//!   one with a 2× working-set budget (active bookkeeping, zero
+//!   evictions). The budgeted config must stay within
+//!   `ASCYLIB_FIG17_MAX_REGRESSION_PCT` (default 3%) of the inert one.
+//!
+//! `ASCYLIB_FIG17_PERF_GATES=0` downgrades the *timing* gate to a reported
+//! number (noisy shared runners, e.g. CI); the functional gates always
+//! assert. Emits `fig17_budget.csv` and `BENCH_fig17_budget.json`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ascylib::skiplist::FraserOptSkipList;
+use ascylib_harness::report::{f2, write_json, Table};
+use ascylib_harness::{bench_millis, env_or, KeyDist, KeySampler};
+use ascylib_shard::{BlobMap, CacheConfig, CacheStatsSnapshot, HotKeyConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const WS_KEYS: u64 = 4096;
+const VALUE_LEN: usize = 256;
+const WS_BYTES: u64 = WS_KEYS * VALUE_LEN as u64; // 1 MiB working set
+const SHARDS: usize = 2;
+const SWEEP_OPS: usize = 1 << 17;
+const BUDGET_PCTS: [u64; 5] = [10, 25, 50, 100, 200];
+const MIN_ROUNDS: usize = 3;
+const MAX_ROUNDS: usize = 9;
+
+fn threads() -> usize {
+    ascylib_harness::max_threads().clamp(1, 4)
+}
+
+fn bounded_map(budget: u64, hot: HotKeyConfig) -> BlobMap<FraserOptSkipList> {
+    let cfg = CacheConfig::unbounded().with_budget(budget);
+    BlobMap::with_config(SHARDS, hot, cfg, |_| FraserOptSkipList::new())
+}
+
+/// Phase A point: prefill the working set through the budget, then serve a
+/// read-mostly stream with miss-reinstall. Returns the read hit rate and
+/// the final counters. Hot-key fronting is off so the curve isolates the
+/// budget (fig16 covers the front cache).
+fn hit_rate_at(budget: u64, dist: KeyDist, seed: u64) -> (f64, CacheStatsSnapshot) {
+    let map = bounded_map(budget, HotKeyConfig::with_k(0));
+    let value = [0xA5u8; VALUE_LEN];
+    for k in 1..=WS_KEYS {
+        map.set(k, &value);
+    }
+    let sampler = KeySampler::new(dist, WS_KEYS);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut buf = Vec::with_capacity(VALUE_LEN);
+    let (mut reads, mut hits) = (0u64, 0u64);
+    for _ in 0..SWEEP_OPS {
+        let key = sampler.sample(&mut rng);
+        if rng.random_range(0..100u32) < 10 {
+            map.set(key, &value);
+        } else {
+            reads += 1;
+            if map.get(key, &mut buf) {
+                hits += 1;
+            } else {
+                // Cache miss: refetch from the (synthetic) backing store.
+                map.set(key, &value);
+            }
+        }
+    }
+    assert!(reads > 0);
+    (hits as f64 / reads as f64, map.cache_stats())
+}
+
+/// Phase B: four writers churn 2× the working set — plain sets, short
+/// leases, deletes — while the main thread polls the gauges. Every sample
+/// must satisfy the budget invariant.
+fn churn_invariant() -> (u64, CacheStatsSnapshot) {
+    let budget = WS_BYTES / 4;
+    let map = Arc::new(bounded_map(budget, HotKeyConfig::default()));
+    let value = [0xB7u8; VALUE_LEN];
+    for k in 1..=WS_KEYS {
+        map.set(k, &value);
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xF17B ^ t.wrapping_mul(0x9E37));
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let key = 1 + rng.random_range(0..WS_KEYS * 2);
+                        match rng.random_range(0..16u32) {
+                            0 => {
+                                map.del(key);
+                            }
+                            1 | 2 => {
+                                // Short leases: expired under the churn and
+                                // reclaimed by the piggybacked sweep.
+                                map.set_ex(key, &value, 1 + rng.random_range(0..5u64));
+                            }
+                            _ => {
+                                map.set(key, &value);
+                            }
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    let deadline = Instant::now() + Duration::from_millis(bench_millis().max(100));
+    let mut samples = 0u64;
+    while Instant::now() < deadline {
+        let c = map.cache_stats();
+        assert_eq!(c.budget_bytes, budget, "budget gauge drifted");
+        assert!(
+            c.live_bytes <= c.budget_bytes,
+            "sample {samples}: live {} B over the {} B budget",
+            c.live_bytes,
+            c.budget_bytes
+        );
+        assert_eq!(c.forced, 0, "256 B values must never need a forced admission: {c:?}");
+        samples += 1;
+        std::thread::sleep(Duration::from_micros(500));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("churn writer exits cleanly");
+    }
+    let stats = map.cache_stats();
+    (samples, stats)
+}
+
+/// Phase C round: the fig16-style read-heavy skewed burst over a prefilled
+/// map, budget machinery either inert (no budget) or active-but-idle (2×
+/// working set, never evicts). Returns Mops/s.
+fn overhead_round(budgeted: bool, seed: u64) -> f64 {
+    let cfg = if budgeted {
+        CacheConfig::unbounded().with_budget(2 * WS_BYTES)
+    } else {
+        CacheConfig::unbounded()
+    };
+    let map =
+        BlobMap::with_config(SHARDS, HotKeyConfig::with_k(0), cfg, |_| FraserOptSkipList::new());
+    let value = [0x5Au8; VALUE_LEN];
+    for k in 1..=WS_KEYS {
+        map.set(k, &value);
+    }
+    let map = Arc::new(map);
+    let stop = Arc::new(AtomicBool::new(false));
+    let n = threads();
+    let workers: Vec<_> = (0..n)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let sampler = KeySampler::new(KeyDist::Zipfian { theta: 0.99 }, WS_KEYS);
+                let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64).wrapping_mul(0x9E37));
+                let stream: Vec<(u64, bool)> = (0..SWEEP_OPS)
+                    .map(|_| (sampler.sample(&mut rng), rng.random_range(0..100u32) < 2))
+                    .collect();
+                let mut buf = Vec::with_capacity(VALUE_LEN);
+                let mut payload = [0u8; VALUE_LEN];
+                let mut ops = 0u64;
+                let mut at = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        let (key, write) = stream[at];
+                        at = (at + 1) % SWEEP_OPS;
+                        if write {
+                            payload[0] = payload[0].wrapping_add(1);
+                            map.set(key, &payload);
+                        } else {
+                            let _ = map.get(key, &mut buf);
+                        }
+                        ops += 1;
+                    }
+                }
+                ops
+            })
+        })
+        .collect();
+    let started = Instant::now();
+    std::thread::sleep(Duration::from_millis(bench_millis()));
+    stop.store(true, Ordering::Relaxed);
+    let elapsed = started.elapsed();
+    let mut ops = 0u64;
+    for w in workers {
+        ops += w.join().expect("worker exits cleanly");
+    }
+    assert!(ops > 0, "burst performed no operations");
+    if budgeted {
+        let c = map.cache_stats();
+        assert_eq!(c.evictions, 0, "a 2x working-set budget must never evict: {c:?}");
+    }
+    ops as f64 / elapsed.as_secs_f64() / 1e6
+}
+
+fn main() {
+    let max_regression = env_or("ASCYLIB_FIG17_MAX_REGRESSION_PCT", 3) as f64;
+    let perf_gates = env_or("ASCYLIB_FIG17_PERF_GATES", 1) != 0;
+    let n = threads();
+
+    // Phase A: hit rate vs budget, both distributions.
+    let dists = [
+        ("zipf(0.99)", KeyDist::Zipfian { theta: 0.99 }),
+        ("uniform", KeyDist::Uniform),
+    ];
+    let mut table = Table::new(
+        &format!(
+            "Figure 17 — bounded-memory cache tier, in-process \
+             BlobMap<FraserOptSkipList>, WS {WS_KEYS} keys x {VALUE_LEN} B, \
+             {SHARDS} shards, {n} threads for the churn/overhead phases"
+        ),
+        &["distribution", "budget %WS", "hit rate", "evictions", "live/budget"],
+    );
+    let mut curves = Vec::new();
+    for (label, dist) in dists {
+        let mut prev = -1.0f64;
+        for (i, pct) in BUDGET_PCTS.iter().enumerate() {
+            let budget = WS_BYTES * pct / 100;
+            let (rate, c) = hit_rate_at(budget, dist, 0xF17A + i as u64);
+            assert!(
+                c.live_bytes <= c.budget_bytes && c.forced == 0,
+                "{label} @{pct}%: budget invariant violated: {c:?}"
+            );
+            if *pct < 100 {
+                assert!(
+                    c.evictions > 0,
+                    "{label} @{pct}%: an under-provisioned budget must evict: {c:?}"
+                );
+            }
+            // Monotone in the budget: more memory never hurts the hit
+            // rate (1% slack for CLOCK's approximation noise).
+            assert!(
+                rate + 0.01 >= prev,
+                "{label}: hit rate fell from {prev:.4} to {rate:.4} when the budget \
+                 grew to {pct}% of the working set"
+            );
+            prev = prev.max(rate);
+            table.row(vec![
+                label.into(),
+                pct.to_string(),
+                f2(rate * 100.0),
+                c.evictions.to_string(),
+                format!("{}/{}", c.live_bytes, c.budget_bytes),
+            ]);
+            curves.push(format!(
+                concat!(
+                    "{{\"dist\":\"{}\",\"budget_pct\":{},\"budget_bytes\":{},",
+                    "\"hit_rate\":{:.4},\"evictions\":{},\"live_bytes\":{},",
+                    "\"expired\":{}}}"
+                ),
+                label, pct, budget, rate, c.evictions, c.live_bytes, c.expired(),
+            ));
+        }
+    }
+
+    // Phase B: the budget holds at every sampled point under churn.
+    let (samples, churn) = churn_invariant();
+    assert!(samples > 0, "the churn phase sampled nothing");
+    assert!(churn.evictions > 0, "churn past the budget must evict: {churn:?}");
+    assert!(churn.expired() > 0, "short leases must expire under churn: {churn:?}");
+
+    // Phase C: interleaved best-of rounds, budget machinery idle vs inert.
+    let _ = overhead_round(true, 0xF17);
+    let _ = overhead_round(false, 0xF17);
+    let mut best_on = 0.0f64;
+    let mut best_off = 0.0f64;
+    let mut rounds = 0usize;
+    while rounds < MAX_ROUNDS {
+        let seed = 0xF17_0000 + rounds as u64;
+        best_on = best_on.max(overhead_round(true, seed));
+        best_off = best_off.max(overhead_round(false, seed));
+        rounds += 1;
+        if rounds >= MIN_ROUNDS && (best_off - best_on) / best_off * 100.0 <= max_regression {
+            break;
+        }
+    }
+    let regression_pct = (best_off - best_on) / best_off.max(f64::MIN_POSITIVE) * 100.0;
+    table.row(vec![
+        "overhead".into(),
+        "200 (idle)".into(),
+        format!("{:.2} vs {:.2} Mops/s", best_on, best_off),
+        "0".into(),
+        format!("{regression_pct:.2}% regression"),
+    ]);
+    table.print();
+    let _ = table.write_csv("fig17_budget");
+
+    let json = format!(
+        concat!(
+            "{{\"threads\":{},\"ws_keys\":{},\"value_len\":{},\"shards\":{},",
+            "\"curves\":[{}],",
+            "\"churn\":{{\"samples\":{},\"budget_bytes\":{},\"live_bytes\":{},",
+            "\"evictions\":{},\"expired_lazy\":{},\"expired_swept\":{},\"forced\":{}}},",
+            "\"overhead\":{{\"mops_budgeted\":{:.4},\"mops_inert\":{:.4},",
+            "\"regression_pct\":{:.4},\"rounds\":{},\"max_regression_pct\":{:.1},",
+            "\"gated\":{}}}}}"
+        ),
+        n,
+        WS_KEYS,
+        VALUE_LEN,
+        SHARDS,
+        curves.join(","),
+        samples,
+        churn.budget_bytes,
+        churn.live_bytes,
+        churn.evictions,
+        churn.expired_lazy,
+        churn.expired_swept,
+        churn.forced,
+        best_on,
+        best_off,
+        regression_pct,
+        rounds,
+        max_regression,
+        perf_gates,
+    );
+    let _ = write_json("fig17_budget", &json);
+
+    if perf_gates {
+        assert!(
+            regression_pct <= max_regression,
+            "idle budget machinery costs {regression_pct:.2}%, over the \
+             {max_regression:.0}% budget ({best_on:.3} vs {best_off:.3} Mops/s)"
+        );
+    }
+    println!(
+        "\nchurn: {} samples all within budget ({} evictions, {} expired); \
+         idle-machinery regression {regression_pct:.2}% (budget {max_regression:.0}%{})",
+        samples,
+        churn.evictions,
+        churn.expired(),
+        if perf_gates { "" } else { ", report-only" },
+    );
+}

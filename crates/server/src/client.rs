@@ -18,7 +18,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use crate::protocol::{
-    encode_mset, encode_request, encode_set, Reply, ReplyParser, Request, SlowlogCmd,
+    encode_mset, encode_request, encode_set, encode_set_ex, Reply, ReplyParser, Request,
+    SlowlogCmd,
 };
 
 /// A blocking connection to an `ascylib-server`.
@@ -89,6 +90,37 @@ impl Client {
         encode_set(&mut out, key, value);
         self.stream.write_all(&out)?;
         decode_bool(self.read_reply()?)
+    }
+
+    /// `SET key value EX secs` → upsert with a relative expiry: the value
+    /// reads as absent once `secs` seconds elapse. Returns `true` if the
+    /// key was newly created. Stores without a cache tier reject the verb
+    /// with an in-band error.
+    pub fn set_ex(&mut self, key: u64, value: &[u8], secs: u64) -> io::Result<bool> {
+        let mut out = Vec::with_capacity(40 + value.len());
+        encode_set_ex(&mut out, key, value, secs);
+        self.stream.write_all(&out)?;
+        decode_bool(self.read_reply()?)
+    }
+
+    /// `EXPIRE key secs` → arms (or re-arms) the expiry of a live key;
+    /// `true` if the key was present.
+    pub fn expire(&mut self, key: u64, secs: u64) -> io::Result<bool> {
+        decode_bool(self.call(&Request::Expire(key, secs))?)
+    }
+
+    /// `TTL key` → remaining lifetime: `None` if the key is missing (or
+    /// already expired), `Some(None)` if it is live without an expiry,
+    /// `Some(Some(secs))` whole seconds left (rounded up, so a value with
+    /// any time left reports at least 1).
+    pub fn ttl(&mut self, key: u64) -> io::Result<Option<Option<u64>>> {
+        decode_ttl(self.call(&Request::Ttl(key))?)
+    }
+
+    /// `PERSIST key` → strips the expiry off a live key; `true` if the key
+    /// was present.
+    pub fn persist(&mut self, key: u64) -> io::Result<bool> {
+        decode_bool(self.call(&Request::Persist(key))?)
     }
 
     /// `DEL key` → `true` if the key was present.
@@ -253,6 +285,29 @@ impl Pipeline<'_> {
         self
     }
 
+    /// Queues `SET key value EX secs`, encoding the borrowed payload
+    /// directly.
+    pub fn set_ex(&mut self, key: u64, value: &[u8], secs: u64) -> &mut Self {
+        encode_set_ex(&mut self.out, key, value, secs);
+        self.queued += 1;
+        self
+    }
+
+    /// Queues `EXPIRE key secs`.
+    pub fn expire(&mut self, key: u64, secs: u64) -> &mut Self {
+        self.push(&Request::Expire(key, secs))
+    }
+
+    /// Queues `TTL key`.
+    pub fn ttl(&mut self, key: u64) -> &mut Self {
+        self.push(&Request::Ttl(key))
+    }
+
+    /// Queues `PERSIST key`.
+    pub fn persist(&mut self, key: u64) -> &mut Self {
+        self.push(&Request::Persist(key))
+    }
+
     /// Queues `DEL key`.
     pub fn del(&mut self, key: u64) -> &mut Self {
         self.push(&Request::Del(key))
@@ -318,6 +373,17 @@ pub fn decode_bool(reply: Reply) -> io::Result<bool> {
     match reply {
         Reply::Int(0) => Ok(false),
         Reply::Int(1) => Ok(true),
+        other => Err(unexpected(other)),
+    }
+}
+
+/// Decodes `TTL` replies: `:secs` remaining, `+none` for a live key
+/// without an expiry, null for a missing key.
+pub fn decode_ttl(reply: Reply) -> io::Result<Option<Option<u64>>> {
+    match reply {
+        Reply::Int(secs) => Ok(Some(Some(secs))),
+        Reply::Simple(s) if s == "none" => Ok(Some(None)),
+        Reply::Null => Ok(None),
         other => Err(unexpected(other)),
     }
 }
@@ -395,6 +461,42 @@ mod tests {
         assert!(stats.contains("size=2"), "{stats}");
         assert!(stats.contains("shards=2"), "{stats}");
         assert!(stats.contains("value_bytes="), "{stats}");
+        c.quit().unwrap();
+        server.join();
+    }
+
+    #[test]
+    fn expiry_verbs_round_trip() {
+        let server = ordered_server();
+        let mut c = Client::connect(server.addr()).unwrap();
+        assert!(c.set_ex(20, b"lease", 60).unwrap());
+        match c.ttl(20).unwrap() {
+            Some(Some(secs)) => assert!((1..=60).contains(&secs), "fresh 60 s lease: {secs}"),
+            other => panic!("leased key must report a countdown, got {other:?}"),
+        }
+        assert!(c.persist(20).unwrap());
+        assert_eq!(c.ttl(20).unwrap(), Some(None), "persisted key has no expiry");
+        assert!(c.expire(20, 90).unwrap());
+        match c.ttl(20).unwrap() {
+            Some(Some(secs)) => assert!((1..=90).contains(&secs), "re-armed lease: {secs}"),
+            other => panic!("re-armed key must report a countdown, got {other:?}"),
+        }
+        // Missing keys: TTL is null, EXPIRE/PERSIST report absence.
+        assert_eq!(c.ttl(99).unwrap(), None);
+        assert!(!c.expire(99, 5).unwrap());
+        assert!(!c.persist(99).unwrap());
+
+        // The same verbs pipeline like any other frame.
+        let mut p = c.pipeline();
+        p.set_ex(21, b"v21", 30).ttl(21).persist(21).ttl(21).expire(21, 7).ttl(99);
+        let replies = p.run().unwrap();
+        assert_eq!(replies.len(), 6);
+        assert_eq!(replies[0], Reply::Int(1));
+        assert!(matches!(replies[1], Reply::Int(1..=30)), "{:?}", replies[1]);
+        assert_eq!(replies[2], Reply::Int(1));
+        assert_eq!(replies[3], Reply::Simple("none".into()));
+        assert_eq!(replies[4], Reply::Int(1));
+        assert_eq!(replies[5], Reply::Null);
         c.quit().unwrap();
         server.join();
     }

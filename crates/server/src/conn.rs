@@ -478,7 +478,7 @@ pub(crate) fn unix_ms_now() -> u64 {
 fn family_of(req: &Request) -> Family {
     match req {
         Request::Get(_) => Family::Get,
-        Request::Set(..) => Family::Set,
+        Request::Set(..) | Request::SetEx(..) => Family::Set,
         Request::Del(_) => Family::Del,
         Request::MGet(_) => Family::MGet,
         Request::MSet(_) => Family::MSet,
@@ -493,7 +493,8 @@ fn family_of(req: &Request) -> Family {
 fn slow_fields(req: &Request) -> (u64, u64) {
     match req {
         Request::Get(k) | Request::Del(k) => (*k, 0),
-        Request::Set(k, v) => (*k, v.len() as u64),
+        Request::Set(k, v) | Request::SetEx(k, v, _) => (*k, v.len() as u64),
+        Request::Expire(k, _) | Request::Ttl(k) | Request::Persist(k) => (*k, 0),
         Request::MGet(keys) => (keys.first().copied().unwrap_or(0), 0),
         Request::MSet(entries) => (
             entries.first().map(|(k, _)| *k).unwrap_or(0),
@@ -518,6 +519,8 @@ fn key_ok(key: u64) -> bool {
 }
 
 const KEY_RANGE_MSG: &str = "key out of usable range [1, 2^64-2]";
+
+const EXPIRY_UNSUPPORTED_MSG: &str = "expiry unsupported by this store (no cache tier)";
 
 /// Executes one well-formed frame against the store, appending its reply.
 fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<u8>) -> Flow {
@@ -553,6 +556,68 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
             }
             WorkerStats::bump(&stats.ops, 1);
             wire::int(out, ctx.store.set(*k, v) as u64);
+        }
+        Request::SetEx(k, v, secs) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            if ctx.store.cache_stats().is_none() {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, EXPIRY_UNSUPPORTED_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            wire::int(out, ctx.store.set_ex(*k, v, secs.saturating_mul(1000)) as u64);
+        }
+        Request::Expire(k, secs) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            if ctx.store.cache_stats().is_none() {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, EXPIRY_UNSUPPORTED_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            wire::int(out, ctx.store.expire(*k, secs.saturating_mul(1000)) as u64);
+        }
+        Request::Ttl(k) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            if ctx.store.cache_stats().is_none() {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, EXPIRY_UNSUPPORTED_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            match ctx.store.ttl_ms(*k) {
+                // Whole seconds on the wire, rounded up so a value with
+                // 1 ms left still reports 1, not an already-dead 0.
+                Some(Some(ms)) => wire::int(out, ms.div_ceil(1000)),
+                Some(None) => wire::simple(out, "none"),
+                None => wire::null(out),
+            }
+        }
+        Request::Persist(k) => {
+            if !key_ok(*k) {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, KEY_RANGE_MSG);
+                return Flow::Continue;
+            }
+            if ctx.store.cache_stats().is_none() {
+                WorkerStats::bump(&stats.errors, 1);
+                wire::error(out, EXPIRY_UNSUPPORTED_MSG);
+                return Flow::Continue;
+            }
+            WorkerStats::bump(&stats.ops, 1);
+            wire::int(out, ctx.store.persist(*k) as u64);
         }
         Request::Del(k) => {
             if !key_ok(*k) {
@@ -664,6 +729,16 @@ fn execute(req: &Request, ctx: &ConnCtx<'_>, bufs: &mut ConnBufs, out: &mut Vec<
                     m.allocations, m.frees, m.reclaimed, m.pending, m.pooled,
                 );
             }
+            // Cache-tier gauges and counters (stores with a cache tier
+            // only — same append-at-end discipline as the hotkey block).
+            if let Some(c) = ctx.store.cache_stats() {
+                use std::fmt::Write as _;
+                let _ = write!(
+                    info,
+                    " cache_budget_bytes={} cache_live_bytes={} cache_evictions={} cache_expired_lazy={} cache_expired_swept={}",
+                    c.budget_bytes, c.live_bytes, c.evictions, c.expired_lazy, c.expired_swept,
+                );
+            }
             wire::simple(out, &info);
         }
         Request::Info(section) => match render_info(ctx, section.as_deref()) {
@@ -719,16 +794,16 @@ fn bulk_capped(out: &mut Vec<u8>, body: &str) {
     wire::bulk(out, truncated.as_bytes());
 }
 
-/// Renders the `INFO` report: all six sections, or just the named one.
+/// Renders the `INFO` report: all seven sections, or just the named one.
 /// Unknown section names are a semantic error answered in-band.
 fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'static str> {
     use std::fmt::Write as _;
-    const KNOWN: [&str; 6] =
-        ["server", "commands", "latency", "memory", "concurrency", "hotkeys"];
+    const KNOWN: [&str; 7] =
+        ["server", "commands", "latency", "memory", "concurrency", "hotkeys", "cache"];
     if let Some(s) = section {
         if !KNOWN.contains(&s) {
             return Err(
-                "unknown INFO section (server|commands|latency|memory|concurrency|hotkeys)",
+                "unknown INFO section (server|commands|latency|memory|concurrency|hotkeys|cache)",
             );
         }
     }
@@ -894,6 +969,36 @@ fn render_info(ctx: &ConnCtx<'_>, section: Option<&str>) -> Result<String, &'sta
         }
         sections.push(s);
     }
+    if want("cache") {
+        let mut s = String::new();
+        let _ = writeln!(s, "# cache");
+        match ctx.store.cache_stats() {
+            Some(c) => {
+                let bounded = c.budget_bytes > 0;
+                let _ = writeln!(s, "cache_tier:on");
+                let _ = writeln!(s, "cache_budget:{}", if bounded { "on" } else { "off" });
+                let _ = writeln!(s, "cache_budget_bytes:{}", c.budget_bytes);
+                let _ = writeln!(s, "cache_live_bytes:{}", c.live_bytes);
+                if bounded {
+                    let _ = writeln!(
+                        s,
+                        "cache_fill_ratio:{:.4}",
+                        c.live_bytes as f64 / c.budget_bytes as f64
+                    );
+                }
+                let _ = writeln!(s, "cache_evictions:{}", c.evictions);
+                let _ = writeln!(s, "cache_forced_admissions:{}", c.forced);
+                let _ = writeln!(s, "cache_expired_lazy:{}", c.expired_lazy);
+                let _ = writeln!(s, "cache_expired_swept:{}", c.expired_swept);
+                let _ = writeln!(s, "cache_expired_total:{}", c.expired());
+                let _ = writeln!(s, "cache_ttl_live:{}", c.ttl_live);
+            }
+            None => {
+                let _ = writeln!(s, "cache_tier:off");
+            }
+        }
+        sections.push(s);
+    }
     Ok(sections.join("\n"))
 }
 
@@ -972,6 +1077,25 @@ fn render_metrics(ctx: &ConnCtx<'_>) -> String {
             "Flat-combining drain passes that applied at least one op.",
             &[],
             h.combined_batches,
+        );
+    }
+    if let Some(c) = ctx.store.cache_stats() {
+        e.gauge("ascy_cache_budget_bytes", "Configured payload-byte budget (0 = unbounded).", &[], c.budget_bytes);
+        e.gauge("ascy_cache_live_bytes", "Payload bytes currently reserved against the budget.", &[], c.live_bytes);
+        e.gauge("ascy_cache_ttl_live", "Live values currently carrying an expiry deadline.", &[], c.ttl_live);
+        e.counter("ascy_cache_evictions_total", "Values evicted by the CLOCK policy to fit the budget.", &[], c.evictions);
+        e.counter("ascy_cache_forced_admissions_total", "Over-budget stores admitted when nothing was evictable.", &[], c.forced);
+        e.counter(
+            "ascy_cache_expired_total",
+            "Expired values reclaimed, by discovery mode.",
+            &[("mode", "lazy")],
+            c.expired_lazy,
+        );
+        e.counter(
+            "ascy_cache_expired_total",
+            "Expired values reclaimed, by discovery mode.",
+            &[("mode", "swept")],
+            c.expired_swept,
         );
     }
     for f in Family::ALL {
@@ -1353,6 +1477,172 @@ mod tests {
             execute(&Request::Stats, ctx, &mut bufs, &mut out);
             assert!(!String::from_utf8_lossy(&out).contains("hotkey_"));
         });
+    }
+
+    /// A [`KvStore`] without a cache tier: delegates the byte-value surface
+    /// to a blob store but keeps the trait's expiry defaults, so the
+    /// connection layer's in-band rejection path is reachable in tests.
+    struct NoCacheStore(BlobStore<ClhtLb>);
+
+    impl KvStore for NoCacheStore {
+        fn get(&self, key: u64, out: &mut Vec<u8>) -> bool {
+            self.0.get(key, out)
+        }
+        fn set(&self, key: u64, value: &[u8]) -> bool {
+            self.0.set(key, value)
+        }
+        fn del(&self, key: u64) -> bool {
+            self.0.del(key)
+        }
+        fn multi_get(&self, keys: &[u64], out: &mut Vec<Option<Vec<u8>>>) {
+            self.0.multi_get(keys, out)
+        }
+        fn multi_set(&self, entries: &[(u64, Vec<u8>)]) -> Vec<bool> {
+            self.0.multi_set(entries)
+        }
+        fn scan(&self, from: u64, n: usize) -> Option<Vec<(u64, Vec<u8>)>> {
+            self.0.scan(from, n)
+        }
+        fn size(&self) -> usize {
+            self.0.size()
+        }
+        fn shard_count(&self) -> usize {
+            self.0.shard_count()
+        }
+        fn ops_and_hits(&self) -> (u64, u64) {
+            self.0.ops_and_hits()
+        }
+        fn value_bytes(&self) -> u64 {
+            self.0.value_bytes()
+        }
+    }
+
+    #[test]
+    fn cache_surfaces_and_expiry_verbs_render_and_validate() {
+        use ascylib_shard::{CacheConfig, FakeClock, HotKeyConfig};
+        let clock = Arc::new(FakeClock::new());
+        clock.set(1_000);
+        let cfg = CacheConfig::unbounded()
+            .with_budget(16 * 1024)
+            .with_clock(clock.clone());
+        let map = Arc::new(BlobMap::with_config(1, HotKeyConfig::default(), cfg, |_| {
+            ClhtLb::with_capacity(1024)
+        }));
+        let store = BlobStore::new(Arc::clone(&map));
+        let stats = WorkerStats::default();
+        let tel = WorkerTelemetry::new();
+        let hub = TestHub::new(&tel, &stats);
+        let monitor = MonitorHub::default();
+        let totals = || ServerStatsSnapshot::default();
+        let ctx = ConnCtx {
+            store: &store,
+            max_pipeline: 4,
+            stats: &stats,
+            totals: &totals,
+            tel: &tel,
+            hub: &hub,
+            recording: true,
+            slow_ns: u64::MAX,
+            worker: 0,
+            monitor: &monitor,
+        };
+        let mut bufs = ConnBufs::default();
+        let mut out = Vec::new();
+
+        // The expiry verbs run end to end: lease a key, inspect the lease,
+        // strip it, re-arm it, and probe a key that was never set.
+        execute(&Request::SetEx(7, b"lease".to_vec(), 60), &ctx, &mut bufs, &mut out);
+        execute(&Request::Ttl(7), &ctx, &mut bufs, &mut out);
+        execute(&Request::Persist(7), &ctx, &mut bufs, &mut out);
+        execute(&Request::Ttl(7), &ctx, &mut bufs, &mut out);
+        execute(&Request::Expire(7, 5), &ctx, &mut bufs, &mut out);
+        execute(&Request::Ttl(9), &ctx, &mut bufs, &mut out);
+        assert_eq!(
+            String::from_utf8_lossy(&out),
+            ":1\r\n:60\r\n:1\r\n+none\r\n:1\r\n_\r\n",
+            "SETEX/TTL/PERSIST/EXPIRE reply stream"
+        );
+        // Past the deadline the lease reads back as a miss (lazy expiry).
+        clock.advance(6_000);
+        out.clear();
+        execute(&Request::Get(7), &ctx, &mut bufs, &mut out);
+        assert_eq!(out, b"_\r\n", "an expired lease must read as a miss");
+
+        // Churn well past the 16 KiB budget so CLOCK eviction engages.
+        let payload = vec![0xAB; 256];
+        for k in 1..=256u64 {
+            execute(&Request::Set(k, payload.clone()), &ctx, &mut bufs, &mut out);
+        }
+        let c = store.cache_stats().expect("blob stores always report a cache tier");
+        assert!(c.evictions > 0, "256 x 256 B against 16 KiB must evict: {c:?}");
+        assert_eq!(c.forced, 0, "values fit the budget, nothing should be forced: {c:?}");
+        assert!(c.live_bytes <= c.budget_bytes, "budget overrun: {c:?}");
+        assert!(c.expired_lazy >= 1, "the lapsed lease was collected lazily: {c:?}");
+
+        out.clear();
+        execute(&Request::Stats, &ctx, &mut bufs, &mut out);
+        let stats_line = String::from_utf8_lossy(&out).into_owned();
+        for field in [
+            "cache_budget_bytes=",
+            "cache_live_bytes=",
+            "cache_evictions=",
+            "cache_expired_lazy=",
+            "cache_expired_swept=",
+        ] {
+            assert!(stats_line.contains(field), "STATS is missing {field}: {stats_line}");
+        }
+
+        let info = render_info(&ctx, Some("cache")).unwrap();
+        assert!(info.starts_with("# cache"));
+        assert!(info.contains("cache_tier:on"));
+        assert!(info.contains("cache_budget:on"));
+        assert!(info.contains("cache_budget_bytes:16384"));
+        assert!(info.contains("cache_fill_ratio:"), "bounded tiers report fill:\n{info}");
+        assert!(info.contains("cache_ttl_live:"));
+        assert!(render_info(&ctx, None).unwrap().contains("# cache"));
+
+        let metrics = render_metrics(&ctx);
+        ascylib_telemetry::expo::validate(&metrics).expect("METRICS body validates");
+        for family in [
+            "ascy_cache_budget_bytes ",
+            "ascy_cache_live_bytes ",
+            "ascy_cache_ttl_live ",
+            "ascy_cache_evictions_total ",
+            "ascy_cache_forced_admissions_total ",
+            "ascy_cache_expired_total{mode=\"lazy\"}",
+            "ascy_cache_expired_total{mode=\"swept\"}",
+        ] {
+            assert!(metrics.contains(family), "METRICS is missing {family}");
+        }
+
+        // A store without a cache tier rejects the expiry verbs in-band
+        // and exports none of the cache surfaces.
+        let plain = NoCacheStore(BlobStore::new(Arc::new(BlobMap::new(1, |_| {
+            ClhtLb::with_capacity(64)
+        }))));
+        let ctx = ConnCtx { store: &plain, ..ctx };
+        out.clear();
+        execute(&Request::Set(3, b"v".to_vec()), &ctx, &mut bufs, &mut out);
+        for req in [
+            Request::SetEx(3, b"v".to_vec(), 5),
+            Request::Expire(3, 5),
+            Request::Ttl(3),
+            Request::Persist(3),
+        ] {
+            out.clear();
+            execute(&req, &ctx, &mut bufs, &mut out);
+            let reply = String::from_utf8_lossy(&out).into_owned();
+            assert!(
+                reply.starts_with('-') && reply.contains(EXPIRY_UNSUPPORTED_MSG),
+                "{req:?} must be rejected in-band: {reply}"
+            );
+        }
+        let info = render_info(&ctx, Some("cache")).unwrap();
+        assert!(info.contains("cache_tier:off"));
+        assert!(!render_metrics(&ctx).contains("ascy_cache"));
+        out.clear();
+        execute(&Request::Stats, &ctx, &mut bufs, &mut out);
+        assert!(!String::from_utf8_lossy(&out).contains("cache_"));
     }
 
     #[test]

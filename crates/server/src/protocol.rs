@@ -11,8 +11,9 @@
 //!
 //! ```text
 //! GET <key>                          DEL <key>
-//! SET <key> <len>\r\n<bytes>\r\n     MGET <key>...
+//! SET <key> <len> [EX <secs>]\r\n<bytes>\r\n     MGET <key>...
 //! MSET <k1> <l1> ... <kn> <ln>\r\n<bytes1>...<bytesn>\r\n
+//! EXPIRE <key> <secs>                TTL <key>   PERSIST <key>
 //! SCAN <from> <count>                PING   STATS   QUIT
 //! INFO [section]                     SLOWLOG GET|RESET|LEN    METRICS
 //! ```
@@ -83,6 +84,20 @@ pub enum Request {
     /// `SET key <len> + payload` — **upsert**: stores the value, replacing
     /// any previous one (reply `:1` created / `:0` replaced).
     Set(u64, Vec<u8>),
+    /// `SET key <len> EX <secs> + payload` — upsert with a relative
+    /// expiry: the value disappears `secs` seconds after the store (reply
+    /// as `SET`). Requires a cache-enabled store.
+    SetEx(u64, Vec<u8>, u64),
+    /// `EXPIRE key <secs>` — set the expiry of an existing live key to
+    /// `secs` seconds from now (reply `:1` applied / `:0` missing or
+    /// already expired).
+    Expire(u64, u64),
+    /// `TTL key` — remaining lifetime: `:n` seconds (rounded up), `+none`
+    /// for a live key without an expiry, null for a missing key.
+    Ttl(u64),
+    /// `PERSIST key` — clear any expiry (reply `:1` key was live / `:0`
+    /// missing or already expired).
+    Persist(u64),
     /// `DEL key` — remove (reply `:1` removed / `:0` miss).
     Del(u64),
     /// `MGET key...` — batched lookup, answered in input order.
@@ -326,7 +341,7 @@ impl LineBuffer {
 /// still needs its payload bytes.
 enum ReqHeader {
     Done(Request),
-    NeedSet { key: u64, len: usize },
+    NeedSet { key: u64, len: usize, ex: Option<u64> },
     NeedMSet { pairs: Vec<(u64, usize)>, total: usize },
 }
 
@@ -335,8 +350,8 @@ enum ReqHeader {
 enum ReqState {
     /// Parsing header lines.
     Lines,
-    /// Collecting a `SET` payload.
-    SetPayload { key: u64, len: usize },
+    /// Collecting a `SET` payload (`ex`: the optional `EX <secs>` clause).
+    SetPayload { key: u64, len: usize, ex: Option<u64> },
     /// Collecting an `MSET` payload region (per-value lengths + total).
     MSetPayload { pairs: Vec<(u64, usize)>, total: usize },
     /// Discarding the claimed payload of a rejected frame (already
@@ -390,8 +405,8 @@ impl RequestParser {
                     Line::Complete(start, end) => {
                         match parse_request_line(&self.lines.buf[start..end]) {
                             Ok(ReqHeader::Done(req)) => return Some(Ok(req)),
-                            Ok(ReqHeader::NeedSet { key, len }) => {
-                                self.state = ReqState::SetPayload { key, len };
+                            Ok(ReqHeader::NeedSet { key, len, ex }) => {
+                                self.state = ReqState::SetPayload { key, len, ex };
                             }
                             Ok(ReqHeader::NeedMSet { pairs, total }) => {
                                 self.state = ReqState::MSetPayload { pairs, total };
@@ -405,13 +420,17 @@ impl RequestParser {
                         }
                     }
                 },
-                ReqState::SetPayload { key, len } => match self.lines.take_payload(len) {
+                ReqState::SetPayload { key, len, ex } => match self.lines.take_payload(len) {
                     PayloadTake::Pending => {
-                        self.state = ReqState::SetPayload { key, len };
+                        self.state = ReqState::SetPayload { key, len, ex };
                         return None;
                     }
                     PayloadTake::Complete(s, e) => {
-                        return Some(Ok(Request::Set(key, self.lines.buf[s..e].to_vec())));
+                        let value = self.lines.buf[s..e].to_vec();
+                        return Some(Ok(match ex {
+                            Some(secs) => Request::SetEx(key, value, secs),
+                            None => Request::Set(key, value),
+                        }));
                     }
                     PayloadTake::BadTerminator => return Some(Err(ParseError::BadPayload)),
                 },
@@ -504,16 +523,19 @@ fn parse_request_line(line: &[u8]) -> Result<ReqHeader, RejectedHeader> {
             done(Request::Get(parse_u64(args[0])?))
         }
         "SET" => {
-            arity(2, "SET <key> <len> + payload")?;
+            if !(args.len() == 2 || (args.len() == 4 && args[2] == "EX")) {
+                return Err(ParseError::Arity("SET <key> <len> [EX <secs>] + payload").into());
+            }
             let key = parse_u64(args[0])?;
             let len = parse_u64(args[1])?;
+            let ex = if args.len() == 4 { Some(parse_u64(args[3])?) } else { None };
             if len > MAX_VALUE as u64 {
                 return Err(RejectedHeader {
                     error: ParseError::ValueTooLarge,
                     claimed_payload: (len as usize).min(MAX_VALUE.saturating_mul(2)),
                 });
             }
-            Ok(ReqHeader::NeedSet { key, len: len as usize })
+            Ok(ReqHeader::NeedSet { key, len: len as usize, ex })
         }
         "DEL" => {
             arity(1, "DEL <key>")?;
@@ -553,6 +575,18 @@ fn parse_request_line(line: &[u8]) -> Result<ReqHeader, RejectedHeader> {
                 });
             }
             Ok(ReqHeader::NeedMSet { pairs, total: total as usize })
+        }
+        "EXPIRE" => {
+            arity(2, "EXPIRE <key> <secs>")?;
+            done(Request::Expire(parse_u64(args[0])?, parse_u64(args[1])?))
+        }
+        "TTL" => {
+            arity(1, "TTL <key>")?;
+            done(Request::Ttl(parse_u64(args[0])?))
+        }
+        "PERSIST" => {
+            arity(1, "PERSIST <key>")?;
+            done(Request::Persist(parse_u64(args[0])?))
         }
         "SCAN" => {
             arity(2, "SCAN <from> <count>")?;
@@ -616,6 +650,13 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
             encode_set(out, *k, v);
             Ok(())
         }
+        Request::SetEx(k, v, secs) => {
+            encode_set_ex(out, *k, v, *secs);
+            Ok(())
+        }
+        Request::Expire(k, secs) => write!(out, "EXPIRE {k} {secs}\r\n"),
+        Request::Ttl(k) => write!(out, "TTL {k}\r\n"),
+        Request::Persist(k) => write!(out, "PERSIST {k}\r\n"),
         Request::Del(k) => write!(out, "DEL {k}\r\n"),
         Request::MGet(keys) => {
             out.extend_from_slice(b"MGET");
@@ -650,6 +691,14 @@ pub fn encode_request(req: &Request, out: &mut Vec<u8>) {
 pub fn encode_set(out: &mut Vec<u8>, key: u64, value: &[u8]) {
     use std::io::Write as _;
     write!(out, "SET {key} {}\r\n", value.len()).expect("vec write");
+    out.extend_from_slice(value);
+    out.extend_from_slice(b"\r\n");
+}
+
+/// Encodes a `SET … EX` frame from borrowed payload bytes.
+pub fn encode_set_ex(out: &mut Vec<u8>, key: u64, value: &[u8], secs: u64) {
+    use std::io::Write as _;
+    write!(out, "SET {key} {} EX {secs}\r\n", value.len()).expect("vec write");
     out.extend_from_slice(value);
     out.extend_from_slice(b"\r\n");
 }
@@ -952,13 +1001,17 @@ mod tests {
 
     #[test]
     fn parses_every_verb() {
-        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nINFO\r\nINFO Latency\r\nSLOWLOG get\r\nSLOWLOG RESET\r\nSLOWLOG LEN\r\nMETRICS\r\nMONITOR\r\nMONITOR 8\r\nQUIT\r\n";
+        let stream = b"GET 1\r\nSET 2 3\r\nabc\r\nSET 2 3 EX 60\r\nabc\r\nEXPIRE 2 30\r\nTTL 2\r\nPERSIST 2\r\nDEL 3\r\nMGET 4 5 6\r\nMSET 7 2 8 3\r\nhitwo\r\nSCAN 9 16\r\nPING\r\nSTATS\r\nINFO\r\nINFO Latency\r\nSLOWLOG get\r\nSLOWLOG RESET\r\nSLOWLOG LEN\r\nMETRICS\r\nMONITOR\r\nMONITOR 8\r\nQUIT\r\n";
         let got = parse_all(stream);
         assert_eq!(
             got,
             vec![
                 Ok(Request::Get(1)),
                 Ok(set(2, b"abc")),
+                Ok(Request::SetEx(2, b"abc".to_vec(), 60)),
+                Ok(Request::Expire(2, 30)),
+                Ok(Request::Ttl(2)),
+                Ok(Request::Persist(2)),
                 Ok(Request::Del(3)),
                 Ok(Request::MGet(vec![4, 5, 6])),
                 Ok(Request::MSet(vec![(7, b"hi".to_vec()), (8, b"two".to_vec())])),
@@ -1099,7 +1152,13 @@ mod tests {
             (b"get 1\r\n", ParseError::UnknownVerb),
             (b"GET\r\n", ParseError::Arity("GET <key>")),
             (b"GET 1 2\r\n", ParseError::Arity("GET <key>")),
-            (b"SET 1\r\n", ParseError::Arity("SET <key> <len> + payload")),
+            (b"SET 1\r\n", ParseError::Arity("SET <key> <len> [EX <secs>] + payload")),
+            (b"SET 1 2 PX 9\r\n", ParseError::Arity("SET <key> <len> [EX <secs>] + payload")),
+            (b"SET 1 2 EX\r\n", ParseError::Arity("SET <key> <len> [EX <secs>] + payload")),
+            (b"EXPIRE 1\r\n", ParseError::Arity("EXPIRE <key> <secs>")),
+            (b"EXPIRE 1 x\r\n", ParseError::BadNumber),
+            (b"TTL\r\n", ParseError::Arity("TTL <key>")),
+            (b"PERSIST 1 2\r\n", ParseError::Arity("PERSIST <key>")),
             (b"GET x\r\n", ParseError::BadNumber),
             // Double space: the empty token counts toward arity.
             (b"GET  1\r\n", ParseError::Arity("GET <key>")),
@@ -1226,6 +1285,10 @@ mod tests {
             Request::Get(7),
             set(1, b"value with \0 and \n inside"),
             set(2, b""),
+            Request::SetEx(3, b"lease\n".to_vec(), 90),
+            Request::Expire(3, 15),
+            Request::Ttl(3),
+            Request::Persist(3),
             Request::Del(0),
             Request::MGet(vec![9, 9, 8]),
             Request::MSet(vec![(1, b"a".to_vec()), (3, Vec::new()), (4, vec![0xEE; 300])]),

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use ascylib::api::{ConcurrentMap, KEY_MAX, KEY_MIN};
 use ascylib::ordered::OrderedMap;
-use ascylib_shard::{BlobMap, HotKeyStatsSnapshot};
+use ascylib_shard::{BlobMap, CacheStatsSnapshot, HotKeyStatsSnapshot};
 
 /// The serving-side keyspace interface: what a wire frame can do to the
 /// data. All methods are `&self` and thread-safe; worker threads share one
@@ -86,6 +86,45 @@ pub trait KvStore: Send + Sync + 'static {
     /// hottest first (`INFO hotkeys`). Default: empty.
     fn hot_keys(&self) -> Vec<(u64, u64)> {
         Vec::new()
+    }
+
+    /// Upsert with a relative expiry (`SET … EX`): the value expires
+    /// `ttl_ms` milliseconds after the store. Default: plain upsert — the
+    /// TTL is ignored (stores without a cache tier reject the verb at the
+    /// connection layer via [`cache_stats`](Self::cache_stats)).
+    fn set_ex(&self, key: u64, value: &[u8], ttl_ms: u64) -> bool {
+        let _ = ttl_ms;
+        self.set(key, value)
+    }
+
+    /// Re-arm (or arm) the expiry of a live key (`EXPIRE`); `true` if the
+    /// key was present and alive. Default: unsupported, `false`.
+    fn expire(&self, key: u64, ttl_ms: u64) -> bool {
+        let _ = (key, ttl_ms);
+        false
+    }
+
+    /// Remaining lifetime (`TTL`): `None` = missing, `Some(None)` =
+    /// present without expiry, `Some(Some(ms))` = milliseconds left.
+    /// Default: missing.
+    fn ttl_ms(&self, key: u64) -> Option<Option<u64>> {
+        let _ = key;
+        None
+    }
+
+    /// Clear the expiry of a live key (`PERSIST`); `true` if the key was
+    /// present and alive. Default: unsupported, `false`.
+    fn persist(&self, key: u64) -> bool {
+        let _ = key;
+        false
+    }
+
+    /// Cache-tier counters (budget/live gauges, eviction/expiry counters)
+    /// for `STATS`/`INFO cache`/`METRICS`. `None` means the store has no
+    /// cache tier — the connection layer then rejects the expiry verbs
+    /// in-band and omits the cache observability surfaces. Default: none.
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        None
     }
 }
 
@@ -163,6 +202,26 @@ impl<M: ConcurrentMap + 'static> KvStore for BlobStore<M> {
 
     fn hot_keys(&self) -> Vec<(u64, u64)> {
         self.map.hot_keys()
+    }
+
+    fn set_ex(&self, key: u64, value: &[u8], ttl_ms: u64) -> bool {
+        self.map.set_ex(key, value, ttl_ms)
+    }
+
+    fn expire(&self, key: u64, ttl_ms: u64) -> bool {
+        self.map.expire(key, ttl_ms)
+    }
+
+    fn ttl_ms(&self, key: u64) -> Option<Option<u64>> {
+        self.map.ttl_ms(key)
+    }
+
+    fn persist(&self, key: u64) -> bool {
+        self.map.persist(key)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        Some(self.map.cache_stats())
     }
 }
 
@@ -246,6 +305,26 @@ impl<M: OrderedMap + 'static> KvStore for BlobOrderedStore<M> {
     fn hot_keys(&self) -> Vec<(u64, u64)> {
         self.inner.hot_keys()
     }
+
+    fn set_ex(&self, key: u64, value: &[u8], ttl_ms: u64) -> bool {
+        self.inner.set_ex(key, value, ttl_ms)
+    }
+
+    fn expire(&self, key: u64, ttl_ms: u64) -> bool {
+        self.inner.expire(key, ttl_ms)
+    }
+
+    fn ttl_ms(&self, key: u64) -> Option<Option<u64>> {
+        self.inner.ttl_ms(key)
+    }
+
+    fn persist(&self, key: u64) -> bool {
+        self.inner.persist(key)
+    }
+
+    fn cache_stats(&self) -> Option<CacheStatsSnapshot> {
+        self.inner.cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -287,6 +366,28 @@ mod tests {
         let (ops, hits) = store.ops_and_hits();
         assert!(ops >= 8);
         assert!(hits >= 3);
+    }
+
+    #[test]
+    fn expiry_verbs_round_trip_through_the_trait() {
+        let map = Arc::new(BlobMap::new(2, |_| ClhtLb::with_capacity(64)));
+        let store = BlobStore::new(Arc::clone(&map));
+        assert!(store.cache_stats().is_some(), "blob stores always expose the cache tier");
+        assert!(store.set_ex(1, b"lease", 60_000));
+        match store.ttl_ms(1) {
+            Some(Some(ms)) => assert!(ms <= 60_000 && ms > 50_000, "ttl {ms}ms"),
+            other => panic!("expected a live TTL, got {other:?}"),
+        }
+        assert!(store.expire(1, 120_000));
+        assert!(matches!(store.ttl_ms(1), Some(Some(ms)) if ms > 60_000));
+        assert!(store.persist(1));
+        assert_eq!(store.ttl_ms(1), Some(None));
+        assert!(!store.expire(99, 1000), "missing key");
+        assert!(!store.persist(99));
+        assert_eq!(store.ttl_ms(99), None);
+        // A plain set has no expiry.
+        store.set(2, b"v");
+        assert_eq!(store.ttl_ms(2), Some(None));
     }
 
     #[test]

@@ -1,12 +1,12 @@
 //! The blob-value layer: variable-length `[u8]` payloads over the untouched
-//! `u64 → u64` machinery.
+//! `u64 → u64` machinery — now a **budgeted cache tier**.
 //!
 //! The ASCYLIB structures (and [`ShardedMap`] over them) move 64-bit values
 //! — enough for the paper's figures, not for a KV store that must hold real
 //! payloads. Instead of rewriting 18 structures, this module stores payloads
 //! *outside* the structures and indexes them with 64-bit **handles**:
 //!
-//! * [`ValueArena`] owns the payload memory. Each blob is a length-prefixed
+//! * [`ValueArena`] owns the payload memory. Each blob is a header-prefixed
 //!   allocation from `ascylib-ssmem` (`alloc_raw`/`retire_raw`), so blob
 //!   lifetime rides the same epoch machinery that protects the structures'
 //!   own nodes: a blob retired by a `DEL`/overwrite is not reused until
@@ -18,54 +18,174 @@
 //!   blob mid-read. Readers therefore never observe torn, truncated, or
 //!   reused payloads — only values that were fully written before publish.
 //!
+//! # The cache tier: handle tags and the blob header
+//!
+//! A handle is still `ptr as u64`, but the spare bits now carry metadata
+//! (blobs are 8-aligned and user-space pointers fit 48 bits, so the low 3
+//! and top 16 bits of the word are free — `debug_assert`ed at store time):
+//!
+//! ```text
+//! bit 63..48   per-arena generation tag (defeats handle ABA: a recycled
+//!              pointer re-stored gets a different tag, so an evictor's
+//!              stale snapshot never matches a fresh value)
+//! bit 47..3    the blob address (8-aligned)
+//! bit 0        TTL flag: set iff the value carries an expiry deadline,
+//!              so reads of never-expiring values skip the expiry check
+//!              without loading anything
+//! ```
+//!
+//! The blob header grew from 8 to 16 bytes:
+//!
+//! ```text
+//! word 0   meta: payload length (low 63 bits) | CLOCK reference bit (63)
+//! word 1   expire_at_ms (0 = no deadline); atomic, EXPIRE/PERSIST mutate it
+//! ```
+//!
+//! The CLOCK reference bit lives in the header word the read path already
+//! loads for the length, so tracking a hit costs **one relaxed bit-set and
+//! zero extra cache lines** — and only when a byte budget is configured and
+//! the bit isn't already set (hot blobs settle into a read-only state).
+//!
+//! # Budget enforcement
+//!
+//! With a [`CacheConfig`] budget, every `set` **reserves** its payload
+//! bytes against the shard's share via a CAS loop before allocating; a
+//! reservation that would overflow the budget runs CLOCK eviction (clear
+//! reference bits, evict the first unreferenced victim) until it fits. The
+//! per-shard `live_bytes` gauge therefore never exceeds the budget at any
+//! externally observable instant — except `forced` admissions, counted
+//! separately, when nothing is evictable (e.g. one value larger than a
+//! shard's whole share).
+//!
+//! # Expiry
+//!
+//! Expiry is **lazy**: a read that finds a dead value answers "missing",
+//! then unlinks and retires the corpse after its epoch guard drops. An
+//! incremental sweep piggybacks on the write path (every
+//! `SWEEP_EVERY`th `set` per shard walks a few ledger entries — no new
+//! threads) and on `scan`, which reclaims any corpse it walks over.
+//!
+//! # Hot-key cooperation
+//!
+//! Values carrying a TTL are **never** installed in the hot-key front
+//! cache (their fill leases are simply dropped), so a front hit can never
+//! outlive its deadline. Eviction and expiry of a fronted key poison its
+//! seqlock slot *before* the handle is retired — the engine's never-stale
+//! guarantee survives the cache tier.
+//!
 //! # Consistency
 //!
 //! Per-key operations keep the shard layer's linearizability with one
 //! deliberate exception: an **overwrite** (`set` on a present key) is
 //! remove-then-insert on the index, so a concurrent reader can observe a
 //! transient miss between the two steps. Readers never see a mix of old and
-//! new payload bytes — each blob is immutable after publish.
+//! new payload bytes — payloads are immutable after publish (the expiry
+//! word is the one mutable, atomic field). `expire`/`persist` racing an
+//! overwrite of the same key resolve in an arbitrary order.
 //!
 //! # Teardown
 //!
 //! Hash backings cannot enumerate their keys, so each arena keeps a
 //! write-path-only ledger of live handles (one mutex per *shard*, touched
-//! only by `set`/`del` — reads stay asynchronized). Dropping the map frees
-//! every live blob through the ledger; blobs already retired are owned by
-//! the epoch machinery and freed by its collector.
+//! only by `set`/`del` and the eviction/sweep machinery — reads stay
+//! asynchronized). Dropping the map frees every live blob through the
+//! ledger; blobs already retired are owned by the epoch machinery and
+//! freed by its collector.
 
 use std::alloc::Layout;
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use ascylib::api::ConcurrentMap;
 use ascylib::ordered::OrderedMap;
 use ascylib_ssmem as ssmem;
 use crossbeam_utils::CachePadded;
 
+use crate::cache::{CacheConfig, CacheStatsSnapshot, MsClock, WallClock};
 use crate::hotkey::{
     FillTicket, FrontRead, HotKeyConfig, HotKeyEngine, HotKeyStatsSnapshot, HotOp, HotOpKind,
     HotOpResult,
 };
 use crate::map::ShardedMap;
 
-/// Bytes of blob header (the payload length, stored as a `u64` so the
-/// retire path can reconstruct the allocation layout from the handle alone).
-const HEADER: usize = std::mem::size_of::<u64>();
+/// Bytes of blob header: the meta word (payload length + CLOCK reference
+/// bit) and the expiry word. The retire path reconstructs the allocation
+/// layout from the header alone.
+const HEADER: usize = 16;
+
+/// Blob alignment (a header of two `u64` words).
+const ALIGN: usize = 8;
 
 /// Allocation sizes are rounded up to this granularity so the ssmem reuse
 /// pool sees a bounded number of size classes (two payloads within the same
 /// 64-byte bucket recycle each other's memory).
 const SIZE_CLASS: usize = 64;
 
+/// Handle bit 0: the value carries an expiry deadline.
+const TAG_TTL: u64 = 1;
+
+/// Handle bits 63..48: the arena generation tag.
+const TAG_GEN_MASK: u64 = 0xFFFF << 48;
+
+/// Clears every tag bit, leaving the 8-aligned blob address.
+const ADDR_MASK: u64 = !(TAG_GEN_MASK | 0x7);
+
+/// Meta-word bit 63: the CLOCK reference bit.
+const META_REF: u64 = 1 << 63;
+
+/// Meta-word bits 62..0: the payload length.
+const META_LEN_MASK: u64 = META_REF - 1;
+
+/// Every `SWEEP_EVERY`th `set` on a shard walks a slice of the ledger
+/// looking for expired values (skipped entirely while no value on the
+/// shard carries a deadline).
+const SWEEP_EVERY: u64 = 64;
+
+/// Ledger entries examined per sweep step.
+const SWEEP_BATCH: usize = 8;
+
+/// Consecutive fruitless eviction attempts before a reservation is forced
+/// through over budget (progress guarantee; see `CacheStatsSnapshot::forced`).
+const EVICT_FORCE_ATTEMPTS: u32 = 128;
+
+/// The blob address a (possibly tagged) handle points at.
+#[inline]
+fn blob_addr(handle: u64) -> *mut u8 {
+    (handle & ADDR_MASK) as *mut u8
+}
+
+/// `true` if the handle's value carries an expiry deadline.
+#[inline]
+fn has_ttl(handle: u64) -> bool {
+    handle & TAG_TTL != 0
+}
+
+/// The meta word (length + reference bit) of a blob.
+///
+/// # Safety
+///
+/// `ptr` must be a live (or owned/protected) blob allocation.
+#[inline]
+unsafe fn meta_cell<'a>(ptr: *mut u8) -> &'a AtomicU64 {
+    // SAFETY: forwarded caller contract; word 0 is 8-aligned by `ALIGN`.
+    unsafe { &*(ptr as *const AtomicU64) }
+}
+
+/// The expiry word of a blob. Same safety contract as [`meta_cell`].
+#[inline]
+unsafe fn expire_cell<'a>(ptr: *mut u8) -> &'a AtomicU64 {
+    // SAFETY: forwarded caller contract; word 1 sits inside the header.
+    unsafe { &*(ptr.add(8) as *const AtomicU64) }
+}
+
 /// The allocation layout backing a blob of `len` payload bytes. Must be a
 /// pure function of `len`: `store` and `retire` both derive it, and the
 /// layouts have to match for the allocator.
 fn blob_layout(len: usize) -> Layout {
     let size = (HEADER + len).div_ceil(SIZE_CLASS) * SIZE_CLASS;
-    Layout::from_size_align(size, HEADER).expect("valid blob layout")
+    Layout::from_size_align(size, ALIGN).expect("valid blob layout")
 }
 
 /// Traffic counters of one arena (monotone, `Relaxed`: independent event
@@ -78,12 +198,27 @@ struct ArenaCounters {
     bytes_retired: AtomicU64,
 }
 
+/// Cache-tier counters of one arena (same `Relaxed` convention; `live_now`
+/// is the budget-reservation gauge, written by `reserve`/`retire`).
+#[derive(Debug, Default)]
+struct CacheCounters {
+    live_now: AtomicU64,
+    evictions: AtomicU64,
+    expired_lazy: AtomicU64,
+    expired_swept: AtomicU64,
+    forced: AtomicU64,
+    ttl_live: AtomicU64,
+    sweep_tick: AtomicU64,
+    generation: AtomicU64,
+}
+
 /// A point-in-time copy of one arena's counters (or a sum over arenas).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStatsSnapshot {
     /// Blobs written through [`ValueArena::store`].
     pub blobs_stored: u64,
-    /// Blobs retired (displaced by an overwrite or deleted).
+    /// Blobs retired (displaced by an overwrite, deleted, evicted, or
+    /// expired).
     pub blobs_retired: u64,
     /// Payload bytes written (headers and size-class padding excluded).
     pub bytes_stored: u64,
@@ -111,7 +246,48 @@ impl ArenaStatsSnapshot {
     }
 }
 
-/// A payload arena: length-prefixed `[u8]` blobs in ssmem-managed memory,
+/// The write-path ledger: every live handle with its key, indexed by blob
+/// address (tags excluded, so retagging a handle in place — `EXPIRE` on a
+/// previously deadline-free value — keeps the entry findable), plus the
+/// persistent CLOCK hand and the TTL-sweep cursor.
+#[derive(Debug, Default)]
+struct Ledger {
+    /// `(key, tagged handle)` of every live blob on this shard.
+    entries: Vec<(u64, u64)>,
+    /// Blob address → position in `entries`.
+    index: HashMap<u64, usize>,
+    /// CLOCK hand: where the next victim scan resumes.
+    hand: usize,
+    /// TTL-sweep cursor: where the next sweep step resumes.
+    sweep: usize,
+}
+
+impl Ledger {
+    fn insert(&mut self, key: u64, handle: u64) {
+        self.index.insert(handle & ADDR_MASK, self.entries.len());
+        self.entries.push((key, handle));
+    }
+
+    fn remove(&mut self, handle: u64) {
+        if let Some(pos) = self.index.remove(&(handle & ADDR_MASK)) {
+            self.entries.swap_remove(pos);
+            if pos < self.entries.len() {
+                let moved = self.entries[pos].1;
+                self.index.insert(moved & ADDR_MASK, pos);
+            }
+        }
+    }
+
+    /// Rewrites the stored handle of a live entry (same blob address).
+    fn retag(&mut self, handle: u64, new_handle: u64) {
+        debug_assert_eq!(handle & ADDR_MASK, new_handle & ADDR_MASK);
+        if let Some(&pos) = self.index.get(&(handle & ADDR_MASK)) {
+            self.entries[pos].1 = new_handle;
+        }
+    }
+}
+
+/// A payload arena: header-prefixed `[u8]` blobs in ssmem-managed memory,
 /// addressed by opaque 64-bit handles that fit wherever a `u64` value goes.
 ///
 /// The arena does not synchronize readers itself — it inherits ssmem's
@@ -123,34 +299,83 @@ impl ArenaStatsSnapshot {
 ///   whatever shared index published it;
 /// * a handle must be [`retire`](Self::retire)d at most once, and only
 ///   after it has been unlinked from every shared index.
-#[derive(Debug, Default)]
+///
+/// Budget *policy* (reservation loops, eviction) lives in [`BlobMap`]; the
+/// arena only carries the mechanism (the ledger, the gauges, the clock).
+#[derive(Debug)]
 pub struct ValueArena {
-    /// Live handles, maintained by the write path only, so teardown can
-    /// free payloads without requiring key enumeration from the backing.
-    live: Mutex<HashSet<u64>>,
+    /// Live handles + CLOCK state, maintained by the write path only, so
+    /// teardown can free payloads without key enumeration from the backing.
+    ledger: Mutex<Ledger>,
     stats: CachePadded<ArenaCounters>,
+    cache: CachePadded<CacheCounters>,
+    /// This shard's payload-byte budget (`None` = unbounded).
+    budget: Option<u64>,
+    /// The clock expiry deadlines are measured against.
+    clock: Arc<dyn MsClock>,
+}
+
+impl Default for ValueArena {
+    fn default() -> Self {
+        Self::with_policy(None, Arc::new(WallClock))
+    }
 }
 
 impl ValueArena {
-    /// A fresh, empty arena.
+    /// A fresh, empty, unbounded arena on the wall clock.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Copies `value` into a fresh length-prefixed blob and returns its
-    /// handle. The blob is immutable from here on (readers rely on it).
-    pub fn store(&self, value: &[u8]) -> u64 {
+    /// An arena with a byte budget and a clock (the [`BlobMap`]
+    /// constructors split a store budget over shards and pass each share
+    /// here).
+    fn with_policy(budget: Option<u64>, clock: Arc<dyn MsClock>) -> Self {
+        ValueArena {
+            ledger: Mutex::new(Ledger::default()),
+            stats: CachePadded::default(),
+            cache: CachePadded::default(),
+            budget,
+            clock,
+        }
+    }
+
+    /// Milliseconds on this arena's clock.
+    fn now_ms(&self) -> u64 {
+        self.clock.now_ms()
+    }
+
+    /// Copies `value` into a fresh header-prefixed blob and returns its
+    /// tagged handle. The payload is immutable from here on (readers rely
+    /// on it); `expire_at_ms` (0 = none) sets the expiry word and the
+    /// handle's TTL flag. Byte-budget accounting is the caller's job (see
+    /// [`BlobMap`]'s reservation path).
+    pub fn store(&self, key: u64, value: &[u8], expire_at_ms: u64) -> u64 {
         let layout = blob_layout(value.len());
         let ptr = ssmem::alloc_raw(layout);
+        debug_assert_eq!(
+            ptr as u64 & !ADDR_MASK,
+            0,
+            "blob pointers must fit the 48-bit/8-aligned tag layout"
+        );
         // SAFETY: `ptr` is a fresh (or recycled past its grace period)
         // allocation of `layout`, which holds HEADER + value.len() bytes;
-        // nothing else references it until we publish the handle.
+        // nothing else references it until we publish the handle. The
+        // reference bit starts clear — only an actual read earns survival,
+        // so a churn stream of never-read inserts evicts itself instead of
+        // lapping the hand over (and past) the genuinely hot entries.
         unsafe {
-            (ptr as *mut u64).write(value.len() as u64);
+            meta_cell(ptr).store(value.len() as u64, Ordering::Relaxed);
+            expire_cell(ptr).store(expire_at_ms, Ordering::Relaxed);
             ptr.add(HEADER).copy_from_nonoverlapping(value.as_ptr(), value.len());
         }
-        let handle = ptr as u64;
-        self.live.lock().expect("arena ledger poisoned").insert(handle);
+        let generation = self.cache.generation.fetch_add(1, Ordering::Relaxed);
+        let mut handle = (ptr as u64) | ((generation << 48) & TAG_GEN_MASK);
+        if expire_at_ms != 0 {
+            handle |= TAG_TTL;
+            self.cache.ttl_live.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ledger.lock().expect("arena ledger poisoned").insert(key, handle);
         self.stats.blobs_stored.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_stored.fetch_add(value.len() as u64, Ordering::Relaxed);
         handle
@@ -162,8 +387,8 @@ impl ValueArena {
     ///
     /// Same contract as [`read_into`](Self::read_into).
     pub unsafe fn len_of(&self, handle: u64) -> usize {
-        // SAFETY: forwarded caller contract; the header is the first word.
-        unsafe { (handle as *const u64).read() as usize }
+        // SAFETY: forwarded caller contract; the meta word is word 0.
+        (unsafe { meta_cell(blob_addr(handle)).load(Ordering::Relaxed) } & META_LEN_MASK) as usize
     }
 
     /// Appends the blob's payload bytes to `out`.
@@ -171,17 +396,153 @@ impl ValueArena {
     /// # Safety
     ///
     /// The caller must hold an [`ssmem::protect`] guard that was created
-    /// before `handle` was fetched from the shared index, and the handle
-    /// must have been produced by [`store`](Self::store) on this or any
-    /// other arena sharing the ssmem runtime.
+    /// before `handle` was fetched from the shared index (or own the
+    /// unlinked handle outright), and the handle must have been produced
+    /// by [`store`](Self::store) on this or any other arena sharing the
+    /// ssmem runtime.
     pub unsafe fn read_into(&self, handle: u64, out: &mut Vec<u8>) {
-        let ptr = handle as *const u8;
+        let ptr = blob_addr(handle);
         // SAFETY: the guard (caller contract) keeps the blob from being
-        // reclaimed; blobs are immutable after publish, so the header and
-        // payload read race with nothing.
+        // reclaimed; payloads are immutable after publish, so the length
+        // and payload reads race with nothing.
         unsafe {
-            let len = (ptr as *const u64).read() as usize;
+            let len = (meta_cell(ptr).load(Ordering::Relaxed) & META_LEN_MASK) as usize;
             out.extend_from_slice(std::slice::from_raw_parts(ptr.add(HEADER), len));
+        }
+    }
+
+    /// [`read_into`](Self::read_into) for point reads: additionally sets
+    /// the CLOCK reference bit — one relaxed bit-set in the header word
+    /// the length load already pulled in, and only when a budget makes
+    /// eviction live and the bit isn't already set. Same safety contract.
+    unsafe fn read_into_marked(&self, handle: u64, out: &mut Vec<u8>) {
+        let ptr = blob_addr(handle);
+        // SAFETY: as `read_into`; the bit-set is atomic and races only
+        // with other bit ops on the same word.
+        unsafe {
+            let meta = meta_cell(ptr).load(Ordering::Relaxed);
+            let len = (meta & META_LEN_MASK) as usize;
+            out.extend_from_slice(std::slice::from_raw_parts(ptr.add(HEADER), len));
+            if self.budget.is_some() && meta & META_REF == 0 {
+                meta_cell(ptr).fetch_or(META_REF, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The blob's expiry deadline (0 = none). Same safety contract as
+    /// [`read_into`](Self::read_into).
+    unsafe fn expire_of(&self, handle: u64) -> u64 {
+        // SAFETY: forwarded caller contract.
+        unsafe { expire_cell(blob_addr(handle)).load(Ordering::Relaxed) }
+    }
+
+    /// `true` if the blob's deadline has passed on this arena's clock.
+    /// Same safety contract as [`read_into`](Self::read_into).
+    unsafe fn is_expired(&self, handle: u64) -> bool {
+        // SAFETY: forwarded caller contract.
+        let exp = unsafe { self.expire_of(handle) };
+        exp != 0 && self.now_ms() >= exp
+    }
+
+    /// Rewrites the blob's expiry deadline (EXPIRE/PERSIST). Same safety
+    /// contract as [`read_into`](Self::read_into).
+    unsafe fn set_expire(&self, handle: u64, deadline_ms: u64) {
+        // SAFETY: forwarded caller contract; the word is atomic, payloads
+        // stay immutable.
+        unsafe { expire_cell(blob_addr(handle)).store(deadline_ms, Ordering::Relaxed) };
+    }
+
+    /// Rewrites a live ledger entry's handle in place (EXPIRE retagging a
+    /// deadline-free value) and keeps the TTL gauge coherent.
+    fn retag(&self, handle: u64, new_handle: u64) {
+        if !has_ttl(handle) && has_ttl(new_handle) {
+            self.cache.ttl_live.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ledger.lock().expect("arena ledger poisoned").retag(handle, new_handle);
+    }
+
+    /// Reserves `len` payload bytes against the gauge unconditionally
+    /// (unbounded arenas, or a forced over-budget admission).
+    fn add_live(&self, len: u64) {
+        self.cache.live_now.fetch_add(len, Ordering::Relaxed);
+    }
+
+    /// Tries to reserve `len` payload bytes under the budget; `false`
+    /// means the caller must evict (or force) first. With no budget the
+    /// reservation always succeeds.
+    fn try_reserve(&self, len: u64) -> bool {
+        let Some(budget) = self.budget else {
+            self.add_live(len);
+            return true;
+        };
+        let mut cur = self.cache.live_now.load(Ordering::Relaxed);
+        loop {
+            if cur.saturating_add(len) > budget {
+                return false;
+            }
+            match self.cache.live_now.compare_exchange_weak(
+                cur,
+                cur + len,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// CLOCK victim selection: advance the hand, clear reference bits on
+    /// referenced entries, return the first unreferenced `(key, handle)`
+    /// (forcing one after two full laps so concurrent re-referencing
+    /// cannot starve the evictor). `None` if the ledger is empty.
+    fn clock_victim(&self) -> Option<(u64, u64)> {
+        let mut ledger = self.ledger.lock().expect("arena ledger poisoned");
+        let n = ledger.entries.len();
+        if n == 0 {
+            return None;
+        }
+        for _ in 0..2 * n {
+            let i = ledger.hand % n;
+            ledger.hand = (i + 1) % n;
+            let (key, handle) = ledger.entries[i];
+            // SAFETY: the entry is in the ledger, and `retire` removes an
+            // entry (under this lock) strictly before freeing its blob, so
+            // the header is readable while we hold the lock.
+            let meta = unsafe { meta_cell(blob_addr(handle)) };
+            if meta.load(Ordering::Relaxed) & META_REF != 0 {
+                meta.fetch_and(!META_REF, Ordering::Relaxed);
+                continue;
+            }
+            return Some((key, handle));
+        }
+        let i = ledger.hand % n;
+        ledger.hand = (i + 1) % n;
+        Some(ledger.entries[i])
+    }
+
+    /// Collects up to `max` expired `(key, handle)` entries from the sweep
+    /// cursor (the caller reclaims them after this lock is released).
+    fn collect_expired(&self, max: usize, out: &mut Vec<(u64, u64)>) {
+        let now = self.now_ms();
+        let mut ledger = self.ledger.lock().expect("arena ledger poisoned");
+        let n = ledger.entries.len();
+        if n == 0 {
+            return;
+        }
+        for _ in 0..max.min(n) {
+            let i = ledger.sweep % n;
+            ledger.sweep = (i + 1) % n;
+            let (key, handle) = ledger.entries[i];
+            if !has_ttl(handle) {
+                continue;
+            }
+            // SAFETY: in-ledger entry under the ledger lock (see
+            // `clock_victim`).
+            let exp = unsafe { expire_cell(blob_addr(handle)).load(Ordering::Relaxed) };
+            if exp != 0 && now >= exp {
+                out.push((key, handle));
+            }
         }
     }
 
@@ -193,13 +554,23 @@ impl ValueArena {
     /// `handle` must come from [`store`](Self::store), must already be
     /// unlinked from every shared index, and must not be retired twice.
     pub unsafe fn retire(&self, handle: u64) {
-        let ptr = handle as *mut u8;
+        let ptr = blob_addr(handle);
         // SAFETY: the handle is unlinked (caller contract), so this thread
         // owns the right to read its header and retire it.
-        let len = unsafe { (ptr as *const u64).read() as usize };
-        self.live.lock().expect("arena ledger poisoned").remove(&handle);
+        let len = (unsafe { meta_cell(ptr).load(Ordering::Relaxed) } & META_LEN_MASK) as usize;
+        self.ledger.lock().expect("arena ledger poisoned").remove(handle);
         self.stats.blobs_retired.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_retired.fetch_add(len as u64, Ordering::Relaxed);
+        // Saturating release of the reservation: direct arena users that
+        // never reserved must not wrap the gauge.
+        let _ = self.cache.live_now.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(len as u64))
+        });
+        if has_ttl(handle) {
+            let _ = self.cache.ttl_live.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+        }
         // SAFETY: unlinked and never retired before (caller contract);
         // layout is the same pure function of `len` used at allocation.
         unsafe { ssmem::retire_raw(ptr, blob_layout(len)) };
@@ -214,6 +585,19 @@ impl ValueArena {
             bytes_retired: self.stats.bytes_retired.load(Ordering::Relaxed),
         }
     }
+
+    /// A copy of the arena's cache-tier counters.
+    fn cache_stats(&self) -> CacheStatsSnapshot {
+        CacheStatsSnapshot {
+            budget_bytes: self.budget.unwrap_or(0),
+            live_bytes: self.cache.live_now.load(Ordering::Relaxed),
+            evictions: self.cache.evictions.load(Ordering::Relaxed),
+            expired_lazy: self.cache.expired_lazy.load(Ordering::Relaxed),
+            expired_swept: self.cache.expired_swept.load(Ordering::Relaxed),
+            forced: self.cache.forced.load(Ordering::Relaxed),
+            ttl_live: self.cache.ttl_live.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl Drop for ValueArena {
@@ -221,12 +605,12 @@ impl Drop for ValueArena {
         // `&mut self`: no concurrent operations; every handle still in the
         // ledger is live (retired ones were removed at retire time and are
         // owned by the epoch collector).
-        let live = std::mem::take(self.live.get_mut().expect("arena ledger poisoned"));
-        for handle in live {
-            let ptr = handle as *mut u8;
+        let ledger = std::mem::take(self.ledger.get_mut().expect("arena ledger poisoned"));
+        for (_key, handle) in ledger.entries {
+            let ptr = blob_addr(handle);
             // SAFETY: live blob, unreachable by any thread after Drop began.
             unsafe {
-                let len = (ptr as *const u64).read() as usize;
+                let len = (meta_cell(ptr).load(Ordering::Relaxed) & META_LEN_MASK) as usize;
                 ssmem::dealloc_raw_immediate(ptr, blob_layout(len));
             }
         }
@@ -248,24 +632,36 @@ thread_local! {
 /// the serving tier dispatches at once).
 const VALUE_POOL_CAP: usize = 1024;
 
+/// Pooled buffers are shrunk to at most this capacity on return, so a
+/// burst of maximum-size values cannot pin `VALUE_POOL_CAP × 64 KiB` of
+/// heap per thread forever — the pool's worst case is bounded at
+/// `VALUE_POOL_CAP × POOLED_VALUE_CAP_BYTES` (4 MiB). Values at or under
+/// this size still recycle their full capacity.
+const POOLED_VALUE_CAP_BYTES: usize = 4096;
+
 /// Takes a recycled value buffer (empty) or a fresh one.
 fn pool_take() -> Vec<u8> {
     VALUE_POOL.with(|pool| pool.borrow_mut().pop()).unwrap_or_default()
 }
 
-/// Returns an unneeded buffer to the pool for the next hit to reuse.
+/// Returns an unneeded buffer to the pool for the next hit to reuse,
+/// shrinking oversized ones so the pool's footprint stays bounded.
 fn pool_put(mut value: Vec<u8>) {
     VALUE_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
         if pool.len() < VALUE_POOL_CAP {
             value.clear();
+            if value.capacity() > POOLED_VALUE_CAP_BYTES {
+                value.shrink_to(POOLED_VALUE_CAP_BYTES);
+            }
             pool.push(value);
         }
     });
 }
 
 /// Harvests the previous batch's value buffers out of a result vector into
-/// the pool (capacity reuse across a stream of batches).
+/// the pool (capacity reuse across a stream of batches; oversized buffers
+/// are shrunk, as in [`pool_put`]).
 fn harvest_buffers(out: &mut [Option<Vec<u8>>]) {
     VALUE_POOL.with(|pool| {
         let mut pool = pool.borrow_mut();
@@ -275,15 +671,30 @@ fn harvest_buffers(out: &mut [Option<Vec<u8>>]) {
             }
             if let Some(mut value) = slot.take() {
                 value.clear();
+                if value.capacity() > POOLED_VALUE_CAP_BYTES {
+                    value.shrink_to(POOLED_VALUE_CAP_BYTES);
+                }
                 pool.push(value);
             }
         }
     });
 }
 
+/// How an expired value reached its reclaim (drives the counter split).
+#[derive(Clone, Copy)]
+enum Reclaim {
+    /// A read found the corpse.
+    Lazy,
+    /// The piggybacked write/scan sweep found it.
+    Swept,
+}
+
 /// Variable-length byte values over a [`ShardedMap`] of any backing: the
 /// map stores arena handles, the per-shard [`ValueArena`]s store payloads,
-/// and every read copies out under an epoch guard.
+/// and every read copies out under an epoch guard. With a [`CacheConfig`],
+/// the map is a **bounded cache**: byte budgets enforced by CLOCK eviction
+/// on the SET path, TTLs expired lazily on read plus an incremental sweep
+/// (see the module docs).
 ///
 /// `get`/`multi_get`/`scan` have **copy-out** semantics (the caller's
 /// buffer is cleared and refilled), `set` **overwrites** (unlike the raw
@@ -297,11 +708,13 @@ pub struct BlobMap<M> {
     /// dangle), so the inner index stays engine-less and the front cache
     /// sits above the epoch machinery entirely.
     hot: Option<Box<HotKeyEngine>>,
+    /// TTL stamped on plain `set` calls (`None` = values don't expire).
+    default_ttl_ms: Option<u64>,
 }
 
 impl<M: ConcurrentMap> BlobMap<M> {
     /// Builds a blob map over `shards` instances of the backing; `make(i)`
-    /// constructs the `i`-th shard.
+    /// constructs the `i`-th shard. No hot-key engine, inert cache tier.
     ///
     /// # Panics
     ///
@@ -311,6 +724,7 @@ impl<M: ConcurrentMap> BlobMap<M> {
             map: ShardedMap::new(shards, make),
             arenas: (0..shards).map(|_| ValueArena::new()).collect(),
             hot: None,
+            default_ttl_ms: None,
         }
     }
 
@@ -324,6 +738,27 @@ impl<M: ConcurrentMap> BlobMap<M> {
         let mut map = Self::new(shards, make);
         map.hot = HotKeyEngine::new(shards, cfg);
         map
+    }
+
+    /// The full constructor: hot-key engine plus cache-tier policy. The
+    /// byte budget is split evenly over shards (each shard enforces its
+    /// share, so the store-wide `live_bytes` can never exceed the total);
+    /// the default TTL stamps every plain `set`.
+    pub fn with_config(
+        shards: usize,
+        hot: HotKeyConfig,
+        cache: CacheConfig,
+        make: impl FnMut(usize) -> M,
+    ) -> Self {
+        let per_shard = cache.budget_bytes.map(|b| (b / shards as u64).max(1));
+        BlobMap {
+            map: ShardedMap::new(shards, make),
+            arenas: (0..shards)
+                .map(|_| ValueArena::with_policy(per_shard, cache.clock.clone()))
+                .collect(),
+            hot: HotKeyEngine::new(shards, hot),
+            default_ttl_ms: cache.default_ttl_ms,
+        }
     }
 
     /// The attached hot-key engine, if any.
@@ -341,6 +776,17 @@ impl<M: ConcurrentMap> BlobMap<M> {
         self.hot.as_deref().map(HotKeyEngine::hot_keys).unwrap_or_default()
     }
 
+    /// Cache-tier counters summed over shards (budget and live gauges are
+    /// per-shard sums). Always available — an inert config reports a zero
+    /// budget and zero policy counters but a live `live_bytes` gauge.
+    pub fn cache_stats(&self) -> CacheStatsSnapshot {
+        let mut total = CacheStatsSnapshot::default();
+        for a in self.arenas.iter() {
+            total.merge(&a.cache_stats());
+        }
+        total
+    }
+
     /// Applies a delegated op against the backing (index + arena). Called
     /// by whichever thread combines; must not touch the front cache (the
     /// engine does that, version-guarded, around this call).
@@ -356,18 +802,29 @@ impl<M: ConcurrentMap> BlobMap<M> {
                         return HotOpResult { ok: created, old: 0 };
                     }
                     if let Some(old) = self.map.remove(op.key) {
-                        created = false;
+                        // Overwriting an already-dead value is a create.
                         // SAFETY: `remove` returned `old` to this thread
-                        // alone; unlinked, retired exactly once.
-                        unsafe { arena.retire(old) };
+                        // alone; unlinked, readable, retired exactly once.
+                        unsafe {
+                            if !(has_ttl(old) && arena.is_expired(old)) {
+                                created = false;
+                            }
+                            arena.retire(old);
+                        }
                     }
                 }
             }
             HotOpKind::Del => match self.map.remove(op.key) {
                 Some(handle) => {
+                    let arena = self.arena_of(op.key);
                     // SAFETY: unlinked by the remove, returned only to us.
-                    unsafe { self.arena_of(op.key).retire(handle) };
-                    HotOpResult { ok: true, old: 0 }
+                    let was_dead = unsafe { has_ttl(handle) && arena.is_expired(handle) };
+                    // SAFETY: as above; retired exactly once.
+                    unsafe { arena.retire(handle) };
+                    if was_dead {
+                        arena.cache.expired_lazy.fetch_add(1, Ordering::Relaxed);
+                    }
+                    HotOpResult { ok: !was_dead, old: 0 }
                 }
                 None => HotOpResult { ok: false, old: 0 },
             },
@@ -392,7 +849,8 @@ impl<M: ConcurrentMap> BlobMap<M> {
         &self.arenas[self.map.shard_of(key)]
     }
 
-    /// Keys currently present (same consistency caveat as
+    /// Keys currently present — including expired values whose corpses a
+    /// read or sweep has not reclaimed yet (same consistency caveat as
     /// [`ConcurrentMap::size`]).
     pub fn len(&self) -> usize {
         self.map.size()
@@ -404,10 +862,11 @@ impl<M: ConcurrentMap> BlobMap<M> {
     }
 
     /// Copies the value of `key` into `out` (cleared first); `true` if the
-    /// key was present. With a hot-key engine attached, fronted keys are
-    /// answered from the engine's value copy (never older than the last
-    /// completed write — see [`crate::hotkey`]) without touching the epoch
-    /// guard, the index, or the arena.
+    /// key was present and alive. With a hot-key engine attached, fronted
+    /// keys are answered from the engine's value copy (never older than
+    /// the last completed write — see [`crate::hotkey`]) without touching
+    /// the epoch guard, the index, or the arena; values carrying a TTL are
+    /// never front-cached, so a front hit cannot outlive its deadline.
     pub fn get(&self, key: u64, out: &mut Vec<u8>) -> bool {
         out.clear();
         if let Some(hot) = &self.hot {
@@ -419,31 +878,48 @@ impl<M: ConcurrentMap> BlobMap<M> {
                 FrontRead::Hit => return true,
                 FrontRead::Absent => return false,
                 FrontRead::Pending(ticket) => {
-                    let found = self.get_backing(key, out);
-                    hot.fill(&ticket, found.then_some(out.as_slice()));
-                    return found;
+                    let found = self.get_backing_ex(key, out);
+                    match found {
+                        // TTL'd values are never installed: dropping the
+                        // lease leaves the slot pending, and every read
+                        // keeps consulting the (expiry-checking) backing.
+                        Some(true) => {}
+                        Some(false) => hot.fill(&ticket, Some(out.as_slice())),
+                        None => hot.fill(&ticket, None),
+                    }
+                    return found.is_some();
                 }
                 FrontRead::Miss => {}
             }
         }
-        self.get_backing(key, out)
+        self.get_backing_ex(key, out).is_some()
     }
 
-    /// The engine-less read path: epoch guard, index search, arena copy.
-    fn get_backing(&self, key: u64, out: &mut Vec<u8>) -> bool {
+    /// The engine-less read path: epoch guard, index search, expiry check,
+    /// arena copy. `Some(carries_ttl)` on a live hit; `None` on a miss
+    /// (reclaiming the corpse when the miss was an expired value).
+    fn get_backing_ex(&self, key: u64, out: &mut Vec<u8>) -> Option<bool> {
         out.clear();
-        // Guard before the handle fetch: a concurrent DEL/overwrite retires
-        // the blob, and this guard is what keeps it readable until we're
-        // done copying.
-        let _guard = ssmem::protect();
-        match self.map.search(key) {
-            Some(handle) => {
+        let arena = self.arena_of(key);
+        let dead = {
+            // Guard before the handle fetch: a concurrent DEL/overwrite
+            // retires the blob, and this guard is what keeps it readable
+            // until we're done copying.
+            let _guard = ssmem::protect();
+            match self.map.search(key) {
+                None => return None,
                 // SAFETY: guard created before the fetch (above).
-                unsafe { self.arena_of(key).read_into(handle, out) };
-                true
+                Some(handle) if has_ttl(handle) && unsafe { arena.is_expired(handle) } => handle,
+                Some(handle) => {
+                    // SAFETY: guard created before the fetch (above).
+                    unsafe { arena.read_into_marked(handle, out) };
+                    return Some(has_ttl(handle));
+                }
             }
-            None => false,
-        }
+        };
+        // Guard dropped: unlink and retire the corpse.
+        self.expire_reclaim(key, dead, Reclaim::Lazy);
+        None
     }
 
     /// Like [`get`](Self::get), returning a fresh vector.
@@ -452,57 +928,94 @@ impl<M: ConcurrentMap> BlobMap<M> {
         self.get(key, &mut out).then_some(out)
     }
 
-    /// `true` if the key is present.
+    /// `true` if the key is present and alive (expired-but-unreclaimed
+    /// values answer `false`; this read-only probe does not reclaim them).
     pub fn contains(&self, key: u64) -> bool {
-        self.map.contains(key)
+        let arena = self.arena_of(key);
+        let _guard = ssmem::protect();
+        match self.map.search(key) {
+            // SAFETY: guard created before the fetch.
+            Some(handle) => !(has_ttl(handle) && unsafe { arena.is_expired(handle) }),
+            None => false,
+        }
     }
 
     /// Stores `value` under `key`, overwriting any previous value (the
-    /// displaced blob is retired). Returns `true` if the key was newly
-    /// created, `false` if an existing value was replaced. Writes to a
-    /// fronted key delegate through the flat combiner, which refreshes the
-    /// front-cache copy write-through after the backing publish.
+    /// displaced blob is retired) and stamping the config's default TTL,
+    /// if any. Returns `true` if the key was newly created (an expired
+    /// corpse counts as absent), `false` if a live value was replaced.
+    /// Writes to a fronted key delegate through the flat combiner, which
+    /// refreshes the front-cache copy write-through after the backing
+    /// publish; TTL-stamped writes take the plain path and poison instead
+    /// (TTL'd values are never front-cached).
     pub fn set(&self, key: u64, value: &[u8]) -> bool {
+        self.set_with_ttl(key, value, self.default_ttl_ms)
+    }
+
+    /// [`set`](Self::set) with an explicit TTL (milliseconds; `0` = no
+    /// expiry, overriding any config default).
+    pub fn set_ex(&self, key: u64, value: &[u8], ttl_ms: u64) -> bool {
+        self.set_with_ttl(key, value, (ttl_ms != 0).then_some(ttl_ms))
+    }
+
+    fn set_with_ttl(&self, key: u64, value: &[u8], ttl_ms: Option<u64>) -> bool {
+        let shard = self.map.shard_of(key);
+        let arena = &self.arenas[shard];
+        self.maybe_sweep(shard);
+        self.reserve(shard, value.len() as u64);
+        let expire_at = match ttl_ms {
+            // `.max(1)`: 0 is the no-deadline sentinel; a 0 ms TTL on a
+            // clock still at 0 must still produce a real deadline.
+            Some(t) => arena.now_ms().saturating_add(t).max(1),
+            None => 0,
+        };
         if let Some(hot) = &self.hot {
             hot.record_access(key);
-            if hot.fronted(key) {
+            if expire_at == 0 && hot.fronted(key) {
                 // Store the blob up front (arena stores are uncontended);
                 // only the index publish + slot refresh is delegated.
-                let handle = self.arena_of(key).store(value);
+                let handle = arena.store(key, value, 0);
                 let res =
                     hot.delegate(HotOp::set(key, handle, value), &mut |op| self.apply_hot(op));
                 return res.ok;
             }
-            let created = self.set_backing(key, value);
-            // The key may have been promoted while we wrote: drop any
-            // cached copy so no reader sees a value older than this write.
+            let created = self.set_backing_at(key, value, expire_at);
+            // The key may have been promoted while we wrote (and TTL'd
+            // values are never front-cached): drop any cached copy so no
+            // reader sees a value older than this write.
             hot.poison(key);
             return created;
         }
-        self.set_backing(key, value)
+        self.set_backing_at(key, value, expire_at)
     }
 
-    fn set_backing(&self, key: u64, value: &[u8]) -> bool {
+    fn set_backing_at(&self, key: u64, value: &[u8], expire_at_ms: u64) -> bool {
         let arena = self.arena_of(key);
-        let handle = arena.store(value);
+        let handle = arena.store(key, value, expire_at_ms);
         let mut created = true;
         loop {
             if self.map.insert(key, handle) {
                 return created;
             }
             if let Some(old) = self.map.remove(key) {
-                created = false;
+                // Overwriting an expired corpse is a create, not a replace.
                 // SAFETY: `remove` returned `old` to this thread alone, so
-                // it is unlinked and retired exactly once.
-                unsafe { arena.retire(old) };
+                // it is unlinked, readable, and retired exactly once.
+                unsafe {
+                    if !(has_ttl(old) && arena.is_expired(old)) {
+                        created = false;
+                    }
+                    arena.retire(old);
+                }
             }
             // Lost a race with a concurrent writer on this key in either
             // branch; retry until our handle is published.
         }
     }
 
-    /// Removes `key`; `true` if it was present (the blob is retired). Same
-    /// fronted-key handling as [`set`](Self::set).
+    /// Removes `key`; `true` if a live value was present (the blob is
+    /// retired either way — removing an expired corpse reports `false`).
+    /// Same fronted-key handling as [`set`](Self::set).
     pub fn del(&self, key: u64) -> bool {
         if let Some(hot) = &self.hot {
             hot.record_access(key);
@@ -519,13 +1032,280 @@ impl<M: ConcurrentMap> BlobMap<M> {
     fn del_backing(&self, key: u64) -> bool {
         match self.map.remove(key) {
             Some(handle) => {
+                let arena = self.arena_of(key);
                 // SAFETY: unlinked by the remove, returned only to us.
-                unsafe { self.arena_of(key).retire(handle) };
+                let was_dead = unsafe { has_ttl(handle) && arena.is_expired(handle) };
+                // SAFETY: as above; retired exactly once.
+                unsafe { arena.retire(handle) };
+                if was_dead {
+                    arena.cache.expired_lazy.fetch_add(1, Ordering::Relaxed);
+                }
+                !was_dead
+            }
+            None => false,
+        }
+    }
+
+    // -- expiry verbs ------------------------------------------------------
+
+    /// Sets the expiry deadline of a live key to `ttl_ms` from now;
+    /// `true` if the key was present and alive. A `ttl_ms` of 0 expires
+    /// the value immediately (the next read or sweep reclaims it).
+    /// Racing a concurrent overwrite of the same key resolves in an
+    /// arbitrary order (module docs).
+    pub fn expire(&self, key: u64, ttl_ms: u64) -> bool {
+        let arena = self.arena_of(key);
+        let deadline = arena.now_ms().saturating_add(ttl_ms).max(1);
+        enum After {
+            Done,
+            Dead(u64),
+            Retag(u64),
+        }
+        let after = {
+            let _guard = ssmem::protect();
+            match self.map.search(key) {
+                None => return false,
+                Some(h) if has_ttl(h) => {
+                    // SAFETY: guard created before the fetch.
+                    if unsafe { arena.is_expired(h) } {
+                        After::Dead(h)
+                    } else {
+                        // SAFETY: as above; the expiry word is atomic.
+                        unsafe { arena.set_expire(h, deadline) };
+                        After::Done
+                    }
+                }
+                Some(h) => After::Retag(h),
+            }
+        };
+        match after {
+            After::Done => true,
+            After::Dead(h) => {
+                self.expire_reclaim(key, h, Reclaim::Lazy);
+                false
+            }
+            After::Retag(h) => self.retag_with_ttl(key, h, deadline),
+        }
+    }
+
+    /// Republishes a deadline-free value with the TTL flag set (readers
+    /// only consult the expiry word when the handle carries the flag).
+    /// The remove/insert pair has the same transient-miss window as an
+    /// overwrite.
+    fn retag_with_ttl(&self, key: u64, h: u64, deadline: u64) -> bool {
+        let arena = self.arena_of(key);
+        match self.map.remove(key) {
+            Some(got) if got == h => {
+                // We own the value now: stamp the deadline, retag the
+                // ledger entry, and republish with the TTL flag. Poison
+                // first — the front cache may hold a copy from the value's
+                // deadline-free life, which must not outlive the deadline.
+                // SAFETY: unlinked by our remove, returned only to us.
+                unsafe { arena.set_expire(got, deadline) };
+                let tagged = got | TAG_TTL;
+                arena.retag(got, tagged);
+                if let Some(hot) = &self.hot {
+                    hot.poison(key);
+                }
+                if !self.map.insert(key, tagged) {
+                    // A concurrent SET won the key; our value was current
+                    // until this EXPIRE raced the overwrite — retire it.
+                    if let Some(hot) = &self.hot {
+                        hot.poison(key);
+                    }
+                    // SAFETY: still unlinked and owned by us.
+                    unsafe { arena.retire(tagged) };
+                }
+                true
+            }
+            Some(other) => {
+                // Raced an overwrite: put the fresh value back untouched.
+                if !self.map.insert(key, other) {
+                    if let Some(hot) = &self.hot {
+                        hot.poison(key);
+                    }
+                    // SAFETY: unlinked by our remove; an even fresher
+                    // write now owns the key.
+                    unsafe { arena.retire(other) };
+                }
                 true
             }
             None => false,
         }
     }
+
+    /// Clears the expiry deadline of a live key; `true` if the key was
+    /// present and alive (with or without a deadline to clear).
+    pub fn persist(&self, key: u64) -> bool {
+        let arena = self.arena_of(key);
+        let dead = {
+            let _guard = ssmem::protect();
+            match self.map.search(key) {
+                None => return false,
+                Some(h) if !has_ttl(h) => return true,
+                // SAFETY: guard created before the fetch.
+                Some(h) if unsafe { arena.is_expired(h) } => h,
+                Some(h) => {
+                    // The TTL flag stays in the handle (republishing is an
+                    // overwrite-shaped disruption); a zero expiry word
+                    // reads as "no deadline".
+                    // SAFETY: as above; the expiry word is atomic.
+                    unsafe { arena.set_expire(h, 0) };
+                    return true;
+                }
+            }
+        };
+        self.expire_reclaim(key, dead, Reclaim::Lazy);
+        false
+    }
+
+    /// Remaining lifetime of `key`: `None` = missing (or expired),
+    /// `Some(None)` = present with no deadline, `Some(Some(ms))` =
+    /// milliseconds until expiry.
+    pub fn ttl_ms(&self, key: u64) -> Option<Option<u64>> {
+        let arena = self.arena_of(key);
+        let dead = {
+            let _guard = ssmem::protect();
+            match self.map.search(key) {
+                None => return None,
+                Some(h) if !has_ttl(h) => return Some(None),
+                Some(h) => {
+                    // SAFETY: guard created before the fetch.
+                    let exp = unsafe { arena.expire_of(h) };
+                    if exp == 0 {
+                        return Some(None); // PERSISTed
+                    }
+                    let now = arena.now_ms();
+                    if now >= exp {
+                        h
+                    } else {
+                        return Some(Some(exp - now));
+                    }
+                }
+            }
+        };
+        self.expire_reclaim(key, dead, Reclaim::Lazy);
+        None
+    }
+
+    // -- cache-tier internals ----------------------------------------------
+
+    /// Reserves `len` payload bytes on `shard`, evicting via CLOCK until
+    /// the reservation fits the shard's budget. Never blocks on readers;
+    /// forces the admission (counted) after [`EVICT_FORCE_ATTEMPTS`]
+    /// consecutive fruitless evictions so a value larger than the budget
+    /// cannot wedge the write path.
+    fn reserve(&self, shard: usize, len: u64) {
+        let arena = &self.arenas[shard];
+        let mut fruitless = 0u32;
+        loop {
+            if arena.try_reserve(len) {
+                return;
+            }
+            if self.evict_one(shard) {
+                fruitless = 0;
+            } else {
+                fruitless += 1;
+                if fruitless >= EVICT_FORCE_ATTEMPTS {
+                    arena.add_live(len);
+                    arena.cache.forced.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Evicts one CLOCK victim from `shard`; `true` if bytes were freed.
+    fn evict_one(&self, shard: usize) -> bool {
+        let arena = &self.arenas[shard];
+        let Some((key, handle)) = arena.clock_victim() else {
+            return false;
+        };
+        match self.map.remove(key) {
+            Some(got) if got == handle => {
+                // Poison before retire: a fronted copy must die before the
+                // backing value does (never-stale guarantee).
+                if let Some(hot) = &self.hot {
+                    hot.poison(key);
+                }
+                // SAFETY: unlinked by our remove, returned only to us.
+                unsafe { arena.retire(got) };
+                arena.cache.evictions.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(other) => {
+                // The snapshot went stale (an overwrite raced us — the
+                // generation tag makes a recycled pointer unmistakable):
+                // republish the fresh value we just unlinked.
+                if self.map.insert(key, other) {
+                    false
+                } else {
+                    // An even fresher write claimed the key meanwhile; the
+                    // value we hold lost that race — evicting it is legal.
+                    if let Some(hot) = &self.hot {
+                        hot.poison(key);
+                    }
+                    // SAFETY: unlinked by our remove, owned by us.
+                    unsafe { arena.retire(other) };
+                    arena.cache.evictions.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// The piggybacked TTL sweep: every [`SWEEP_EVERY`]th `set` on a shard
+    /// walks [`SWEEP_BATCH`] ledger entries from the sweep cursor and
+    /// reclaims the expired ones. Free when no value carries a deadline.
+    fn maybe_sweep(&self, shard: usize) {
+        let arena = &self.arenas[shard];
+        if arena.cache.ttl_live.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if arena.cache.sweep_tick.fetch_add(1, Ordering::Relaxed) % SWEEP_EVERY != 0 {
+            return;
+        }
+        let mut expired: Vec<(u64, u64)> = Vec::with_capacity(SWEEP_BATCH);
+        arena.collect_expired(SWEEP_BATCH, &mut expired);
+        for (key, handle) in expired {
+            self.expire_reclaim(key, handle, Reclaim::Swept);
+        }
+    }
+
+    /// Unlinks and retires an expired value, tolerating every race: only
+    /// the exact `(key → handle)` binding we observed is reclaimed; a
+    /// fresh value that raced in is republished untouched. Nothing here
+    /// dereferences the stale `handle` — the only blobs touched are the
+    /// ones `remove` handed us exclusively.
+    fn expire_reclaim(&self, key: u64, handle: u64, kind: Reclaim) {
+        let arena = self.arena_of(key);
+        match self.map.remove(key) {
+            Some(got) if got == handle => {
+                // Poison before retire (never-stale; see `evict_one`).
+                if let Some(hot) = &self.hot {
+                    hot.poison(key);
+                }
+                // SAFETY: unlinked by our remove, returned only to us.
+                unsafe { arena.retire(got) };
+                let counter = match kind {
+                    Reclaim::Lazy => &arena.cache.expired_lazy,
+                    Reclaim::Swept => &arena.cache.expired_swept,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(other) if !self.map.insert(key, other) => {
+                if let Some(hot) = &self.hot {
+                    hot.poison(key);
+                }
+                // SAFETY: unlinked by our remove, owned by us.
+                unsafe { arena.retire(other) };
+            }
+            Some(_) | None => {}
+        }
+    }
+
+    // -- batched ops -------------------------------------------------------
 
     /// Batched lookup with copy-out: clears `out` and refills it with
     /// per-key answers in input order. With a hot-key engine attached,
@@ -567,24 +1347,46 @@ impl<M: ConcurrentMap> BlobMap<M> {
         if rest.is_empty() {
             return;
         }
+        let mut dead: Vec<(u64, u64)> = Vec::new();
         HANDLE_SCRATCH.with(|scratch| {
             let mut handles = scratch.borrow_mut();
             let _guard = ssmem::protect();
             let rest_keys: Vec<u64> = rest.iter().map(|&(_, k, _)| k).collect();
             self.map.multi_get_into(&rest_keys, &mut handles);
             for (&(pos, key, ref ticket), handle) in rest.iter().zip(handles.iter()) {
-                let value = handle.map(|h| {
+                let arena = self.arena_of(key);
+                let resolved = handle.and_then(|h| {
+                    // SAFETY: guard created before the batched fetch.
+                    if has_ttl(h) && unsafe { arena.is_expired(h) } {
+                        dead.push((key, h));
+                        return None;
+                    }
                     let mut value = pool_take();
                     // SAFETY: guard created before the batched fetch.
-                    unsafe { self.arena_of(key).read_into(h, &mut value) };
-                    value
+                    unsafe { arena.read_into_marked(h, &mut value) };
+                    Some((value, has_ttl(h)))
                 });
-                if let Some(ticket) = ticket {
-                    hot.fill(ticket, value.as_deref());
+                match resolved {
+                    Some((value, ttl)) => {
+                        if let Some(ticket) = ticket {
+                            if !ttl {
+                                hot.fill(ticket, Some(&value));
+                            }
+                        }
+                        out[pos] = Some(value);
+                    }
+                    None => {
+                        if let Some(ticket) = ticket {
+                            hot.fill(ticket, None);
+                        }
+                    }
                 }
-                out[pos] = value;
             }
         });
+        // Guard dropped (the closure ended): reclaim the corpses.
+        for (key, h) in dead {
+            self.expire_reclaim(key, h, Reclaim::Lazy);
+        }
     }
 
     /// The engine-less batched read path (also serves the engine path's
@@ -595,22 +1397,30 @@ impl<M: ConcurrentMap> BlobMap<M> {
         // hit once capacities have warmed up.
         harvest_buffers(out);
         out.clear();
+        let mut dead: Vec<(u64, u64)> = Vec::new();
         HANDLE_SCRATCH.with(|scratch| {
             let mut handles = scratch.borrow_mut();
             let _guard = ssmem::protect();
             self.map.multi_get_into(keys, &mut handles);
             out.reserve(handles.len());
             for (&key, handle) in keys.iter().zip(handles.iter()) {
-                out.push(handle.map(|h| {
-                    let mut value = VALUE_POOL
-                        .with(|pool| pool.borrow_mut().pop())
-                        .unwrap_or_default();
+                let arena = self.arena_of(key);
+                out.push(handle.and_then(|h| {
                     // SAFETY: guard created before the batched fetch.
-                    unsafe { self.arena_of(key).read_into(h, &mut value) };
-                    value
+                    if has_ttl(h) && unsafe { arena.is_expired(h) } {
+                        dead.push((key, h));
+                        return None;
+                    }
+                    let mut value = pool_take();
+                    // SAFETY: guard created before the batched fetch.
+                    unsafe { arena.read_into_marked(h, &mut value) };
+                    Some(value)
                 }));
             }
         });
+        for (key, h) in dead {
+            self.expire_reclaim(key, h, Reclaim::Lazy);
+        }
     }
 
     /// Allocating wrapper over [`multi_get_into`](Self::multi_get_into).
@@ -660,7 +1470,10 @@ impl<M: OrderedMap> BlobMap<M> {
     /// Up to `n` `(key, value)` pairs with key `>= from` in ascending key
     /// order, values copied out. Inherits the non-snapshot scan semantics
     /// of [`OrderedMap`] (each pair was present at some point during the
-    /// scan; payloads are never torn).
+    /// scan; payloads are never torn). Expired values are filtered out
+    /// (and reclaimed — the scan doubles as a sweep pass), so a page may
+    /// come back shorter than `n` even mid-keyspace; callers already
+    /// resume from the last returned key + 1.
     pub fn scan(&self, from: u64, n: usize) -> Vec<(u64, Vec<u8>)> {
         self.scan_bounded(from, n, usize::MAX)
     }
@@ -676,20 +1489,34 @@ impl<M: OrderedMap> BlobMap<M> {
         n: usize,
         max_bytes: usize,
     ) -> Vec<(u64, Vec<u8>)> {
-        // One guard across handle gather and payload copy-out.
-        let _guard = ssmem::protect();
-        let pairs = self.map.scan(from, n);
-        let mut out = Vec::with_capacity(pairs.len());
-        let mut copied = 0usize;
-        for (key, handle) in pairs {
-            let mut value = Vec::new();
-            // SAFETY: guard created before the scan fetched the handle.
-            unsafe { self.arena_of(key).read_into(handle, &mut value) };
-            copied = copied.saturating_add(value.len());
-            out.push((key, value));
-            if copied >= max_bytes {
-                break;
+        let mut dead: Vec<(u64, u64)> = Vec::new();
+        let mut out;
+        {
+            // One guard across handle gather and payload copy-out.
+            let _guard = ssmem::protect();
+            let pairs = self.map.scan(from, n);
+            out = Vec::with_capacity(pairs.len());
+            let mut copied = 0usize;
+            for (key, handle) in pairs {
+                let arena = self.arena_of(key);
+                // SAFETY: guard created before the scan fetched the handle.
+                if has_ttl(handle) && unsafe { arena.is_expired(handle) } {
+                    dead.push((key, handle));
+                    continue;
+                }
+                let mut value = Vec::new();
+                // SAFETY: guard created before the scan fetched the handle.
+                unsafe { arena.read_into(handle, &mut value) };
+                copied = copied.saturating_add(value.len());
+                out.push((key, value));
+                if copied >= max_bytes {
+                    break;
+                }
             }
+        }
+        // Guard dropped: the scan doubles as a sweep pass.
+        for (key, h) in dead {
+            self.expire_reclaim(key, h, Reclaim::Swept);
         }
         out
     }
@@ -701,6 +1528,7 @@ impl<M: ConcurrentMap> std::fmt::Debug for BlobMap<M> {
             .field("shards", &self.shard_count())
             .field("len", &self.len())
             .field("payload", &self.total_arena_stats())
+            .field("cache", &self.cache_stats())
             .finish()
     }
 }
@@ -708,11 +1536,21 @@ impl<M: ConcurrentMap> std::fmt::Debug for BlobMap<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cache::FakeClock;
     use ascylib::hashtable::ClhtLb;
     use ascylib::skiplist::FraserOptSkipList;
 
     fn blob_map() -> BlobMap<FraserOptSkipList> {
         BlobMap::new(4, |_| FraserOptSkipList::new())
+    }
+
+    /// A single-shard map on a hand-cranked clock (TTL-focused tests).
+    fn clocked_map(cfg: CacheConfig) -> (BlobMap<FraserOptSkipList>, Arc<FakeClock>) {
+        let clock = Arc::new(FakeClock::new());
+        let cfg = cfg.with_clock(clock.clone());
+        let map =
+            BlobMap::with_config(1, HotKeyConfig::default(), cfg, |_| FraserOptSkipList::new());
+        (map, clock)
     }
 
     #[test]
@@ -743,6 +1581,8 @@ mod tests {
         let stats = map.total_arena_stats();
         assert_eq!(stats.live_blobs(), 2);
         assert_eq!(stats.live_bytes(), big.len() as u64);
+        // The reservation gauge agrees with the arena accounting.
+        assert_eq!(map.cache_stats().live_bytes, big.len() as u64);
     }
 
     #[test]
@@ -799,6 +1639,31 @@ mod tests {
             .flatten()
             .any(|v| std::ptr::eq(v.as_ptr(), first_ptr));
         assert!(reused, "warmed value capacity must be recycled, not reallocated");
+    }
+
+    #[test]
+    fn value_pool_shrinks_oversized_buffers_and_stays_capped() {
+        let map = blob_map();
+        map.set(1, &vec![7u8; 64 * 1024]);
+        map.set(2, b"small");
+        let mut out = Vec::new();
+        // Each batch materializes the 64 KiB value; the next call harvests
+        // that buffer back into the pool, where it must be shrunk.
+        for _ in 0..4 {
+            map.multi_get_into(&[1, 2], &mut out);
+        }
+        map.multi_get_into(&[2], &mut out); // harvests the last big buffer
+        VALUE_POOL.with(|pool| {
+            let pool = pool.borrow();
+            assert!(pool.len() <= VALUE_POOL_CAP);
+            for v in pool.iter() {
+                assert!(
+                    v.capacity() <= POOLED_VALUE_CAP_BYTES,
+                    "pooled buffer kept {} bytes of capacity",
+                    v.capacity()
+                );
+            }
+        });
     }
 
     #[test]
@@ -862,7 +1727,11 @@ mod tests {
         let ledger_total: usize = map
             .arenas
             .iter()
-            .map(|a| a.live.lock().unwrap().len())
+            .map(|a| {
+                let ledger = a.ledger.lock().unwrap();
+                assert_eq!(ledger.entries.len(), ledger.index.len());
+                ledger.entries.len()
+            })
             .sum();
         assert_eq!(ledger_total as u64, stats.live_blobs());
         drop(map); // frees the 36 live blobs via the ledger
@@ -878,5 +1747,243 @@ mod tests {
             assert_eq!(map.get_owned(k).unwrap(), k.to_le_bytes());
         }
         assert_eq!(map.len(), 100);
+    }
+
+    // -- cache tier --------------------------------------------------------
+
+    #[test]
+    fn handles_carry_tags_and_reads_mask_them() {
+        let arena = ValueArena::new();
+        let h1 = arena.store(1, b"alpha", 0);
+        let h2 = arena.store(2, b"beta", 1234);
+        assert!(!has_ttl(h1));
+        assert!(has_ttl(h2));
+        assert_ne!(h1 & TAG_GEN_MASK, h2 & TAG_GEN_MASK, "generations differ");
+        let mut out = Vec::new();
+        // SAFETY: both handles are live and owned by this test.
+        unsafe {
+            assert_eq!(arena.len_of(h1), 5);
+            arena.read_into(h1, &mut out);
+            assert_eq!(out, b"alpha");
+            out.clear();
+            arena.read_into(h2, &mut out);
+            assert_eq!(out, b"beta");
+            assert_eq!(arena.expire_of(h2), 1234);
+            arena.retire(h1);
+            arena.retire(h2);
+        }
+        assert_eq!(arena.stats().live_blobs(), 0);
+    }
+
+    #[test]
+    fn ttl_expires_at_the_exact_boundary() {
+        let (map, clock) = clocked_map(CacheConfig::unbounded());
+        assert!(map.set_ex(1, b"short-lived", 100));
+        assert!(map.get_owned(1).is_some());
+        assert_eq!(map.ttl_ms(1), Some(Some(100)));
+        clock.advance(99);
+        assert!(map.get_owned(1).is_some(), "alive strictly before the deadline");
+        assert_eq!(map.ttl_ms(1), Some(Some(1)));
+        clock.advance(1);
+        assert!(map.get_owned(1).is_none(), "dead exactly at the deadline");
+        assert!(!map.contains(1));
+        assert_eq!(map.ttl_ms(1), None);
+        // The lazy read reclaimed the corpse: index entry and bytes gone.
+        assert_eq!(map.len(), 0);
+        assert_eq!(map.total_arena_stats().live_blobs(), 0);
+        assert!(map.cache_stats().expired_lazy >= 1);
+    }
+
+    #[test]
+    fn overwrite_resets_ttl_and_del_of_a_corpse_reports_absent() {
+        let (map, clock) = clocked_map(CacheConfig::unbounded());
+        map.set_ex(1, b"v1", 100);
+        clock.advance(50);
+        assert!(!map.set_ex(1, b"v2", 100), "live overwrite replaces");
+        clock.advance(99);
+        assert_eq!(map.get_owned(1).unwrap(), b"v2", "overwrite restarted the clock");
+        clock.advance(1);
+        assert!(map.get_owned(1).is_none());
+        map.set_ex(2, b"w", 10);
+        clock.advance(10);
+        assert!(!map.del(2), "deleting an expired corpse is a no-op answer");
+        assert!(map.set_ex(3, b"x", 10));
+        clock.advance(10);
+        assert!(map.set(3, b"y"), "overwriting a corpse is a create");
+        assert!(map.get_owned(3).is_some());
+    }
+
+    #[test]
+    fn default_ttl_stamps_plain_sets() {
+        let (map, clock) =
+            clocked_map(CacheConfig::unbounded().with_ttl_ms(50));
+        map.set(1, b"fleeting");
+        assert_eq!(map.ttl_ms(1), Some(Some(50)));
+        clock.advance(50);
+        assert!(map.get_owned(1).is_none());
+        // An explicit 0 TTL overrides the default: the value persists.
+        map.set_ex(2, b"durable", 0);
+        assert_eq!(map.ttl_ms(2), Some(None));
+        clock.advance(10_000);
+        assert!(map.get_owned(2).is_some());
+    }
+
+    #[test]
+    fn expire_persist_and_ttl_cover_both_handle_shapes() {
+        let (map, clock) = clocked_map(CacheConfig::unbounded());
+        // Retag path: the value was stored without a deadline.
+        map.set(1, b"v");
+        assert_eq!(map.ttl_ms(1), Some(None));
+        assert!(map.expire(1, 100));
+        assert_eq!(map.ttl_ms(1), Some(Some(100)));
+        clock.advance(60);
+        assert_eq!(map.ttl_ms(1), Some(Some(40)));
+        // Fast path: the handle already carries the TTL flag.
+        assert!(map.expire(1, 500));
+        assert_eq!(map.ttl_ms(1), Some(Some(500)));
+        // PERSIST clears the deadline; the value survives forever after.
+        assert!(map.persist(1));
+        assert_eq!(map.ttl_ms(1), Some(None));
+        clock.advance(10_000);
+        assert_eq!(map.get_owned(1).unwrap(), b"v");
+        // Re-EXPIRE after PERSIST works through the zeroed word.
+        assert!(map.expire(1, 10));
+        clock.advance(10);
+        assert!(!map.expire(1, 10), "expired corpse answers absent");
+        assert!(!map.persist(1));
+        assert!(!map.expire(2, 10), "missing key answers absent");
+        assert!(!map.persist(2));
+    }
+
+    #[test]
+    fn sweep_reclaims_corpses_without_reads() {
+        let (map, clock) = clocked_map(CacheConfig::unbounded());
+        for k in 1..=32u64 {
+            map.set_ex(k, &[k as u8; 64], 100);
+        }
+        clock.advance(100);
+        assert_eq!(map.total_arena_stats().live_blobs(), 32);
+        // Writes to *other* keys drive the piggybacked sweep over the
+        // corpses (SWEEP_EVERY=64, SWEEP_BATCH=8 — give it enough ticks).
+        for i in 0..((SWEEP_EVERY as usize) * 40) {
+            map.set(1000 + i as u64, b"driver");
+        }
+        let stats = map.cache_stats();
+        assert!(
+            stats.expired_swept >= 16,
+            "sweep reclaimed only {} corpses",
+            stats.expired_swept
+        );
+    }
+
+    #[test]
+    fn budget_is_enforced_by_clock_eviction() {
+        let budget = 16 * 1024u64;
+        let map = BlobMap::with_config(
+            1,
+            HotKeyConfig::default(),
+            CacheConfig::unbounded().with_budget(budget),
+            |_| FraserOptSkipList::new(),
+        );
+        // 256 keys × 256 B = 64 KiB of demand against a 16 KiB budget.
+        for k in 1..=256u64 {
+            map.set(k, &[k as u8; 256]);
+        }
+        let stats = map.cache_stats();
+        assert_eq!(stats.budget_bytes, budget);
+        assert!(stats.live_bytes <= budget, "live {} > budget {budget}", stats.live_bytes);
+        assert!(stats.evictions >= 192, "only {} evictions", stats.evictions);
+        assert_eq!(stats.forced, 0);
+        assert_eq!(map.total_arena_stats().live_bytes(), stats.live_bytes);
+        // Survivors still answer correctly.
+        let mut present = 0;
+        for k in 1..=256u64 {
+            if let Some(v) = map.get_owned(k) {
+                assert_eq!(v, vec![k as u8; 256]);
+                present += 1;
+            }
+        }
+        assert_eq!(present as u64, stats.live_bytes / 256);
+    }
+
+    #[test]
+    fn clock_eviction_spares_referenced_values() {
+        let map = BlobMap::with_config(
+            1,
+            HotKeyConfig::default(),
+            CacheConfig::unbounded().with_budget(8 * 1024),
+            |_| FraserOptSkipList::new(),
+        );
+        for k in 1..=16u64 {
+            map.set(k, &[k as u8; 256]);
+        }
+        // Keep re-referencing key 1 while churning enough inserts that
+        // CLOCK must lap the ledger repeatedly.
+        for round in 0..64u64 {
+            assert!(map.get_owned(1).is_some(), "hot key evicted at round {round}");
+            map.set(100 + round, &[0u8; 256]);
+        }
+    }
+
+    #[test]
+    fn oversized_value_forces_admission_but_is_counted() {
+        let map = BlobMap::with_config(
+            1,
+            HotKeyConfig::default(),
+            CacheConfig::unbounded().with_budget(1024),
+            |_| FraserOptSkipList::new(),
+        );
+        map.set(1, &[9u8; 4096]); // larger than the whole budget
+        assert_eq!(map.get_owned(1).unwrap().len(), 4096);
+        let stats = map.cache_stats();
+        assert!(stats.forced >= 1);
+        assert!(stats.live_bytes >= 4096);
+    }
+
+    #[test]
+    fn eviction_poisons_fronted_keys_before_retiring() {
+        // Covered end-to-end (promotion → fill → evict → must-miss) in
+        // crates/shard/tests/cache.rs; this is the cheap in-module smoke:
+        // eviction with an engine attached must not serve stale bytes.
+        let map = BlobMap::with_config(
+            1,
+            HotKeyConfig::eager(8),
+            CacheConfig::unbounded().with_budget(4 * 1024),
+            |_| FraserOptSkipList::new(),
+        );
+        map.set(1, &[1u8; 128]);
+        for _ in 0..64 {
+            assert!(map.get_owned(1).is_some());
+        }
+        for k in 2..=256u64 {
+            map.set(k, &[k as u8; 128]);
+        }
+        // Whatever happened above, a read of key 1 must answer either the
+        // current backing truth or absence — never freed memory. If the
+        // key was evicted, the front copy must have died with it.
+        match map.get_owned(1) {
+            Some(v) => assert_eq!(v, vec![1u8; 128]),
+            None => assert!(!map.contains(1)),
+        }
+    }
+
+    #[test]
+    fn ttl_values_are_never_front_cached() {
+        let (clock_map, clock) = {
+            let clock = Arc::new(FakeClock::new());
+            let cfg = CacheConfig::unbounded().with_clock(clock.clone());
+            let map = BlobMap::with_config(1, HotKeyConfig::eager(8), cfg, |_| {
+                FraserOptSkipList::new()
+            });
+            (map, clock)
+        };
+        clock_map.set_ex(7, b"ephemeral", 100);
+        for _ in 0..128 {
+            assert_eq!(clock_map.get_owned(7).unwrap(), b"ephemeral");
+        }
+        let stats = clock_map.hotkey_stats().unwrap();
+        assert_eq!(stats.front_hits, 0, "TTL'd value leaked into the front cache");
+        clock.advance(100);
+        assert!(clock_map.get_owned(7).is_none(), "front copy outlived the deadline");
     }
 }

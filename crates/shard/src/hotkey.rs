@@ -1074,7 +1074,10 @@ impl HotKeyEngine {
     /// Post-apply hook for plain (non-delegated) writers: if the key
     /// turns out to be fronted (a promotion raced this write), drop the
     /// cached copy and void outstanding fill leases, so no reader can be
-    /// served a value older than this completed write.
+    /// served a value older than this completed write. The cache tier's
+    /// eviction and expiry paths call this too — always *before* the
+    /// backing handle is retired, so a front copy never outlives (or
+    /// dangles past) the value it mirrors.
     #[inline]
     pub fn poison(&self, key: u64) {
         if key == 0 {

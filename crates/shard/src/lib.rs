@@ -33,6 +33,12 @@
 //!   [`blob::ValueArena`]s, readers copy payloads out under epoch guards,
 //!   and overwrites/deletes retire the displaced blob through the same
 //!   grace-period machinery that protects the structures' nodes.
+//! * [`cache::CacheConfig`] turns the blob map into a **bounded cache**:
+//!   per-shard byte budgets enforced by CLOCK eviction on the SET path,
+//!   TTL expiry (lazy on read, plus a sweep piggybacked on writes and
+//!   scans), with the reference/generation/TTL metadata riding the spare
+//!   bits of the 64-bit handle word — the read path pays one relaxed
+//!   bit-set and zero extra cache lines.
 //!
 //! Pairs with `ascylib_harness::dist::KeyDist` to benchmark any structure
 //! under uniform, Zipfian, or hotspot traffic (`fig10_sharding` in the bench
@@ -53,6 +59,7 @@
 
 pub mod blob;
 mod batch;
+pub mod cache;
 pub mod hotkey;
 mod map;
 mod range;
@@ -60,6 +67,7 @@ pub mod router;
 pub mod stats;
 
 pub use blob::{ArenaStatsSnapshot, BlobMap, ValueArena};
+pub use cache::{CacheConfig, CacheStatsSnapshot, FakeClock, MsClock, WallClock};
 pub use hotkey::{HotKeyConfig, HotKeyEngine, HotKeyStatsSnapshot};
 pub use map::ShardedMap;
 pub use stats::ShardStatsSnapshot;

@@ -18,7 +18,9 @@
 //!
 //! Flags: `--mode closed|open:<rate>[:poisson|:fixed]`, `--conns <n>`, and
 //! `--dist uniform|zipf:<theta>|hotspot:<frac>:<prob>` override the
-//! corresponding environment knobs per run; `--progress <secs>` prints a
+//! corresponding environment knobs per run; `--budget <spec>` and
+//! `--ttl <spec>` (only meaningful with `--self`) bound the in-process
+//! server's cache tier, overriding `ASCYLIB_BUDGET` / `ASCYLIB_TTL`; `--progress <secs>` prints a
 //! live status line to stderr that often while the burst runs (ops so far,
 //! current ops/s, errors, and the interval's latency quantiles) — the way
 //! to watch a multi-minute run without waiting for the final report.
@@ -45,7 +47,10 @@
 //!   `bimodal:16,256,10` (default `bimodal:16,256,10` — mostly-small
 //!   values with a 256 B tail);
 //! * `ASCYLIB_PREFILL` — keys to MSET before the burst (default 4096;
-//!   0 skips).
+//!   0 skips);
+//! * `ASCYLIB_BUDGET` / `ASCYLIB_TTL` — cache-tier byte budget
+//!   (`64mb`, `512kb`, a bare count, `off`) and default TTL (`500ms`,
+//!   `30s`, `5m`, `off`) for the `--self` server (default: both off).
 
 use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
@@ -56,7 +61,7 @@ use ascylib_server::loadgen::{self, LoadGenConfig};
 use ascylib_server::{
     BlobOrderedStore, Client, LoadMode, Server, ServerConfig, ServerHandle, ValueSize,
 };
-use ascylib_shard::{BlobMap, HotKeyConfig};
+use ascylib_shard::{BlobMap, CacheConfig, HotKeyConfig};
 
 fn resolve(addr: &str) -> SocketAddr {
     addr.to_socket_addrs()
@@ -104,7 +109,10 @@ fn main() {
     // `--self`: host an in-process server on an ephemeral port, so one
     // command exercises the whole serving stack (CI smoke test).
     let self_serve: Option<ServerHandle> = if std::env::args().any(|a| a == "--self") {
-        let map = Arc::new(BlobMap::with_hotkeys(4, HotKeyConfig::from_env(), |_| {
+        let cache =
+            CacheConfig::resolve(arg_value("--budget").as_deref(), arg_value("--ttl").as_deref());
+        let policy = cache.describe();
+        let map = Arc::new(BlobMap::with_config(4, HotKeyConfig::from_env(), cache, |_| {
             ascylib::skiplist::FraserOptSkipList::new()
         }));
         let hotkeys = match map.hotkey_engine() {
@@ -118,7 +126,8 @@ fn main() {
         )
         .expect("bind ephemeral self-serve port");
         println!(
-            "kv_loadgen: self-serving a 4-shard blob skip list on {} ({hotkeys})",
+            "kv_loadgen: self-serving a 4-shard blob skip list on {} ({hotkeys}, \
+             cache tier: {policy})",
             server.addr()
         );
         Some(server)

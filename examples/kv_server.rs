@@ -50,20 +50,32 @@
 //! `ASCYLIB_HOTKEYS` (hot-key engine front-cache size `k`, default 16;
 //! 0 disables the engine), `ASCYLIB_DIST` (demo key distribution:
 //! `uniform`, `zipf:<theta>`, or `hotspot:<frac>:<prob>`; default
-//! `zipf:0.99`).
+//! `zipf:0.99`), `ASCYLIB_BUDGET` (cache-tier byte budget: `64mb`,
+//! `512kb`, a bare byte count, or `off`; default unbounded — the demo
+//! applies 256 KiB if nothing is set so eviction is observable), and
+//! `ASCYLIB_TTL` (default TTL stamped on plain `SET`s: `500ms`, `30s`,
+//! `5m`, `2h`, or `off`; default none). The `--budget <spec>` and
+//! `--ttl <spec>` flags override the corresponding variables per run.
 
 use std::sync::Arc;
 use std::time::Duration;
 
 use ascylib::skiplist::FraserOptSkipList;
-use ascylib_harness::{bench_millis, env_or, KeyDist, OpMix};
+use ascylib_harness::{arg_value, bench_millis, env_or, KeyDist, OpMix};
 use ascylib_server::loadgen::{self, LoadGenConfig, LoadGenResult};
 use ascylib_server::{BlobOrderedStore, Client, Server, ServerConfig, ServerHandle, ValueSize};
-use ascylib_shard::{BlobMap, HotKeyConfig};
+use ascylib_shard::{BlobMap, CacheConfig, HotKeyConfig};
 
-fn start(addr: &str, shards: usize, workers: usize, slowlog: Duration) -> ServerHandle {
+fn start(
+    addr: &str,
+    shards: usize,
+    workers: usize,
+    slowlog: Duration,
+    cache: CacheConfig,
+) -> ServerHandle {
     let hot = HotKeyConfig::from_env();
-    let map = Arc::new(BlobMap::with_hotkeys(shards, hot, |_| FraserOptSkipList::new()));
+    let policy = cache.describe();
+    let map = Arc::new(BlobMap::with_config(shards, hot, cache, |_| FraserOptSkipList::new()));
     let hotkeys = match map.hotkey_engine() {
         Some(engine) => format!("hot-key engine k={}", engine.k()),
         None => "hot-key engine off".to_string(),
@@ -82,7 +94,8 @@ fn start(addr: &str, shards: usize, workers: usize, slowlog: Duration) -> Server
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
     println!(
         "kv_server: serving {shards}-shard blob-valued fraser-opt skip list on {} \
-         ({workers} workers, event-driven, {hotkeys}, idle timeout {:?})",
+         ({workers} workers, event-driven, {hotkeys}, cache tier: {policy}, \
+         idle timeout {:?})",
         server.addr(),
         config.idle_timeout
     );
@@ -109,10 +122,14 @@ fn print_result(label: &str, r: &LoadGenResult) {
     );
 }
 
-fn demo(shards: usize, workers: usize) {
+fn demo(shards: usize, workers: usize, cache: CacheConfig) {
+    // The demo is also the CI smoke test for the cache tier, so it needs a
+    // budget small enough that its churn burst visibly evicts: apply a
+    // 256 KiB default when neither the environment nor the flags set one.
+    let cache = if cache.budget_bytes.is_none() { cache.with_budget(256 * 1024) } else { cache };
     // Threshold zero so the burst is guaranteed to populate the slow-op
     // log — the demo shows the mechanism, not a tuned production cutoff.
-    let server = start("127.0.0.1:0", shards, workers, Duration::ZERO);
+    let server = start("127.0.0.1:0", shards, workers, Duration::ZERO, cache);
     let addr = server.addr();
     let key_range = 8192u64;
     let vsize = ValueSize::from_env();
@@ -235,6 +252,28 @@ fn demo(shards: usize, workers: usize) {
     after.ping().expect("server stays live after the monitor watch");
     after.quit().expect("post-monitor probe quits");
 
+    // Cache-tier churn burst: write far past the byte budget, lease a key,
+    // then scrape the cache surfaces while the evictions are fresh.
+    let mut churn = Client::connect(addr).expect("cache churn connects");
+    let payload = vec![0x5A; 256];
+    for k in 1..=4096u64 {
+        churn.set(k, &payload).expect("churn SET");
+    }
+    churn.set_ex(4097, b"leased", 60).expect("churn SETEX");
+    let lease = churn.ttl(4097).expect("churn TTL");
+    assert!(
+        matches!(lease, Some(Some(1..=60))),
+        "a fresh 60 s lease must count down from 60, got {lease:?}"
+    );
+    let cache_info = churn.info(Some("cache")).expect("INFO cache");
+    println!("kv_server: INFO cache (after a 1 MiB churn burst) ->");
+    for line in cache_info.lines().take(12) {
+        println!("    {line}");
+    }
+    let cache_metrics = churn.metrics().expect("METRICS after churn");
+    ascylib_telemetry::expo::validate(&cache_metrics).expect("post-churn METRICS validates");
+    churn.quit().expect("churn client quits");
+
     let stats = server.join();
     println!(
         "kv_server: clean shutdown after {} conns, {} frames, {} ops, {} errors",
@@ -290,21 +329,46 @@ fn demo(shards: usize, workers: usize) {
             && metrics.contains("ascy_monitor_subscribers"),
         "METRICS must export the coherence, ssmem, and monitor families"
     );
+    // Cache-tier contract after the churn burst: the budget held, the
+    // eviction counter moved, and the families reached the exporter.
+    assert!(
+        cache_info.contains("cache_tier:on") && cache_info.contains("cache_budget:on"),
+        "the demo store must carry a bounded cache tier:\n{cache_info}"
+    );
+    let budget = field(&cache_info, "cache_budget_bytes").unwrap_or(0);
+    let live = field(&cache_info, "cache_live_bytes").unwrap_or(u64::MAX);
+    assert!(budget > 0 && live <= budget, "budget gauges incoherent:\n{cache_info}");
+    assert!(
+        field(&cache_info, "cache_evictions").unwrap_or(0) > 0,
+        "a 1 MiB churn against a 256 KiB budget must evict:\n{cache_info}"
+    );
+    assert!(
+        field(&cache_info, "cache_ttl_live").unwrap_or(0) > 0,
+        "the leased key must register on the TTL gauge:\n{cache_info}"
+    );
+    assert!(
+        cache_metrics.contains("ascy_cache_evictions_total")
+            && cache_metrics.contains("ascy_cache_budget_bytes")
+            && cache_metrics.contains("ascy_cache_live_bytes"),
+        "METRICS must export the cache families after the churn"
+    );
 }
 
 fn main() {
     let shards = env_or("ASCYLIB_SHARDS", 4) as usize;
     let workers = env_or("ASCYLIB_WORKERS", 8) as usize;
+    let cache = CacheConfig::resolve(arg_value("--budget").as_deref(), arg_value("--ttl").as_deref());
     if std::env::args().any(|a| a == "--demo") {
-        demo(shards, workers);
+        demo(shards, workers, cache);
         return;
     }
 
     let addr = std::env::var("ASCYLIB_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
     let slowlog = Duration::from_micros(env_or("ASCYLIB_SLOW_US", 10_000));
-    let server = start(&addr, shards, workers, slowlog);
+    let server = start(&addr, shards, workers, slowlog, cache);
     println!(
         "kv_server: protocol GET/SET/DEL/MGET/MSET/SCAN/PING/STATS/QUIT with bulk values, \
+         expiry via SET .. EX / EXPIRE / TTL / PERSIST, \
          plus INFO/SLOWLOG/METRICS observability (see PROTOCOL.md);\n\
          kv_server: drive with `cargo run --release --example kv_loadgen` or `nc {}`",
         server.addr()
